@@ -1,0 +1,103 @@
+// A3 — Microbenchmarks of the cycle-time engines: Howard's policy iteration
+// (production) vs Lawler's binary search vs Karp vs brute-force enumeration,
+// and the end-to-end analysis pipeline. Quantifies why the paper picked
+// Howard's algorithm.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/performance.h"
+#include "ordering/channel_ordering.h"
+#include "synth/generator.h"
+#include "tmg/brute_force.h"
+#include "tmg/howard.h"
+#include "tmg/karp.h"
+#include "util/rng.h"
+
+using namespace ermes;
+
+namespace {
+
+tmg::RatioGraph random_ratio_graph(std::int32_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  tmg::RatioGraph rg;
+  rg.g.add_nodes(n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    rg.g.add_arc(i, (i + 1) % n);
+    rg.weight.push_back(rng.uniform_int(1, 100));
+    rg.tokens.push_back(i == 0 ? 1 : rng.uniform_int(0, 1));
+  }
+  for (std::int32_t e = 0; e < 2 * n; ++e) {
+    rg.g.add_arc(static_cast<graph::NodeId>(rng.index(static_cast<std::size_t>(n))),
+                 static_cast<graph::NodeId>(rng.index(static_cast<std::size_t>(n))));
+    rg.weight.push_back(rng.uniform_int(1, 100));
+    rg.tokens.push_back(1);
+  }
+  return rg;
+}
+
+sysmodel::SystemModel soc_of(std::int32_t processes) {
+  synth::GeneratorConfig config;
+  config.num_processes = processes;
+  config.num_channels = processes * 3 / 2;
+  config.feedback_fraction = 0.1;
+  config.seed = 7;
+  return synth::generate_soc(config);
+}
+
+void BM_Howard(benchmark::State& state) {
+  const tmg::RatioGraph rg =
+      random_ratio_graph(static_cast<std::int32_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmg::max_cycle_ratio_howard(rg));
+  }
+}
+BENCHMARK(BM_Howard)->Arg(32)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_Lawler(benchmark::State& state) {
+  const tmg::RatioGraph rg =
+      random_ratio_graph(static_cast<std::int32_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmg::max_cycle_ratio_lawler(rg));
+  }
+}
+BENCHMARK(BM_Lawler)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_Karp(benchmark::State& state) {
+  const tmg::RatioGraph rg =
+      random_ratio_graph(static_cast<std::int32_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmg::max_cycle_mean_karp(rg));
+  }
+}
+BENCHMARK(BM_Karp)->Arg(32)->Arg(256);
+
+void BM_BruteForce(benchmark::State& state) {
+  const tmg::RatioGraph rg =
+      random_ratio_graph(static_cast<std::int32_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmg::max_cycle_ratio_brute_force(rg));
+  }
+}
+BENCHMARK(BM_BruteForce)->Arg(8)->Arg(12);
+
+void BM_AnalyzeSystem(benchmark::State& state) {
+  const sysmodel::SystemModel sys =
+      soc_of(static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_system(sys));
+  }
+}
+BENCHMARK(BM_AnalyzeSystem)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ChannelOrdering(benchmark::State& state) {
+  const sysmodel::SystemModel sys =
+      soc_of(static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ordering::channel_ordering(sys));
+  }
+}
+BENCHMARK(BM_ChannelOrdering)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

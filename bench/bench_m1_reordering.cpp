@@ -1,0 +1,85 @@
+// E4 — Section 6, M1 result: "By reordering the interface primitives of
+// some processes ... The result is a 5% improvement of the CT without any
+// increase in area occupation."
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/performance.h"
+#include "apps/mpeg2/characterization.h"
+#include "ordering/baselines.h"
+#include "ordering/channel_ordering.h"
+#include "ordering/repair.h"
+#include "ordering/local_search.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace ermes;
+
+int main() {
+  std::printf("== E4: reordering-only optimization of M1 (Section 6) ==\n\n");
+  sysmodel::SystemModel sys = mpeg2::make_characterized_mpeg2_encoder();
+  mpeg2::select_m1(sys);
+
+  const double area = sys.total_area();
+  // Baseline: the designer's declaration order, repaired to liveness — the
+  // "conservative ordering that guarantees absence of deadlock but may
+  // introduce unnecessary serialization" the paper starts from.
+  ordering::apply_index_ordering(sys);
+  ordering::ensure_live(sys);
+  const double ct0 = analysis::analyze_system(sys).cycle_time;
+
+  sysmodel::SystemModel ordered = ordering::with_optimal_ordering(sys);
+  const double ct1 = analysis::analyze_system(ordered).cycle_time;
+
+  sysmodel::SystemModel refined = ordered;
+  const ordering::LocalSearchResult hc =
+      ordering::hill_climb_ordering(refined, 8);
+
+  util::Table table({"configuration", "CT (KCycles)", "area (mm2)",
+                     "CT improvement"});
+  table.add_row({"M1, designer order", util::format_double(ct0 / 1e3, 0),
+                 util::format_double(area, 3), "-"});
+  table.add_row({"M1, Algorithm 1", util::format_double(ct1 / 1e3, 0),
+                 util::format_double(ordered.total_area(), 3),
+                 util::format_double((ct0 - ct1) / ct0 * 100.0, 2) + "%"});
+  table.add_row(
+      {"M1, + hill-climb", util::format_double(hc.final_cycle_time / 1e3, 0),
+       util::format_double(refined.total_area(), 3),
+       util::format_double((ct0 - hc.final_cycle_time) / ct0 * 100.0, 2) +
+           "%"});
+  std::printf("%s", table.to_text(2).c_str());
+
+  // How order-sensitive is this system at all? Sample random orders.
+  util::Rng rng(1);
+  int dead = 0, live = 0;
+  double worst_live = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    sysmodel::SystemModel random_sys = sys;
+    ordering::apply_random_ordering(random_sys, rng);
+    const analysis::PerformanceReport rep =
+        analysis::analyze_system(random_sys);
+    if (rep.live) {
+      ++live;
+      worst_live = std::max(worst_live, rep.cycle_time);
+    } else {
+      ++dead;
+    }
+  }
+  std::printf("\nrandom statement orders: %d/%d deadlock", dead, dead + live);
+  if (live > 0) {
+    std::printf("; worst live CT %s KCycles",
+                util::format_double(worst_live / 1e3, 0).c_str());
+  }
+  std::printf("\n");
+  std::printf(
+      "\npaper: 5%% CT improvement, zero area change\n"
+      "note: in this reconstruction M1's critical cycle is the frame-\n"
+      "recurrence chain (ME -> ... -> frame_store), which no statement\n"
+      "order can shorten, so the gain here is liveness rather than CT;\n"
+      "ordering CT gains appear on order-sensitive topologies (E1: 40%%,\n"
+      "A2 corpus: ~25%% vs random live orders).\n");
+  std::printf("area unchanged: %s\n",
+              ordered.total_area() == area ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// A4 — Model vs measurement: the TMG-predicted cycle time against the
+// cycle-accurate rendezvous simulation, across random SoCs and the two case
+// studies. The paper's claim that the TMG allows "efficient performance
+// analysis ... without the need of time-consuming simulation" rests on this
+// agreement.
+
+#include <cstdio>
+
+#include "analysis/performance.h"
+#include "apps/mpeg2/characterization.h"
+#include "apps/mpeg2/functional_pipeline.h"
+#include "ordering/channel_ordering.h"
+#include "sim/system_sim.h"
+#include "synth/generator.h"
+#include "sysmodel/builder.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace ermes;
+using sysmodel::SystemModel;
+
+namespace {
+
+void compare(util::Table& table, const char* name, SystemModel sys,
+             std::int64_t items) {
+  util::Stopwatch sw;
+  const analysis::PerformanceReport report = analysis::analyze_system(sys);
+  const double model_ms = sw.elapsed_ms();
+  sw.reset();
+  const sim::SystemSimResult simulated = sim::simulate_system(sys, items);
+  const double sim_ms = sw.elapsed_ms();
+  const bool match =
+      report.live && !simulated.deadlocked &&
+      std::abs(simulated.measured_cycle_time - report.cycle_time) < 1e-6;
+  table.add_row({name, util::format_double(report.cycle_time, 2),
+                 util::format_double(simulated.measured_cycle_time, 2),
+                 match ? "exact" : "MISMATCH",
+                 util::format_double(model_ms, 2),
+                 util::format_double(sim_ms, 2)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== A4: TMG model vs cycle-accurate simulation ==\n\n");
+  util::Table table({"system", "model CT", "simulated CT", "agreement",
+                     "model (ms)", "sim (ms)"});
+
+  compare(table, "motivating example",
+          ordering::with_optimal_ordering(
+              sysmodel::make_dac14_motivating_example()),
+          300);
+  compare(table, "MPEG-2 encoder (M2)",
+          ordering::with_optimal_ordering(
+              mpeg2::make_characterized_mpeg2_encoder()),
+          64);
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    synth::GeneratorConfig config;
+    config.num_processes = static_cast<std::int32_t>(10 + 10 * seed);
+    config.num_channels = static_cast<std::int32_t>(config.num_processes * 3 / 2);
+    config.feedback_fraction = 0.15;
+    config.seed = seed;
+    SystemModel sys = synth::generate_soc(config);
+    const std::string name = "synthetic n=" +
+                             std::to_string(sys.num_processes()) + " seed=" +
+                             std::to_string(seed);
+    compare(table, name.c_str(), ordering::with_optimal_ordering(sys), 300);
+  }
+
+  std::printf("%s", table.to_text(2).c_str());
+
+  // The functional pipeline: prediction vs a simulation that moves real
+  // pixel data through the blocking channels.
+  mpeg2::PipelineConfig config;
+  config.width = 32;
+  config.height = 16;
+  config.frames = 6;
+  const mpeg2::PipelineResult pipeline =
+      mpeg2::run_functional_pipeline(config);
+  std::printf("\nfunctional MPEG-2 pipeline: predicted CT %s, measured %s "
+              "cycles/block, PSNR %s dB, %lld bits\n",
+              util::format_double(pipeline.predicted_cycle_time, 2).c_str(),
+              util::format_double(pipeline.measured_cycle_time, 2).c_str(),
+              util::format_double(pipeline.psnr_db, 1).c_str(),
+              static_cast<long long>(pipeline.total_bits));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E3 — Table 1: experimental setup of the MPEG-2 Encoder, paper vs this
+// reproduction.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/performance.h"
+#include "apps/mpeg2/characterization.h"
+#include "apps/mpeg2/topology.h"
+#include "util/table.h"
+
+using namespace ermes;
+
+int main() {
+  std::printf("== E3: MPEG-2 Encoder experimental setup (Table 1) ==\n\n");
+  sysmodel::SystemModel sys = mpeg2::make_characterized_mpeg2_encoder();
+
+  std::int64_t lo = sys.channel_latency(0), hi = sys.channel_latency(0);
+  for (sysmodel::ChannelId c = 0; c < sys.num_channels(); ++c) {
+    lo = std::min(lo, sys.channel_latency(c));
+    hi = std::max(hi, sys.channel_latency(c));
+  }
+
+  util::Table table({"quantity", "paper", "this repo"});
+  table.add_row({"Processes", "26", std::to_string(sys.num_processes() - 2) +
+                                        " (+2 testbench)"});
+  table.add_row({"Channels", "60", std::to_string(sys.num_channels())});
+  table.add_row({"Image size (pixels)", "352x240",
+                 std::to_string(mpeg2::kImageWidth) + "x" +
+                     std::to_string(mpeg2::kImageHeight)});
+  table.add_row({"Pareto points", "171",
+                 std::to_string(sys.total_pareto_points())});
+  table.add_row({"Channel latencies", "1 .. 5,280",
+                 std::to_string(lo) + " .. " + std::to_string(hi)});
+  table.add_row({"Technology / frequency", "45nm / 1GHz",
+                 "modeled (cycle counts only)"});
+  table.add_row({"HLS knobs", "loop pipelining, unrolling, ..",
+                 "synthetic frontiers (characterization.cpp)"});
+  std::printf("%s\n", table.to_text(2).c_str());
+
+  // The two starting implementations of Section 6.
+  const double m2_ct = analysis::analyze_system(sys).cycle_time;
+  const double m2_area = sys.total_area();
+  mpeg2::select_m1(sys);
+  const double m1_ct = analysis::analyze_system(sys).cycle_time;
+  const double m1_area = sys.total_area();
+
+  util::Table impls({"implementation", "paper CT (KCycles)", "paper area",
+                     "measured CT (KCycles)", "measured area"});
+  impls.add_row({"M1 (fastest)", "1,906", "2.267 mm2",
+                 util::format_double(m1_ct / 1000.0, 0),
+                 util::format_double(m1_area, 3) + " mm2"});
+  impls.add_row({"M2 (area-lean)", "3,597", "1.562 mm2",
+                 util::format_double(m2_ct / 1000.0, 0),
+                 util::format_double(m2_area, 3) + " mm2"});
+  std::printf("%s", impls.to_text(2).c_str());
+  std::printf(
+      "\nshape check: CT(M2)/CT(M1) paper 1.89x vs measured %sx; "
+      "area(M1)/area(M2) paper 1.45x vs measured %sx\n",
+      util::format_double(m2_ct / m1_ct, 2).c_str(),
+      util::format_double(m1_area / m2_area, 2).c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Deadlock doctor: take a system whose designer-chosen statement order
+// deadlocks (the exact scenario of the paper's Section 2), diagnose the
+// circular wait both analytically (token-free TMG cycle) and dynamically
+// (stalled rendezvous simulation), and repair it.
+
+#include <cstdio>
+
+#include "analysis/deadlock.h"
+#include "analysis/performance.h"
+#include "util/table.h"
+#include "ordering/channel_ordering.h"
+#include "sim/system_sim.h"
+#include "sysmodel/builder.h"
+
+using namespace ermes;
+
+int main() {
+  sysmodel::SystemModel sys = sysmodel::make_dac14_motivating_example();
+
+  // The order a designer might accidentally write (paper Section 2):
+  // P2 writes b, then d, then f; P6 reads g, then d, then e.
+  sysmodel::apply_motivating_orders(sys, {"b", "d", "f"}, {"g", "d", "e"});
+
+  std::printf("== analytic diagnosis (TMG liveness) ==\n");
+  const analysis::PerformanceReport report = analysis::analyze_system(sys);
+  if (report.live) {
+    std::printf("system is live -- nothing to do\n");
+    return 0;
+  }
+  const analysis::DeadlockDiagnosis diag = analysis::diagnose_system(sys);
+  std::printf("circular wait: %s\n\n", analysis::to_string(diag, sys).c_str());
+
+  std::printf("== dynamic confirmation (rendezvous simulation) ==\n");
+  const sim::SystemSimResult simulated = sim::simulate_system(sys, 10);
+  if (simulated.deadlocked) {
+    std::printf("simulation stalls at cycle %lld; blocked processes:",
+                static_cast<long long>(simulated.deadlock.at_cycle));
+    for (std::size_t i = 0; i < simulated.deadlock.processes.size(); ++i) {
+      std::printf(" %s@%s",
+                  sys.process_name(simulated.deadlock.processes[i]).c_str(),
+                  sys.channel_name(simulated.deadlock.channels[i]).c_str());
+    }
+    std::printf("\n\n");
+  }
+
+  std::printf("== repair (Algorithm 1) ==\n");
+  sys = ordering::with_optimal_ordering(sys);
+  const analysis::PerformanceReport fixed = analysis::analyze_system(sys);
+  std::printf("after reordering: %s\n",
+              analysis::summarize(fixed, sys).c_str());
+  const sim::SystemSimResult rerun = sim::simulate_system(sys, 100);
+  std::printf("simulation now runs at %s cycles/item (deadlocked: %s)\n",
+              util::format_double(rerun.measured_cycle_time).c_str(),
+              rerun.deadlocked ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Design-space exploration of the MPEG-2 encoder case study: the full
+// ERMES methodology (Fig. 5 of the paper) driven from the command line.
+//
+//   mpeg2_dse [target_kcycles]
+//
+// Starts from the area-lean M2 configuration, runs the iterative
+// {performance analysis -> IP selection -> channel reordering} loop toward
+// the target cycle time, and prints the Fig. 6-style (CT, area) series.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/performance.h"
+#include "apps/mpeg2/characterization.h"
+#include "dse/explorer.h"
+#include "util/table.h"
+
+using namespace ermes;
+
+int main(int argc, char** argv) {
+  sysmodel::SystemModel sys = mpeg2::make_characterized_mpeg2_encoder();
+  const analysis::PerformanceReport initial = analysis::analyze_system(sys);
+  std::printf("MPEG-2 encoder: %d processes, %d channels, %zu Pareto points\n",
+              sys.num_processes() - 2, sys.num_channels(),
+              sys.total_pareto_points());
+  std::printf("start (M2): CT %s KCycles, area %s mm2\n\n",
+              util::format_double(initial.cycle_time / 1e3, 0).c_str(),
+              util::format_double(sys.total_area(), 3).c_str());
+
+  dse::ExplorerOptions options;
+  if (argc > 1) {
+    options.target_cycle_time = std::atoll(argv[1]) * 1000;
+  } else {
+    options.target_cycle_time =
+        static_cast<std::int64_t>(initial.cycle_time * 0.6);
+  }
+  std::printf("target cycle time: %s KCycles\n\n",
+              util::format_double(
+                  static_cast<double>(options.target_cycle_time) / 1e3, 0)
+                  .c_str());
+
+  const dse::ExplorationResult result = dse::explore(sys, options);
+
+  util::Table table(
+      {"iter", "action", "CT (KCycles)", "area (mm2)", "slack", "critical"});
+  for (const dse::IterationRecord& rec : result.history) {
+    std::string critical;
+    for (std::size_t i = 0; i < rec.critical_processes.size() && i < 4; ++i) {
+      critical += (i ? "," : "") +
+                  sys.process_name(rec.critical_processes[i]);
+    }
+    if (rec.critical_processes.size() > 4) critical += ",...";
+    table.add_row({std::to_string(rec.iteration), dse::to_string(rec.action),
+                   util::format_double(rec.cycle_time / 1e3, 0),
+                   util::format_double(rec.area, 3),
+                   util::format_double(static_cast<double>(rec.slack) / 1e3, 0),
+                   critical});
+  }
+  std::printf("%s", table.to_text(0).c_str());
+
+  const dse::IterationRecord& last = result.history.back();
+  std::printf("\n%s after %zu iterations: CT %s KCycles, area %s mm2 (%s)\n",
+              result.met_target ? "target met" : "target NOT met",
+              result.history.size() - 1,
+              util::format_double(last.cycle_time / 1e3, 0).c_str(),
+              util::format_double(last.area, 3).c_str(),
+              result.converged ? "converged" : "iteration cap");
+
+  // Show the selected implementation of each process in the final system.
+  std::printf("\nfinal IP selection (process: implementation, latency):\n");
+  const sysmodel::SystemModel& final_sys = result.final_system;
+  for (sysmodel::ProcessId p = 0; p < final_sys.num_processes(); ++p) {
+    if (!final_sys.has_implementations(p)) continue;
+    const auto idx = final_sys.selected_implementation(p);
+    std::printf("  %-12s %s (%s KCycles)\n",
+                final_sys.process_name(p).c_str(),
+                final_sys.implementations(p).at(idx).name.c_str(),
+                util::format_double(
+                    static_cast<double>(final_sys.latency(p)) / 1e3, 0)
+                    .c_str());
+  }
+  return 0;
+}

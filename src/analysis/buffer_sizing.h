@@ -1,0 +1,45 @@
+#pragma once
+// FIFO buffer sizing on top of the TMG model.
+//
+// The paper's related-work section contrasts its blocking-rendezvous focus
+// with dataflow methodologies whose "communication channels based on FIFOs
+// ... must be carefully sized". With the non-blocking channel extension
+// (SystemModel::set_channel_capacity) the same TMG machinery sizes those
+// FIFOs analytically:
+//
+//  * size_for_liveness  — minimal extra capacity that removes every
+//    token-free cycle (each added slot adds a token to the channel's space
+//    place, so capacity on a witness cycle breaks it);
+//  * size_for_cycle_time — greedy capacity insertion on the critical cycle
+//    until a target cycle time is met or a slot budget is exhausted
+//    (classic latency-insensitive "queue sizing" against back-pressure).
+
+#include <cstdint>
+#include <vector>
+
+#include "sysmodel/system.h"
+
+namespace ermes::analysis {
+
+struct SizingResult {
+  bool success = false;
+  std::int64_t slots_added = 0;
+  double cycle_time = 0.0;  // final cycle time (when live)
+  /// Channels whose capacity was increased, with the new capacities.
+  std::vector<std::pair<sysmodel::ChannelId, std::int64_t>> changes;
+};
+
+/// Adds capacity until the system is live. Channels already present keep
+/// their orders; only capacities change. `max_slots` bounds the total
+/// insertion. Returns success=false if the budget is exhausted first.
+SizingResult size_for_liveness(sysmodel::SystemModel& sys,
+                               std::int64_t max_slots = 1024);
+
+/// Adds capacity on critical-cycle channels until cycle_time < target (or
+/// no channel on the critical cycle can still be improved / the budget is
+/// exhausted). The system must be live on entry.
+SizingResult size_for_cycle_time(sysmodel::SystemModel& sys,
+                                 std::int64_t target_cycle_time,
+                                 std::int64_t max_slots = 1024);
+
+}  // namespace ermes::analysis

@@ -1,0 +1,127 @@
+#include "analysis/deadlock.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "analysis/performance.h"
+
+namespace ermes::analysis {
+
+using sysmodel::ChannelId;
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+DeadlockDiagnosis diagnose_deadlock(const SystemTmg& stmg,
+                                    const SystemModel& sys,
+                                    const std::vector<tmg::PlaceId>& cycle) {
+  DeadlockDiagnosis diag;
+  if (cycle.empty()) return diag;
+  diag.deadlocked = true;
+
+  // Channels whose transition lies on the token-free cycle, and the
+  // processes whose rings it threads.
+  std::set<ChannelId> dead_channels;
+  std::vector<ProcessId> procs;  // in order of first appearance on the cycle
+  std::set<ProcessId> seen;
+  for (tmg::PlaceId pl : cycle) {
+    const tmg::TransitionId t = stmg.graph.consumer(pl);
+    const TransitionOrigin& origin =
+        stmg.transition_origin[static_cast<std::size_t>(t)];
+    if (origin.kind == TransitionOrigin::Kind::kChannel) {
+      dead_channels.insert(origin.channel);
+    }
+    const PlaceRole& role = stmg.place_role[static_cast<std::size_t>(pl)];
+    if (role.process != sysmodel::kInvalidProcess &&
+        seen.insert(role.process).second) {
+      procs.push_back(role.process);
+    }
+  }
+
+  // For each process, its earliest program statement on a dead channel:
+  // that is where the process is suspended at runtime.
+  auto blocked_statement_of = [&](ProcessId p) {
+    BlockedStatement blocked;
+    blocked.process = p;
+    const bool puts_first = sys.primed(p) || sys.is_source(p);
+    const auto scan_gets = [&]() {
+      for (ChannelId c : sys.input_order(p)) {
+        if (dead_channels.count(c) != 0) {
+          blocked.channel = c;
+          blocked.is_put = false;
+          return true;
+        }
+      }
+      return false;
+    };
+    const auto scan_puts = [&]() {
+      for (ChannelId c : sys.output_order(p)) {
+        if (dead_channels.count(c) != 0) {
+          blocked.channel = c;
+          blocked.is_put = true;
+          return true;
+        }
+      }
+      return false;
+    };
+    if (puts_first) {
+      if (!scan_puts()) scan_gets();
+    } else {
+      if (!scan_gets()) scan_puts();
+    }
+    return blocked;
+  };
+
+  std::vector<BlockedStatement> blocked;
+  for (ProcessId p : procs) {
+    const BlockedStatement b = blocked_statement_of(p);
+    if (b.channel != sysmodel::kInvalidChannel) blocked.push_back(b);
+  }
+
+  // Chain in waits-for order: the peer of each blocked channel is the next
+  // process in the wait cycle.
+  if (!blocked.empty()) {
+    std::vector<BlockedStatement> chain{blocked.front()};
+    std::set<ProcessId> used{blocked.front().process};
+    while (chain.size() < blocked.size()) {
+      const BlockedStatement& cur = chain.back();
+      const ProcessId peer = cur.is_put ? sys.channel_target(cur.channel)
+                                        : sys.channel_source(cur.channel);
+      const auto it =
+          std::find_if(blocked.begin(), blocked.end(),
+                       [&](const BlockedStatement& b) {
+                         return b.process == peer && used.count(peer) == 0;
+                       });
+      if (it == blocked.end()) break;  // chain does not close cleanly
+      chain.push_back(*it);
+      used.insert(peer);
+    }
+    // Fall back to first-appearance order when the chain is partial.
+    diag.wait_cycle = chain.size() == blocked.size() ? chain : blocked;
+  }
+  return diag;
+}
+
+DeadlockDiagnosis diagnose_system(const SystemModel& sys) {
+  const SystemTmg stmg = build_tmg(sys);
+  const PerformanceReport report = analyze(stmg);
+  if (report.live) return {};
+  return diagnose_deadlock(stmg, sys, report.dead_cycle);
+}
+
+std::string to_string(const DeadlockDiagnosis& diag,
+                      const SystemModel& sys) {
+  if (!diag.deadlocked) return "no deadlock";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < diag.wait_cycle.size(); ++i) {
+    const BlockedStatement& blocked = diag.wait_cycle[i];
+    if (i) out << " -> ";
+    out << sys.process_name(blocked.process) << " blocked at "
+        << (blocked.is_put ? "put(" : "get(")
+        << sys.channel_name(blocked.channel) << ")";
+  }
+  out << " -> (cycle)";
+  return out.str();
+}
+
+}  // namespace ermes::analysis

@@ -1,0 +1,44 @@
+#pragma once
+// Deadlock diagnosis in system terms.
+//
+// A token-free cycle of the TMG corresponds to a circular wait among
+// processes. The diagnosis names, for each process involved, the earliest
+// statement of its program that can never complete (Section 2's example: P2
+// blocked at put(d) -> P6 blocked at get(g) -> P5 blocked at get(f) -> P2),
+// chained in waits-for order.
+
+#include <string>
+#include <vector>
+
+#include "analysis/tmg_builder.h"
+#include "sysmodel/system.h"
+
+namespace ermes::analysis {
+
+struct BlockedStatement {
+  sysmodel::ProcessId process = sysmodel::kInvalidProcess;
+  sysmodel::ChannelId channel = sysmodel::kInvalidChannel;
+  bool is_put = false;  // false = blocked at a get
+};
+
+struct DeadlockDiagnosis {
+  bool deadlocked = false;
+  /// The circular wait: entry i's blocked channel leads to entry i+1's
+  /// process (cyclically) whenever the waits-for chain closes cleanly.
+  std::vector<BlockedStatement> wait_cycle;
+};
+
+/// Interprets a token-free cycle (from PerformanceReport::dead_cycle) as a
+/// circular wait over `sys`.
+DeadlockDiagnosis diagnose_deadlock(const SystemTmg& stmg,
+                                    const sysmodel::SystemModel& sys,
+                                    const std::vector<tmg::PlaceId>& cycle);
+
+/// Convenience: analyzes `sys` and diagnoses, if deadlocked.
+DeadlockDiagnosis diagnose_system(const sysmodel::SystemModel& sys);
+
+/// "P2 blocked at put(d) -> P6 blocked at get(g) -> ..."
+std::string to_string(const DeadlockDiagnosis& diag,
+                      const sysmodel::SystemModel& sys);
+
+}  // namespace ermes::analysis

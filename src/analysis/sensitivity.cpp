@@ -1,0 +1,49 @@
+#include "analysis/sensitivity.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/performance.h"
+
+namespace ermes::analysis {
+
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+SensitivityReport latency_sensitivity(const SystemModel& sys,
+                                      std::int64_t step) {
+  SensitivityReport report;
+  const PerformanceReport base = analyze_system(sys);
+  if (!base.live) return report;
+  report.base_cycle_time = base.cycle_time;
+  const std::set<ProcessId> critical(base.critical_processes.begin(),
+                                     base.critical_processes.end());
+
+  SystemModel scratch = sys;
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    ProcessSensitivity entry;
+    entry.process = p;
+    entry.on_critical_cycle = critical.count(p) != 0;
+    const std::int64_t original = sys.latency(p);
+    const std::int64_t reduced = std::max<std::int64_t>(0, original - step);
+    if (reduced == original) {
+      entry.ct_after_step = base.cycle_time;
+    } else {
+      scratch.set_latency(p, reduced);
+      entry.ct_after_step = analyze_system(scratch).cycle_time;
+      scratch.set_latency(p, original);
+      entry.ct_gain_per_cycle =
+          (base.cycle_time - entry.ct_after_step) /
+          static_cast<double>(original - reduced);
+    }
+    report.processes.push_back(entry);
+  }
+  std::stable_sort(report.processes.begin(), report.processes.end(),
+                   [](const ProcessSensitivity& a,
+                      const ProcessSensitivity& b) {
+                     return a.ct_gain_per_cycle > b.ct_gain_per_cycle;
+                   });
+  return report;
+}
+
+}  // namespace ermes::analysis

@@ -1,0 +1,131 @@
+#include "analysis/tmg_builder.h"
+
+#include <cassert>
+
+namespace ermes::analysis {
+
+using sysmodel::ChannelId;
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+using tmg::PlaceId;
+using tmg::TransitionId;
+
+SystemTmg build_tmg(const SystemModel& sys) {
+  SystemTmg out;
+
+  // Transitions. A rendezvous channel is one shared transition; a FIFO
+  // channel splits into a write transition (delay = channel latency, in the
+  // producer's ring) and a zero-delay read transition (consumer's ring),
+  // coupled by a data place (0 tokens) and a space place (k tokens).
+  out.channel_transition.resize(static_cast<std::size_t>(sys.num_channels()));
+  out.channel_read_transition.resize(
+      static_cast<std::size_t>(sys.num_channels()));
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    const TransitionId t = out.graph.add_transition(
+        "ch_" + sys.channel_name(c), sys.channel_latency(c));
+    out.channel_transition[static_cast<std::size_t>(c)] = t;
+    out.transition_origin.push_back(
+        {TransitionOrigin::Kind::kChannel, sysmodel::kInvalidProcess, c});
+    if (sys.channel_capacity(c) > 0) {
+      const TransitionId tr = out.graph.add_transition(
+          "rd_" + sys.channel_name(c), 0);
+      out.channel_read_transition[static_cast<std::size_t>(c)] = tr;
+      out.transition_origin.push_back(
+          {TransitionOrigin::Kind::kChannel, sysmodel::kInvalidProcess, c});
+    } else {
+      out.channel_read_transition[static_cast<std::size_t>(c)] = t;
+    }
+  }
+  out.compute_transition.resize(static_cast<std::size_t>(sys.num_processes()));
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    const TransitionId t = out.graph.add_transition(
+        "L_" + sys.process_name(p), sys.latency(p));
+    out.compute_transition[static_cast<std::size_t>(p)] = t;
+    out.transition_origin.push_back(
+        {TransitionOrigin::Kind::kCompute, p, sysmodel::kInvalidChannel});
+  }
+
+  // Rings.
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    const auto& gets = sys.input_order(p);
+    const auto& puts = sys.output_order(p);
+
+    // Ring sequence: get transitions, L_p, put transitions.
+    struct Element {
+      TransitionId t;
+      PlaceRole role_of_feeding_place;  // role of the place that feeds t
+    };
+    std::vector<Element> ring;
+    ring.reserve(gets.size() + puts.size() + 1);
+    for (ChannelId c : gets) {
+      // Consumer side: the read transition (== the shared transition for
+      // rendezvous channels).
+      ring.push_back(
+          {out.channel_read_transition[static_cast<std::size_t>(c)],
+           {PlaceRole::Kind::kGet, p, c}});
+    }
+    ring.push_back({out.compute_transition[static_cast<std::size_t>(p)],
+                    {PlaceRole::Kind::kComputeIn, p, sysmodel::kInvalidChannel}});
+    for (ChannelId c : puts) {
+      ring.push_back({out.channel_transition[static_cast<std::size_t>(c)],
+                      {PlaceRole::Kind::kPut, p, c}});
+    }
+
+    // The token sits on the place feeding the first I/O transition: the
+    // first get when the process has inputs; otherwise the first put
+    // (sources are "always ready to provide new input data"). A process with
+    // no channels at all keeps the token on its compute self-ring.
+    std::size_t marked_element = 0;  // index into `ring` of the fed element
+    if (gets.empty() && !puts.empty()) {
+      marked_element = 1;  // first put transition (ring[0] is L_p)
+    } else if (sys.primed(p) && !puts.empty()) {
+      // Primed process: starts ready to emit its initial output.
+      marked_element = gets.size() + 1;
+    }
+
+    const std::size_t n = ring.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t from = (i + n - 1) % n;  // place feeds ring[i]
+      const PlaceRole& role = ring[i].role_of_feeding_place;
+      std::string name;
+      switch (role.kind) {
+        case PlaceRole::Kind::kGet:
+          name = "get_" + sys.process_name(p) + "_" +
+                 sys.channel_name(role.channel);
+          break;
+        case PlaceRole::Kind::kPut:
+          name = "put_" + sys.process_name(p) + "_" +
+                 sys.channel_name(role.channel);
+          break;
+        case PlaceRole::Kind::kComputeIn:
+        case PlaceRole::Kind::kFifoData:   // FIFO places are created below,
+        case PlaceRole::Kind::kFifoSpace:  // never inside a ring
+          name = "cin_" + sys.process_name(p);
+          break;
+      }
+      const std::int64_t tokens = (i == marked_element) ? 1 : 0;
+      [[maybe_unused]] const PlaceId pl = out.graph.add_place(
+          ring[from].t, ring[i].t, tokens, std::move(name));
+      assert(static_cast<std::size_t>(pl) == out.place_role.size());
+      out.place_role.push_back(role);
+    }
+  }
+  // FIFO coupling places.
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    const std::int64_t capacity = sys.channel_capacity(c);
+    if (capacity <= 0) continue;
+    const TransitionId tw =
+        out.channel_transition[static_cast<std::size_t>(c)];
+    const TransitionId tr =
+        out.channel_read_transition[static_cast<std::size_t>(c)];
+    out.graph.add_place(tw, tr, 0, "data_" + sys.channel_name(c));
+    out.place_role.push_back({PlaceRole::Kind::kFifoData,
+                              sysmodel::kInvalidProcess, c});
+    out.graph.add_place(tr, tw, capacity, "space_" + sys.channel_name(c));
+    out.place_role.push_back({PlaceRole::Kind::kFifoSpace,
+                              sysmodel::kInvalidProcess, c});
+  }
+  return out;
+}
+
+}  // namespace ermes::analysis

@@ -1,0 +1,126 @@
+#include "apps/mpeg2/characterization.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+#include "apps/mpeg2/topology.h"
+#include "sysmodel/implementation.h"
+
+namespace ermes::mpeg2 {
+
+using sysmodel::Implementation;
+using sysmodel::ParetoSet;
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+namespace {
+
+struct Row {
+  const char* name;
+  std::size_t points;          // Pareto points for this process
+  std::int64_t fast_latency;   // fastest micro-architecture (cycles)
+  std::int64_t slow_latency;   // slowest (= M2 base in topology.cpp)
+  double large_area;           // area of the fastest point (mm^2)
+  double small_area;           // area of the slowest point (mm^2)
+};
+
+// 26 rows, points summing to kParetoPoints (171). Latency/area ranges chosen
+// so that M1 (fastest everywhere) totals ~2.27 mm^2 and the area-lean M2
+// totals ~1.5 mm^2, mirroring Table 1 and Section 6 of the paper.
+constexpr Row kRows[] = {
+    {"in_ctrl", 5, 30'000, 120'000, 0.040, 0.0180},
+    {"color_conv", 8, 90'000, 700'000, 0.120, 0.0540},
+    {"frame_buf", 5, 40'000, 160'000, 0.060, 0.0270},
+    {"mb_dispatch", 6, 30'000, 120'000, 0.040, 0.0180},
+    {"me_coarse", 12, 380'000, 1'500'000, 0.340, 0.1530},
+    {"me_fine", 11, 220'000, 900'000, 0.220, 0.0990},
+    {"mv_pred", 5, 15'000, 60'000, 0.030, 0.0135},
+    {"mode_decide", 6, 25'000, 90'000, 0.040, 0.0180},
+    {"mc", 10, 130'000, 500'000, 0.160, 0.0720},
+    {"residual", 6, 50'000, 200'000, 0.050, 0.0225},
+    {"dct_luma", 9, 200'000, 800'000, 0.200, 0.0900},
+    {"dct_chroma", 8, 100'000, 400'000, 0.100, 0.0450},
+    {"quant_luma", 7, 80'000, 300'000, 0.080, 0.0360},
+    {"quant_chroma", 6, 40'000, 160'000, 0.050, 0.0225},
+    {"rate_ctrl", 4, 12'000, 40'000, 0.020, 0.0090},
+    {"zigzag", 5, 35'000, 120'000, 0.030, 0.0135},
+    {"rle", 6, 40'000, 150'000, 0.040, 0.0180},
+    {"vlc_coeff", 8, 150'000, 600'000, 0.170, 0.0765},
+    {"vlc_mv", 5, 20'000, 80'000, 0.030, 0.0135},
+    {"hdr_gen", 5, 18'000, 70'000, 0.030, 0.0135},
+    {"mux", 6, 45'000, 180'000, 0.050, 0.0225},
+    {"out_buf", 4, 25'000, 90'000, 0.030, 0.0135},
+    {"iquant", 6, 55'000, 200'000, 0.060, 0.0270},
+    {"idct", 8, 180'000, 700'000, 0.160, 0.0720},
+    {"recon", 6, 40'000, 150'000, 0.050, 0.0225},
+    {"frame_store", 4, 30'000, 120'000, 0.050, 0.0225},
+};
+
+ParetoSet make_frontier(const Row& row) {
+  ParetoSet set;
+  assert(row.points >= 2);
+  const double steps = static_cast<double>(row.points - 1);
+  for (std::size_t i = 0; i < row.points; ++i) {
+    // i == 0 is the fastest/largest point; geometric interpolation keeps
+    // every point on a convex latency/area frontier.
+    const double t = static_cast<double>(i) / steps;
+    Implementation impl;
+    impl.name = "cfg" + std::to_string(i);
+    impl.latency = static_cast<std::int64_t>(std::llround(
+        static_cast<double>(row.fast_latency) *
+        std::pow(static_cast<double>(row.slow_latency) /
+                     static_cast<double>(row.fast_latency),
+                 t)));
+    impl.area = row.large_area *
+                std::pow(row.small_area / row.large_area, t);
+    set.add(impl);
+  }
+  set.prune_to_frontier();
+  return set;
+}
+
+}  // namespace
+
+void attach_characterization(SystemModel& sys) {
+  std::size_t total = 0;
+  for (const Row& row : kRows) {
+    const ProcessId p = sys.find_process(row.name);
+    assert(p != sysmodel::kInvalidProcess);
+    ParetoSet set = make_frontier(row);
+    total += set.size();
+    const std::size_t slowest = set.size() - 1;
+    sys.set_implementations(p, std::move(set), slowest);
+  }
+  assert(total == kParetoPoints);
+  (void)total;
+  select_m2(sys);
+}
+
+void select_m1(SystemModel& sys) {
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    if (sys.has_implementations(p)) {
+      sys.select_implementation(p, sys.implementations(p).fastest_index());
+    }
+  }
+}
+
+void select_m2(SystemModel& sys) {
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    if (!sys.has_implementations(p)) continue;
+    const std::size_t n = sys.implementations(p).size();
+    // Area-lean system-level trade-off: the mid point of each frontier.
+    // This lands the M2/M1 cycle-time and area ratios near the paper's
+    // (1.89x / 1.45x) while leaving area-recovery headroom on both sides.
+    sys.select_implementation(
+        p, static_cast<std::size_t>((n - 1 + 1) / 2));
+  }
+}
+
+SystemModel make_characterized_mpeg2_encoder() {
+  SystemModel sys = make_mpeg2_encoder();
+  attach_characterization(sys);
+  return sys;
+}
+
+}  // namespace ermes::mpeg2

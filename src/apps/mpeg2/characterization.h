@@ -1,0 +1,35 @@
+#pragma once
+// HLS characterization of the MPEG-2 encoder (Pareto frontiers, M1/M2).
+//
+// The paper derives, per process, a set of Pareto-optimal micro-
+// architectures via the compositional DSE of Liu-Carloni (DATE'12) — 171
+// points in total at 45 nm / 1 GHz — and studies two system-level start
+// points: M1 (fastest computation everywhere: CT 1,906 KCycles, 2.267 mm^2)
+// and M2 (area-lean trade-off: CT 3,597 KCycles, 1.562 mm^2). This module
+// synthesizes per-process frontiers with exactly 171 points and provides
+// the two named selections.
+
+#include <cstddef>
+
+#include "sysmodel/system.h"
+
+namespace ermes::mpeg2 {
+
+inline constexpr std::size_t kParetoPoints = 171;
+
+/// Attaches deterministic Pareto frontiers (exactly kParetoPoints in total)
+/// to the 26 core processes. The current selection afterwards is M2.
+void attach_characterization(sysmodel::SystemModel& sys);
+
+/// M1: fastest implementation for every characterized process.
+void select_m1(sysmodel::SystemModel& sys);
+
+/// M2: area-lean selection (second-smallest point where the frontier has
+/// one, smallest otherwise) — leaves headroom for area recovery, like the
+/// system-level Pareto point the paper starts from.
+void select_m2(sysmodel::SystemModel& sys);
+
+/// Convenience: topology + characterization, M2 selected.
+sysmodel::SystemModel make_characterized_mpeg2_encoder();
+
+}  // namespace ermes::mpeg2

@@ -1,0 +1,90 @@
+#include "apps/mpeg2/kernels/dct.h"
+
+#include <cmath>
+
+namespace ermes::mpeg2 {
+
+namespace {
+
+// cos((2x+1) u pi / 16) basis, computed once.
+struct Basis {
+  double c[8][8];
+  double alpha[8];
+  Basis() {
+    constexpr double kPi = 3.14159265358979323846;
+    for (int u = 0; u < 8; ++u) {
+      alpha[u] = (u == 0) ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x) {
+        c[u][x] = std::cos((2 * x + 1) * u * kPi / 16.0);
+      }
+    }
+  }
+};
+
+const Basis& basis() {
+  static const Basis b;
+  return b;
+}
+
+}  // namespace
+
+Block8x8 forward_dct(const Block8x8& block) {
+  const Basis& b = basis();
+  double tmp[8][8];
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      double acc = 0.0;
+      for (int x = 0; x < 8; ++x) {
+        acc += static_cast<double>(block[static_cast<std::size_t>(y * 8 + x)]) *
+               b.c[u][x];
+      }
+      tmp[y][u] = acc * b.alpha[u];
+    }
+  }
+  // Columns.
+  Block8x8 out{};
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double acc = 0.0;
+      for (int y = 0; y < 8; ++y) {
+        acc += tmp[y][u] * b.c[v][y];
+      }
+      out[static_cast<std::size_t>(v * 8 + u)] =
+          static_cast<std::int32_t>(std::lround(acc * b.alpha[v]));
+    }
+  }
+  return out;
+}
+
+Block8x8 inverse_dct(const Block8x8& coefficients) {
+  const Basis& b = basis();
+  double tmp[8][8];
+  // Columns first (inverse of the forward order).
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      double acc = 0.0;
+      for (int v = 0; v < 8; ++v) {
+        acc += b.alpha[v] *
+               static_cast<double>(
+                   coefficients[static_cast<std::size_t>(v * 8 + u)]) *
+               b.c[v][y];
+      }
+      tmp[y][u] = acc;
+    }
+  }
+  Block8x8 out{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      double acc = 0.0;
+      for (int u = 0; u < 8; ++u) {
+        acc += b.alpha[u] * tmp[y][u] * b.c[u][x];
+      }
+      out[static_cast<std::size_t>(y * 8 + x)] =
+          static_cast<std::int32_t>(std::lround(acc));
+    }
+  }
+  return out;
+}
+
+}  // namespace ermes::mpeg2

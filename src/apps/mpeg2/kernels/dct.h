@@ -1,0 +1,21 @@
+#pragma once
+// 8x8 forward/inverse DCT (the transform kernel of the functional encoder).
+//
+// Separable type-II DCT with double-precision internals and integer I/O,
+// matching the reference MPEG-2 arithmetic closely enough that
+// forward->inverse round-trips within +/-1 per sample.
+
+#include <array>
+#include <cstdint>
+
+namespace ermes::mpeg2 {
+
+using Block8x8 = std::array<std::int32_t, 64>;
+
+/// Forward 2-D DCT; input samples typically in [-255, 255] (residuals).
+Block8x8 forward_dct(const Block8x8& block);
+
+/// Inverse 2-D DCT.
+Block8x8 inverse_dct(const Block8x8& coefficients);
+
+}  // namespace ermes::mpeg2

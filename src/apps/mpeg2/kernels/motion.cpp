@@ -1,0 +1,66 @@
+#include "apps/mpeg2/kernels/motion.h"
+
+#include <cstdlib>
+#include <limits>
+
+namespace ermes::mpeg2 {
+
+Frame make_frame(std::int32_t width, std::int32_t height, std::uint8_t fill) {
+  Frame frame;
+  frame.width = width;
+  frame.height = height;
+  frame.luma.assign(
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+      fill);
+  return frame;
+}
+
+std::int64_t block_sad(const Frame& cur, const Frame& ref, std::int32_t bx,
+                       std::int32_t by, std::int32_t dx, std::int32_t dy,
+                       std::int32_t size) {
+  std::int64_t sad = 0;
+  for (std::int32_t y = 0; y < size; ++y) {
+    for (std::int32_t x = 0; x < size; ++x) {
+      const int a = cur.at(bx + x, by + y);
+      const int b = ref.at(bx + dx + x, by + dy + y);
+      sad += std::abs(a - b);
+    }
+  }
+  return sad;
+}
+
+MotionVector full_search(const Frame& cur, const Frame& ref, std::int32_t bx,
+                         std::int32_t by, std::int32_t size,
+                         std::int32_t range) {
+  MotionVector best;
+  best.sad = std::numeric_limits<std::int64_t>::max();
+  for (std::int32_t dy = -range; dy <= range; ++dy) {
+    for (std::int32_t dx = -range; dx <= range; ++dx) {
+      const std::int64_t sad = block_sad(cur, ref, bx, by, dx, dy, size);
+      // Prefer shorter vectors on ties (cheaper to code, deterministic).
+      if (sad < best.sad ||
+          (sad == best.sad &&
+           std::abs(dx) + std::abs(dy) < std::abs(best.dx) + std::abs(best.dy))) {
+        best = MotionVector{dx, dy, sad};
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::int32_t> predict_block(const Frame& ref, std::int32_t bx,
+                                        std::int32_t by,
+                                        const MotionVector& mv,
+                                        std::int32_t size) {
+  std::vector<std::int32_t> block(
+      static_cast<std::size_t>(size) * static_cast<std::size_t>(size));
+  for (std::int32_t y = 0; y < size; ++y) {
+    for (std::int32_t x = 0; x < size; ++x) {
+      block[static_cast<std::size_t>(y * size + x)] =
+          ref.at(bx + mv.dx + x, by + mv.dy + y);
+    }
+  }
+  return block;
+}
+
+}  // namespace ermes::mpeg2

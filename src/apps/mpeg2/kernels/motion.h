@@ -1,0 +1,53 @@
+#pragma once
+// Block motion estimation / compensation on 8-bit luma frames.
+
+#include <cstdint>
+#include <vector>
+
+namespace ermes::mpeg2 {
+
+struct Frame {
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::vector<std::uint8_t> luma;  // width*height, row-major
+
+  std::uint8_t at(std::int32_t x, std::int32_t y) const {
+    // Edge-clamped access (reference windows may poke past the border).
+    x = x < 0 ? 0 : (x >= width ? width - 1 : x);
+    y = y < 0 ? 0 : (y >= height ? height - 1 : y);
+    return luma[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                static_cast<std::size_t>(x)];
+  }
+  std::uint8_t& at_mut(std::int32_t x, std::int32_t y) {
+    return luma[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                static_cast<std::size_t>(x)];
+  }
+};
+
+Frame make_frame(std::int32_t width, std::int32_t height,
+                 std::uint8_t fill = 128);
+
+struct MotionVector {
+  std::int32_t dx = 0;
+  std::int32_t dy = 0;
+  std::int64_t sad = 0;
+};
+
+/// Sum of absolute differences between the `size`x`size` block at (bx,by) in
+/// `cur` and the block at (bx+dx, by+dy) in `ref`.
+std::int64_t block_sad(const Frame& cur, const Frame& ref, std::int32_t bx,
+                       std::int32_t by, std::int32_t dx, std::int32_t dy,
+                       std::int32_t size);
+
+/// Full-search motion estimation within [-range, range]^2.
+MotionVector full_search(const Frame& cur, const Frame& ref, std::int32_t bx,
+                         std::int32_t by, std::int32_t size,
+                         std::int32_t range);
+
+/// Copies the motion-compensated prediction block out of `ref`.
+std::vector<std::int32_t> predict_block(const Frame& ref, std::int32_t bx,
+                                        std::int32_t by,
+                                        const MotionVector& mv,
+                                        std::int32_t size);
+
+}  // namespace ermes::mpeg2

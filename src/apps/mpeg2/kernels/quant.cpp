@@ -1,0 +1,50 @@
+#include "apps/mpeg2/kernels/quant.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ermes::mpeg2 {
+
+const Block8x8 kDefaultIntraMatrix = {
+    8,  16, 19, 22, 26, 27, 29, 34,  //
+    16, 16, 22, 24, 27, 29, 34, 37,  //
+    19, 22, 26, 27, 29, 34, 34, 38,  //
+    22, 22, 26, 27, 29, 34, 37, 40,  //
+    22, 26, 27, 29, 32, 35, 40, 48,  //
+    26, 27, 29, 32, 35, 40, 48, 58,  //
+    26, 27, 29, 34, 38, 46, 56, 69,  //
+    27, 29, 35, 38, 46, 56, 69, 83,
+};
+
+const Block8x8 kFlatMatrix = [] {
+  Block8x8 m{};
+  m.fill(16);
+  return m;
+}();
+
+Block8x8 quantize(const Block8x8& coefficients, const Block8x8& matrix,
+                  int qscale) {
+  assert(qscale >= 1 && qscale <= 31);
+  Block8x8 out{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double denom = static_cast<double>(matrix[i]) * qscale;
+    out[i] = static_cast<std::int32_t>(
+        std::lround(static_cast<double>(coefficients[i]) * 16.0 / denom));
+  }
+  return out;
+}
+
+Block8x8 dequantize(const Block8x8& levels, const Block8x8& matrix,
+                    int qscale) {
+  assert(qscale >= 1 && qscale <= 31);
+  Block8x8 out{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    out[i] = static_cast<std::int32_t>(
+        std::lround(static_cast<double>(levels[i]) *
+                    static_cast<double>(matrix[i]) * qscale / 16.0));
+  }
+  return out;
+}
+
+}  // namespace ermes::mpeg2

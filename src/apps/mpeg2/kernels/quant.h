@@ -1,0 +1,24 @@
+#pragma once
+// Quantization / inverse quantization of DCT coefficients.
+
+#include <cstdint>
+
+#include "apps/mpeg2/kernels/dct.h"
+
+namespace ermes::mpeg2 {
+
+/// The MPEG-2 default intra quantizer matrix.
+extern const Block8x8 kDefaultIntraMatrix;
+
+/// Flat matrix (16 everywhere) used for non-intra blocks.
+extern const Block8x8 kFlatMatrix;
+
+/// quantized = round(coef * 16 / (matrix * qscale)); qscale in [1, 31].
+Block8x8 quantize(const Block8x8& coefficients, const Block8x8& matrix,
+                  int qscale);
+
+/// Inverse of quantize (up to rounding).
+Block8x8 dequantize(const Block8x8& levels, const Block8x8& matrix,
+                    int qscale);
+
+}  // namespace ermes::mpeg2

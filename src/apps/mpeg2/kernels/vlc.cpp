@@ -1,0 +1,115 @@
+#include "apps/mpeg2/kernels/vlc.h"
+
+#include <cassert>
+
+namespace ermes::mpeg2 {
+
+void BitWriter::put_bits(std::uint64_t value, int count) {
+  assert(count >= 0 && count <= 64);
+  for (int i = count - 1; i >= 0; --i) {
+    if (bit_pos_ == 8) {
+      bytes_.push_back(0);
+      bit_pos_ = 0;
+    }
+    const std::uint8_t bit = static_cast<std::uint8_t>((value >> i) & 1u);
+    bytes_.back() = static_cast<std::uint8_t>(
+        bytes_.back() | (bit << (7 - bit_pos_)));
+    ++bit_pos_;
+    ++bit_count_;
+  }
+}
+
+void BitWriter::put_ue(std::uint64_t value) {
+  // Exp-Golomb: N zero bits, then the (N+1)-bit representation of value+1.
+  const std::uint64_t code = value + 1;
+  int bits = 0;
+  while ((code >> bits) > 1) ++bits;
+  put_bits(0, bits);
+  put_bits(code, bits + 1);
+}
+
+void BitWriter::put_se(std::int64_t value) {
+  // Zigzag mapping: 0, 1, -1, 2, -2 ... -> 0, 1, 2, 3, 4 ...
+  const std::uint64_t mapped =
+      value > 0 ? static_cast<std::uint64_t>(2 * value - 1)
+                : static_cast<std::uint64_t>(-2 * value);
+  put_ue(mapped);
+}
+
+std::uint64_t BitReader::get_bits(int count) {
+  assert(count >= 0 && count <= 64);
+  std::uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    const auto byte_index = static_cast<std::size_t>(pos_ >> 3);
+    const int bit_index = static_cast<int>(pos_ & 7);
+    std::uint8_t bit = 0;
+    if (byte_index < bytes_->size()) {
+      bit = static_cast<std::uint8_t>(
+          ((*bytes_)[byte_index] >> (7 - bit_index)) & 1u);
+    }
+    value = (value << 1) | bit;
+    ++pos_;
+  }
+  return value;
+}
+
+std::uint64_t BitReader::get_ue() {
+  int zeros = 0;
+  while (!exhausted() && get_bits(1) == 0) {
+    ++zeros;
+    assert(zeros < 64);
+  }
+  std::uint64_t code = 1;
+  if (zeros > 0) {
+    code = (code << zeros) | get_bits(zeros);
+  }
+  return code - 1;
+}
+
+std::int64_t BitReader::get_se() {
+  const std::uint64_t mapped = get_ue();
+  if (mapped == 0) return 0;
+  if (mapped & 1u) {
+    return static_cast<std::int64_t>((mapped + 1) / 2);
+  }
+  return -static_cast<std::int64_t>(mapped / 2);
+}
+
+bool BitReader::exhausted() const {
+  return pos_ >= static_cast<std::int64_t>(bytes_->size()) * 8;
+}
+
+void encode_block(BitWriter& writer, const std::vector<RunLevel>& symbols) {
+  for (const RunLevel& symbol : symbols) {
+    assert(symbol.level != 0);
+    writer.put_ue(static_cast<std::uint64_t>(symbol.run) + 1);  // 0 = EOB
+    writer.put_se(symbol.level);
+  }
+  writer.put_ue(0);  // end of block
+}
+
+std::vector<RunLevel> decode_block(BitReader& reader) {
+  std::vector<RunLevel> symbols;
+  while (!reader.exhausted()) {
+    const std::uint64_t run_code = reader.get_ue();
+    if (run_code == 0) break;  // EOB
+    RunLevel symbol;
+    symbol.run = static_cast<std::int32_t>(run_code - 1);
+    symbol.level = static_cast<std::int32_t>(reader.get_se());
+    symbols.push_back(symbol);
+    if (symbols.size() > 64) break;  // malformed stream guard
+  }
+  return symbols;
+}
+
+void encode_motion(BitWriter& writer, std::int32_t dx, std::int32_t dy) {
+  writer.put_se(dx);
+  writer.put_se(dy);
+}
+
+void decode_motion(BitReader& reader, std::int32_t& dx, std::int32_t& dy) {
+  dx = static_cast<std::int32_t>(reader.get_se());
+  dy = static_cast<std::int32_t>(reader.get_se());
+}
+
+}  // namespace ermes::mpeg2

@@ -1,0 +1,61 @@
+#pragma once
+// Variable-length (entropy) coding for run-level symbols and motion vector
+// residuals: bit I/O plus order-0 Exp-Golomb codes with a sign bit. Not the
+// exact MPEG-2 Huffman tables, but a complete, invertible entropy coder
+// with comparable compression behaviour for the functional pipeline.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/mpeg2/kernels/zigzag.h"
+
+namespace ermes::mpeg2 {
+
+class BitWriter {
+ public:
+  /// Appends the `count` low bits of `value`, MSB first. count in [0, 64].
+  void put_bits(std::uint64_t value, int count);
+
+  /// Appends an unsigned Exp-Golomb code.
+  void put_ue(std::uint64_t value);
+
+  /// Appends a signed Exp-Golomb code (zigzag mapping).
+  void put_se(std::int64_t value);
+
+  std::int64_t bit_count() const { return bit_count_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::int64_t bit_count_ = 0;
+  int bit_pos_ = 8;  // next free bit in the last byte (8 = byte full/none)
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(&bytes) {}
+
+  std::uint64_t get_bits(int count);
+  std::uint64_t get_ue();
+  std::int64_t get_se();
+
+  bool exhausted() const;
+  std::int64_t bits_consumed() const { return pos_; }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::int64_t pos_ = 0;
+};
+
+/// Encodes one block's run-level symbols (with end-of-block marker).
+void encode_block(BitWriter& writer, const std::vector<RunLevel>& symbols);
+
+/// Decodes one block; returns the symbols up to the end-of-block marker.
+std::vector<RunLevel> decode_block(BitReader& reader);
+
+/// Encodes/decodes a motion vector pair.
+void encode_motion(BitWriter& writer, std::int32_t dx, std::int32_t dy);
+void decode_motion(BitReader& reader, std::int32_t& dx, std::int32_t& dy);
+
+}  // namespace ermes::mpeg2

@@ -1,0 +1,59 @@
+#include "apps/mpeg2/kernels/zigzag.h"
+
+namespace ermes::mpeg2 {
+
+const std::array<std::int32_t, 64> kZigzagOrder = {
+    0,  1,  8,  16, 9,  2,  3,  10,  //
+    17, 24, 32, 25, 18, 11, 4,  5,   //
+    12, 19, 26, 33, 40, 48, 41, 34,  //
+    27, 20, 13, 6,  7,  14, 21, 28,  //
+    35, 42, 49, 56, 57, 50, 43, 36,  //
+    29, 22, 15, 23, 30, 37, 44, 51,  //
+    58, 59, 52, 45, 38, 31, 39, 46,  //
+    53, 60, 61, 54, 47, 55, 62, 63,
+};
+
+std::array<std::int32_t, 64> zigzag_scan(const Block8x8& block) {
+  std::array<std::int32_t, 64> out{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    out[k] = block[static_cast<std::size_t>(kZigzagOrder[k])];
+  }
+  return out;
+}
+
+Block8x8 zigzag_unscan(const std::array<std::int32_t, 64>& scanned) {
+  Block8x8 out{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    out[static_cast<std::size_t>(kZigzagOrder[k])] = scanned[k];
+  }
+  return out;
+}
+
+std::vector<RunLevel> run_level_encode(
+    const std::array<std::int32_t, 64>& scanned) {
+  std::vector<RunLevel> symbols;
+  std::int32_t run = 0;
+  for (std::size_t k = 0; k < 64; ++k) {
+    if (scanned[k] == 0) {
+      ++run;
+    } else {
+      symbols.push_back(RunLevel{run, scanned[k]});
+      run = 0;
+    }
+  }
+  return symbols;  // trailing zeros are implicit (end of block)
+}
+
+std::array<std::int32_t, 64> run_level_decode(
+    const std::vector<RunLevel>& symbols) {
+  std::array<std::int32_t, 64> out{};
+  std::size_t pos = 0;
+  for (const RunLevel& symbol : symbols) {
+    pos += static_cast<std::size_t>(symbol.run);
+    if (pos >= 64) break;  // malformed input: clamp
+    out[pos++] = symbol.level;
+  }
+  return out;
+}
+
+}  // namespace ermes::mpeg2

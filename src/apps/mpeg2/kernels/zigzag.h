@@ -1,0 +1,34 @@
+#pragma once
+// Zigzag scan and run-level (RLE) coding of quantized blocks.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/mpeg2/kernels/dct.h"
+
+namespace ermes::mpeg2 {
+
+/// The standard zigzag scan order: kZigzagOrder[k] = raster index of the
+/// k-th scanned coefficient.
+extern const std::array<std::int32_t, 64> kZigzagOrder;
+
+/// Reorders a block into scan order.
+std::array<std::int32_t, 64> zigzag_scan(const Block8x8& block);
+
+/// Inverse reorder.
+Block8x8 zigzag_unscan(const std::array<std::int32_t, 64>& scanned);
+
+struct RunLevel {
+  std::int32_t run = 0;    // zeros preceding this level
+  std::int32_t level = 0;  // non-zero value
+};
+
+/// Run-level encodes a scanned block (implicit end-of-block).
+std::vector<RunLevel> run_level_encode(
+    const std::array<std::int32_t, 64>& scanned);
+
+/// Decodes back to a scanned block.
+std::array<std::int32_t, 64> run_level_decode(
+    const std::vector<RunLevel>& symbols);
+
+}  // namespace ermes::mpeg2

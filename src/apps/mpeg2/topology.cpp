@@ -1,0 +1,138 @@
+#include "apps/mpeg2/topology.h"
+
+#include <cassert>
+
+#include "ordering/baselines.h"
+#include "sysmodel/builder.h"
+
+namespace ermes::mpeg2 {
+
+using sysmodel::SystemModel;
+using sysmodel::SystemSpec;
+
+SystemModel make_mpeg2_encoder() {
+  SystemSpec spec;
+  // Latencies here are the M2 (slowest/smallest implementation) values in
+  // clock cycles at 1 GHz / 45 nm; characterization.h attaches the full
+  // Pareto frontiers around them.
+  spec.processes = {
+      {"src", 1000, 0.0},
+      {"in_ctrl", 120'000, 0.0},
+      {"color_conv", 700'000, 0.0},
+      {"frame_buf", 160'000, 0.0},
+      {"mb_dispatch", 120'000, 0.0},
+      {"me_coarse", 1'500'000, 0.0},
+      {"me_fine", 900'000, 0.0},
+      {"mv_pred", 60'000, 0.0},
+      {"mode_decide", 90'000, 0.0},
+      {"mc", 500'000, 0.0},
+      {"residual", 200'000, 0.0},
+      {"dct_luma", 800'000, 0.0},
+      {"dct_chroma", 400'000, 0.0},
+      {"quant_luma", 300'000, 0.0},
+      {"quant_chroma", 160'000, 0.0},
+      {"rate_ctrl", 40'000, 0.0},
+      {"zigzag", 120'000, 0.0},
+      {"rle", 150'000, 0.0},
+      {"vlc_coeff", 600'000, 0.0},
+      {"vlc_mv", 80'000, 0.0},
+      {"hdr_gen", 70'000, 0.0},
+      {"mux", 180'000, 0.0},
+      {"out_buf", 90'000, 0.0},
+      {"iquant", 200'000, 0.0},
+      {"idct", 700'000, 0.0},
+      {"recon", 150'000, 0.0},
+      {"frame_store", 120'000, 0.0},
+      {"snk", 1000, 0.0},
+  };
+  // 60 channels. Latency = ceil(bytes / 16) for data transfers (16-byte
+  // channel datapath); whole 352x240 frames = 84,480 bytes -> 5,280 cycles.
+  spec.channels = {
+      // Frame ingest.
+      {"frames_in", "src", "in_ctrl", 5280},
+      {"rgb_frame", "in_ctrl", "color_conv", 5280},
+      {"ycc_frame", "color_conv", "frame_buf", 5280},
+      {"cur_mb_stream", "frame_buf", "mb_dispatch", 24},
+      // Macroblock dispatch fan-out.
+      {"cur_luma_me", "mb_dispatch", "me_coarse", 16},
+      {"cur_mb_mc", "mb_dispatch", "mc", 24},
+      {"cur_mb_res", "mb_dispatch", "residual", 24},
+      {"mb_info_md", "mb_dispatch", "mode_decide", 2},
+      {"mb_pos_mv", "mb_dispatch", "mv_pred", 1},
+      {"mb_addr_hdr", "mb_dispatch", "hdr_gen", 1},
+      // Reference fetch (feedback from the primed frame store).
+      {"ref_win_coarse", "frame_store", "me_coarse", 144},
+      {"ref_win_fine", "frame_store", "me_fine", 64},
+      {"ref_blk_mc", "frame_store", "mc", 24},
+      // Motion estimation chain.
+      {"coarse_mv", "me_coarse", "me_fine", 2},
+      {"coarse_mv_pred", "me_coarse", "mv_pred", 1},
+      {"coarse_sad", "me_coarse", "mode_decide", 1},
+      {"fine_mv", "me_fine", "mv_pred", 1},
+      {"fine_sad", "me_fine", "mode_decide", 1},
+      {"frac_mv_mc", "me_fine", "mc", 1},
+      {"mv_final", "mv_pred", "mc", 1},
+      {"mv_residual", "mv_pred", "vlc_mv", 2},
+      {"mv_info_hdr", "mv_pred", "hdr_gen", 1},
+      // Mode decision fan-out.
+      {"mode_dct_y", "mode_decide", "dct_luma", 1},
+      {"mode_dct_c", "mode_decide", "dct_chroma", 1},
+      {"mode_hdr", "mode_decide", "hdr_gen", 2},
+      {"skip_mc", "mode_decide", "mc", 1},
+      {"cbp_vlc", "mode_decide", "vlc_coeff", 1},
+      {"cplx_rc", "mode_decide", "rate_ctrl", 1},
+      // Prediction and residual.
+      {"pred_res", "mc", "residual", 24},
+      {"pred_recon", "mc", "recon", 24},
+      {"res_luma", "residual", "dct_luma", 16},
+      {"res_chroma", "residual", "dct_chroma", 8},
+      // Transform + quantization.
+      {"coef_luma", "dct_luma", "quant_luma", 32},
+      {"coef_chroma", "dct_chroma", "quant_chroma", 16},
+      {"qp_luma", "rate_ctrl", "quant_luma", 1},
+      {"qp_chroma", "rate_ctrl", "quant_chroma", 1},
+      {"q_luma_zz", "quant_luma", "zigzag", 32},
+      {"q_chroma_zz", "quant_chroma", "zigzag", 16},
+      {"q_luma_iq", "quant_luma", "iquant", 32},
+      {"q_chroma_iq", "quant_chroma", "iquant", 16},
+      {"q_stats_rc", "quant_luma", "rate_ctrl", 1},
+      // Entropy coding.
+      {"zz_rle", "zigzag", "rle", 32},
+      {"eob_vlc", "zigzag", "vlc_coeff", 1},
+      {"sym_vlc", "rle", "vlc_coeff", 16},
+      {"raw_mux", "rle", "mux", 8},
+      {"bits_mux", "vlc_coeff", "mux", 8},
+      {"bits_rc", "vlc_coeff", "rate_ctrl", 1},
+      {"mvbits_mux", "vlc_mv", "mux", 4},
+      // Headers and stream assembly.
+      {"seq_hdr", "in_ctrl", "hdr_gen", 2},
+      {"ftype_rc", "in_ctrl", "rate_ctrl", 1},
+      {"hdr_mux", "hdr_gen", "mux", 4},
+      {"hdr_ctx_vlc", "hdr_gen", "vlc_coeff", 1},
+      {"mux_bits_rc", "mux", "rate_ctrl", 1},
+      {"stream_out", "mux", "out_buf", 16},
+      {"bitstream", "out_buf", "snk", 2640},
+      // Decode loop (reconstruction feedback).
+      {"iq_coef", "iquant", "idct", 32},
+      {"idct_res", "idct", "recon", 24},
+      {"recon_mb", "recon", "frame_store", 24},
+      // Reconvergent current-frame shortcuts.
+      {"cur_luma_direct", "frame_buf", "me_coarse", 16},
+      {"cur_mb_skip", "frame_buf", "mc", 24},
+  };
+  SystemModel sys = build_system(spec);
+  assert(sys.num_processes() == kCoreProcesses + 2);
+  assert(sys.num_channels() == kChannels);
+
+  // The two feedback-carrying blocks start primed: the frame store holds
+  // the (initially grey) reference frame, the rate controller holds the
+  // initial quantization parameters.
+  sys.set_primed(sys.find_process("frame_store"), true);
+  sys.set_primed(sys.find_process("rate_ctrl"), true);
+  // Like the paper's starting point, the designer order shipped with the
+  // model is a conservative (latency-oblivious, deadlock-free) ordering.
+  ordering::apply_conservative_ordering(sys);
+  return sys;
+}
+
+}  // namespace ermes::mpeg2

@@ -1,0 +1,38 @@
+#pragma once
+// MPEG-2 encoder system-level model (paper Section 6, Table 1).
+//
+// The paper's case study is a team-internal SystemC design: 26 processes,
+// 60 blocking channels, two testbench processes, 352x240 input images,
+// channel latencies between 1 and 5,280 cycles, 171 Pareto points. The
+// original source is not public; this module rebuilds a design with the
+// same statistics and the same structural hazards the paper calls out —
+// reconvergent paths (motion/mode/header flows re-joining at the bitstream
+// mux) and feedback loops (the reconstruction loop through the reference
+// frame store, and the rate-control loop), both carried by primed processes
+// exactly like the register stage a real encoder has.
+//
+// Block diagram (core processes):
+//   in_ctrl -> color_conv -> frame_buf -> mb_dispatch
+//   mb_dispatch -> {me_coarse -> me_fine -> mv_pred} -> mc -> residual
+//   residual -> {dct_luma, dct_chroma} -> {quant_luma, quant_chroma}
+//   quant -> zigzag -> rle -> vlc_coeff -> mux -> out_buf
+//   quant -> iquant -> idct -> recon -> frame_store (primed, feedback)
+//   rate_ctrl (primed) <-> quantizers / vlc / mux
+//   hdr_gen, vlc_mv -> mux (reconvergence)
+
+#include "sysmodel/system.h"
+
+namespace ermes::mpeg2 {
+
+inline constexpr int kCoreProcesses = 26;
+inline constexpr int kChannels = 60;
+inline constexpr int kImageWidth = 352;
+inline constexpr int kImageHeight = 240;
+
+/// Builds the topology with per-channel minimum latencies (derived from the
+/// data quantity each transfer carries at 16 bytes/cycle; the largest —
+/// whole-frame transfers — take 5,280 cycles) and the M2 (slow/small)
+/// process latencies. Pareto sets are NOT attached; see characterization.h.
+sysmodel::SystemModel make_mpeg2_encoder();
+
+}  // namespace ermes::mpeg2

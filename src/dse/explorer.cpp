@@ -1,0 +1,257 @@
+#include "dse/explorer.h"
+
+#include <cmath>
+#include <set>
+
+#include "analysis/performance.h"
+#include "dse/area_recovery.h"
+#include "dse/timing_opt.h"
+#include "ordering/channel_ordering.h"
+#include "util/log.h"
+
+namespace ermes::dse {
+
+using analysis::PerformanceReport;
+using sysmodel::SystemModel;
+
+const char* to_string(Action action) {
+  switch (action) {
+    case Action::kInit: return "init";
+    case Action::kTimingOpt: return "timing-opt";
+    case Action::kAreaRecovery: return "area-recovery";
+    case Action::kNone: return "none";
+  }
+  return "?";
+}
+
+namespace {
+
+// Applies a selection (plus reordering) to a copy and analyzes it.
+PerformanceReport evaluate_candidate(const SystemModel& sys,
+                                     const SelectionVector& selection,
+                                     bool reorder, SystemModel* out) {
+  SystemModel candidate = sys;
+  apply_selection(candidate, selection);
+  if (reorder) {
+    ordering::apply_ordering(candidate, ordering::channel_ordering(candidate));
+  }
+  const PerformanceReport report = analysis::analyze_system(candidate);
+  if (out != nullptr) *out = std::move(candidate);
+  return report;
+}
+
+}  // namespace
+
+ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
+  ExplorationResult result;
+  std::set<SelectionVector> visited;
+
+  // Best state seen so far: a target-meeting state with minimal area beats
+  // everything; among violating states, minimal cycle time. The exploration
+  // may legitimately *end* on an overshoot (area recovery cuts too deep and
+  // the revisit guard stops the repair); ERMES then reports the best state,
+  // not the last one.
+  SystemModel best_sys = sys;
+  IterationRecord best_rec;
+  bool have_best = false;
+  auto better = [](const IterationRecord& a, const IterationRecord& b) {
+    if (a.meets_target != b.meets_target) return a.meets_target;
+    if (a.meets_target) return a.area < b.area;
+    return a.cycle_time < b.cycle_time;
+  };
+
+  auto record = [&](int iteration, Action action,
+                    const PerformanceReport& report) {
+    IterationRecord rec;
+    rec.iteration = iteration;
+    rec.action = action;
+    rec.live = report.live;
+    rec.cycle_time = report.cycle_time;
+    rec.area = sys.total_area();
+    rec.slack = options.target_cycle_time -
+                static_cast<std::int64_t>(std::llround(report.cycle_time));
+    rec.meets_target = report.live && rec.slack > 0;
+    rec.critical_processes = report.critical_processes;
+    result.history.push_back(rec);
+    if (rec.live && (!have_best || better(rec, best_rec))) {
+      best_rec = rec;
+      best_sys = sys;
+      have_best = true;
+    }
+  };
+
+  if (options.reorder_channels) {
+    ordering::apply_ordering(sys, ordering::channel_ordering(sys));
+  }
+  PerformanceReport report = analysis::analyze_system(sys);
+  record(0, Action::kInit, report);
+  visited.insert(current_selection(sys));
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (!report.live) {
+      ERMES_LOG(kWarn) << "explorer: system deadlocked, stopping";
+      break;
+    }
+    const std::int64_t slack =
+        options.target_cycle_time -
+        static_cast<std::int64_t>(std::llround(report.cycle_time));
+
+    SelectionVector next;
+    Action action;
+    bool accepted = false;
+    SystemModel accepted_system;
+    PerformanceReport accepted_report;
+
+    if (slack > 0) {
+      // Area recovery. Overshooting the target is allowed (the next
+      // iteration repairs it, exactly like the Fig. 6 trajectories), so any
+      // change is accepted.
+      const AreaRecoveryResult ar =
+          area_recovery(sys, report.critical_processes, slack,
+                        options.target_cycle_time);
+      if (ar.feasible && ar.selection != current_selection(sys)) {
+        next = ar.selection;
+        action = Action::kAreaRecovery;
+        accepted_report =
+            evaluate_candidate(sys, next, options.reorder_channels,
+                               &accepted_system);
+        accepted = accepted_report.live;
+      }
+    } else {
+      // Timing optimization: cascade from the paper's liberal formulation
+      // to progressively stricter ones. A liberal move can slow a process
+      // that sits on a *different* near-critical cycle (the per-cycle ILP
+      // cannot see the coupling), so each candidate is trial-evaluated and
+      // the first non-degrading one wins.
+      const TimingOptPolicy kPolicies[] = {
+          {/*allow_critical_slowdown=*/true, /*pin_non_critical=*/false},
+          {/*allow_critical_slowdown=*/false, /*pin_non_critical=*/false},
+          {/*allow_critical_slowdown=*/false, /*pin_non_critical=*/true},
+      };
+      for (const TimingOptPolicy& policy : kPolicies) {
+        const TimingOptResult to = timing_optimization(
+            sys, report.critical_processes, -slack, std::nullopt,
+            options.target_cycle_time, policy);
+        if (!to.feasible || to.selection == current_selection(sys)) continue;
+        SystemModel candidate_system;
+        const PerformanceReport candidate_report =
+            evaluate_candidate(sys, to.selection, options.reorder_channels,
+                               &candidate_system);
+        // Accept plateaus (<=): with several co-critical cycles, fixing one
+        // keeps CT flat until the next iteration attacks the twin cycle;
+        // the visited-set guarantees termination.
+        if (candidate_report.live &&
+            candidate_report.cycle_time <= report.cycle_time) {
+          next = to.selection;
+          action = Action::kTimingOpt;
+          accepted_system = std::move(candidate_system);
+          accepted_report = candidate_report;
+          accepted = true;
+          break;
+        }
+      }
+    }
+
+    if (!accepted) {
+      result.converged = true;
+      break;
+    }
+    if (!visited.insert(next).second) {
+      // Configuration already explored: stop instead of cycling (the
+      // paper's "constraints to discard the configurations already
+      // optimized").
+      result.converged = true;
+      break;
+    }
+    sys = std::move(accepted_system);
+    report = accepted_report;
+    record(iter, action, report);
+  }
+
+  // Roll back to the best recorded state when the loop stopped elsewhere
+  // (e.g. a final area-recovery overshoot that the revisit guard could not
+  // repair); the rollback is visible in the history as a "none" action.
+  if (have_best && !result.history.empty() &&
+      better(best_rec, result.history.back())) {
+    sys = std::move(best_sys);
+    IterationRecord rec = best_rec;
+    rec.iteration = result.history.back().iteration + 1;
+    rec.action = Action::kNone;
+    result.history.push_back(rec);
+  }
+  result.met_target = !result.history.empty() &&
+                      result.history.back().meets_target;
+  result.final_system = std::move(sys);
+  return result;
+}
+
+ExplorationResult explore_area_constrained(
+    SystemModel sys, const DualExplorerOptions& options) {
+  ExplorationResult result;
+  std::set<SelectionVector> visited;
+
+  auto record = [&](int iteration, Action action,
+                    const PerformanceReport& report) {
+    IterationRecord rec;
+    rec.iteration = iteration;
+    rec.action = action;
+    rec.live = report.live;
+    rec.cycle_time = report.cycle_time;
+    rec.area = sys.total_area();
+    rec.slack = 0;
+    rec.meets_target = report.live && rec.area <= options.area_budget + 1e-9;
+    rec.critical_processes = report.critical_processes;
+    result.history.push_back(rec);
+  };
+
+  if (options.reorder_channels) {
+    ordering::apply_ordering(sys, ordering::channel_ordering(sys));
+  }
+  PerformanceReport report = analysis::analyze_system(sys);
+  record(0, Action::kInit, report);
+  visited.insert(current_selection(sys));
+
+  for (int iter = 1; iter <= options.max_iterations && report.live; ++iter) {
+    bool accepted = false;
+    SystemModel accepted_system;
+    PerformanceReport accepted_report;
+    SelectionVector next;
+    const TimingOptPolicy kPolicies[] = {
+        {/*allow_critical_slowdown=*/true, /*pin_non_critical=*/false},
+        {/*allow_critical_slowdown=*/false, /*pin_non_critical=*/false},
+        {/*allow_critical_slowdown=*/false, /*pin_non_critical=*/true},
+    };
+    for (const TimingOptPolicy& policy : kPolicies) {
+      const TimingOptResult to = timing_optimization(
+          sys, report.critical_processes, /*needed=*/0, options.area_budget,
+          /*ring_cap=*/0, policy);
+      if (!to.feasible || to.selection == current_selection(sys)) continue;
+      SystemModel candidate_system;
+      const PerformanceReport candidate_report = evaluate_candidate(
+          sys, to.selection, options.reorder_channels, &candidate_system);
+      if (candidate_report.live &&
+          candidate_report.cycle_time <= report.cycle_time &&
+          candidate_system.total_area() <= options.area_budget + 1e-9) {
+        next = to.selection;
+        accepted_system = std::move(candidate_system);
+        accepted_report = candidate_report;
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted || !visited.insert(next).second) {
+      result.converged = true;
+      break;
+    }
+    sys = std::move(accepted_system);
+    report = accepted_report;
+    record(iter, Action::kTimingOpt, report);
+  }
+
+  result.met_target = !result.history.empty() &&
+                      result.history.back().meets_target;
+  result.final_system = std::move(sys);
+  return result;
+}
+
+}  // namespace ermes::dse

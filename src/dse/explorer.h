@@ -1,0 +1,71 @@
+#pragma once
+// The ERMES exploration loop (paper Fig. 5).
+//
+// Iterate:
+//   1. (optionally) run the channel-ordering algorithm on the current
+//      process latencies;
+//   2. analyze the system (cycle time CT, critical cycle);
+//   3. slack sp = TCT - CT: sp > 0 -> area recovery; sp <= 0 -> timing
+//      optimization;
+//   4. apply the selected implementations; stop at a fixpoint, when a
+//      selection repeats, or at the iteration cap.
+//
+// The per-iteration (CT, area) history is exactly the series plotted in
+// Fig. 6.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/selection.h"
+#include "sysmodel/system.h"
+
+namespace ermes::dse {
+
+enum class Action { kInit, kTimingOpt, kAreaRecovery, kNone };
+
+struct IterationRecord {
+  int iteration = 0;
+  Action action = Action::kInit;     // what produced this state
+  double cycle_time = 0.0;           // after the action (and reordering)
+  double area = 0.0;
+  std::int64_t slack = 0;            // TCT - CT
+  bool meets_target = false;
+  bool live = true;
+  std::vector<sysmodel::ProcessId> critical_processes;
+};
+
+struct ExplorerOptions {
+  std::int64_t target_cycle_time = 0;  // TCT
+  int max_iterations = 32;
+  bool reorder_channels = true;  // run Algorithm 1 after each selection
+};
+
+struct ExplorationResult {
+  std::vector<IterationRecord> history;
+  bool converged = false;        // reached a fixpoint (no further change)
+  bool met_target = false;       // final state satisfies CT < TCT
+  sysmodel::SystemModel final_system;
+};
+
+/// Runs the methodology on a copy of `sys`.
+ExplorationResult explore(sysmodel::SystemModel sys,
+                          const ExplorerOptions& options);
+
+/// The paper's dual formulation ("the formulation with area constraints"):
+/// minimize the cycle time subject to a hard area budget. Iterates the
+/// area-budgeted timing optimization until no selection improves the cycle
+/// time without blowing the budget. IterationRecord::meets_target reports
+/// the area constraint instead of a timing one.
+struct DualExplorerOptions {
+  double area_budget = 0.0;
+  int max_iterations = 32;
+  bool reorder_channels = true;
+};
+
+ExplorationResult explore_area_constrained(sysmodel::SystemModel sys,
+                                           const DualExplorerOptions& options);
+
+const char* to_string(Action action);
+
+}  // namespace ermes::dse

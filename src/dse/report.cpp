@@ -1,0 +1,71 @@
+#include "dse/report.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace ermes::dse {
+
+std::string history_table(const ExplorationResult& result,
+                          const sysmodel::SystemModel& sys,
+                          int max_critical_names) {
+  util::Table table(
+      {"iter", "action", "cycle time", "area", "slack", "meets", "critical"});
+  for (const IterationRecord& rec : result.history) {
+    std::string critical;
+    int listed = 0;
+    for (sysmodel::ProcessId p : rec.critical_processes) {
+      if (listed == max_critical_names) {
+        critical += ",...";
+        break;
+      }
+      critical += (listed ? "," : "") + sys.process_name(p);
+      ++listed;
+    }
+    table.add_row({std::to_string(rec.iteration), to_string(rec.action),
+                   util::format_double(rec.cycle_time, 1),
+                   util::format_double(rec.area, 4),
+                   std::to_string(rec.slack),
+                   rec.meets_target ? "yes" : "no", critical});
+  }
+  return table.to_text();
+}
+
+std::string history_csv(const ExplorationResult& result) {
+  util::Table table(
+      {"iteration", "action", "cycle_time", "area", "slack", "meets_target"});
+  for (const IterationRecord& rec : result.history) {
+    table.add_row({std::to_string(rec.iteration), to_string(rec.action),
+                   util::format_double(rec.cycle_time, 6),
+                   util::format_double(rec.area, 9),
+                   std::to_string(rec.slack),
+                   rec.meets_target ? "1" : "0"});
+  }
+  return table.to_csv();
+}
+
+std::string verdict(const ExplorationResult& result) {
+  if (result.history.empty()) return "no exploration performed";
+  const IterationRecord& first = result.history.front();
+  const IterationRecord& last = result.history.back();
+  std::ostringstream out;
+  out << (result.met_target ? "target met" : "target NOT met") << " after "
+      << result.history.size() - 1 << " iterations: CT "
+      << util::format_double(first.cycle_time, 1) << " -> "
+      << util::format_double(last.cycle_time, 1);
+  if (last.cycle_time > 0.0) {
+    out << " (" << util::format_double(first.cycle_time / last.cycle_time, 2)
+        << "x)";
+  }
+  out << ", area " << util::format_double(first.area, 4) << " -> "
+      << util::format_double(last.area, 4);
+  if (first.area > 0.0) {
+    out << " ("
+        << util::format_double((last.area - first.area) / first.area * 100.0,
+                               2)
+        << "%)";
+  }
+  return out.str();
+}
+
+}  // namespace ermes::dse

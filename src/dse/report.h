@@ -1,0 +1,22 @@
+#pragma once
+// Rendering of exploration results: the (CT, area) series of Fig. 6 as an
+// aligned text table, CSV for replotting, and a one-line verdict.
+
+#include <string>
+
+#include "dse/explorer.h"
+
+namespace ermes::dse {
+
+/// Aligned table of the iteration history (the Fig. 6 series).
+std::string history_table(const ExplorationResult& result,
+                          const sysmodel::SystemModel& sys,
+                          int max_critical_names = 4);
+
+/// CSV with header: iteration,action,cycle_time,area,slack,meets_target.
+std::string history_csv(const ExplorationResult& result);
+
+/// "target met after N iterations: CT a -> b (x.yz), area p -> q (+r%)".
+std::string verdict(const ExplorationResult& result);
+
+}  // namespace ermes::dse

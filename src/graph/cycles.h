@@ -1,0 +1,31 @@
+#pragma once
+// Elementary cycle enumeration (Johnson's algorithm).
+//
+// Used only as a test/benchmark oracle: Definition 3 of the paper computes
+// the minimum cycle mean by enumerating all elementary cycles, which the
+// paper itself calls impractical — we implement it to validate Howard's and
+// Karp's algorithms on small graphs.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace ermes::graph {
+
+/// An elementary cycle as the sequence of arcs traversed.
+using ArcCycle = std::vector<ArcId>;
+
+/// Enumerates all elementary cycles of g (Johnson 1975). Stops early if
+/// `limit` cycles have been produced (0 = unlimited). Self-loops count as
+/// cycles of length 1; parallel arcs yield distinct cycles.
+std::vector<ArcCycle> elementary_cycles(const Digraph& g,
+                                        std::size_t limit = 0);
+
+/// Streaming variant: invokes `on_cycle` for each cycle; return false from
+/// the callback to stop enumeration.
+void for_each_elementary_cycle(const Digraph& g,
+                               const std::function<bool(const ArcCycle&)>& on_cycle);
+
+}  // namespace ermes::graph

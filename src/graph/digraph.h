@@ -1,0 +1,82 @@
+#pragma once
+// Directed multigraph used across ERMES.
+//
+// Nodes and arcs are dense integer ids (NodeId/ArcId), which keeps every
+// algorithm cache-friendly and lets client code attach attributes in plain
+// vectors indexed by id. Parallel arcs and self-loops are allowed (a SoC can
+// have several channels between the same pair of processes).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ermes::graph {
+
+using NodeId = std::int32_t;
+using ArcId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr ArcId kInvalidArc = -1;
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Creates `count` fresh nodes, returning the id of the first one. Ids are
+  /// contiguous.
+  NodeId add_nodes(std::int32_t count = 1);
+
+  /// Creates a node with a display name.
+  NodeId add_node(std::string name);
+
+  /// Adds an arc tail -> head. Requires both ids to be valid nodes.
+  ArcId add_arc(NodeId tail, NodeId head);
+
+  std::int32_t num_nodes() const { return static_cast<std::int32_t>(nodes_.size()); }
+  std::int32_t num_arcs() const { return static_cast<std::int32_t>(arcs_.size()); }
+
+  NodeId tail(ArcId a) const { return arcs_[static_cast<std::size_t>(a)].tail; }
+  NodeId head(ArcId a) const { return arcs_[static_cast<std::size_t>(a)].head; }
+
+  /// Arcs leaving / entering a node, in insertion order.
+  const std::vector<ArcId>& out_arcs(NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].out;
+  }
+  const std::vector<ArcId>& in_arcs(NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].in;
+  }
+
+  std::int32_t out_degree(NodeId n) const {
+    return static_cast<std::int32_t>(out_arcs(n).size());
+  }
+  std::int32_t in_degree(NodeId n) const {
+    return static_cast<std::int32_t>(in_arcs(n).size());
+  }
+
+  bool valid_node(NodeId n) const { return n >= 0 && n < num_nodes(); }
+  bool valid_arc(ArcId a) const { return a >= 0 && a < num_arcs(); }
+
+  /// Node display name; defaults to "n<idx>" when unnamed.
+  const std::string& name(NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].name;
+  }
+  void set_name(NodeId n, std::string name) {
+    nodes_[static_cast<std::size_t>(n)].name = std::move(name);
+  }
+
+ private:
+  struct NodeRec {
+    std::string name;
+    std::vector<ArcId> out;
+    std::vector<ArcId> in;
+  };
+  struct ArcRec {
+    NodeId tail = kInvalidNode;
+    NodeId head = kInvalidNode;
+  };
+
+  std::vector<NodeRec> nodes_;
+  std::vector<ArcRec> arcs_;
+};
+
+}  // namespace ermes::graph

@@ -1,0 +1,43 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace ermes::graph {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Digraph& g, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(options.graph_name) << "\" {\n";
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    out << "  v" << n << " [label=\"" << escape(g.name(n)) << "\"";
+    if (options.node_attrs) {
+      const std::string attrs = options.node_attrs(n);
+      if (!attrs.empty()) out << ", " << attrs;
+    }
+    out << "];\n";
+  }
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    out << "  v" << g.tail(a) << " -> v" << g.head(a);
+    if (options.arc_label) {
+      out << " [label=\"" << escape(options.arc_label(a)) << "\"]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ermes::graph

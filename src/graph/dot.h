@@ -1,0 +1,21 @@
+#pragma once
+// Graphviz DOT export for debugging and documentation figures.
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace ermes::graph {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Optional per-arc label (e.g. channel name + latency).
+  std::function<std::string(ArcId)> arc_label;
+  /// Optional per-node extra attributes (e.g. shape=box).
+  std::function<std::string(NodeId)> node_attrs;
+};
+
+std::string to_dot(const Digraph& g, const DotOptions& options = {});
+
+}  // namespace ermes::graph

@@ -1,0 +1,101 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace ermes::graph {
+
+namespace {
+
+// Iterative Tarjan; recursion would overflow on the 10k-process synthetic
+// benchmarks.
+struct TarjanState {
+  const Digraph& g;
+  std::vector<std::int32_t> index;
+  std::vector<std::int32_t> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<NodeId> stack;
+  std::int32_t next_index = 0;
+  SccResult result;
+
+  explicit TarjanState(const Digraph& graph)
+      : g(graph),
+        index(static_cast<std::size_t>(graph.num_nodes()), -1),
+        lowlink(static_cast<std::size_t>(graph.num_nodes()), -1),
+        on_stack(static_cast<std::size_t>(graph.num_nodes()), false) {
+    result.component.assign(static_cast<std::size_t>(graph.num_nodes()), -1);
+  }
+
+  void run(NodeId root) {
+    struct Frame {
+      NodeId node;
+      std::size_t next_arc;
+    };
+    std::vector<Frame> frames{{root, 0}};
+    index[static_cast<std::size_t>(root)] = next_index;
+    lowlink[static_cast<std::size_t>(root)] = next_index;
+    ++next_index;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const NodeId v = frame.node;
+      const auto& outs = g.out_arcs(v);
+      if (frame.next_arc < outs.size()) {
+        const NodeId w = g.head(outs[frame.next_arc++]);
+        const auto wi = static_cast<std::size_t>(w);
+        if (index[wi] == -1) {
+          index[wi] = next_index;
+          lowlink[wi] = next_index;
+          ++next_index;
+          stack.push_back(w);
+          on_stack[wi] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[wi]) {
+          lowlink[static_cast<std::size_t>(v)] =
+              std::min(lowlink[static_cast<std::size_t>(v)], index[wi]);
+        }
+        continue;
+      }
+      // v's subtree is done.
+      if (lowlink[static_cast<std::size_t>(v)] ==
+          index[static_cast<std::size_t>(v)]) {
+        std::vector<NodeId> comp;
+        NodeId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          result.component[static_cast<std::size_t>(w)] =
+              result.num_components;
+          comp.push_back(w);
+        } while (w != v);
+        result.members.push_back(std::move(comp));
+        ++result.num_components;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const auto pi = static_cast<std::size_t>(frames.back().node);
+        lowlink[pi] =
+            std::min(lowlink[pi], lowlink[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SccResult strongly_connected_components(const Digraph& g) {
+  TarjanState state(g);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (state.index[static_cast<std::size_t>(n)] == -1) state.run(n);
+  }
+  return std::move(state.result);
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.num_nodes() == 0) return false;
+  return strongly_connected_components(g).num_components == 1;
+}
+
+}  // namespace ermes::graph

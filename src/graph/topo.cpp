@@ -1,0 +1,70 @@
+#include "graph/topo.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ermes::graph {
+
+namespace {
+
+bool arc_ignored(const std::vector<bool>& ignored, ArcId a) {
+  return !ignored.empty() && ignored[static_cast<std::size_t>(a)];
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> topological_order(
+    const Digraph& g, const std::vector<bool>& ignored_arcs) {
+  const auto n_nodes = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::int32_t> indeg(n_nodes, 0);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (!arc_ignored(ignored_arcs, a)) {
+      ++indeg[static_cast<std::size_t>(g.head(a))];
+    }
+  }
+  std::deque<NodeId> queue;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (indeg[static_cast<std::size_t>(n)] == 0) queue.push_back(n);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n_nodes);
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    order.push_back(n);
+    for (ArcId a : g.out_arcs(n)) {
+      if (arc_ignored(ignored_arcs, a)) continue;
+      if (--indeg[static_cast<std::size_t>(g.head(a))] == 0) {
+        queue.push_back(g.head(a));
+      }
+    }
+  }
+  if (order.size() != n_nodes) return std::nullopt;
+  return order;
+}
+
+std::vector<std::int32_t> ranks_of(const std::vector<NodeId>& order,
+                                   std::int32_t num_nodes) {
+  std::vector<std::int32_t> rank(static_cast<std::size_t>(num_nodes), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank[static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
+  }
+  return rank;
+}
+
+std::vector<std::int32_t> longest_path_ranks(
+    const Digraph& g, const std::vector<bool>& ignored_arcs) {
+  auto order = topological_order(g, ignored_arcs);
+  std::vector<std::int32_t> depth(static_cast<std::size_t>(g.num_nodes()), 0);
+  if (!order) return depth;  // cyclic even after ignoring: give up gracefully
+  for (NodeId n : *order) {
+    for (ArcId a : g.out_arcs(n)) {
+      if (arc_ignored(ignored_arcs, a)) continue;
+      auto& d = depth[static_cast<std::size_t>(g.head(a))];
+      d = std::max(d, depth[static_cast<std::size_t>(n)] + 1);
+    }
+  }
+  return depth;
+}
+
+}  // namespace ermes::graph

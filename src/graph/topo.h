@@ -1,0 +1,26 @@
+#pragma once
+// Topological ordering utilities.
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace ermes::graph {
+
+/// Topological order of all nodes (Kahn). Returns std::nullopt if the graph
+/// has a cycle. Arcs flagged in `ignored_arcs` are skipped, which allows
+/// topologically sorting a cyclic graph after removing its back arcs.
+std::optional<std::vector<NodeId>> topological_order(
+    const Digraph& g, const std::vector<bool>& ignored_arcs = {});
+
+/// rank[n] = position of node n in `order`.
+std::vector<std::int32_t> ranks_of(const std::vector<NodeId>& order,
+                                   std::int32_t num_nodes);
+
+/// Longest path lengths (in arc-count) from any source, ignoring the flagged
+/// arcs; used by the synthetic generator to keep layered structure.
+std::vector<std::int32_t> longest_path_ranks(
+    const Digraph& g, const std::vector<bool>& ignored_arcs = {});
+
+}  // namespace ermes::graph

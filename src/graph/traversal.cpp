@@ -1,0 +1,158 @@
+#include "graph/traversal.h"
+
+#include <cassert>
+#include <deque>
+
+namespace ermes::graph {
+
+std::vector<NodeId> bfs_order(const Digraph& g, NodeId start) {
+  assert(g.valid_node(start));
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  std::deque<NodeId> queue{start};
+  seen[static_cast<std::size_t>(start)] = true;
+  std::vector<NodeId> order;
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    order.push_back(n);
+    for (ArcId a : g.out_arcs(n)) {
+      const NodeId m = g.head(a);
+      if (!seen[static_cast<std::size_t>(m)]) {
+        seen[static_cast<std::size_t>(m)] = true;
+        queue.push_back(m);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<NodeId> dfs_preorder(const Digraph& g, NodeId start) {
+  assert(g.valid_node(start));
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  std::vector<NodeId> stack{start};
+  std::vector<NodeId> order;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<std::size_t>(n)]) continue;
+    seen[static_cast<std::size_t>(n)] = true;
+    order.push_back(n);
+    const auto& outs = g.out_arcs(n);
+    for (auto it = outs.rbegin(); it != outs.rend(); ++it) {
+      const NodeId m = g.head(*it);
+      if (!seen[static_cast<std::size_t>(m)]) stack.push_back(m);
+    }
+  }
+  return order;
+}
+
+std::vector<bool> reachable_from(const Digraph& g, NodeId start) {
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  for (NodeId n : bfs_order(g, start)) seen[static_cast<std::size_t>(n)] = true;
+  return seen;
+}
+
+std::vector<bool> reaches(const Digraph& g, NodeId target) {
+  assert(g.valid_node(target));
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  std::deque<NodeId> queue{target};
+  seen[static_cast<std::size_t>(target)] = true;
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    for (ArcId a : g.in_arcs(n)) {
+      const NodeId m = g.tail(a);
+      if (!seen[static_cast<std::size_t>(m)]) {
+        seen[static_cast<std::size_t>(m)] = true;
+        queue.push_back(m);
+      }
+    }
+  }
+  return seen;
+}
+
+ArcClassification classify_arcs(const Digraph& g,
+                                const std::vector<NodeId>& roots,
+                                const std::vector<bool>& excluded) {
+  enum class Color : unsigned char { kWhite, kGray, kBlack };
+  const auto n_nodes = static_cast<std::size_t>(g.num_nodes());
+  std::vector<Color> color(n_nodes, Color::kWhite);
+  ArcClassification result;
+  result.is_back.assign(static_cast<std::size_t>(g.num_arcs()), false);
+  auto is_excluded = [&](ArcId a) {
+    return !excluded.empty() && excluded[static_cast<std::size_t>(a)];
+  };
+
+  // Iterative DFS that keeps per-node arc cursors so that nodes are colored
+  // gray exactly while they are on the stack.
+  struct Frame {
+    NodeId node;
+    std::size_t next_arc;
+  };
+  std::vector<Frame> stack;
+
+  auto run_from = [&](NodeId root) {
+    if (color[static_cast<std::size_t>(root)] != Color::kWhite) return;
+    color[static_cast<std::size_t>(root)] = Color::kGray;
+    stack.push_back(Frame{root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& outs = g.out_arcs(frame.node);
+      if (frame.next_arc == outs.size()) {
+        color[static_cast<std::size_t>(frame.node)] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const ArcId a = outs[frame.next_arc++];
+      if (is_excluded(a)) continue;
+      const NodeId m = g.head(a);
+      switch (color[static_cast<std::size_t>(m)]) {
+        case Color::kWhite:
+          color[static_cast<std::size_t>(m)] = Color::kGray;
+          stack.push_back(Frame{m, 0});
+          break;
+        case Color::kGray:
+          result.is_back[static_cast<std::size_t>(a)] = true;
+          ++result.num_back_arcs;
+          break;
+        case Color::kBlack:
+          break;  // forward or cross arc
+      }
+    }
+  };
+
+  for (NodeId root : roots) run_from(root);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) run_from(n);
+  return result;
+}
+
+bool is_acyclic(const Digraph& g, const std::vector<bool>& excluded_arcs) {
+  // Kahn's algorithm over the non-excluded arcs.
+  const auto n_nodes = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::int32_t> indeg(n_nodes, 0);
+  auto excluded = [&](ArcId a) {
+    return !excluded_arcs.empty() && excluded_arcs[static_cast<std::size_t>(a)];
+  };
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (!excluded(a)) ++indeg[static_cast<std::size_t>(g.head(a))];
+  }
+  std::deque<NodeId> queue;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (indeg[static_cast<std::size_t>(n)] == 0) queue.push_back(n);
+  }
+  std::int32_t processed = 0;
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    ++processed;
+    for (ArcId a : g.out_arcs(n)) {
+      if (excluded(a)) continue;
+      if (--indeg[static_cast<std::size_t>(g.head(a))] == 0) {
+        queue.push_back(g.head(a));
+      }
+    }
+  }
+  return processed == g.num_nodes();
+}
+
+}  // namespace ermes::graph

@@ -1,0 +1,45 @@
+#pragma once
+// Breadth-first and depth-first traversals, reachability, and back-arc
+// classification (the latter feeds the channel-ordering algorithm's handling
+// of feedback loops).
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace ermes::graph {
+
+/// Nodes reachable from `start` following arc direction, in BFS order
+/// (including `start`).
+std::vector<NodeId> bfs_order(const Digraph& g, NodeId start);
+
+/// Nodes reachable from `start`, in DFS preorder.
+std::vector<NodeId> dfs_preorder(const Digraph& g, NodeId start);
+
+/// reachable[n] == true iff n is reachable from `start`.
+std::vector<bool> reachable_from(const Digraph& g, NodeId start);
+
+/// reachable[n] == true iff `target` is reachable from n (reverse search).
+std::vector<bool> reaches(const Digraph& g, NodeId target);
+
+/// DFS arc classification relative to a forest rooted at `roots` (visited in
+/// the given order; any still-unvisited nodes are used as additional roots so
+/// every arc is classified).
+struct ArcClassification {
+  /// is_back[a] == true iff arc a closes a cycle in the DFS forest (head is an
+  /// ancestor of tail on the DFS stack).
+  std::vector<bool> is_back;
+  std::int32_t num_back_arcs = 0;
+};
+
+/// Arcs flagged in `excluded` are neither traversed nor classified (use to
+/// pre-break cycles at arcs the caller already knows are loop-closing).
+ArcClassification classify_arcs(const Digraph& g,
+                                const std::vector<NodeId>& roots,
+                                const std::vector<bool>& excluded = {});
+
+/// True iff the graph restricted to non-`excluded` arcs is acyclic.
+/// `excluded` may be empty (meaning: consider all arcs).
+bool is_acyclic(const Digraph& g, const std::vector<bool>& excluded_arcs = {});
+
+}  // namespace ermes::graph

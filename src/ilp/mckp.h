@@ -1,0 +1,49 @@
+#pragma once
+// Multiple-Choice Knapsack (MCKP): pick exactly one item per group,
+// maximize total value subject to a weight capacity.
+//
+// Both ILP problems of Section 5 have this structure (groups = processes,
+// items = Pareto implementations): area recovery maximizes cumulative area
+// gain subject to the latency-slack budget on the critical cycle; timing
+// optimization maximizes latency gain (optionally under an area budget —
+// the "dual formulation" the paper mentions). Two solvers are provided:
+//  * solve_mckp      — exact, via the generic ILP branch-and-bound;
+//  * solve_mckp_dp   — exact dynamic program over integer weights, used to
+//                      cross-check the ILP path in tests and for large
+//                      instances with small weight ranges.
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/model.h"
+
+namespace ermes::ilp {
+
+struct MckpItem {
+  double value = 0.0;
+  double weight = 0.0;
+};
+
+struct MckpProblem {
+  std::vector<std::vector<MckpItem>> groups;  // pick exactly one per group
+  double capacity = 0.0;                      // sum of weights <= capacity
+};
+
+struct MckpSolution {
+  bool feasible = false;
+  double value = 0.0;
+  double weight = 0.0;
+  std::vector<std::size_t> choice;  // item index per group
+};
+
+/// Exact solution through the generic branch-and-bound.
+MckpSolution solve_mckp(const MckpProblem& problem);
+
+/// Exact DP; requires integer weights (asserted). Negative weights are
+/// handled by per-group shifting. O(sum(items) * weight-range).
+MckpSolution solve_mckp_dp(const MckpProblem& problem);
+
+/// DP core for non-negative integer weights; exposed for tests.
+MckpSolution solve_mckp_dp_nonneg(const MckpProblem& problem);
+
+}  // namespace ermes::ilp

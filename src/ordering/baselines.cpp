@@ -1,0 +1,147 @@
+#include "ordering/baselines.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ordering/channel_ordering.h"
+#include "ordering/repair.h"
+
+namespace ermes::ordering {
+
+using sysmodel::ChannelId;
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+void apply_index_ordering(SystemModel& sys) {
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    std::vector<ChannelId> ins = sys.input_order(p);
+    std::vector<ChannelId> outs = sys.output_order(p);
+    std::sort(ins.begin(), ins.end());
+    std::sort(outs.begin(), outs.end());
+    sys.set_input_order(p, std::move(ins));
+    sys.set_output_order(p, std::move(outs));
+  }
+}
+
+void apply_conservative_ordering(SystemModel& sys) {
+  SystemModel unit = sys;
+  for (ProcessId p = 0; p < unit.num_processes(); ++p) {
+    unit.set_latency(p, 1);
+  }
+  for (ChannelId c = 0; c < unit.num_channels(); ++c) {
+    unit.set_channel_latency(c, 1);
+  }
+  const ChannelOrderingResult result = channel_ordering(unit);
+  apply_ordering(sys, result);
+  ensure_live(sys);
+}
+
+void apply_random_ordering(SystemModel& sys, util::Rng& rng) {
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    std::vector<ChannelId> ins = sys.input_order(p);
+    std::vector<ChannelId> outs = sys.output_order(p);
+    rng.shuffle(ins);
+    rng.shuffle(outs);
+    sys.set_input_order(p, std::move(ins));
+    sys.set_output_order(p, std::move(outs));
+  }
+}
+
+namespace {
+
+// Iterates over all permutations of each process' input and output orders.
+// Orders are normalized (sorted) first so the enumeration is canonical.
+class OrderEnumerator {
+ public:
+  explicit OrderEnumerator(SystemModel& sys) : sys_(sys) {
+    for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+      if (sys.input_order(p).size() > 1) {
+        std::vector<ChannelId> order = sys.input_order(p);
+        std::sort(order.begin(), order.end());
+        slots_.push_back({p, /*is_input=*/true, std::move(order)});
+      }
+      if (sys.output_order(p).size() > 1) {
+        std::vector<ChannelId> order = sys.output_order(p);
+        std::sort(order.begin(), order.end());
+        slots_.push_back({p, /*is_input=*/false, std::move(order)});
+      }
+    }
+    apply_all();
+  }
+
+  /// Advances to the next combination; false when wrapped around.
+  bool next() {
+    for (Slot& slot : slots_) {
+      if (std::next_permutation(slot.order.begin(), slot.order.end())) {
+        apply(slot);
+        return true;
+      }
+      apply(slot);  // wrapped to the first permutation; carry to next slot
+    }
+    return false;
+  }
+
+ private:
+  struct Slot {
+    ProcessId process;
+    bool is_input;
+    std::vector<ChannelId> order;
+  };
+
+  void apply(const Slot& slot) {
+    if (slot.is_input) {
+      sys_.set_input_order(slot.process, slot.order);
+    } else {
+      sys_.set_output_order(slot.process, slot.order);
+    }
+  }
+  void apply_all() {
+    for (const Slot& slot : slots_) apply(slot);
+  }
+
+  SystemModel& sys_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace
+
+ExhaustiveResult exhaustive_search(SystemModel& sys, const OrderingCost& cost,
+                                   std::uint64_t limit) {
+  // Preserve the caller's orders.
+  std::vector<std::vector<ChannelId>> saved_in, saved_out;
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    saved_in.push_back(sys.input_order(p));
+    saved_out.push_back(sys.output_order(p));
+  }
+
+  ExhaustiveResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  OrderEnumerator enumerator(sys);
+  do {
+    ++result.combinations;
+    const double c = cost(sys);
+    if (c == std::numeric_limits<double>::infinity()) {
+      ++result.deadlocked;
+    } else {
+      result.worst_finite_cost = std::max(result.worst_finite_cost, c);
+      if (c < result.best_cost) {
+        result.best_cost = c;
+        result.best_input_order.clear();
+        result.best_output_order.clear();
+        for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+          result.best_input_order.push_back(sys.input_order(p));
+          result.best_output_order.push_back(sys.output_order(p));
+        }
+      }
+    }
+    if (limit > 0 && result.combinations >= limit) break;
+  } while (enumerator.next());
+
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    sys.set_input_order(p, saved_in[static_cast<std::size_t>(p)]);
+    sys.set_output_order(p, saved_out[static_cast<std::size_t>(p)]);
+  }
+  return result;
+}
+
+}  // namespace ermes::ordering

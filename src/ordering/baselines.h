@@ -1,0 +1,53 @@
+#pragma once
+// Baseline orderings the paper compares against (implicitly or explicitly):
+//
+//  * index ordering — the designer's channel insertion order (what you get
+//    by writing the SystemC without thinking about ordering);
+//  * conservative ordering — Algorithm 1 run with unit latencies, i.e., a
+//    pure traversal-timestamp order. Deadlock-free but oblivious to the
+//    actual latencies (the "conservative ordering that guarantees absence of
+//    deadlock but may introduce unnecessary serialization" of Section 6);
+//  * random orderings — for distribution studies;
+//  * exhaustive search — tries every (get x put) order combination; only
+//    feasible on small systems, used as the optimality oracle.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sysmodel/system.h"
+#include "util/rng.h"
+
+namespace ermes::ordering {
+
+/// Restores insertion (channel-id) order for every process.
+void apply_index_ordering(sysmodel::SystemModel& sys);
+
+/// Applies Algorithm 1 computed on a unit-latency copy of the system.
+void apply_conservative_ordering(sysmodel::SystemModel& sys);
+
+/// Shuffles every process' get and put orders.
+void apply_random_ordering(sysmodel::SystemModel& sys, util::Rng& rng);
+
+/// Cost of an ordering; return +infinity for deadlock. Typically wraps
+/// analysis::analyze_system's cycle time.
+using OrderingCost = std::function<double(const sysmodel::SystemModel&)>;
+
+struct ExhaustiveResult {
+  double best_cost = 0.0;
+  double worst_finite_cost = 0.0;
+  std::uint64_t combinations = 0;
+  std::uint64_t deadlocked = 0;
+  /// Orders achieving best_cost.
+  std::vector<std::vector<sysmodel::ChannelId>> best_input_order;
+  std::vector<std::vector<sysmodel::ChannelId>> best_output_order;
+};
+
+/// Enumerates every order combination (product of per-process permutations)
+/// and evaluates `cost`. Aborts (returns partial data) after `limit`
+/// combinations when limit > 0. The model is restored on return.
+ExhaustiveResult exhaustive_search(sysmodel::SystemModel& sys,
+                                   const OrderingCost& cost,
+                                   std::uint64_t limit = 0);
+
+}  // namespace ermes::ordering

@@ -1,0 +1,106 @@
+#include "ordering/channel_ordering.h"
+
+#include <algorithm>
+
+#include "ordering/repair.h"
+
+namespace ermes::ordering {
+
+using sysmodel::ChannelId;
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+namespace {
+
+ChannelOrderingResult final_ordering(const SystemModel& sys,
+                                     LabelingResult labels, bool tiebreak,
+                                     bool feedback_first_last = false) {
+  ChannelOrderingResult result;
+  result.labels = std::move(labels);
+  const LabelingResult& lab = result.labels;
+
+  result.input_order.resize(static_cast<std::size_t>(sys.num_processes()));
+  result.output_order.resize(static_cast<std::size_t>(sys.num_processes()));
+
+  // In the feedback-safe variant, gets whose producer is primed sort before
+  // every other get: the consumer's ring token then guards the loop-closing
+  // transition, so no token-free cycle can ride the feedback path. All
+  // other arcs stay in label order.
+  auto back_rank = [&](ChannelId c, bool is_put) {
+    if (!feedback_first_last || is_put) return 0;
+    return sys.primed(sys.channel_source(c)) ? -1 : 0;
+  };
+
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    // Gets: ascending head weight, ties by ascending head timestamp.
+    result.input_order[pi] = sys.input_order(p);
+    std::stable_sort(
+        result.input_order[pi].begin(), result.input_order[pi].end(),
+        [&](ChannelId a, ChannelId b) {
+          if (back_rank(a, false) != back_rank(b, false)) {
+            return back_rank(a, false) < back_rank(b, false);
+          }
+          const auto ai = static_cast<std::size_t>(a);
+          const auto bi = static_cast<std::size_t>(b);
+          if (lab.head_weight[ai] != lab.head_weight[bi]) {
+            return lab.head_weight[ai] < lab.head_weight[bi];
+          }
+          return tiebreak && lab.head_timestamp[ai] < lab.head_timestamp[bi];
+        });
+    // Puts: descending tail weight, ties by ascending tail timestamp.
+    result.output_order[pi] = sys.output_order(p);
+    std::stable_sort(
+        result.output_order[pi].begin(), result.output_order[pi].end(),
+        [&](ChannelId a, ChannelId b) {
+          if (back_rank(a, true) != back_rank(b, true)) {
+            return back_rank(a, true) < back_rank(b, true);
+          }
+          const auto ai = static_cast<std::size_t>(a);
+          const auto bi = static_cast<std::size_t>(b);
+          if (lab.tail_weight[ai] != lab.tail_weight[bi]) {
+            return lab.tail_weight[ai] > lab.tail_weight[bi];
+          }
+          return tiebreak && lab.tail_timestamp[ai] < lab.tail_timestamp[bi];
+        });
+  }
+  return result;
+}
+
+}  // namespace
+
+ChannelOrderingResult channel_ordering(const SystemModel& sys) {
+  return final_ordering(sys, forward_backward_labeling(sys),
+                        /*tiebreak=*/true);
+}
+
+ChannelOrderingResult channel_ordering_no_tiebreak(const SystemModel& sys) {
+  return final_ordering(sys, forward_backward_labeling(sys),
+                        /*tiebreak=*/false);
+}
+
+ChannelOrderingResult channel_ordering_feedback_safe(const SystemModel& sys) {
+  LabelingOptions options;
+  options.isolate_back_arcs = true;
+  return final_ordering(sys, forward_backward_labeling(sys, options),
+                        /*tiebreak=*/true, /*feedback_first_last=*/true);
+}
+
+void apply_ordering(SystemModel& sys, const ChannelOrderingResult& result) {
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    sys.set_input_order(p, result.input_order[pi]);
+    sys.set_output_order(p, result.output_order[pi]);
+  }
+}
+
+SystemModel with_optimal_ordering(SystemModel sys) {
+  apply_ordering(sys, channel_ordering(sys));
+  // On feedback-heavy graphs the labeling around back arcs can rarely yield
+  // a token-free cycle; the repair pass restores liveness (no-op when the
+  // order is already live — in particular on every acyclic system).
+  ensure_live(sys);
+  return sys;
+}
+
+}  // namespace ermes::ordering

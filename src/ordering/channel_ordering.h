@@ -1,0 +1,57 @@
+#pragma once
+// Channel ordering (Algorithm 1): Forward Labeling, Backward Labeling,
+// Final Ordering.
+//
+// Final Ordering sorts each process' get statements by ascending head
+// weight and its put statements by descending tail weight, breaking weight
+// ties by ascending timestamps (the tie-break is required for deadlock
+// freedom on symmetric structures — see bench_ablation_tiebreak). The
+// intuition: put first toward the longest downstream path, get first from
+// the shortest upstream path, so that the circuits spend the fewest cycles
+// stalled at blocking I/O states.
+//
+// Complexity: two traversals O(|E|) plus the per-process sorts,
+// O(|E| log |E|) total.
+
+#include <vector>
+
+#include "ordering/labeling.h"
+#include "sysmodel/system.h"
+
+namespace ermes::ordering {
+
+struct ChannelOrderingResult {
+  /// New get order per process.
+  std::vector<std::vector<sysmodel::ChannelId>> input_order;
+  /// New put order per process.
+  std::vector<std::vector<sysmodel::ChannelId>> output_order;
+  /// The labels the ordering was derived from.
+  LabelingResult labels;
+};
+
+/// Runs Algorithm 1 on the model's current orders and latencies.
+ChannelOrderingResult channel_ordering(const sysmodel::SystemModel& sys);
+
+/// Variant without the timestamp tie-break (weight order only, ties left in
+/// the pre-existing order) — exists solely for the ablation study of the
+/// paper's claim that the tie-break prevents deadlocks on symmetric graphs.
+ChannelOrderingResult channel_ordering_no_tiebreak(
+    const sysmodel::SystemModel& sys);
+
+/// Feedback-safe variant for graphs with feedback loops: weights are
+/// computed over the acyclic skeleton only (back arcs do not contribute),
+/// feedback inputs are read first (their producers are primed) and feedback
+/// outputs are written last. Slightly more conservative than the published
+/// algorithm, but empirically deadlock-free at every scale we generate;
+/// ensure_live falls back to it before resorting to local search.
+ChannelOrderingResult channel_ordering_feedback_safe(
+    const sysmodel::SystemModel& sys);
+
+/// Writes the computed orders into the model.
+void apply_ordering(sysmodel::SystemModel& sys,
+                    const ChannelOrderingResult& result);
+
+/// Convenience: returns a copy of `sys` with the optimal ordering applied.
+sysmodel::SystemModel with_optimal_ordering(sysmodel::SystemModel sys);
+
+}  // namespace ermes::ordering

@@ -1,0 +1,211 @@
+#include "ordering/labeling.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/traversal.h"
+
+namespace ermes::ordering {
+
+using sysmodel::ChannelId;
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+namespace {
+
+// Shared scaffolding of the two passes: a FIFO worklist gated on the number
+// of still-unlabeled non-back arcs on the gating side.
+struct PassState {
+  std::vector<bool> visited_node;
+  std::vector<std::int32_t> remaining;  // per node: ungated arcs left
+  std::deque<ProcessId> queue;
+
+  explicit PassState(std::int32_t num_nodes)
+      : visited_node(static_cast<std::size_t>(num_nodes), false),
+        remaining(static_cast<std::size_t>(num_nodes), 0) {}
+};
+
+}  // namespace
+
+LabelingResult forward_backward_labeling(const SystemModel& sys,
+                                         const LabelingOptions& options) {
+  LabelingResult result = forward_labeling(sys, options);
+
+  // ---- Backward pass -------------------------------------------------------
+  PassState state(sys.num_processes());
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    if (!result.is_feedback_arc[static_cast<std::size_t>(c)]) {
+      ++state.remaining[static_cast<std::size_t>(sys.channel_source(c))];
+    }
+  }
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    if (state.remaining[static_cast<std::size_t>(p)] == 0) {
+      state.queue.push_back(p);
+    }
+  }
+
+  std::vector<bool> labeled(static_cast<std::size_t>(sys.num_channels()),
+                            false);
+  std::int32_t timestamp = 1;
+
+  auto visit = [&](ProcessId x) {
+    if (state.visited_node[static_cast<std::size_t>(x)]) return;
+    state.visited_node[static_cast<std::size_t>(x)] = true;
+
+    // MaxOutArcWeight: max tail weight among x's already-labeled out arcs.
+    std::int64_t max_out = 0;
+    for (ChannelId c : sys.output_order(x)) {
+      if (options.isolate_back_arcs &&
+          result.is_feedback_arc[static_cast<std::size_t>(c)]) {
+        continue;
+      }
+      if (labeled[static_cast<std::size_t>(c)]) {
+        max_out = std::max(max_out,
+                           result.tail_weight[static_cast<std::size_t>(c)]);
+      }
+    }
+    // SumInArcLatency over all incoming channels.
+    std::int64_t sum_in_lat = 0;
+    for (ChannelId c : sys.input_order(x)) {
+      sum_in_lat += sys.channel_latency(c);
+    }
+    const std::int64_t weight = max_out + sum_in_lat + sys.latency(x);
+
+    // Incoming arcs in increasing order of their forward (head) timestamps.
+    std::vector<ChannelId> ins = sys.input_order(x);
+    std::sort(ins.begin(), ins.end(), [&](ChannelId a, ChannelId b) {
+      return result.head_timestamp[static_cast<std::size_t>(a)] <
+             result.head_timestamp[static_cast<std::size_t>(b)];
+    });
+    for (ChannelId c : ins) {
+      const auto ci = static_cast<std::size_t>(c);
+      result.tail_weight[ci] = weight;
+      result.tail_timestamp[ci] = timestamp++;
+      labeled[ci] = true;
+      if (!result.is_feedback_arc[ci]) {
+        const ProcessId y = sys.channel_source(c);
+        if (--state.remaining[static_cast<std::size_t>(y)] == 0) {
+          state.queue.push_back(y);
+        }
+      }
+    }
+  };
+
+  while (!state.queue.empty()) {
+    const ProcessId x = state.queue.front();
+    state.queue.pop_front();
+    visit(x);
+  }
+  // Fallback for vertices unreachable (in reverse) from any sink: label them
+  // deterministically so every arc carries both labels.
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    visit(p);
+    while (!state.queue.empty()) {
+      const ProcessId x = state.queue.front();
+      state.queue.pop_front();
+      visit(x);
+    }
+  }
+  return result;
+}
+
+LabelingResult forward_labeling(const SystemModel& sys,
+                                const LabelingOptions& options) {
+  LabelingResult result;
+  const auto n_chan = static_cast<std::size_t>(sys.num_channels());
+  result.head_weight.assign(n_chan, 0);
+  result.head_timestamp.assign(n_chan, 0);
+  result.tail_weight.assign(n_chan, 0);
+  result.tail_timestamp.assign(n_chan, 0);
+
+  // Feedback arcs break every cycle for the traversal gating. Cycles are
+  // broken preferentially at arcs produced by *primed* processes — those
+  // arcs carry the loop's initial data and their TMG transitions are token-
+  // guarded, so they are the semantically right place to cut. Any cycle not
+  // covered by priming is then broken by a DFS back arc.
+  const graph::Digraph topo = sys.topology();
+  std::vector<bool> primed_source(static_cast<std::size_t>(sys.num_channels()),
+                                  false);
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    primed_source[static_cast<std::size_t>(c)] =
+        sys.primed(sys.channel_source(c));
+  }
+  const graph::ArcClassification arc_classes =
+      graph::classify_arcs(topo, sys.sources(), primed_source);
+  result.is_back_arc = arc_classes.is_back;
+  result.is_feedback_arc = result.is_back_arc;
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    if (primed_source[static_cast<std::size_t>(c)]) {
+      result.is_feedback_arc[static_cast<std::size_t>(c)] = true;
+    }
+  }
+
+  PassState state(sys.num_processes());
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    if (!result.is_feedback_arc[static_cast<std::size_t>(c)]) {
+      ++state.remaining[static_cast<std::size_t>(sys.channel_target(c))];
+    }
+  }
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    if (state.remaining[static_cast<std::size_t>(p)] == 0) {
+      state.queue.push_back(p);
+    }
+  }
+
+  std::vector<bool> labeled(n_chan, false);
+  std::int32_t timestamp = 1;
+
+  auto visit = [&](ProcessId x) {
+    if (state.visited_node[static_cast<std::size_t>(x)]) return;
+    state.visited_node[static_cast<std::size_t>(x)] = true;
+
+    std::int64_t max_in = 0;
+    for (ChannelId c : sys.input_order(x)) {
+      if (options.isolate_back_arcs &&
+          result.is_feedback_arc[static_cast<std::size_t>(c)]) {
+        continue;
+      }
+      if (labeled[static_cast<std::size_t>(c)]) {
+        max_in = std::max(max_in,
+                          result.head_weight[static_cast<std::size_t>(c)]);
+      }
+    }
+    std::int64_t sum_out_lat = 0;
+    for (ChannelId c : sys.output_order(x)) {
+      sum_out_lat += sys.channel_latency(c);
+    }
+    const std::int64_t weight = max_in + sum_out_lat + sys.latency(x);
+
+    // Outgoing arcs in the process' current put order (Algorithm 1 accepts
+    // any designer-given order here).
+    for (ChannelId c : sys.output_order(x)) {
+      const auto ci = static_cast<std::size_t>(c);
+      result.head_weight[ci] = weight;
+      result.head_timestamp[ci] = timestamp++;
+      labeled[ci] = true;
+      if (!result.is_feedback_arc[ci]) {
+        const ProcessId y = sys.channel_target(c);
+        if (--state.remaining[static_cast<std::size_t>(y)] == 0) {
+          state.queue.push_back(y);
+        }
+      }
+    }
+  };
+
+  while (!state.queue.empty()) {
+    const ProcessId x = state.queue.front();
+    state.queue.pop_front();
+    visit(x);
+  }
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    visit(p);
+    while (!state.queue.empty()) {
+      const ProcessId x = state.queue.front();
+      state.queue.pop_front();
+      visit(x);
+    }
+  }
+  return result;
+}
+
+}  // namespace ermes::ordering

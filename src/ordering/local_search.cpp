@@ -1,0 +1,70 @@
+#include "ordering/local_search.h"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "analysis/performance.h"
+
+namespace ermes::ordering {
+
+using sysmodel::ChannelId;
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+namespace {
+
+double live_cycle_time(const SystemModel& sys) {
+  const analysis::PerformanceReport report = analysis::analyze_system(sys);
+  return report.live ? report.cycle_time
+                     : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+LocalSearchResult hill_climb_ordering(SystemModel& sys, int max_rounds) {
+  LocalSearchResult result;
+  double current = live_cycle_time(sys);
+  ++result.evaluations;
+  result.initial_cycle_time = current;
+  result.final_cycle_time = current;
+  if (current == std::numeric_limits<double>::infinity()) return result;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+      for (const bool is_put : {false, true}) {
+        std::vector<ChannelId> order =
+            is_put ? sys.output_order(p) : sys.input_order(p);
+        if (order.size() < 2) continue;
+        for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+          std::swap(order[i], order[i + 1]);
+          if (is_put) {
+            sys.set_output_order(p, order);
+          } else {
+            sys.set_input_order(p, order);
+          }
+          const double cand = live_cycle_time(sys);
+          ++result.evaluations;
+          if (cand < current - 1e-12) {
+            current = cand;
+            ++result.accepted_moves;
+            improved = true;
+          } else {
+            std::swap(order[i], order[i + 1]);  // revert
+            if (is_put) {
+              sys.set_output_order(p, order);
+            } else {
+              sys.set_input_order(p, order);
+            }
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  result.final_cycle_time = current;
+  return result;
+}
+
+}  // namespace ermes::ordering

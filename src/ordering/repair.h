@@ -1,0 +1,32 @@
+#pragma once
+// Liveness repair: a safety net above Algorithm 1.
+//
+// On acyclic system graphs the published ordering algorithm is deadlock-free
+// (our property suite exercises this across random SoCs). On graphs with
+// feedback loops the labels computed around back arcs can occasionally
+// produce a token-free cycle. The paper's tech report is not available to
+// settle how the authors handle this, so ERMES verifies liveness after
+// Final Ordering and, when needed, repairs the order with witness-guided
+// local moves: each token-free cycle pins a ring segment inside some
+// process; moving the blocked channel to the front of its phase destroys
+// that cycle. A seeded random restart backs the local search.
+
+#include <cstdint>
+
+#include "sysmodel/system.h"
+
+namespace ermes::ordering {
+
+struct RepairResult {
+  bool live = false;
+  int iterations = 0;       // witness-guided moves performed
+  int random_restarts = 0;  // escapes from repeated configurations
+};
+
+/// Reorders I/O statements until the system is live (or the iteration
+/// budget runs out). Returns live==true on success; the model is left with
+/// the repaired (or best-effort) orders.
+RepairResult ensure_live(sysmodel::SystemModel& sys, int max_iterations = 256,
+                         std::uint64_t seed = 0x11f3);
+
+}  // namespace ermes::ordering

@@ -1,0 +1,54 @@
+#pragma once
+// Behavioral hooks for simulated processes.
+//
+// The kernel drives timing (blocking, stalls, transfer latencies); a
+// Behavior supplies the data: packets produced at puts, consumption of
+// packets at gets, and work performed when a compute phase retires. This
+// mirrors the SystemC split between the interface library (timing/protocol)
+// and the user's process body (data).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/program.h"
+
+namespace ermes::sim {
+
+/// Payload transferred over a channel in one rendezvous.
+struct Packet {
+  std::vector<std::int64_t> data;
+};
+
+class Behavior {
+ public:
+  virtual ~Behavior() = default;
+
+  /// Called once before the main loop (the reset phase).
+  virtual void on_reset() {}
+
+  /// A get on channel c completed, delivering `packet`.
+  virtual void on_get(SimChannelId c, const Packet& packet) {
+    (void)c;
+    (void)packet;
+  }
+
+  /// A put on channel c is retiring; produce the packet to send.
+  virtual Packet on_put(SimChannelId c) {
+    (void)c;
+    return {};
+  }
+
+  /// A compute statement retired (its cycles elapsed). In a three-phase
+  /// program this fires between the input and output phases.
+  virtual void on_compute() {}
+
+  /// One full pass over the program completed (the loop wrapped). Use this
+  /// — not on_compute — to advance per-iteration indices, since puts of the
+  /// current iteration retire after the compute statement.
+  virtual void on_loop_end() {}
+};
+
+/// Default no-op behavior (pure timing simulation).
+class NullBehavior final : public Behavior {};
+
+}  // namespace ermes::sim

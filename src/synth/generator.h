@@ -1,0 +1,40 @@
+#pragma once
+// Synthetic SoC benchmark generator (paper Section 6, scalability study).
+//
+// Generates layered system graphs "with characteristics similar to those of
+// the MPEG-2, including the presence of feedback loops and reconvergent
+// paths": a testbench source feeding a layered core, extra skip-layer
+// channels (reconvergence), and feedback channels routed through primed
+// relay processes (the register stage every real feedback loop carries, and
+// what keeps a rendezvous loop deadlock-free at all).
+
+#include <cstdint>
+
+#include "sysmodel/system.h"
+#include "util/rng.h"
+
+namespace ermes::synth {
+
+struct GeneratorConfig {
+  /// Total processes including the testbench source/sink and any feedback
+  /// relay processes (>= 3).
+  std::int32_t num_processes = 32;
+  /// Target channel count; clamped up to the spanning backbone if needed.
+  std::int32_t num_channels = 48;
+  /// Layers of the core pipeline; 0 = choose automatically (~sqrt(N)).
+  std::int32_t num_layers = 0;
+  /// Fraction of the extra (non-backbone) channels that become feedback
+  /// loops (each consumes one relay process from the budget).
+  double feedback_fraction = 0.1;
+  std::int64_t min_channel_latency = 1;
+  std::int64_t max_channel_latency = 64;
+  std::int64_t min_process_latency = 1;
+  std::int64_t max_process_latency = 64;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a connected system: every process reachable from the source
+/// and reaching the sink, no self-loops, feedback via primed relays.
+sysmodel::SystemModel generate_soc(const GeneratorConfig& config);
+
+}  // namespace ermes::synth

@@ -1,0 +1,42 @@
+#pragma once
+// Pareto-set generation — the HLS characterization stand-in.
+//
+// A commercial HLS tool driven by knobs (loop unrolling, pipelining,
+// resource sharing) produces a latency/area Pareto frontier per process; the
+// paper obtains 171 such points for the 26 MPEG-2 processes via the
+// compositional DSE of Liu-Carloni (DATE'12). This module synthesizes
+// frontiers with the same qualitative shape: halving latency costs roughly
+// 1.6-2.2x area (duplicated functional units plus control overhead).
+
+#include <cstdint>
+
+#include "sysmodel/implementation.h"
+#include "sysmodel/system.h"
+#include "util/rng.h"
+
+namespace ermes::synth {
+
+struct ParetoGenConfig {
+  std::size_t min_points = 2;
+  std::size_t max_points = 8;
+  /// Area multiplier per 2x speedup, jittered per point.
+  double area_per_speedup = 1.9;
+  double jitter = 0.15;
+};
+
+/// Generates a frontier around (base_latency, base_area): `points`
+/// implementations spanning roughly [base/2^(k-1), base] latency.
+sysmodel::ParetoSet generate_pareto_set(std::int64_t base_latency,
+                                        double base_area, std::size_t points,
+                                        util::Rng& rng,
+                                        const ParetoGenConfig& config = {});
+
+/// Attaches generated Pareto sets to every non-testbench process of `sys`
+/// (sources/sinks and primed relays keep fixed implementations). The
+/// current latency/area of each process is kept as the *selected* point
+/// (slowest/smallest of its new frontier by default). Returns the number of
+/// Pareto points created.
+std::size_t attach_pareto_sets(sysmodel::SystemModel& sys, std::uint64_t seed,
+                               const ParetoGenConfig& config = {});
+
+}  // namespace ermes::synth

@@ -1,0 +1,75 @@
+#include "sysmodel/implementation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ermes::sysmodel {
+
+namespace {
+
+bool latency_less(const Implementation& a, const Implementation& b) {
+  if (a.latency != b.latency) return a.latency < b.latency;
+  return a.area < b.area;
+}
+
+/// a dominates b: a is no worse in both dimensions and better in one.
+bool dominates(const Implementation& a, const Implementation& b) {
+  return a.latency <= b.latency && a.area <= b.area &&
+         (a.latency < b.latency || a.area < b.area);
+}
+
+}  // namespace
+
+ParetoSet::ParetoSet(std::vector<Implementation> impls)
+    : impls_(std::move(impls)) {
+  std::stable_sort(impls_.begin(), impls_.end(), latency_less);
+}
+
+void ParetoSet::add(Implementation impl) {
+  auto it = std::upper_bound(impls_.begin(), impls_.end(), impl, latency_less);
+  impls_.insert(it, std::move(impl));
+}
+
+bool ParetoSet::is_pareto_optimal() const {
+  for (std::size_t i = 0; i < impls_.size(); ++i) {
+    for (std::size_t j = 0; j < impls_.size(); ++j) {
+      if (i != j && dominates(impls_[i], impls_[j])) return false;
+    }
+  }
+  return true;
+}
+
+void ParetoSet::prune_to_frontier() {
+  // impls_ is sorted by (latency asc, area asc); a point survives iff its
+  // area is strictly below every earlier (faster-or-equal) point's area.
+  std::vector<Implementation> frontier;
+  for (const Implementation& impl : impls_) {
+    if (frontier.empty() || impl.area < frontier.back().area) {
+      frontier.push_back(impl);
+    }
+  }
+  impls_ = std::move(frontier);
+}
+
+std::size_t ParetoSet::fastest_index() const {
+  assert(!impls_.empty());
+  return 0;  // sorted by latency
+}
+
+std::size_t ParetoSet::smallest_index() const {
+  assert(!impls_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < impls_.size(); ++i) {
+    if (impls_[i].area < impls_[best].area) best = i;
+  }
+  return best;
+}
+
+std::size_t ParetoSet::find(const Implementation& impl) const {
+  for (std::size_t i = 0; i < impls_.size(); ++i) {
+    if (impls_[i] == impl) return i;
+  }
+  return npos;
+}
+
+}  // namespace ermes::sysmodel

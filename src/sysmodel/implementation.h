@@ -1,0 +1,61 @@
+#pragma once
+// Pareto-optimal micro-architecture implementations of a process.
+//
+// High-level synthesis of a process' computation phase yields alternative
+// implementations trading latency for area ("HLS knobs": loop unrolling,
+// pipelining, resource sharing...). The methodology consumes these as a
+// Pareto set per process; selecting an implementation fixes the process
+// latency and area used by the performance model and the ILP problems.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ermes::sysmodel {
+
+struct Implementation {
+  std::string name;
+  std::int64_t latency = 0;  // clock cycles of the computation phase
+  double area = 0.0;         // mm^2 (or any consistent unit)
+
+  friend bool operator==(const Implementation&,
+                         const Implementation&) = default;
+};
+
+/// A set of implementations kept sorted by increasing latency. A set is
+/// Pareto-optimal when no implementation dominates another (lower-or-equal
+/// latency and lower-or-equal area, with at least one strict).
+class ParetoSet {
+ public:
+  ParetoSet() = default;
+  explicit ParetoSet(std::vector<Implementation> impls);
+
+  /// Adds an implementation, keeping the latency order.
+  void add(Implementation impl);
+
+  std::size_t size() const { return impls_.size(); }
+  bool empty() const { return impls_.empty(); }
+
+  const Implementation& at(std::size_t i) const { return impls_[i]; }
+  const std::vector<Implementation>& implementations() const { return impls_; }
+
+  /// True iff no element dominates another.
+  bool is_pareto_optimal() const;
+
+  /// Removes dominated elements (keeps the frontier). Stable on ties: the
+  /// first-added of two identical points survives.
+  void prune_to_frontier();
+
+  /// Index of the implementation with minimum latency / minimum area.
+  std::size_t fastest_index() const;
+  std::size_t smallest_index() const;
+
+  /// Index of `impl` in the set, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find(const Implementation& impl) const;
+
+ private:
+  std::vector<Implementation> impls_;  // sorted by (latency, area)
+};
+
+}  // namespace ermes::sysmodel

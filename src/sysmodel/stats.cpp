@@ -1,0 +1,93 @@
+#include "sysmodel/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/topo.h"
+#include "graph/traversal.h"
+
+namespace ermes::sysmodel {
+
+SystemStats compute_stats(const SystemModel& sys) {
+  SystemStats stats;
+  stats.processes = sys.num_processes();
+  stats.channels = sys.num_channels();
+  stats.pareto_points = sys.total_pareto_points();
+  stats.order_combinations = sys.num_order_combinations();
+
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    if (sys.is_source(p)) ++stats.sources;
+    if (sys.is_sink(p)) ++stats.sinks;
+    if (sys.primed(p)) ++stats.primed_processes;
+    const auto fan_in = static_cast<std::int32_t>(sys.input_order(p).size());
+    const auto fan_out =
+        static_cast<std::int32_t>(sys.output_order(p).size());
+    stats.max_fan_in = std::max(stats.max_fan_in, fan_in);
+    stats.max_fan_out = std::max(stats.max_fan_out, fan_out);
+    if (fan_in >= 2) ++stats.reconvergence_points;
+    if (p == 0 || sys.latency(p) < stats.min_process_latency) {
+      stats.min_process_latency = sys.latency(p);
+    }
+    stats.max_process_latency =
+        std::max(stats.max_process_latency, sys.latency(p));
+  }
+  if (sys.num_processes() > 0) {
+    stats.avg_degree =
+        static_cast<double>(sys.num_channels()) / sys.num_processes();
+  }
+
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    if (sys.channel_capacity(c) > 0) ++stats.fifo_channels;
+    if (c == 0 || sys.channel_latency(c) < stats.min_channel_latency) {
+      stats.min_channel_latency = sys.channel_latency(c);
+    }
+    stats.max_channel_latency =
+        std::max(stats.max_channel_latency, sys.channel_latency(c));
+  }
+
+  // Feedback set: primed-source arcs first, DFS back arcs for the rest
+  // (mirrors ordering/labeling.cpp).
+  const graph::Digraph topo = sys.topology();
+  std::vector<bool> primed_source(static_cast<std::size_t>(sys.num_channels()),
+                                  false);
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    primed_source[static_cast<std::size_t>(c)] =
+        sys.primed(sys.channel_source(c));
+  }
+  const graph::ArcClassification classes =
+      graph::classify_arcs(topo, sys.sources(), primed_source);
+  std::vector<bool> feedback = classes.is_back;
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (primed_source[ci]) feedback[ci] = true;
+    if (feedback[ci]) ++stats.feedback_channels;
+  }
+
+  const std::vector<std::int32_t> depth =
+      graph::longest_path_ranks(topo, feedback);
+  for (std::int32_t d : depth) {
+    stats.pipeline_depth = std::max(stats.pipeline_depth, d);
+  }
+  return stats;
+}
+
+std::string to_string(const SystemStats& stats) {
+  std::ostringstream out;
+  out << stats.processes << " processes (" << stats.sources << " sources, "
+      << stats.sinks << " sinks, " << stats.primed_processes << " primed), "
+      << stats.channels << " channels (" << stats.fifo_channels
+      << " FIFO, " << stats.feedback_channels << " feedback)\n";
+  out << "fan-in <= " << stats.max_fan_in << ", fan-out <= "
+      << stats.max_fan_out << ", " << stats.reconvergence_points
+      << " reconvergence points, pipeline depth " << stats.pipeline_depth
+      << "\n";
+  out << "latencies: processes " << stats.min_process_latency << ".."
+      << stats.max_process_latency << ", channels "
+      << stats.min_channel_latency << ".." << stats.max_channel_latency
+      << "\n";
+  out << stats.pareto_points << " Pareto points, " << stats.order_combinations
+      << " order combinations";
+  return out.str();
+}
+
+}  // namespace ermes::sysmodel

@@ -1,0 +1,47 @@
+#pragma once
+// Topology statistics of a system model — the numbers a Table-1-style
+// experimental-setup row reports, plus the structural-hazard counts the
+// paper calls out (feedback loops, reconvergent paths).
+
+#include <cstdint>
+#include <string>
+
+#include "sysmodel/system.h"
+
+namespace ermes::sysmodel {
+
+struct SystemStats {
+  std::int32_t processes = 0;
+  std::int32_t channels = 0;
+  std::int32_t sources = 0;
+  std::int32_t sinks = 0;
+  std::int32_t primed_processes = 0;
+  std::int32_t fifo_channels = 0;  // capacity > 0
+
+  std::int32_t max_fan_in = 0;
+  std::int32_t max_fan_out = 0;
+  double avg_degree = 0.0;  // (in+out)/2 per process
+
+  std::int64_t min_channel_latency = 0;
+  std::int64_t max_channel_latency = 0;
+  std::int64_t min_process_latency = 0;
+  std::int64_t max_process_latency = 0;
+
+  /// Arcs that close cycles (computed like the ordering's feedback set:
+  /// primed-source arcs + DFS back arcs of the rest).
+  std::int32_t feedback_channels = 0;
+  /// Processes with fan-in >= 2 (reconvergence points).
+  std::int32_t reconvergence_points = 0;
+  /// Longest source-to-sink path (arc count) over the acyclic skeleton.
+  std::int32_t pipeline_depth = 0;
+
+  std::size_t pareto_points = 0;
+  double order_combinations = 0.0;  // prod |in|! * |out|!
+};
+
+SystemStats compute_stats(const SystemModel& sys);
+
+/// Multi-line human-readable rendering.
+std::string to_string(const SystemStats& stats);
+
+}  // namespace ermes::sysmodel

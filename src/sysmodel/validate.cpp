@@ -1,0 +1,119 @@
+#include "sysmodel/validate.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+
+namespace ermes::sysmodel {
+
+namespace {
+
+bool is_permutation_of(std::vector<ChannelId> a, std::vector<ChannelId> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace
+
+ValidationReport validate(const SystemModel& sys) {
+  ValidationReport report;
+  auto error = [&](std::string msg) { report.errors.push_back(std::move(msg)); };
+  auto warn = [&](std::string msg) {
+    report.warnings.push_back(std::move(msg));
+  };
+
+  // Incident channels per process, from the channel table (ground truth).
+  std::vector<std::vector<ChannelId>> ins(
+      static_cast<std::size_t>(sys.num_processes()));
+  std::vector<std::vector<ChannelId>> outs(
+      static_cast<std::size_t>(sys.num_processes()));
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    if (!sys.valid_process(sys.channel_source(c)) ||
+        !sys.valid_process(sys.channel_target(c))) {
+      error("channel " + sys.channel_name(c) + " has invalid endpoints");
+      continue;
+    }
+    if (sys.channel_source(c) == sys.channel_target(c)) {
+      error("channel " + sys.channel_name(c) +
+            " is a self-loop (a process cannot rendezvous with itself)");
+    }
+    outs[static_cast<std::size_t>(sys.channel_source(c))].push_back(c);
+    ins[static_cast<std::size_t>(sys.channel_target(c))].push_back(c);
+  }
+
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    if (ins[pi].empty() && outs[pi].empty()) {
+      error("process " + sys.process_name(p) + " has no channels");
+    }
+    if (!is_permutation_of(sys.input_order(p), ins[pi])) {
+      error("process " + sys.process_name(p) +
+            ": input order is not a permutation of its incoming channels");
+    }
+    if (!is_permutation_of(sys.output_order(p), outs[pi])) {
+      error("process " + sys.process_name(p) +
+            ": output order is not a permutation of its outgoing channels");
+    }
+    if (sys.latency(p) < 0) {
+      error("process " + sys.process_name(p) + " has negative latency");
+    }
+    if (sys.has_implementations(p)) {
+      const ParetoSet& set = sys.implementations(p);
+      if (!set.is_pareto_optimal()) {
+        warn("process " + sys.process_name(p) +
+             ": implementation set is not Pareto-optimal");
+      }
+      const std::size_t sel = sys.selected_implementation(p);
+      if (sel >= set.size()) {
+        error("process " + sys.process_name(p) +
+              ": selected implementation out of range");
+      } else if (set.at(sel).latency != sys.latency(p) ||
+                 set.at(sel).area != sys.area(p)) {
+        warn("process " + sys.process_name(p) +
+             ": latency/area diverge from the selected implementation");
+      }
+    }
+  }
+
+  const std::vector<ProcessId> sources = sys.sources();
+  const std::vector<ProcessId> sinks = sys.sinks();
+  if (sources.empty()) {
+    warn("system has no source process (no testbench producer)");
+  }
+  if (sinks.empty()) {
+    warn("system has no sink process (no testbench consumer)");
+  }
+
+  if (!sources.empty() && !sinks.empty() && report.errors.empty()) {
+    const graph::Digraph topo = sys.topology();
+    std::vector<bool> from_source(static_cast<std::size_t>(topo.num_nodes()),
+                                  false);
+    for (ProcessId s : sources) {
+      const auto r = graph::reachable_from(topo, s);
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        if (r[i]) from_source[i] = true;
+      }
+    }
+    std::vector<bool> to_sink(static_cast<std::size_t>(topo.num_nodes()),
+                              false);
+    for (ProcessId s : sinks) {
+      const auto r = graph::reaches(topo, s);
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        if (r[i]) to_sink[i] = true;
+      }
+    }
+    for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+      if (!from_source[static_cast<std::size_t>(p)]) {
+        warn("process " + sys.process_name(p) +
+             " is unreachable from every source");
+      }
+      if (!to_sink[static_cast<std::size_t>(p)]) {
+        warn("process " + sys.process_name(p) + " cannot reach any sink");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ermes::sysmodel

@@ -1,0 +1,28 @@
+#pragma once
+// Structural validation of system models.
+
+#include <string>
+#include <vector>
+
+#include "sysmodel/system.h"
+
+namespace ermes::sysmodel {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Checks:
+///  * every process has at least one channel (errors on isolated processes)
+///  * I/O orders are permutations of the incident channels
+///  * there is at least one source and one sink process (warning otherwise:
+///    a closed system is legal but has no testbench)
+///  * every process is reachable from some source and reaches some sink
+///    (warning otherwise)
+///  * Pareto sets, when present, are Pareto-optimal and the selected index
+///    matches the current latency/area
+ValidationReport validate(const SystemModel& sys);
+
+}  // namespace ermes::sysmodel

@@ -1,0 +1,17 @@
+#pragma once
+// Exhaustive maximum-cycle-ratio computation by elementary-cycle enumeration
+// (Definition 3 of the paper applied literally). Exponential in general; use
+// only as a test oracle on small graphs.
+
+#include "tmg/cycle_ratio.h"
+
+namespace ermes::tmg {
+
+/// Enumerates every elementary cycle and returns the exact maximum ratio.
+/// Zero-token cycles produce an infinite result.
+CycleRatioResult max_cycle_ratio_brute_force(const RatioGraph& rg);
+
+/// Number of elementary cycles (oracle for graph statistics).
+std::size_t count_elementary_cycles(const RatioGraph& rg);
+
+}  // namespace ermes::tmg

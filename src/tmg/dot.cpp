@@ -1,0 +1,44 @@
+#include "tmg/dot.h"
+
+#include <sstream>
+
+namespace ermes::tmg {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const MarkedGraph& tmg, const std::string& graph_name) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(graph_name) << "\" {\n";
+  out << "  rankdir=LR;\n";
+  for (TransitionId t = 0; t < tmg.num_transitions(); ++t) {
+    out << "  t" << t << " [shape=box, label=\""
+        << escape(tmg.transition_name(t)) << "\\nd=" << tmg.delay(t)
+        << "\"];\n";
+  }
+  for (PlaceId p = 0; p < tmg.num_places(); ++p) {
+    out << "  p" << p << " [shape=circle, label=\""
+        << escape(tmg.place_name(p));
+    if (tmg.tokens(p) > 0) out << "\\n(" << tmg.tokens(p) << ")";
+    out << "\"";
+    if (tmg.tokens(p) > 0) out << ", style=filled, fillcolor=lightgrey";
+    out << "];\n";
+    out << "  t" << tmg.producer(p) << " -> p" << p << ";\n";
+    out << "  p" << p << " -> t" << tmg.consumer(p) << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ermes::tmg

@@ -1,0 +1,15 @@
+#pragma once
+// Graphviz export of a timed marked graph: transitions as boxes (with their
+// delays), places as circles (with their tokens) — the bipartite picture of
+// the paper's Fig. 3.
+
+#include <string>
+
+#include "tmg/marked_graph.h"
+
+namespace ermes::tmg {
+
+std::string to_dot(const MarkedGraph& tmg,
+                   const std::string& graph_name = "tmg");
+
+}  // namespace ermes::tmg

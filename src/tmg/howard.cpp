@@ -1,0 +1,267 @@
+#include "tmg/howard.h"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "graph/scc.h"
+#include "util/log.h"
+
+namespace ermes::tmg {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+
+using graph::ArcId;
+using graph::NodeId;
+
+// Howard policy iteration on one strongly connected component.
+class SccSolver {
+ public:
+  SccSolver(const RatioGraph& rg, const std::vector<std::int32_t>& comp_of,
+            std::int32_t comp_id, const std::vector<NodeId>& members)
+      : rg_(rg), comp_of_(comp_of), comp_id_(comp_id), members_(members) {
+    const auto n = static_cast<std::size_t>(rg.g.num_nodes());
+    policy_.assign(n, graph::kInvalidArc);
+    lambda_.assign(n, kNegInf);
+    value_.assign(n, 0.0);
+    cyc_w_.assign(n, 0);
+    cyc_t_.assign(n, 1);
+    seen_.assign(n, -1);
+    done_.assign(n, -1);
+  }
+
+  // Runs policy iteration. Fills `out` with this SCC's critical cycle if it
+  // beats the current content. Returns false when no internal cycle exists
+  // (trivial SCC without self-loop).
+  bool solve(CycleRatioResult& out) {
+    if (!init_policy()) return false;
+    // Howard terminates after finitely many improvements; the cap is a
+    // defensive bound (never hit in our test corpus).
+    const int max_iters = 64 + 2 * static_cast<int>(members_.size());
+    for (int iter = 0; iter < max_iters; ++iter) {
+      if (!evaluate()) {
+        // Zero-token cycle: infinite ratio (deadlocked TMG).
+        out.has_cycle = true;
+        out.ratio = std::numeric_limits<double>::infinity();
+        out.ratio_num = best_w_;
+        out.ratio_den = 0;
+        out.critical_cycle = best_cycle_;
+        return true;
+      }
+      if (!improve()) break;
+      if (iter + 1 == max_iters) {
+        ERMES_LOG(kWarn) << "Howard: iteration cap reached on SCC of "
+                         << members_.size() << " nodes";
+      }
+    }
+    if (out.ratio_den == 0 && out.has_cycle) return true;  // already infinite
+    if (!out.has_cycle ||
+        compare_ratios(best_w_, best_t_, out.ratio_num, out.ratio_den) > 0) {
+      out.has_cycle = true;
+      out.ratio_num = best_w_;
+      out.ratio_den = best_t_;
+      out.ratio = static_cast<double>(best_w_) / static_cast<double>(best_t_);
+      out.critical_cycle = best_cycle_;
+    }
+    return true;
+  }
+
+ private:
+  bool in_scc(NodeId n) const {
+    return comp_of_[static_cast<std::size_t>(n)] == comp_id_;
+  }
+  NodeId succ(NodeId u) const {
+    return rg_.g.head(policy_[static_cast<std::size_t>(u)]);
+  }
+
+  // Picks any internal out-arc per node. Returns false when the SCC is a
+  // single node without a self-loop (no cycles to analyze).
+  bool init_policy() {
+    bool any = false;
+    for (NodeId u : members_) {
+      for (ArcId a : rg_.g.out_arcs(u)) {
+        if (in_scc(rg_.g.head(a))) {
+          policy_[static_cast<std::size_t>(u)] = a;
+          any = true;
+          break;
+        }
+      }
+    }
+    if (members_.size() == 1) return any;
+    assert(any);
+    return true;
+  }
+
+  // Policy evaluation: finds the cycle each node reaches in the functional
+  // policy graph, assigns lambda (cycle ratio) and node values. Returns false
+  // on a zero-token cycle (records it as the best cycle).
+  bool evaluate() {
+    ++stamp_;
+    best_of_eval_set_ = false;
+    for (NodeId start : members_) {
+      if (done_[static_cast<std::size_t>(start)] == stamp_) continue;
+      walk_.clear();
+      NodeId u = start;
+      while (done_[static_cast<std::size_t>(u)] != stamp_ &&
+             seen_[static_cast<std::size_t>(u)] != stamp_) {
+        seen_[static_cast<std::size_t>(u)] = stamp_;
+        walk_.push_back(u);
+        u = succ(u);
+      }
+      if (done_[static_cast<std::size_t>(u)] != stamp_) {
+        // u is on the current walk: the suffix starting at u is a new cycle.
+        if (!settle_cycle(u)) return false;
+      }
+      // Unwind the walk back-to-front, resolving tree nodes.
+      for (auto it = walk_.rbegin(); it != walk_.rend(); ++it) {
+        const NodeId x = *it;
+        if (done_[static_cast<std::size_t>(x)] == stamp_) continue;
+        const ArcId a = policy_[static_cast<std::size_t>(x)];
+        const NodeId nxt = rg_.g.head(a);
+        const auto xi = static_cast<std::size_t>(x);
+        const auto ni = static_cast<std::size_t>(nxt);
+        lambda_[xi] = lambda_[ni];
+        cyc_w_[xi] = cyc_w_[ni];
+        cyc_t_[xi] = cyc_t_[ni];
+        value_[xi] = static_cast<double>(rg_.arc_weight(a)) -
+                     lambda_[xi] * static_cast<double>(rg_.arc_tokens(a)) +
+                     value_[ni];
+        done_[xi] = stamp_;
+      }
+    }
+    return true;
+  }
+
+  // Handles the cycle formed by the suffix of walk_ starting at `root`.
+  bool settle_cycle(NodeId root) {
+    std::size_t pos = walk_.size();
+    while (pos > 0 && walk_[pos - 1] != root) --pos;
+    assert(pos > 0);
+    --pos;  // walk_[pos] == root
+    std::int64_t w_sum = 0, t_sum = 0;
+    std::vector<ArcId> arcs;
+    arcs.reserve(walk_.size() - pos);
+    for (std::size_t i = pos; i < walk_.size(); ++i) {
+      const ArcId a = policy_[static_cast<std::size_t>(walk_[i])];
+      w_sum += rg_.arc_weight(a);
+      t_sum += rg_.arc_tokens(a);
+      arcs.push_back(a);
+    }
+    if (t_sum == 0) {
+      best_w_ = w_sum;
+      best_t_ = 0;
+      best_cycle_ = std::move(arcs);
+      return false;
+    }
+    const double lam =
+        static_cast<double>(w_sum) / static_cast<double>(t_sum);
+    // Assign lambda and values around the cycle: v[root] = 0, then forward
+    // v[next] = v[cur] - (w - lam*tau).
+    value_[static_cast<std::size_t>(root)] = 0.0;
+    for (std::size_t i = pos; i < walk_.size(); ++i) {
+      const NodeId cur = walk_[i];
+      const auto ci = static_cast<std::size_t>(cur);
+      lambda_[ci] = lam;
+      cyc_w_[ci] = w_sum;
+      cyc_t_[ci] = t_sum;
+      done_[ci] = stamp_;
+      if (i + 1 < walk_.size()) {
+        const ArcId a = policy_[ci];
+        value_[static_cast<std::size_t>(walk_[i + 1])] =
+            value_[ci] - (static_cast<double>(rg_.arc_weight(a)) -
+                          lam * static_cast<double>(rg_.arc_tokens(a)));
+      }
+    }
+    if (!best_of_eval_set_ ||
+        compare_ratios(w_sum, t_sum, best_w_, best_t_) > 0) {
+      best_of_eval_set_ = true;
+      best_w_ = w_sum;
+      best_t_ = t_sum;
+      best_cycle_ = std::move(arcs);
+    }
+    return true;
+  }
+
+  // Policy improvement. Returns true if any node switched its arc.
+  bool improve() {
+    bool improved = false;
+    for (NodeId u : members_) {
+      const auto ui = static_cast<std::size_t>(u);
+      for (ArcId a : rg_.g.out_arcs(u)) {
+        const NodeId x = rg_.g.head(a);
+        if (!in_scc(x)) continue;
+        const auto xi = static_cast<std::size_t>(x);
+        if (lambda_[xi] > lambda_[ui] + kEps) {
+          policy_[ui] = a;
+          lambda_[ui] = lambda_[xi];
+          value_[ui] = static_cast<double>(rg_.arc_weight(a)) -
+                       lambda_[xi] * static_cast<double>(rg_.arc_tokens(a)) +
+                       value_[xi];
+          improved = true;
+        } else if (lambda_[xi] > lambda_[ui] - kEps) {
+          const double cand =
+              static_cast<double>(rg_.arc_weight(a)) -
+              lambda_[ui] * static_cast<double>(rg_.arc_tokens(a)) +
+              value_[xi];
+          if (cand > value_[ui] + kEps) {
+            policy_[ui] = a;
+            value_[ui] = cand;
+            improved = true;
+          }
+        }
+      }
+    }
+    return improved;
+  }
+
+  const RatioGraph& rg_;
+  const std::vector<std::int32_t>& comp_of_;
+  std::int32_t comp_id_;
+  const std::vector<NodeId>& members_;
+
+  std::vector<ArcId> policy_;
+  std::vector<double> lambda_;
+  std::vector<double> value_;
+  std::vector<std::int64_t> cyc_w_;
+  std::vector<std::int64_t> cyc_t_;
+  std::vector<std::int32_t> seen_;
+  std::vector<std::int32_t> done_;
+  std::int32_t stamp_ = 0;
+  std::vector<NodeId> walk_;
+
+  bool best_of_eval_set_ = false;
+  std::vector<ArcId> best_cycle_;
+  std::int64_t best_w_ = 0;
+  std::int64_t best_t_ = 1;
+};
+
+}  // namespace
+
+CycleRatioResult max_cycle_ratio_howard(const RatioGraph& rg) {
+  CycleRatioResult result;
+  // Zero-token cycles make the ratio infinite but are invisible to policy
+  // improvement (their lambda never materializes unless a policy lands on
+  // them), so detect them structurally first.
+  std::vector<graph::ArcId> zero_cycle;
+  if (find_zero_token_cycle(rg, &zero_cycle)) {
+    result.has_cycle = true;
+    result.ratio = std::numeric_limits<double>::infinity();
+    result.ratio_den = 0;
+    for (graph::ArcId a : zero_cycle) result.ratio_num += rg.arc_weight(a);
+    result.critical_cycle = std::move(zero_cycle);
+    return result;
+  }
+  const graph::SccResult sccs = graph::strongly_connected_components(rg.g);
+  for (std::int32_t c = 0; c < sccs.num_components; ++c) {
+    SccSolver solver(rg, sccs.component, c,
+                     sccs.members[static_cast<std::size_t>(c)]);
+    solver.solve(result);
+    if (result.is_infinite()) return result;  // deadlock dominates
+  }
+  return result;
+}
+
+}  // namespace ermes::tmg

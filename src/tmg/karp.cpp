@@ -1,0 +1,222 @@
+#include "tmg/karp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "graph/scc.h"
+
+namespace ermes::tmg {
+
+namespace {
+
+constexpr double kNegInfD = -std::numeric_limits<double>::infinity();
+using graph::ArcId;
+using graph::NodeId;
+
+}  // namespace
+
+CycleRatioResult max_cycle_mean_karp(const RatioGraph& rg) {
+  CycleRatioResult result;
+  const graph::SccResult sccs = graph::strongly_connected_components(rg.g);
+  for (std::int32_t c = 0; c < sccs.num_components; ++c) {
+    const auto& members = sccs.members[static_cast<std::size_t>(c)];
+    // Count internal arcs; skip trivial SCCs.
+    std::vector<ArcId> internal;
+    for (NodeId u : members) {
+      for (ArcId a : rg.g.out_arcs(u)) {
+        if (sccs.component[static_cast<std::size_t>(rg.g.head(a))] == c) {
+          internal.push_back(a);
+        }
+      }
+    }
+    if (internal.empty()) continue;
+    const auto n = members.size();
+
+    // Local indices.
+    std::vector<std::int32_t> local(
+        static_cast<std::size_t>(rg.g.num_nodes()), -1);
+    for (std::size_t i = 0; i < n; ++i) {
+      local[static_cast<std::size_t>(members[i])] =
+          static_cast<std::int32_t>(i);
+    }
+
+    // D[k][v] = max weight of a k-arc walk from members[0] to v.
+    // Also remember the arc used to reach v with k arcs for cycle recovery.
+    std::vector<std::vector<double>> d(
+        n + 1, std::vector<double>(n, kNegInfD));
+    std::vector<std::vector<ArcId>> pre(
+        n + 1, std::vector<ArcId>(n, graph::kInvalidArc));
+    d[0][0] = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      for (ArcId a : internal) {
+        const auto u = static_cast<std::size_t>(
+            local[static_cast<std::size_t>(rg.g.tail(a))]);
+        const auto v = static_cast<std::size_t>(
+            local[static_cast<std::size_t>(rg.g.head(a))]);
+        if (d[k - 1][u] == kNegInfD) continue;
+        const double cand = d[k - 1][u] + static_cast<double>(rg.arc_weight(a));
+        if (cand > d[k][v]) {
+          d[k][v] = cand;
+          pre[k][v] = a;
+        }
+      }
+    }
+
+    // lambda = max_v min_{k<n, d[k][v] finite} (d[n][v]-d[k][v])/(n-k).
+    double best = kNegInfD;
+    std::size_t best_v = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (d[n][v] == kNegInfD) continue;
+      double worst = std::numeric_limits<double>::infinity();
+      for (std::size_t k = 0; k < n; ++k) {
+        if (d[k][v] == kNegInfD) continue;
+        worst = std::min(worst,
+                         (d[n][v] - d[k][v]) / static_cast<double>(n - k));
+      }
+      if (worst > best) {
+        best = worst;
+        best_v = v;
+      }
+    }
+    if (best == kNegInfD) continue;
+    if (!result.has_cycle || best > result.ratio) {
+      result.has_cycle = true;
+      result.ratio = best;
+      // Recover a critical cycle: walk predecessors from (n, best_v); some
+      // node repeats; the walk between repetitions is a max-mean cycle.
+      std::vector<std::int32_t> seen_at(n, -1);
+      std::vector<ArcId> walk;  // walk[i] = arc used at step n-i
+      std::size_t v = best_v;
+      std::int32_t k = static_cast<std::int32_t>(n);
+      seen_at[v] = k;
+      while (k > 0) {
+        const ArcId a = pre[static_cast<std::size_t>(k)][v];
+        assert(a != graph::kInvalidArc);
+        walk.push_back(a);
+        v = static_cast<std::size_t>(
+            local[static_cast<std::size_t>(rg.g.tail(a))]);
+        --k;
+        if (seen_at[v] != -1) {
+          // Cycle = arcs between the two visits of v (walk is reversed).
+          std::vector<ArcId> cycle(walk.end() -
+                                       (seen_at[v] - k),
+                                   walk.end());
+          std::reverse(cycle.begin(), cycle.end());
+          std::int64_t w_sum = 0;
+          for (ArcId ca : cycle) w_sum += rg.arc_weight(ca);
+          result.critical_cycle = std::move(cycle);
+          result.ratio_num = w_sum;
+          result.ratio_den =
+              static_cast<std::int64_t>(result.critical_cycle.size());
+          break;
+        }
+        seen_at[v] = k;
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Positive-cycle detection for weights w(a) - lambda * tau(a) using
+// Bellman-Ford on a virtual super-source. Returns a cycle if found.
+bool find_positive_cycle(const RatioGraph& rg, double lambda,
+                         std::vector<ArcId>* cycle_out) {
+  const auto n = static_cast<std::size_t>(rg.g.num_nodes());
+  std::vector<double> dist(n, 0.0);  // implicit 0-weight source to all nodes
+  std::vector<ArcId> pred(n, graph::kInvalidArc);
+  const std::int32_t iters = rg.g.num_nodes();
+  bool changed = false;
+  graph::NodeId witness = graph::kInvalidNode;
+  for (std::int32_t i = 0; i <= iters; ++i) {
+    changed = false;
+    for (ArcId a = 0; a < rg.g.num_arcs(); ++a) {
+      const auto u = static_cast<std::size_t>(rg.g.tail(a));
+      const auto v = static_cast<std::size_t>(rg.g.head(a));
+      const double w = static_cast<double>(rg.arc_weight(a)) -
+                       lambda * static_cast<double>(rg.arc_tokens(a));
+      if (dist[u] + w > dist[v] + 1e-12) {
+        dist[v] = dist[u] + w;
+        pred[v] = a;
+        changed = true;
+        witness = rg.g.head(a);
+      }
+    }
+    if (!changed) return false;
+  }
+  if (cycle_out != nullptr && witness != graph::kInvalidNode) {
+    // Walk predecessors n steps to land inside the cycle, then extract it.
+    graph::NodeId v = witness;
+    for (std::int32_t i = 0; i < rg.g.num_nodes(); ++i) {
+      v = rg.g.tail(pred[static_cast<std::size_t>(v)]);
+    }
+    std::vector<ArcId> cycle;
+    graph::NodeId u = v;
+    do {
+      const ArcId a = pred[static_cast<std::size_t>(u)];
+      cycle.push_back(a);
+      u = rg.g.tail(a);
+    } while (u != v);
+    std::reverse(cycle.begin(), cycle.end());
+    *cycle_out = std::move(cycle);
+  }
+  return true;
+}
+
+}  // namespace
+
+CycleRatioResult max_cycle_ratio_lawler(const RatioGraph& rg) {
+  CycleRatioResult result;
+  std::vector<ArcId> zero_cycle;
+  if (find_zero_token_cycle(rg, &zero_cycle)) {
+    result.has_cycle = true;
+    result.ratio = std::numeric_limits<double>::infinity();
+    result.ratio_den = 0;
+    for (ArcId a : zero_cycle) result.ratio_num += rg.arc_weight(a);
+    result.critical_cycle = std::move(zero_cycle);
+    return result;
+  }
+  // Establish bounds. lo: some cycle exists with ratio >= lo; hi: none above.
+  std::int64_t max_w = 0;
+  for (ArcId a = 0; a < rg.g.num_arcs(); ++a) {
+    max_w += std::max<std::int64_t>(0, rg.arc_weight(a));
+  }
+  double lo = -1.0;  // ratio >= 0 always (weights >= 0); -1 is safely below
+  double hi = static_cast<double>(max_w) + 1.0;
+  std::vector<ArcId> lo_cycle;
+  if (!find_positive_cycle(rg, lo, &lo_cycle)) {
+    // No cycle at all (every cycle would have w - lo*tau > 0 since tau >= 1
+    // on all cycles and weights >= 0 => w + tau > 0).
+    result.has_cycle = false;
+    return result;
+  }
+  for (int iter = 0; iter < 80 && hi - lo > 1e-10 * std::max(1.0, hi);
+       ++iter) {
+    const double mid = lo + (hi - lo) / 2.0;
+    std::vector<ArcId> cycle;
+    if (find_positive_cycle(rg, mid, &cycle)) {
+      lo = mid;
+      lo_cycle = std::move(cycle);
+    } else {
+      hi = mid;
+    }
+  }
+  // The last feasible cycle should be (near-)critical; compute exact ratio.
+  std::int64_t w_sum = 0, t_sum = 0;
+  for (ArcId a : lo_cycle) {
+    w_sum += rg.arc_weight(a);
+    t_sum += rg.arc_tokens(a);
+  }
+  assert(t_sum > 0);
+  result.has_cycle = true;
+  result.ratio_num = w_sum;
+  result.ratio_den = t_sum;
+  result.ratio = static_cast<double>(w_sum) / static_cast<double>(t_sum);
+  result.critical_cycle = std::move(lo_cycle);
+  return result;
+}
+
+}  // namespace ermes::tmg

@@ -1,0 +1,24 @@
+#pragma once
+// Alternative max-cycle-ratio solvers used to cross-validate Howard's
+// algorithm (the paper cites Dasdan-Irani-Gupta's experimental comparison):
+//
+//  * Karp's algorithm — exact maximum cycle *mean* (every arc counts 1 in the
+//    denominator). O(VE) time, O(V^2 / ...) space. Useful on unit-token
+//    graphs and as a building block in tests.
+//  * Lawler's binary search — maximum cycle *ratio* via repeated positive-
+//    cycle detection (Bellman-Ford) on reweighted arcs w - lambda*tau.
+
+#include "tmg/cycle_ratio.h"
+
+namespace ermes::tmg {
+
+/// Maximum cycle mean (denominator = arc count). has_cycle=false when the
+/// graph is acyclic.
+CycleRatioResult max_cycle_mean_karp(const RatioGraph& rg);
+
+/// Maximum cycle ratio via Lawler's binary search. Handles zero-token cycles
+/// (returns an infinite ratio). Exact rational result is recovered from the
+/// extracted critical cycle.
+CycleRatioResult max_cycle_ratio_lawler(const RatioGraph& rg);
+
+}  // namespace ermes::tmg

@@ -1,0 +1,104 @@
+#pragma once
+// Timed Marked Graph (TMG) — the paper's performance model (Definition 1).
+//
+// A TMG is a Petri net in which every place has exactly one producer and one
+// consumer transition. We enforce that structurally: a place is created with
+// its producer/consumer, so a MarkedGraph is always a well-formed marked
+// graph. Transitions carry an integer delay (the timing function d), places
+// carry the initial marking M0.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace ermes::tmg {
+
+using TransitionId = std::int32_t;
+using PlaceId = std::int32_t;
+
+inline constexpr TransitionId kInvalidTransition = -1;
+inline constexpr PlaceId kInvalidPlace = -1;
+
+class MarkedGraph {
+ public:
+  /// Adds a transition with firing delay `delay` (>= 0).
+  TransitionId add_transition(std::string name, std::int64_t delay);
+
+  /// Adds a place producer -> consumer holding `tokens` initial tokens.
+  PlaceId add_place(TransitionId producer, TransitionId consumer,
+                    std::int64_t tokens, std::string name = "");
+
+  std::int32_t num_transitions() const {
+    return static_cast<std::int32_t>(transitions_.size());
+  }
+  std::int32_t num_places() const {
+    return static_cast<std::int32_t>(places_.size());
+  }
+
+  std::int64_t delay(TransitionId t) const {
+    return transitions_[static_cast<std::size_t>(t)].delay;
+  }
+  void set_delay(TransitionId t, std::int64_t delay);
+
+  std::int64_t tokens(PlaceId p) const {
+    return places_[static_cast<std::size_t>(p)].tokens;
+  }
+  void set_tokens(PlaceId p, std::int64_t tokens);
+
+  TransitionId producer(PlaceId p) const {
+    return places_[static_cast<std::size_t>(p)].producer;
+  }
+  TransitionId consumer(PlaceId p) const {
+    return places_[static_cast<std::size_t>(p)].consumer;
+  }
+
+  const std::vector<PlaceId>& in_places(TransitionId t) const {
+    return transitions_[static_cast<std::size_t>(t)].in;
+  }
+  const std::vector<PlaceId>& out_places(TransitionId t) const {
+    return transitions_[static_cast<std::size_t>(t)].out;
+  }
+
+  const std::string& transition_name(TransitionId t) const {
+    return transitions_[static_cast<std::size_t>(t)].name;
+  }
+  const std::string& place_name(PlaceId p) const {
+    return places_[static_cast<std::size_t>(p)].name;
+  }
+
+  /// Sum of all initial tokens.
+  std::int64_t total_tokens() const;
+
+  /// The initial marking as a vector indexed by PlaceId.
+  std::vector<std::int64_t> initial_marking() const;
+
+  /// Transition-level connectivity view: node = transition, arc = place.
+  /// Arc ids of the returned graph equal PlaceIds of this TMG.
+  graph::Digraph transition_graph() const;
+
+  bool valid_transition(TransitionId t) const {
+    return t >= 0 && t < num_transitions();
+  }
+  bool valid_place(PlaceId p) const { return p >= 0 && p < num_places(); }
+
+ private:
+  struct TransitionRec {
+    std::string name;
+    std::int64_t delay = 0;
+    std::vector<PlaceId> in;
+    std::vector<PlaceId> out;
+  };
+  struct PlaceRec {
+    std::string name;
+    TransitionId producer = kInvalidTransition;
+    TransitionId consumer = kInvalidTransition;
+    std::int64_t tokens = 0;
+  };
+
+  std::vector<TransitionRec> transitions_;
+  std::vector<PlaceRec> places_;
+};
+
+}  // namespace ermes::tmg

@@ -1,0 +1,75 @@
+#pragma once
+// Execution semantics of a TMG.
+//
+//  * TokenGame — the untimed firing rule of Definition 1: a transition is
+//    enabled when every input place holds a token; firing moves tokens.
+//    Used to test markings, enabling, and the cycle-token invariant.
+//  * TimedSimulation — the as-soon-as-possible timed schedule: each
+//    transition fires as early as its input tokens allow, taking d(t) time
+//    to deposit output tokens. For a live, strongly connected TMG the firing
+//    epochs become periodic and the measured period equals the analytic
+//    cycle time pi(G) — this is the empirical oracle used to validate
+//    Howard's algorithm end to end.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tmg/marked_graph.h"
+
+namespace ermes::tmg {
+
+class TokenGame {
+ public:
+  explicit TokenGame(const MarkedGraph& tmg);
+
+  const std::vector<std::int64_t>& marking() const { return marking_; }
+  std::int64_t tokens(PlaceId p) const {
+    return marking_[static_cast<std::size_t>(p)];
+  }
+
+  bool is_enabled(TransitionId t) const;
+
+  /// All currently enabled transitions, in id order.
+  std::vector<TransitionId> enabled() const;
+
+  /// Fires t. Requires is_enabled(t).
+  void fire(TransitionId t);
+
+  /// True when no transition is enabled.
+  bool is_deadlocked() const;
+
+  /// Number of firings of each transition so far.
+  std::int64_t fire_count(TransitionId t) const {
+    return fire_count_[static_cast<std::size_t>(t)];
+  }
+
+  /// Token count currently on a set of places (e.g., a cycle) — invariant
+  /// under firing when the places form a cycle.
+  std::int64_t tokens_on(const std::vector<PlaceId>& places) const;
+
+  void reset();
+
+ private:
+  const MarkedGraph& tmg_;
+  std::vector<std::int64_t> marking_;
+  std::vector<std::int64_t> fire_count_;
+};
+
+struct TimedSimResult {
+  /// start_times[k] = time of the k-th firing of the observed transition.
+  std::vector<std::int64_t> observed_starts;
+  /// Measured asymptotic cycle time: (last - mid) / (#firings between),
+  /// where mid skips the transient.
+  double measured_cycle_time = 0.0;
+  /// True if the simulation stalled (deadlock) before completing.
+  bool deadlocked = false;
+  std::int64_t total_firings = 0;
+};
+
+/// Simulates the ASAP schedule until `observed` has fired `num_firings`
+/// times (or deadlock). The TMG should be live for a meaningful cycle time.
+TimedSimResult simulate_asap(const MarkedGraph& tmg, TransitionId observed,
+                             std::int64_t num_firings);
+
+}  // namespace ermes::tmg

@@ -1,0 +1,56 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace ermes::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& sink_storage() {
+  static LogSink sink;
+  return sink;
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_storage() = std::move(sink);
+}
+
+void log_message(LogLevel level, std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (LogSink& sink = sink_storage()) {
+    sink(level, message);
+    return;
+  }
+  std::cerr << "[ermes:" << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace ermes::util

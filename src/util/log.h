@@ -1,0 +1,68 @@
+#pragma once
+// Minimal leveled logger.
+//
+// ERMES components report progress through this logger so that library users
+// can silence or redirect diagnostics. The logger is intentionally tiny: a
+// global level, an optional sink override, and printf-free stream formatting.
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ermes::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns a short uppercase tag for a level ("INFO", "WARN", ...).
+std::string_view to_string(LogLevel level);
+
+/// Global minimum level; messages below it are dropped. Default: kWarn
+/// (libraries should be quiet by default).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Redirects log output. The sink receives (level, fully formatted message).
+/// Passing nullptr restores the default sink (stderr).
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void set_log_sink(LogSink sink);
+
+/// Emits a message at the given level (already formatted).
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+/// Usage: ERMES_LOG(kInfo) << "cycle time " << ct;
+#define ERMES_LOG(level_enum)                                             \
+  if (::ermes::util::log_level() <=                                       \
+      ::ermes::util::LogLevel::level_enum)                                \
+  ::ermes::util::detail::LogLine(::ermes::util::LogLevel::level_enum)
+
+}  // namespace ermes::util

@@ -1,0 +1,23 @@
+#pragma once
+// Steady-state period estimation from a sequence of event times.
+//
+// Marked graphs (and the rendezvous systems built on them) enter a periodic
+// regime after a finite transient: event times eventually satisfy
+// t[k + K] = t[k] + K * period for some integer K. A naive
+// (t[last] - t[mid]) / (last - mid) estimator carries an O(1/n) bias when
+// last - mid is not a multiple of K, which breaks exact comparisons against
+// the analytic cycle time. This helper detects K on the tail of the trace
+// and returns the exact average period.
+
+#include <cstdint>
+#include <vector>
+
+namespace ermes::util {
+
+/// Returns the steady-state period of `times` (cycles per event). Uses the
+/// final third of the trace; if no exact periodicity is found there, falls
+/// back to the biased average over the tail. Returns 0 for fewer than 4
+/// samples.
+double estimate_period(const std::vector<std::int64_t>& times);
+
+}  // namespace ermes::util

@@ -1,0 +1,48 @@
+#pragma once
+// Deterministic random number generation for benchmarks and property tests.
+//
+// All randomized components of ERMES (synthetic benchmark generator, random
+// orderings, property tests) take an explicit Rng so that every experiment is
+// reproducible from a seed.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ermes::util {
+
+/// Seeded 64-bit Mersenne engine with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool flip(double p = 0.5);
+
+  /// Picks a uniformly random index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Samples a random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ermes::util

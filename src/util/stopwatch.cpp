@@ -1,0 +1,9 @@
+#include "util/stopwatch.h"
+
+namespace ermes::util {
+
+double Stopwatch::elapsed_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace ermes::util

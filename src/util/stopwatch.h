@@ -1,0 +1,25 @@
+#pragma once
+// Wall-clock stopwatch used by the scalability benchmarks.
+
+#include <chrono>
+
+namespace ermes::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last reset().
+  double elapsed_seconds() const;
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ermes::util

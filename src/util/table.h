@@ -1,0 +1,43 @@
+#pragma once
+// ASCII table / CSV rendering for the benchmark harness.
+//
+// The benchmark binaries print the same rows/series the paper reports; this
+// helper keeps their output aligned and makes it trivial to dump CSV for
+// re-plotting.
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ermes::util {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with to_string-like semantics.
+  void add_row(std::initializer_list<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with column alignment, a header rule, and `indent` leading
+  /// spaces on every line.
+  std::string to_text(int indent = 0) const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming trailing
+/// zeros ("12.50" -> "12.5", "3.000" -> "3").
+std::string format_double(double value, int digits = 3);
+
+}  // namespace ermes::util

@@ -1,0 +1,293 @@
+// Cross-validation of the maximum-cycle-ratio solvers: Howard (production)
+// vs Lawler binary search vs brute-force enumeration (Definition 3 applied
+// literally), plus Karp's max cycle mean, plus agreement with the timed
+// token-game simulation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tmg/brute_force.h"
+#include "tmg/howard.h"
+#include "tmg/karp.h"
+#include "tmg/liveness.h"
+#include "tmg/marked_graph.h"
+#include "tmg/token_game.h"
+#include "util/rng.h"
+
+namespace ermes::tmg {
+namespace {
+
+RatioGraph ring_graph(std::vector<std::int64_t> delays,
+                      std::vector<std::int64_t> tokens) {
+  // Simple ring over n nodes; arc i: i -> (i+1)%n with weight delays[i].
+  RatioGraph rg;
+  const auto n = static_cast<std::int32_t>(delays.size());
+  rg.g.add_nodes(n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    rg.g.add_arc(i, (i + 1) % n);
+    rg.weight.push_back(delays[static_cast<std::size_t>(i)]);
+    rg.tokens.push_back(tokens[static_cast<std::size_t>(i)]);
+  }
+  return rg;
+}
+
+// ---- compare_ratios --------------------------------------------------------
+
+TEST(CompareRatiosTest, Basic) {
+  EXPECT_EQ(compare_ratios(1, 2, 2, 3), -1);  // 0.5 < 0.667
+  EXPECT_EQ(compare_ratios(2, 3, 1, 2), 1);
+  EXPECT_EQ(compare_ratios(2, 4, 1, 2), 0);
+}
+
+TEST(CompareRatiosTest, InfinityHandling) {
+  EXPECT_EQ(compare_ratios(5, 0, 100, 1), 1);   // inf > 100
+  EXPECT_EQ(compare_ratios(100, 1, 5, 0), -1);
+  EXPECT_EQ(compare_ratios(1, 0, 2, 0), 0);
+}
+
+TEST(CompareRatiosTest, LargeValuesNoOverflow) {
+  const std::int64_t big = 2'000'000'000'000LL;
+  EXPECT_EQ(compare_ratios(big, big - 1, big, big), 1);
+}
+
+// ---- fixed cases, all solvers ---------------------------------------------
+
+TEST(CycleRatioTest, SingleRing) {
+  const RatioGraph rg = ring_graph({3, 5}, {0, 1});  // ratio 8/1
+  const auto howard = max_cycle_ratio_howard(rg);
+  const auto lawler = max_cycle_ratio_lawler(rg);
+  const auto brute = max_cycle_ratio_brute_force(rg);
+  EXPECT_TRUE(howard.has_cycle);
+  EXPECT_DOUBLE_EQ(howard.ratio, 8.0);
+  EXPECT_DOUBLE_EQ(lawler.ratio, 8.0);
+  EXPECT_DOUBLE_EQ(brute.ratio, 8.0);
+}
+
+TEST(CycleRatioTest, AcyclicGraph) {
+  RatioGraph rg;
+  rg.g.add_nodes(3);
+  rg.g.add_arc(0, 1);
+  rg.g.add_arc(1, 2);
+  rg.weight = {5, 7};
+  rg.tokens = {1, 1};
+  EXPECT_FALSE(max_cycle_ratio_howard(rg).has_cycle);
+  EXPECT_FALSE(max_cycle_ratio_lawler(rg).has_cycle);
+  EXPECT_FALSE(max_cycle_ratio_brute_force(rg).has_cycle);
+}
+
+TEST(CycleRatioTest, ZeroTokenCycleIsInfinite) {
+  const RatioGraph rg = ring_graph({3, 5}, {0, 0});
+  const auto howard = max_cycle_ratio_howard(rg);
+  EXPECT_TRUE(howard.is_infinite());
+  EXPECT_TRUE(max_cycle_ratio_lawler(rg).is_infinite());
+  EXPECT_TRUE(max_cycle_ratio_brute_force(rg).is_infinite());
+}
+
+TEST(CycleRatioTest, PicksWorstOfTwoRings) {
+  // Rings 0<->1 (ratio 6) and 2<->3 (ratio 9).
+  RatioGraph rg;
+  rg.g.add_nodes(4);
+  rg.g.add_arc(0, 1);
+  rg.g.add_arc(1, 0);
+  rg.g.add_arc(2, 3);
+  rg.g.add_arc(3, 2);
+  rg.weight = {2, 4, 4, 5};
+  rg.tokens = {1, 0, 1, 0};
+  const auto howard = max_cycle_ratio_howard(rg);
+  EXPECT_DOUBLE_EQ(howard.ratio, 9.0);
+  EXPECT_EQ(howard.ratio_num, 9);
+  EXPECT_EQ(howard.ratio_den, 1);
+}
+
+TEST(CycleRatioTest, RationalRatio) {
+  const RatioGraph rg = ring_graph({3, 4, 5}, {1, 1, 0});  // 12/2 = 6
+  const auto howard = max_cycle_ratio_howard(rg);
+  EXPECT_DOUBLE_EQ(howard.ratio, 6.0);
+  EXPECT_EQ(howard.ratio_num, 12);
+  EXPECT_EQ(howard.ratio_den, 2);
+}
+
+TEST(CycleRatioTest, CriticalCycleIsValidCycle) {
+  RatioGraph rg;
+  rg.g.add_nodes(3);
+  rg.g.add_arc(0, 1);
+  rg.g.add_arc(1, 0);
+  rg.g.add_arc(1, 2);
+  rg.g.add_arc(2, 0);
+  rg.weight = {7, 2, 3, 4};
+  rg.tokens = {1, 1, 1, 1};
+  const auto result = max_cycle_ratio_howard(rg);
+  ASSERT_TRUE(result.has_cycle);
+  // Verify closure and exact ratio of the returned cycle.
+  std::int64_t w = 0, t = 0;
+  for (std::size_t i = 0; i < result.critical_cycle.size(); ++i) {
+    const auto a = result.critical_cycle[i];
+    const auto b = result.critical_cycle[(i + 1) % result.critical_cycle.size()];
+    EXPECT_EQ(rg.g.head(a), rg.g.tail(b));
+    w += rg.arc_weight(a);
+    t += rg.arc_tokens(a);
+  }
+  EXPECT_EQ(w, result.ratio_num);
+  EXPECT_EQ(t, result.ratio_den);
+}
+
+TEST(CycleRatioTest, SelfLoop) {
+  RatioGraph rg;
+  rg.g.add_nodes(1);
+  rg.g.add_arc(0, 0);
+  rg.weight = {5};
+  rg.tokens = {2};
+  const auto howard = max_cycle_ratio_howard(rg);
+  EXPECT_TRUE(howard.has_cycle);
+  EXPECT_DOUBLE_EQ(howard.ratio, 2.5);
+}
+
+TEST(CycleRatioTest, ParallelArcsPickWorse) {
+  RatioGraph rg;
+  rg.g.add_nodes(2);
+  rg.g.add_arc(0, 1);
+  rg.g.add_arc(1, 0);
+  rg.g.add_arc(1, 0);
+  rg.weight = {1, 1, 9};
+  rg.tokens = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(max_cycle_ratio_howard(rg).ratio, 5.0);  // (1+9)/2
+}
+
+// ---- Karp ------------------------------------------------------------------
+
+TEST(KarpTest, MaxCycleMeanSimple) {
+  // Cycle of means: ring 0<->1 with weights 2,6 -> mean 4.
+  RatioGraph rg = ring_graph({2, 6}, {1, 1});
+  const auto karp = max_cycle_mean_karp(rg);
+  EXPECT_TRUE(karp.has_cycle);
+  EXPECT_DOUBLE_EQ(karp.ratio, 4.0);
+}
+
+TEST(KarpTest, AcyclicHasNoCycle) {
+  RatioGraph rg;
+  rg.g.add_nodes(2);
+  rg.g.add_arc(0, 1);
+  rg.weight = {10};
+  rg.tokens = {1};
+  EXPECT_FALSE(max_cycle_mean_karp(rg).has_cycle);
+}
+
+TEST(KarpTest, MatchesHowardOnUnitTokenGraphs) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    RatioGraph rg;
+    const auto n = static_cast<std::int32_t>(rng.uniform_int(2, 12));
+    rg.g.add_nodes(n);
+    // Hamiltonian cycle ensures strong connectivity.
+    for (std::int32_t i = 0; i < n; ++i) {
+      rg.g.add_arc(i, (i + 1) % n);
+      rg.weight.push_back(rng.uniform_int(0, 20));
+      rg.tokens.push_back(1);
+    }
+    const auto extra = rng.uniform_int(0, 2 * n);
+    for (std::int64_t e = 0; e < extra; ++e) {
+      const auto u = static_cast<graph::NodeId>(rng.index(static_cast<std::size_t>(n)));
+      const auto v = static_cast<graph::NodeId>(rng.index(static_cast<std::size_t>(n)));
+      rg.g.add_arc(u, v);
+      rg.weight.push_back(rng.uniform_int(0, 20));
+      rg.tokens.push_back(1);
+    }
+    const auto karp = max_cycle_mean_karp(rg);
+    const auto howard = max_cycle_ratio_howard(rg);
+    ASSERT_TRUE(karp.has_cycle);
+    ASSERT_TRUE(howard.has_cycle);
+    EXPECT_NEAR(karp.ratio, howard.ratio, 1e-6) << "trial " << trial;
+  }
+}
+
+// ---- randomized cross-validation (parameterized over seeds) ----------------
+
+class SolverAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+RatioGraph random_live_graph(util::Rng& rng) {
+  RatioGraph rg;
+  const auto n = static_cast<std::int32_t>(rng.uniform_int(2, 10));
+  rg.g.add_nodes(n);
+  // Hamiltonian backbone with tokens to guarantee liveness of that cycle.
+  for (std::int32_t i = 0; i < n; ++i) {
+    rg.g.add_arc(i, (i + 1) % n);
+    rg.weight.push_back(rng.uniform_int(0, 30));
+    rg.tokens.push_back(rng.uniform_int(0, 2));
+  }
+  rg.tokens[0] = std::max<std::int64_t>(rg.tokens[0], 1);
+  const auto extra = rng.uniform_int(0, 2 * n);
+  for (std::int64_t e = 0; e < extra; ++e) {
+    const auto u = static_cast<graph::NodeId>(rng.index(static_cast<std::size_t>(n)));
+    const auto v = static_cast<graph::NodeId>(rng.index(static_cast<std::size_t>(n)));
+    rg.g.add_arc(u, v);
+    rg.weight.push_back(rng.uniform_int(0, 30));
+    // Bias toward tokens so most graphs stay finite.
+    rg.tokens.push_back(rng.uniform_int(0, 3) == 0 ? 0 : 1);
+  }
+  return rg;
+}
+
+TEST_P(SolverAgreementTest, HowardMatchesBruteForceAndLawler) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const RatioGraph rg = random_live_graph(rng);
+    const auto howard = max_cycle_ratio_howard(rg);
+    const auto brute = max_cycle_ratio_brute_force(rg);
+    const auto lawler = max_cycle_ratio_lawler(rg);
+    ASSERT_EQ(howard.has_cycle, brute.has_cycle);
+    if (!howard.has_cycle) continue;
+    EXPECT_EQ(howard.is_infinite(), brute.is_infinite());
+    if (brute.is_infinite()) {
+      EXPECT_TRUE(lawler.is_infinite());
+      continue;
+    }
+    EXPECT_EQ(compare_ratios(howard.ratio_num, howard.ratio_den,
+                             brute.ratio_num, brute.ratio_den),
+              0)
+        << "howard " << howard.ratio_num << "/" << howard.ratio_den
+        << " vs brute " << brute.ratio_num << "/" << brute.ratio_den;
+    EXPECT_NEAR(lawler.ratio, brute.ratio, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreementTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---- agreement with the timed token game -----------------------------------
+
+class SimulationAgreementTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulationAgreementTest, AsapPeriodEqualsHowardRatio) {
+  util::Rng rng(GetParam() * 977);
+  // Build a random strongly-connected marked graph with a live marking.
+  MarkedGraph g;
+  const auto n = static_cast<std::int32_t>(rng.uniform_int(2, 8));
+  for (std::int32_t i = 0; i < n; ++i) {
+    g.add_transition("t" + std::to_string(i), rng.uniform_int(1, 12));
+  }
+  for (std::int32_t i = 0; i < n; ++i) {
+    g.add_place(i, (i + 1) % n, i == 0 ? 1 : rng.uniform_int(0, 1));
+  }
+  const auto extra = rng.uniform_int(0, n);
+  for (std::int64_t e = 0; e < extra; ++e) {
+    const auto u = static_cast<TransitionId>(rng.index(static_cast<std::size_t>(n)));
+    const auto v = static_cast<TransitionId>(rng.index(static_cast<std::size_t>(n)));
+    g.add_place(u, v, 1);  // tokened extras keep the graph live
+  }
+  ASSERT_TRUE(is_live(g));
+  const auto howard = max_cycle_ratio_howard(to_ratio_graph(g));
+  ASSERT_TRUE(howard.has_cycle);
+  ASSERT_FALSE(howard.is_infinite());
+  const TimedSimResult sim = simulate_asap(g, 0, 400);
+  ASSERT_FALSE(sim.deadlocked);
+  EXPECT_NEAR(sim.measured_cycle_time, howard.ratio, 1e-6)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationAgreementTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace ermes::tmg

@@ -1,0 +1,159 @@
+// End-to-end integration tests: the full ERMES flow (model -> analysis ->
+// ordering -> DSE -> simulation) on the paper's case studies.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "analysis/deadlock.h"
+#include "analysis/performance.h"
+#include "apps/mpeg2/characterization.h"
+#include "apps/mpeg2/topology.h"
+#include "dse/explorer.h"
+#include "ordering/baselines.h"
+#include "ordering/channel_ordering.h"
+#include "ordering/local_search.h"
+#include "ordering/repair.h"
+#include "sim/system_sim.h"
+#include "synth/generator.h"
+#include "synth/pareto_gen.h"
+#include "sysmodel/builder.h"
+
+namespace ermes {
+namespace {
+
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+TEST(IntegrationTest, FullFlowOnMotivatingExample) {
+  // Designer writes a deadlocking order; ERMES diagnoses, reorders, and the
+  // result simulates at the analytic optimum.
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  sysmodel::apply_motivating_orders(sys, {"b", "d", "f"}, {"g", "d", "e"});
+
+  const analysis::DeadlockDiagnosis diag = analysis::diagnose_system(sys);
+  ASSERT_TRUE(diag.deadlocked);
+
+  sys = ordering::with_optimal_ordering(sys);
+  const analysis::PerformanceReport report = analysis::analyze_system(sys);
+  ASSERT_TRUE(report.live);
+  EXPECT_DOUBLE_EQ(report.cycle_time, 12.0);
+
+  const sim::SystemSimResult simulated = sim::simulate_system(sys, 150);
+  ASSERT_FALSE(simulated.deadlocked);
+  EXPECT_NEAR(simulated.measured_cycle_time, 12.0, 1e-9);
+}
+
+TEST(IntegrationTest, Mpeg2ReorderingOnlyImprovesM1) {
+  // Section 6: applied to M1, reordering alone improved CT ~5% with zero
+  // area change. Verify the shape: some improvement, no area change.
+  SystemModel sys = mpeg2::make_characterized_mpeg2_encoder();
+  mpeg2::select_m1(sys);
+  // The model ships with the conservative (deadlock-free but latency-
+  // oblivious) designer ordering, exactly the paper's starting point.
+  const double area0 = sys.total_area();
+  const double ct0 = analysis::analyze_system(sys).cycle_time;
+
+  SystemModel ordered = ordering::with_optimal_ordering(sys);
+  const double ct1 = analysis::analyze_system(ordered).cycle_time;
+  EXPECT_LE(ct1, ct0);
+  EXPECT_DOUBLE_EQ(ordered.total_area(), area0);
+}
+
+TEST(IntegrationTest, Mpeg2TimingExplorationShape) {
+  // Fig. 6 (left): from M2 with a tight target, ERMES reaches the target
+  // with an area overhead; CT roughly halves.
+  SystemModel sys = mpeg2::make_characterized_mpeg2_encoder();
+  const double ct0 = analysis::analyze_system(sys).cycle_time;
+  const double area0 = sys.total_area();
+  dse::ExplorerOptions options;
+  options.target_cycle_time = static_cast<std::int64_t>(ct0 * 0.60);
+  const dse::ExplorationResult result = dse::explore(sys, options);
+  ASSERT_FALSE(result.history.empty());
+  const auto& last = result.history.back();
+  EXPECT_TRUE(last.meets_target);
+  EXPECT_LT(last.cycle_time, ct0 * 0.65);
+  EXPECT_GT(last.area, area0);  // speed costs area
+}
+
+TEST(IntegrationTest, Mpeg2AreaRecoveryShape) {
+  // Fig. 6 (right): with a loose target, ERMES trades a little timing for a
+  // significant area reduction.
+  SystemModel sys = mpeg2::make_characterized_mpeg2_encoder();
+  const double ct0 = analysis::analyze_system(sys).cycle_time;
+  const double area0 = sys.total_area();
+  dse::ExplorerOptions options;
+  options.target_cycle_time = static_cast<std::int64_t>(ct0 * 1.15);
+  const dse::ExplorationResult result = dse::explore(sys, options);
+  const auto& last = result.history.back();
+  EXPECT_TRUE(last.live);
+  EXPECT_LT(last.area, area0);
+  EXPECT_LT(last.cycle_time, ct0 * 1.16);  // timing degradation bounded
+}
+
+TEST(IntegrationTest, SyntheticFlowAtModerateScale) {
+  synth::GeneratorConfig config;
+  config.num_processes = 200;
+  config.num_channels = 320;
+  config.feedback_fraction = 0.15;
+  config.seed = 99;
+  SystemModel sys = synth::generate_soc(config);
+  synth::attach_pareto_sets(sys, 101);
+
+  sys = ordering::with_optimal_ordering(sys);
+  const analysis::PerformanceReport before = analysis::analyze_system(sys);
+  ASSERT_TRUE(before.live);
+
+  dse::ExplorerOptions options;
+  options.target_cycle_time =
+      static_cast<std::int64_t>(before.cycle_time * 0.7);
+  options.max_iterations = 8;
+  const dse::ExplorationResult result = dse::explore(sys, options);
+  EXPECT_TRUE(result.history.back().live);
+  EXPECT_LE(result.history.back().cycle_time, before.cycle_time);
+}
+
+TEST(IntegrationTest, HillClimbComposesWithExplorer) {
+  SystemModel sys = mpeg2::make_characterized_mpeg2_encoder();
+  sys = ordering::with_optimal_ordering(sys);
+  const double ct0 = analysis::analyze_system(sys).cycle_time;
+  const ordering::LocalSearchResult refined =
+      ordering::hill_climb_ordering(sys, 4);
+  EXPECT_LE(refined.final_cycle_time, ct0);
+  EXPECT_TRUE(analysis::analyze_system(sys).live);
+}
+
+TEST(IntegrationTest, ExplorerHistoryIsSimulatable) {
+  // The final system of an exploration must simulate at its analytic CT.
+  SystemModel sys = mpeg2::make_characterized_mpeg2_encoder();
+  const double ct0 = analysis::analyze_system(sys).cycle_time;
+  dse::ExplorerOptions options;
+  options.target_cycle_time = static_cast<std::int64_t>(ct0 * 0.6);
+  options.max_iterations = 6;
+  const dse::ExplorationResult result = dse::explore(sys, options);
+  const analysis::PerformanceReport report =
+      analysis::analyze_system(result.final_system);
+  ASSERT_TRUE(report.live);
+  const sim::SystemSimResult simulated =
+      sim::simulate_system(result.final_system, 64);
+  ASSERT_FALSE(simulated.deadlocked);
+  EXPECT_NEAR(simulated.measured_cycle_time, report.cycle_time, 1e-9);
+}
+
+TEST(IntegrationTest, RepairNeverBreaksAcyclicOptimum) {
+  // ensure_live is a no-op on live systems: the motivating example's
+  // optimal order must pass through unchanged.
+  SystemModel sys =
+      ordering::with_optimal_ordering(sysmodel::make_dac14_motivating_example());
+  SystemModel copy = sys;
+  const ordering::RepairResult repair = ordering::ensure_live(copy);
+  EXPECT_TRUE(repair.live);
+  EXPECT_EQ(repair.iterations, 0);
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    EXPECT_EQ(copy.input_order(p), sys.input_order(p));
+    EXPECT_EQ(copy.output_order(p), sys.output_order(p));
+  }
+}
+
+}  // namespace
+}  // namespace ermes

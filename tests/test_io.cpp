@@ -1,0 +1,224 @@
+// Unit tests for the .soc text format: parsing, serialization, exact round
+// trips, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/performance.h"
+#include "apps/mpeg2/characterization.h"
+#include "io/soc_format.h"
+#include "ordering/baselines.h"
+#include "synth/generator.h"
+#include "synth/pareto_gen.h"
+#include "sysmodel/builder.h"
+#include "util/rng.h"
+
+namespace ermes::io {
+namespace {
+
+using sysmodel::ChannelId;
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+void expect_equivalent(const SystemModel& a, const SystemModel& b) {
+  ASSERT_EQ(a.num_processes(), b.num_processes());
+  ASSERT_EQ(a.num_channels(), b.num_channels());
+  for (ProcessId p = 0; p < a.num_processes(); ++p) {
+    EXPECT_EQ(a.process_name(p), b.process_name(p));
+    EXPECT_EQ(a.latency(p), b.latency(p));
+    EXPECT_DOUBLE_EQ(a.area(p), b.area(p));
+    EXPECT_EQ(a.primed(p), b.primed(p));
+    EXPECT_EQ(a.input_order(p), b.input_order(p));
+    EXPECT_EQ(a.output_order(p), b.output_order(p));
+    ASSERT_EQ(a.has_implementations(p), b.has_implementations(p));
+    if (a.has_implementations(p)) {
+      ASSERT_EQ(a.implementations(p).size(), b.implementations(p).size());
+      EXPECT_EQ(a.selected_implementation(p), b.selected_implementation(p));
+      for (std::size_t i = 0; i < a.implementations(p).size(); ++i) {
+        EXPECT_EQ(a.implementations(p).at(i), b.implementations(p).at(i));
+      }
+    }
+  }
+  for (ChannelId c = 0; c < a.num_channels(); ++c) {
+    EXPECT_EQ(a.channel_name(c), b.channel_name(c));
+    EXPECT_EQ(a.channel_source(c), b.channel_source(c));
+    EXPECT_EQ(a.channel_target(c), b.channel_target(c));
+    EXPECT_EQ(a.channel_latency(c), b.channel_latency(c));
+    EXPECT_EQ(a.channel_capacity(c), b.channel_capacity(c));
+  }
+}
+
+// ---- parsing -----------------------------------------------------------------
+
+TEST(SocParseTest, MinimalSystem) {
+  const ParseResult parsed = parse_soc(R"(
+system tiny
+process a latency 3
+process b latency 4 area 0.5
+channel ab a -> b latency 7
+)");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.system_name, "tiny");
+  EXPECT_EQ(parsed.system.num_processes(), 2);
+  EXPECT_EQ(parsed.system.latency(0), 3);
+  EXPECT_DOUBLE_EQ(parsed.system.area(1), 0.5);
+  EXPECT_EQ(parsed.system.channel_latency(0), 7);
+}
+
+TEST(SocParseTest, CommentsAndBlanksIgnored) {
+  const ParseResult parsed = parse_soc(R"(
+# a comment
+process a latency 1   # trailing comment
+
+process b latency 2
+channel ab a -> b latency 1
+)");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.system.num_processes(), 2);
+}
+
+TEST(SocParseTest, PrimedAndCapacity) {
+  const ParseResult parsed = parse_soc(R"(
+process a latency 1
+process b latency 2 primed
+channel ab a -> b latency 4 capacity 3
+)");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(parsed.system.primed(1));
+  EXPECT_EQ(parsed.system.channel_capacity(0), 3);
+}
+
+TEST(SocParseTest, ImplementationsAttach) {
+  const ParseResult parsed = parse_soc(R"(
+process a latency 8
+process b latency 1
+channel ab a -> b latency 1
+impl a fast latency 2 area 4.0
+impl a slow latency 8 area 1.0 selected
+)");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_TRUE(parsed.system.has_implementations(0));
+  EXPECT_EQ(parsed.system.implementations(0).size(), 2u);
+  EXPECT_EQ(parsed.system.latency(0), 8);  // slow selected
+  EXPECT_EQ(parsed.system.selected_implementation(0), 1u);
+}
+
+TEST(SocParseTest, OrdersApplied) {
+  const ParseResult parsed = parse_soc(R"(
+process a latency 1
+process b latency 1
+process c latency 1
+channel x a -> c latency 1
+channel y b -> c latency 1
+gets c y x
+)");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const ProcessId c = parsed.system.find_process("c");
+  EXPECT_EQ(parsed.system.channel_name(parsed.system.input_order(c)[0]), "y");
+}
+
+// ---- parse errors ----------------------------------------------------------------
+
+TEST(SocParseTest, UnknownKeywordReportsLine) {
+  const ParseResult parsed = parse_soc("process a latency 1\nbogus line\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("line 2"), std::string::npos);
+}
+
+TEST(SocParseTest, UnknownProcessInChannel) {
+  const ParseResult parsed =
+      parse_soc("process a latency 1\nchannel x a -> ghost latency 1\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("ghost"), std::string::npos);
+}
+
+TEST(SocParseTest, DuplicateProcessRejected) {
+  const ParseResult parsed =
+      parse_soc("process a latency 1\nprocess a latency 2\n");
+  EXPECT_FALSE(parsed.ok);
+}
+
+TEST(SocParseTest, BadLatencyRejected) {
+  EXPECT_FALSE(parse_soc("process a latency abc\n").ok);
+  EXPECT_FALSE(parse_soc("process a latency -3\n").ok);
+}
+
+TEST(SocParseTest, IncompleteOrderRejected) {
+  const ParseResult parsed = parse_soc(R"(
+process a latency 1
+process b latency 1
+process c latency 1
+channel x a -> c latency 1
+channel y b -> c latency 1
+gets c y
+)");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("incident"), std::string::npos);
+}
+
+TEST(SocParseTest, MissingFileReported) {
+  const ParseResult parsed = load_soc("/nonexistent/path.soc");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("cannot open"), std::string::npos);
+}
+
+// ---- round trips ---------------------------------------------------------------
+
+TEST(SocRoundTripTest, MotivatingExample) {
+  const SystemModel original = sysmodel::make_dac14_motivating_example();
+  const ParseResult parsed = parse_soc(write_soc(original, "m"));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  expect_equivalent(original, parsed.system);
+}
+
+TEST(SocRoundTripTest, Mpeg2WithImplementations) {
+  const SystemModel original = mpeg2::make_characterized_mpeg2_encoder();
+  const ParseResult parsed = parse_soc(write_soc(original, "mpeg2"));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  expect_equivalent(original, parsed.system);
+  // The analytic report of the reparsed system is identical.
+  EXPECT_DOUBLE_EQ(analysis::analyze_system(original).cycle_time,
+                   analysis::analyze_system(parsed.system).cycle_time);
+}
+
+TEST(SocRoundTripTest, RandomSystemsWithOrdersAndCapacities) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    synth::GeneratorConfig config;
+    config.num_processes = 20;
+    config.num_channels = 34;
+    config.feedback_fraction = 0.2;
+    config.seed = seed;
+    SystemModel original = synth::generate_soc(config);
+    synth::attach_pareto_sets(original, seed + 5);
+    util::Rng rng(seed * 7);
+    ordering::apply_random_ordering(original, rng);
+    for (ChannelId c = 0; c < original.num_channels(); ++c) {
+      if (rng.flip(0.3)) {
+        original.set_channel_capacity(c, rng.uniform_int(1, 5));
+      }
+    }
+    const ParseResult parsed = parse_soc(write_soc(original, "rand"));
+    ASSERT_TRUE(parsed.ok) << "seed " << seed << ": " << parsed.error;
+    expect_equivalent(original, parsed.system);
+  }
+}
+
+TEST(SocRoundTripTest, FileSaveLoad) {
+  const SystemModel original = sysmodel::make_dac14_motivating_example();
+  const std::string path = ::testing::TempDir() + "/ermes_roundtrip.soc";
+  ASSERT_TRUE(save_soc(original, path, "m"));
+  const ParseResult parsed = load_soc(path);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  expect_equivalent(original, parsed.system);
+  std::remove(path.c_str());
+}
+
+TEST(SocWriteTest, StableOutput) {
+  const SystemModel sys = sysmodel::make_dac14_motivating_example();
+  EXPECT_EQ(write_soc(sys, "m"), write_soc(sys, "m"));
+}
+
+}  // namespace
+}  // namespace ermes::io

@@ -1,0 +1,216 @@
+// The paper's motivating example (Sections 2-4, Figs. 2-4) as hard
+// assertions: every published number — the deadlock, the suboptimal cycle
+// time of 20 (throughput 0.05), the optimum of 12 (40% better), all sixteen
+// forward/backward labels of Fig. 4(b), and the final orders of Fig. 4(c) —
+// must be reproduced exactly.
+
+#include <gtest/gtest.h>
+
+#include "analysis/performance.h"
+#include "ordering/channel_ordering.h"
+#include "ordering/labeling.h"
+#include "sim/system_sim.h"
+#include "sysmodel/builder.h"
+
+namespace ermes {
+namespace {
+
+using analysis::PerformanceReport;
+using ordering::ChannelOrderingResult;
+using ordering::LabelingResult;
+using sysmodel::ChannelId;
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+using sysmodel::apply_motivating_orders;
+using sysmodel::make_dac14_motivating_example;
+
+class MotivatingExample : public ::testing::Test {
+ protected:
+  void SetUp() override { sys_ = make_dac14_motivating_example(); }
+
+  ChannelId ch(const std::string& name) const {
+    return sys_.find_channel(name);
+  }
+  std::vector<std::string> put_order(const std::string& proc,
+                                     const ChannelOrderingResult& r) const {
+    std::vector<std::string> names;
+    const ProcessId p = sys_.find_process(proc);
+    for (ChannelId c : r.output_order[static_cast<std::size_t>(p)]) {
+      names.push_back(sys_.channel_name(c));
+    }
+    return names;
+  }
+  std::vector<std::string> get_order(const std::string& proc,
+                                     const ChannelOrderingResult& r) const {
+    std::vector<std::string> names;
+    const ProcessId p = sys_.find_process(proc);
+    for (ChannelId c : r.input_order[static_cast<std::size_t>(p)]) {
+      names.push_back(sys_.channel_name(c));
+    }
+    return names;
+  }
+
+  SystemModel sys_;
+};
+
+// ---- Section 2: the deadlock ------------------------------------------------
+
+TEST_F(MotivatingExample, DeadlockOrderIsDetected) {
+  apply_motivating_orders(sys_, {"b", "d", "f"}, {"g", "d", "e"});
+  const PerformanceReport report = analysis::analyze_system(sys_);
+  EXPECT_FALSE(report.live);
+  EXPECT_FALSE(report.dead_cycle.empty());
+}
+
+TEST_F(MotivatingExample, DeadlockAlsoManifestsInSimulation) {
+  apply_motivating_orders(sys_, {"b", "d", "f"}, {"g", "d", "e"});
+  const sim::SystemSimResult result = sim::simulate_system(sys_, 50);
+  EXPECT_TRUE(result.deadlocked);
+}
+
+// ---- Section 4: the suboptimal order (CT 20, throughput 0.05) --------------
+
+TEST_F(MotivatingExample, SuboptimalOrderCycleTime20) {
+  apply_motivating_orders(sys_, {"f", "b", "d"}, {"e", "g", "d"});
+  const PerformanceReport report = analysis::analyze_system(sys_);
+  ASSERT_TRUE(report.live);
+  EXPECT_DOUBLE_EQ(report.cycle_time, 20.0);
+  EXPECT_DOUBLE_EQ(report.throughput, 0.05);  // the paper's number
+}
+
+TEST_F(MotivatingExample, SuboptimalOrderSimulatesAt20) {
+  apply_motivating_orders(sys_, {"f", "b", "d"}, {"e", "g", "d"});
+  const sim::SystemSimResult result = sim::simulate_system(sys_, 200);
+  ASSERT_FALSE(result.deadlocked);
+  EXPECT_NEAR(result.measured_cycle_time, 20.0, 1e-9);
+}
+
+// ---- Section 4: the optimum (CT 12, 40% better) -----------------------------
+
+TEST_F(MotivatingExample, PaperQuotedOptimalOrderGives12) {
+  // Section 4 prose: puts of P2 = (b, d, f), gets of P6 = (d, g, e).
+  apply_motivating_orders(sys_, {"b", "d", "f"}, {"d", "g", "e"});
+  const PerformanceReport report = analysis::analyze_system(sys_);
+  ASSERT_TRUE(report.live);
+  EXPECT_DOUBLE_EQ(report.cycle_time, 12.0);
+}
+
+TEST_F(MotivatingExample, FortyPercentImprovement) {
+  EXPECT_DOUBLE_EQ((20.0 - 12.0) / 20.0, 0.4);
+}
+
+// ---- Fig. 4(b): forward labels ----------------------------------------------
+
+TEST_F(MotivatingExample, ForwardLabelsMatchFigure4b) {
+  // Forward labeling visits P2's outputs in the order f, b, d (the paper's
+  // walk-through); set that as the designer order first.
+  apply_motivating_orders(sys_, {"f", "b", "d"}, {"d", "e", "g"});
+  const LabelingResult labels = ordering::forward_labeling(sys_);
+  using Label = std::pair<std::int64_t, std::int32_t>;
+  auto head = [&](const char* name) {
+    const auto i = static_cast<std::size_t>(ch(name));
+    return Label(labels.head_weight[i], labels.head_timestamp[i]);
+  };
+  EXPECT_EQ(head("a"), Label(3, 1));
+  EXPECT_EQ(head("f"), Label(13, 2));
+  EXPECT_EQ(head("b"), Label(13, 3));
+  EXPECT_EQ(head("d"), Label(13, 4));
+  EXPECT_EQ(head("g"), Label(17, 5));
+  EXPECT_EQ(head("c"), Label(17, 6));
+  EXPECT_EQ(head("e"), Label(19, 7));
+  EXPECT_EQ(head("h"), Label(22, 8));
+}
+
+// ---- Fig. 4(b): backward labels ---------------------------------------------
+
+TEST_F(MotivatingExample, BackwardLabelsMatchFigure4b) {
+  apply_motivating_orders(sys_, {"f", "b", "d"}, {"d", "e", "g"});
+  const LabelingResult labels = ordering::forward_backward_labeling(sys_);
+  using Label = std::pair<std::int64_t, std::int32_t>;
+  auto tail = [&](const char* name) {
+    const auto i = static_cast<std::size_t>(ch(name));
+    return Label(labels.tail_weight[i], labels.tail_timestamp[i]);
+  };
+  EXPECT_EQ(tail("h"), Label(2, 1));
+  EXPECT_EQ(tail("d"), Label(10, 2));
+  EXPECT_EQ(tail("g"), Label(10, 3));
+  EXPECT_EQ(tail("e"), Label(10, 4));
+  EXPECT_EQ(tail("f"), Label(13, 5));
+  EXPECT_EQ(tail("c"), Label(13, 6));
+  EXPECT_EQ(tail("b"), Label(16, 7));
+  EXPECT_EQ(tail("a"), Label(23, 8));
+}
+
+// ---- Paper worked examples for the label arithmetic -------------------------
+
+TEST_F(MotivatingExample, ForwardWeightDecompositionAtP2) {
+  // weight(P2 out arcs) = MaxInArcWeight(3) + SumOutArcLatency(5) +
+  // latency(5) = 13 (the paper's worked example).
+  EXPECT_EQ(sys_.latency(sys_.find_process("P2")), 5);
+  EXPECT_EQ(sys_.channel_latency(ch("b")) + sys_.channel_latency(ch("d")) +
+                sys_.channel_latency(ch("f")),
+            5);
+}
+
+TEST_F(MotivatingExample, BackwardWeightDecompositionAtP6) {
+  // weight(P6 in arcs) = MaxOutArcWeight(2) + SumInArcLatency(6) +
+  // latency(2) = 10.
+  EXPECT_EQ(sys_.latency(sys_.find_process("P6")), 2);
+  EXPECT_EQ(sys_.channel_latency(ch("d")) + sys_.channel_latency(ch("e")) +
+                sys_.channel_latency(ch("g")),
+            6);
+}
+
+// ---- Fig. 4(c): the final ordering ------------------------------------------
+
+TEST_F(MotivatingExample, FinalOrderingMatchesAlgorithmExample) {
+  apply_motivating_orders(sys_, {"f", "b", "d"}, {"d", "e", "g"});
+  const ChannelOrderingResult result = ordering::channel_ordering(sys_);
+  // "process P6 read first from channel d, then g, and finally e".
+  EXPECT_EQ(get_order("P6", result),
+            (std::vector<std::string>{"d", "g", "e"}));
+  // "process P2 writes first channel b, then f and finally d"
+  // (tail weights 16, 13, 10 descending).
+  EXPECT_EQ(put_order("P2", result),
+            (std::vector<std::string>{"b", "f", "d"}));
+}
+
+TEST_F(MotivatingExample, AlgorithmOutputAchievesOptimum) {
+  apply_motivating_orders(sys_, {"f", "b", "d"}, {"e", "g", "d"});
+  SystemModel ordered = ordering::with_optimal_ordering(sys_);
+  const PerformanceReport report = analysis::analyze_system(ordered);
+  ASSERT_TRUE(report.live);
+  EXPECT_DOUBLE_EQ(report.cycle_time, 12.0);
+}
+
+TEST_F(MotivatingExample, AlgorithmOutputSimulatesAt12) {
+  SystemModel ordered = ordering::with_optimal_ordering(sys_);
+  const sim::SystemSimResult result = sim::simulate_system(ordered, 200);
+  ASSERT_FALSE(result.deadlocked);
+  EXPECT_NEAR(result.measured_cycle_time, 12.0, 1e-9);
+}
+
+TEST_F(MotivatingExample, AlgorithmIsIdempotentAtTheOptimum) {
+  SystemModel once = ordering::with_optimal_ordering(sys_);
+  SystemModel twice = ordering::with_optimal_ordering(once);
+  for (ProcessId p = 0; p < sys_.num_processes(); ++p) {
+    EXPECT_EQ(once.input_order(p), twice.input_order(p));
+    EXPECT_EQ(once.output_order(p), twice.output_order(p));
+  }
+}
+
+TEST_F(MotivatingExample, CriticalCycleIsP2Ring) {
+  SystemModel ordered = ordering::with_optimal_ordering(sys_);
+  const PerformanceReport report = analysis::analyze_system(ordered);
+  // At the optimum the binding constraint is P2's own ring:
+  // ch_a(2) + L2(5) + b(1) + f(1) + d(3) = 12.
+  ASSERT_EQ(report.critical_processes.size(), 1u);
+  EXPECT_EQ(ordered.process_name(report.critical_processes[0]), "P2");
+}
+
+TEST_F(MotivatingExample, AllOrderCombinationsCount36) {
+  EXPECT_DOUBLE_EQ(sys_.num_order_combinations(), 36.0);
+}
+
+}  // namespace
+}  // namespace ermes

@@ -1,0 +1,249 @@
+// Unit tests for the ordering module: labeling mechanics, final ordering,
+// feedback-arc handling, baselines, exhaustive search.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "analysis/performance.h"
+#include "ordering/baselines.h"
+#include "ordering/channel_ordering.h"
+#include "ordering/labeling.h"
+#include "sysmodel/builder.h"
+#include "util/rng.h"
+
+namespace ermes::ordering {
+namespace {
+
+using sysmodel::ChannelId;
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+double cycle_time_cost(const SystemModel& sys) {
+  const analysis::PerformanceReport report = analysis::analyze_system(sys);
+  return report.live ? report.cycle_time
+                     : std::numeric_limits<double>::infinity();
+}
+
+// A fan-out/fan-in system with asymmetric path latencies: the ordering
+// algorithm must put toward the slow path first and get from the fast path
+// first.
+SystemModel fork_join() {
+  SystemModel sys;
+  const ProcessId src = sys.add_process("src", 1);
+  const ProcessId split = sys.add_process("split", 1);
+  const ProcessId slow = sys.add_process("slow", 50);
+  const ProcessId fast = sys.add_process("fast", 1);
+  const ProcessId join = sys.add_process("join", 1);
+  const ProcessId snk = sys.add_process("snk", 1);
+  sys.add_channel("in", src, split, 1);
+  sys.add_channel("to_fast", split, fast, 1);  // designer order: fast first
+  sys.add_channel("to_slow", split, slow, 1);
+  sys.add_channel("from_slow", slow, join, 1);
+  sys.add_channel("from_fast", fast, join, 1);
+  sys.add_channel("out", join, snk, 1);
+  return sys;
+}
+
+TEST(LabelingTest, ForwardWeightsGrowAlongPaths) {
+  const SystemModel sys = fork_join();
+  const LabelingResult labels = forward_labeling(sys);
+  const auto in = static_cast<std::size_t>(sys.find_channel("in"));
+  const auto out = static_cast<std::size_t>(sys.find_channel("out"));
+  EXPECT_LT(labels.head_weight[in], labels.head_weight[out]);
+}
+
+TEST(LabelingTest, TimestampsAreUniqueAndDense) {
+  const SystemModel sys = fork_join();
+  const LabelingResult labels = forward_backward_labeling(sys);
+  std::vector<bool> seen_head(static_cast<std::size_t>(sys.num_channels()) + 1,
+                              false);
+  std::vector<bool> seen_tail(static_cast<std::size_t>(sys.num_channels()) + 1,
+                              false);
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    const auto h = labels.head_timestamp[static_cast<std::size_t>(c)];
+    const auto t = labels.tail_timestamp[static_cast<std::size_t>(c)];
+    ASSERT_GE(h, 1);
+    ASSERT_LE(h, sys.num_channels());
+    ASSERT_GE(t, 1);
+    ASSERT_LE(t, sys.num_channels());
+    EXPECT_FALSE(seen_head[static_cast<std::size_t>(h)]);
+    EXPECT_FALSE(seen_tail[static_cast<std::size_t>(t)]);
+    seen_head[static_cast<std::size_t>(h)] = true;
+    seen_tail[static_cast<std::size_t>(t)] = true;
+  }
+}
+
+TEST(LabelingTest, NoBackArcsOnDag) {
+  const LabelingResult labels = forward_backward_labeling(fork_join());
+  for (bool back : labels.is_back_arc) EXPECT_FALSE(back);
+}
+
+TEST(LabelingTest, FeedbackArcIdentified) {
+  SystemModel sys;
+  const ProcessId src = sys.add_process("src", 1);
+  const ProcessId a = sys.add_process("a", 1);
+  const ProcessId b = sys.add_process("b", 1);
+  const ProcessId snk = sys.add_process("snk", 1);
+  sys.add_channel("in", src, a, 1);
+  sys.add_channel("ab", a, b, 1);
+  const ChannelId fb = sys.add_channel("fb", b, a, 1);
+  sys.add_channel("out", b, snk, 1);
+  sys.set_primed(b, true);
+  const LabelingResult labels = forward_backward_labeling(sys);
+  // Cycles are broken at primed-source arcs: fb is a feedback arc (its
+  // producer is primed) even though the DFS no longer classifies it.
+  EXPECT_TRUE(labels.is_feedback_arc[static_cast<std::size_t>(fb)]);
+  // Every arc still receives labels.
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    EXPECT_GE(labels.head_timestamp[static_cast<std::size_t>(c)], 1);
+    EXPECT_GE(labels.tail_timestamp[static_cast<std::size_t>(c)], 1);
+  }
+}
+
+TEST(ChannelOrderingTest, PutsTowardSlowPathFirst) {
+  const SystemModel sys = fork_join();
+  const ChannelOrderingResult result = channel_ordering(sys);
+  const ProcessId split = sys.find_process("split");
+  // The slow path has the larger downstream weight: write it first.
+  EXPECT_EQ(sys.channel_name(
+                result.output_order[static_cast<std::size_t>(split)][0]),
+            "to_slow");
+  const ProcessId join = sys.find_process("join");
+  // The fast path has the smaller head weight: read it first.
+  EXPECT_EQ(sys.channel_name(
+                result.input_order[static_cast<std::size_t>(join)][0]),
+            "from_fast");
+}
+
+TEST(ChannelOrderingTest, OrderingImprovesForkJoinThroughput) {
+  SystemModel sys = fork_join();
+  const double before = cycle_time_cost(sys);
+  apply_ordering(sys, channel_ordering(sys));
+  const double after = cycle_time_cost(sys);
+  EXPECT_LE(after, before);
+}
+
+TEST(ChannelOrderingTest, ResultOrdersArePermutations) {
+  const SystemModel sys = fork_join();
+  const ChannelOrderingResult result = channel_ordering(sys);
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    auto sorted_new = result.input_order[static_cast<std::size_t>(p)];
+    auto sorted_old = sys.input_order(p);
+    std::sort(sorted_new.begin(), sorted_new.end());
+    std::sort(sorted_old.begin(), sorted_old.end());
+    EXPECT_EQ(sorted_new, sorted_old);
+  }
+}
+
+TEST(ChannelOrderingTest, NoTiebreakVariantDiffersOnSymmetricGraph) {
+  // Two equal-latency parallel paths: weights tie; the tie-break must fall
+  // back to timestamps for a deterministic (and safe) order.
+  SystemModel sys;
+  const ProcessId src = sys.add_process("src", 1);
+  const ProcessId split = sys.add_process("split", 1);
+  const ProcessId up = sys.add_process("up", 3);
+  const ProcessId dn = sys.add_process("dn", 3);
+  const ProcessId join = sys.add_process("join", 1);
+  const ProcessId snk = sys.add_process("snk", 1);
+  sys.add_channel("in", src, split, 1);
+  sys.add_channel("s_up", split, up, 1);
+  sys.add_channel("s_dn", split, dn, 1);
+  sys.add_channel("up_j", up, join, 1);
+  sys.add_channel("dn_j", dn, join, 1);
+  sys.add_channel("out", join, snk, 1);
+  const ChannelOrderingResult with_tb = channel_ordering(sys);
+  // With ties everywhere the tie-broken order must still be deterministic
+  // and deadlock-free.
+  SystemModel ordered = sys;
+  apply_ordering(ordered, with_tb);
+  EXPECT_TRUE(analysis::analyze_system(ordered).live);
+}
+
+// ---- baselines ---------------------------------------------------------------
+
+TEST(BaselinesTest, IndexOrderingRestoresInsertionOrder) {
+  SystemModel sys = fork_join();
+  util::Rng rng(3);
+  apply_random_ordering(sys, rng);
+  apply_index_ordering(sys);
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    auto order = sys.input_order(p);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  }
+}
+
+TEST(BaselinesTest, ConservativeOrderingIsLive) {
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  sysmodel::apply_motivating_orders(sys, {"b", "d", "f"}, {"g", "d", "e"});
+  ASSERT_FALSE(analysis::analyze_system(sys).live);  // starts deadlocked
+  apply_conservative_ordering(sys);
+  EXPECT_TRUE(analysis::analyze_system(sys).live);
+}
+
+TEST(BaselinesTest, ConservativeIsLatencyOblivious) {
+  // Changing latencies must not change the conservative order.
+  SystemModel a = fork_join();
+  SystemModel b = fork_join();
+  b.set_latency(b.find_process("slow"), 1);
+  b.set_latency(b.find_process("fast"), 50);
+  apply_conservative_ordering(a);
+  apply_conservative_ordering(b);
+  for (ProcessId p = 0; p < a.num_processes(); ++p) {
+    EXPECT_EQ(a.input_order(p), b.input_order(p));
+    EXPECT_EQ(a.output_order(p), b.output_order(p));
+  }
+}
+
+TEST(BaselinesTest, RandomOrderingIsReproducible) {
+  SystemModel a = fork_join();
+  SystemModel b = fork_join();
+  util::Rng ra(42), rb(42);
+  apply_random_ordering(a, ra);
+  apply_random_ordering(b, rb);
+  for (ProcessId p = 0; p < a.num_processes(); ++p) {
+    EXPECT_EQ(a.input_order(p), b.input_order(p));
+    EXPECT_EQ(a.output_order(p), b.output_order(p));
+  }
+}
+
+// ---- exhaustive search --------------------------------------------------------
+
+TEST(ExhaustiveTest, CountsAllCombinationsOfMotivatingExample) {
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  const ExhaustiveResult result = exhaustive_search(sys, cycle_time_cost);
+  EXPECT_EQ(result.combinations, 36u);  // 3! * 3!
+}
+
+TEST(ExhaustiveTest, FindsTheOptimum12) {
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  const ExhaustiveResult result = exhaustive_search(sys, cycle_time_cost);
+  EXPECT_DOUBLE_EQ(result.best_cost, 12.0);
+  EXPECT_GT(result.deadlocked, 0u);  // some orders deadlock
+  EXPECT_DOUBLE_EQ(result.worst_finite_cost, 20.0);
+}
+
+TEST(ExhaustiveTest, AlgorithmMatchesExhaustiveOptimum) {
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  const ExhaustiveResult exhaustive = exhaustive_search(sys, cycle_time_cost);
+  SystemModel ordered = with_optimal_ordering(sys);
+  EXPECT_DOUBLE_EQ(cycle_time_cost(ordered), exhaustive.best_cost);
+}
+
+TEST(ExhaustiveTest, RestoresOriginalOrders) {
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  const auto before_in = sys.input_order(sys.find_process("P6"));
+  const auto before_out = sys.output_order(sys.find_process("P2"));
+  exhaustive_search(sys, cycle_time_cost);
+  EXPECT_EQ(sys.input_order(sys.find_process("P6")), before_in);
+  EXPECT_EQ(sys.output_order(sys.find_process("P2")), before_out);
+}
+
+TEST(ExhaustiveTest, LimitRespected) {
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  const ExhaustiveResult result = exhaustive_search(sys, cycle_time_cost, 10);
+  EXPECT_EQ(result.combinations, 10u);
+}
+
+}  // namespace
+}  // namespace ermes::ordering

@@ -1,0 +1,216 @@
+// Direct unit tests for the safety/refinement layers around Algorithm 1:
+// the liveness repair pass, the feedback-safe ordering variant, the
+// hill-climb local search, and the steady-state period estimator they all
+// lean on.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "analysis/performance.h"
+#include "ordering/baselines.h"
+#include "ordering/channel_ordering.h"
+#include "ordering/local_search.h"
+#include "ordering/repair.h"
+#include "synth/generator.h"
+#include "sysmodel/builder.h"
+#include "util/period.h"
+#include "util/rng.h"
+
+namespace ermes {
+namespace {
+
+using sysmodel::ProcessId;
+using sysmodel::SystemModel;
+
+double cost(const SystemModel& sys) {
+  const analysis::PerformanceReport report = analysis::analyze_system(sys);
+  return report.live ? report.cycle_time
+                     : std::numeric_limits<double>::infinity();
+}
+
+// ---- period estimation ---------------------------------------------------------
+
+TEST(PeriodTest, ExactOnUniformSpacing) {
+  std::vector<std::int64_t> times;
+  for (int k = 0; k < 40; ++k) times.push_back(7 * k);
+  EXPECT_DOUBLE_EQ(util::estimate_period(times), 7.0);
+}
+
+TEST(PeriodTest, ExactOnAlternatingPattern) {
+  // Period-2 firing pattern: gaps 3, 5, 3, 5, ... -> average 4.
+  std::vector<std::int64_t> times{0};
+  for (int k = 0; k < 40; ++k) {
+    times.push_back(times.back() + (k % 2 == 0 ? 3 : 5));
+  }
+  EXPECT_DOUBLE_EQ(util::estimate_period(times), 4.0);
+}
+
+TEST(PeriodTest, IgnoresTransient) {
+  // Irregular head, periodic tail.
+  std::vector<std::int64_t> times{0, 1, 9, 10, 37};
+  for (int k = 0; k < 60; ++k) times.push_back(times.back() + 11);
+  EXPECT_DOUBLE_EQ(util::estimate_period(times), 11.0);
+}
+
+TEST(PeriodTest, TooFewSamplesGiveZero) {
+  EXPECT_DOUBLE_EQ(util::estimate_period({1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(util::estimate_period({}), 0.0);
+}
+
+TEST(PeriodTest, FallsBackOnAperiodicTail) {
+  util::Rng rng(5);
+  std::vector<std::int64_t> times{0};
+  for (int k = 0; k < 50; ++k) {
+    times.push_back(times.back() + rng.uniform_int(1, 9));
+  }
+  const double estimate = util::estimate_period(times);
+  EXPECT_GT(estimate, 0.0);
+  EXPECT_LT(estimate, 10.0);
+}
+
+// ---- repair ---------------------------------------------------------------------
+
+TEST(RepairTest, NoOpOnLiveSystem) {
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  const ordering::RepairResult result = ordering::ensure_live(sys);
+  EXPECT_TRUE(result.live);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_EQ(result.random_restarts, 0);
+}
+
+TEST(RepairTest, FixesMotivatingDeadlock) {
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  sysmodel::apply_motivating_orders(sys, {"b", "d", "f"}, {"g", "d", "e"});
+  const ordering::RepairResult result = ordering::ensure_live(sys);
+  EXPECT_TRUE(result.live);
+  EXPECT_TRUE(analysis::analyze_system(sys).live);
+}
+
+TEST(RepairTest, FixesRandomDeadlocksAcrossSeeds) {
+  int deadlocked = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    synth::GeneratorConfig config;
+    config.num_processes = 24;
+    config.num_channels = 40;
+    config.feedback_fraction = 0.25;
+    config.seed = seed;
+    SystemModel sys = synth::generate_soc(config);
+    util::Rng rng(seed * 13);
+    ordering::apply_random_ordering(sys, rng);
+    if (analysis::analyze_system(sys).live) continue;
+    ++deadlocked;
+    const ordering::RepairResult result = ordering::ensure_live(sys);
+    EXPECT_TRUE(result.live) << "seed " << seed;
+  }
+  EXPECT_GT(deadlocked, 0);  // the corpus must actually exercise repair
+}
+
+// ---- feedback-safe variant ---------------------------------------------------------
+
+TEST(FeedbackSafeTest, MatchesDefaultOnDags) {
+  // Without feedback arcs the variant must coincide with Algorithm 1.
+  synth::GeneratorConfig config;
+  config.num_processes = 20;
+  config.num_channels = 34;
+  config.feedback_fraction = 0.0;
+  config.seed = 3;
+  const SystemModel sys = synth::generate_soc(config);
+  const auto a = ordering::channel_ordering(sys);
+  const auto b = ordering::channel_ordering_feedback_safe(sys);
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    EXPECT_EQ(a.input_order[static_cast<std::size_t>(p)],
+              b.input_order[static_cast<std::size_t>(p)]);
+    EXPECT_EQ(a.output_order[static_cast<std::size_t>(p)],
+              b.output_order[static_cast<std::size_t>(p)]);
+  }
+}
+
+TEST(FeedbackSafeTest, PrimedGetsComeFirst) {
+  SystemModel sys;
+  const auto src = sys.add_process("src", 1);
+  const auto a = sys.add_process("a", 1);
+  const auto fb = sys.add_process("fb", 1);
+  const auto snk = sys.add_process("snk", 1);
+  sys.add_channel("in", src, a, 5);
+  sys.add_channel("af", a, fb, 1);
+  sys.add_channel("fa", fb, a, 1);  // primed-source feedback into a
+  sys.add_channel("out", a, snk, 1);
+  sys.set_primed(fb, true);
+  const auto result = ordering::channel_ordering_feedback_safe(sys);
+  // a's gets: the feedback input (from the primed fb) first.
+  EXPECT_EQ(sys.channel_name(result.input_order[static_cast<std::size_t>(a)][0]),
+            "fa");
+}
+
+TEST(FeedbackSafeTest, LiveAcrossFeedbackHeavyCorpus) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    synth::GeneratorConfig config;
+    config.num_processes = 40;
+    config.num_channels = 72;
+    config.feedback_fraction = 0.35;
+    config.seed = seed * 3;
+    SystemModel sys = synth::generate_soc(config);
+    util::Rng rng(seed);
+    ordering::apply_random_ordering(sys, rng);
+    ordering::apply_ordering(sys,
+                             ordering::channel_ordering_feedback_safe(sys));
+    EXPECT_TRUE(analysis::analyze_system(sys).live) << "seed " << seed;
+  }
+}
+
+// ---- local search ------------------------------------------------------------------
+
+TEST(LocalSearchTest, NeverWorsensAndReportsCounts) {
+  synth::GeneratorConfig config;
+  config.num_processes = 12;
+  config.num_channels = 20;
+  config.seed = 11;
+  SystemModel sys =
+      ordering::with_optimal_ordering(synth::generate_soc(config));
+  const double before = cost(sys);
+  const ordering::LocalSearchResult result =
+      ordering::hill_climb_ordering(sys);
+  EXPECT_DOUBLE_EQ(result.initial_cycle_time, before);
+  EXPECT_LE(result.final_cycle_time, before);
+  EXPECT_GE(result.evaluations, 1);
+  EXPECT_DOUBLE_EQ(cost(sys), result.final_cycle_time);
+}
+
+TEST(LocalSearchTest, RefusesDeadSystems) {
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  sysmodel::apply_motivating_orders(sys, {"b", "d", "f"}, {"g", "d", "e"});
+  const ordering::LocalSearchResult result =
+      ordering::hill_climb_ordering(sys);
+  EXPECT_EQ(result.accepted_moves, 0);
+  EXPECT_EQ(result.final_cycle_time,
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(LocalSearchTest, StaysLiveWhileImproving) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    synth::GeneratorConfig config;
+    config.num_processes = 14;
+    config.num_channels = 24;
+    config.feedback_fraction = 0.2;
+    config.seed = seed;
+    SystemModel sys =
+        ordering::with_optimal_ordering(synth::generate_soc(config));
+    ordering::hill_climb_ordering(sys, 3);
+    EXPECT_TRUE(analysis::analyze_system(sys).live) << "seed " << seed;
+  }
+}
+
+TEST(LocalSearchTest, FindsKnownImprovementOnSuboptimalOrder) {
+  // The motivating example's suboptimal order (CT 20) has the optimum (12)
+  // within a few adjacent swaps.
+  SystemModel sys = sysmodel::make_dac14_motivating_example();
+  sysmodel::apply_motivating_orders(sys, {"f", "b", "d"}, {"e", "g", "d"});
+  const ordering::LocalSearchResult result =
+      ordering::hill_climb_ordering(sys);
+  EXPECT_DOUBLE_EQ(result.initial_cycle_time, 20.0);
+  EXPECT_DOUBLE_EQ(result.final_cycle_time, 12.0);
+}
+
+}  // namespace
+}  // namespace ermes

@@ -1,0 +1,217 @@
+// Unit tests for the simulation kernel: rendezvous semantics, stall
+// accounting, deadlock detection, and agreement with the analytic model.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/performance.h"
+#include "sim/kernel.h"
+#include "sim/system_sim.h"
+#include "sysmodel/builder.h"
+
+namespace ermes::sim {
+namespace {
+
+// ---- program helpers ---------------------------------------------------------
+
+TEST(ProgramTest, ThreePhaseShape) {
+  const Program p = make_three_phase_program({0, 1}, 7, {2});
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0].kind, Statement::Kind::kGet);
+  EXPECT_EQ(p[2].kind, Statement::Kind::kCompute);
+  EXPECT_EQ(p[2].cycles, 7);
+  EXPECT_EQ(p[3].kind, Statement::Kind::kPut);
+}
+
+TEST(ProgramTest, ToStringReadable) {
+  const Program p = make_three_phase_program({0}, 3, {1});
+  const std::string text = to_string(p, {"a", "b"});
+  EXPECT_EQ(text, "get(a); compute(3); put(b)");
+}
+
+// ---- kernel semantics ----------------------------------------------------------
+
+// producer: put(c); compute(pl) / consumer: get(c); compute(cl).
+struct PairSim {
+  Kernel kernel;
+  SimChannelId c;
+  PairSim(std::int64_t chan_lat, std::int64_t prod_lat, std::int64_t cons_lat) {
+    const SimProcessId prod = kernel.add_process(
+        "prod", Program{Statement::put(0), Statement::compute(prod_lat)});
+    const SimProcessId cons = kernel.add_process(
+        "cons", Program{Statement::get(0), Statement::compute(cons_lat)});
+    c = kernel.add_channel("c", prod, cons, chan_lat);
+  }
+};
+
+TEST(KernelTest, RendezvousPeriodIsRingSum) {
+  // Both sides loop through the shared channel: period = max of the two
+  // rings = chan + max(prod, cons) computes? Both rings share ch transition:
+  // ring(prod) = chan + prod_lat, ring(cons) = chan + cons_lat.
+  PairSim sim(2, 3, 5);
+  const RunResult run = sim.kernel.run(sim.c, 100);
+  EXPECT_FALSE(run.deadlock.deadlocked);
+  EXPECT_NEAR(run.measured_cycle_time, 7.0, 1e-9);  // 2 + 5
+}
+
+TEST(KernelTest, FirstTransferTiming) {
+  PairSim sim(4, 1, 1);
+  const RunResult run = sim.kernel.run(sim.c, 1);
+  // Both ready at t=0; transfer completes at t=4.
+  EXPECT_EQ(run.cycles, 4);
+  EXPECT_EQ(run.observed_count, 1);
+}
+
+TEST(KernelTest, StallAccounting) {
+  PairSim sim(1, 9, 1);  // consumer waits for the slow producer
+  sim.kernel.run(sim.c, 50);
+  const ChannelState& chan = sim.kernel.channel(sim.c);
+  EXPECT_GT(chan.consumer_stall_cycles, 0);
+  EXPECT_EQ(chan.producer_stall_cycles, 0);
+  EXPECT_GT(sim.kernel.process(1).stall_cycles, 0);
+}
+
+TEST(KernelTest, TransferCountsAndLoopIterations) {
+  PairSim sim(1, 1, 1);
+  sim.kernel.run(sim.c, 10);
+  EXPECT_EQ(sim.kernel.channel(sim.c).transfers_completed, 10);
+  EXPECT_GE(sim.kernel.process(0).loop_iterations, 9);
+}
+
+TEST(KernelTest, ResetRestoresInitialState) {
+  PairSim sim(1, 1, 1);
+  sim.kernel.run(sim.c, 5);
+  sim.kernel.reset();
+  EXPECT_EQ(sim.kernel.now(), 0);
+  EXPECT_EQ(sim.kernel.channel(sim.c).transfers_completed, 0);
+  const RunResult run = sim.kernel.run(sim.c, 5);
+  EXPECT_EQ(run.observed_count, 5);
+}
+
+TEST(KernelTest, ZeroLatencyChannelWorks) {
+  PairSim sim(0, 2, 2);
+  const RunResult run = sim.kernel.run(sim.c, 50);
+  EXPECT_FALSE(run.deadlock.deadlocked);
+  EXPECT_NEAR(run.measured_cycle_time, 2.0, 1e-9);
+}
+
+TEST(KernelTest, DeadlockDetectedWithWaitCycle) {
+  // Two processes that each get before putting: classic rendezvous deadlock.
+  Kernel kernel;
+  const SimProcessId a = kernel.add_process(
+      "a", Program{Statement::get(1), Statement::put(0)});
+  const SimProcessId b = kernel.add_process(
+      "b", Program{Statement::get(0), Statement::put(1)});
+  kernel.add_channel("ab", a, b, 1);
+  kernel.add_channel("ba", b, a, 1);
+  const RunResult run = kernel.run(0, 1);
+  ASSERT_TRUE(run.deadlock.deadlocked);
+  EXPECT_EQ(run.deadlock.processes.size(), 2u);
+}
+
+TEST(KernelTest, DataFlowsThroughBehaviors) {
+  // Producer emits increasing integers; consumer records them.
+  class Producer final : public Behavior {
+   public:
+    Packet on_put(SimChannelId) override { return Packet{{counter_++}}; }
+   private:
+    std::int64_t counter_ = 0;
+  };
+  class Consumer final : public Behavior {
+   public:
+    void on_get(SimChannelId, const Packet& packet) override {
+      received.push_back(packet.data.at(0));
+    }
+    std::vector<std::int64_t> received;
+  };
+  Kernel kernel;
+  auto consumer = std::make_unique<Consumer>();
+  Consumer* consumer_ptr = consumer.get();
+  const SimProcessId prod =
+      kernel.add_process("prod", Program{Statement::put(0)},
+                         std::make_unique<Producer>());
+  const SimProcessId cons = kernel.add_process(
+      "cons", Program{Statement::get(0)}, std::move(consumer));
+  kernel.add_channel("c", prod, cons, 1);
+  kernel.run(0, 5);
+  EXPECT_EQ(consumer_ptr->received,
+            (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(KernelTest, OnResetCalledOnce) {
+  class Resetting final : public Behavior {
+   public:
+    explicit Resetting(int* counter) : counter_(counter) {}
+    void on_reset() override { ++*counter_; }
+   private:
+    int* counter_;
+  };
+  int resets = 0;
+  Kernel kernel;
+  const SimProcessId prod = kernel.add_process(
+      "prod", Program{Statement::put(0)}, std::make_unique<Resetting>(&resets));
+  const SimProcessId cons =
+      kernel.add_process("cons", Program{Statement::get(0)});
+  kernel.add_channel("c", prod, cons, 1);
+  kernel.run(0, 2);
+  kernel.run(0, 2);  // continuation, no second reset
+  EXPECT_EQ(resets, 1);
+}
+
+TEST(KernelTest, MaxCyclesStopsRun) {
+  PairSim sim(1000, 1000, 1000);
+  const RunResult run = sim.kernel.run(sim.c, 1'000'000, 10'000);
+  EXPECT_TRUE(run.hit_cycle_limit);
+}
+
+// ---- system bridge ---------------------------------------------------------------
+
+TEST(SystemSimTest, MotivatingExampleThroughputMatchesModel) {
+  const sysmodel::SystemModel sys =
+      sysmodel::make_dac14_motivating_example();
+  const analysis::PerformanceReport report = analysis::analyze_system(sys);
+  const SystemSimResult sim = simulate_system(sys, 200);
+  ASSERT_TRUE(report.live);
+  ASSERT_FALSE(sim.deadlocked);
+  EXPECT_NEAR(sim.measured_cycle_time, report.cycle_time, 1e-9);
+}
+
+TEST(SystemSimTest, ObserveDefaultsToSinkInput) {
+  const sysmodel::SystemModel sys =
+      sysmodel::make_dac14_motivating_example();
+  const SystemSimResult sim = simulate_system(sys, 50);
+  EXPECT_EQ(sim.items, 50);
+}
+
+TEST(SystemSimTest, DeadlockInfoSurvivesBridge) {
+  sysmodel::SystemModel sys = sysmodel::make_dac14_motivating_example();
+  sysmodel::apply_motivating_orders(sys, {"b", "d", "f"}, {"g", "d", "e"});
+  const SystemSimResult sim = simulate_system(sys, 10);
+  ASSERT_TRUE(sim.deadlocked);
+  EXPECT_FALSE(sim.deadlock.processes.empty());
+}
+
+TEST(SystemSimTest, PrimedProcessStartsWithPut) {
+  // a -> b -> c with feedback c -> a; c primed: the loop must run.
+  sysmodel::SystemModel sys;
+  const auto src = sys.add_process("src", 1);
+  const auto a = sys.add_process("a", 1);
+  const auto b = sys.add_process("b", 1);
+  const auto c = sys.add_process("c", 1);
+  const auto snk = sys.add_process("snk", 1);
+  sys.add_channel("in", src, a, 1);
+  sys.add_channel("ab", a, b, 1);
+  sys.add_channel("bc", b, c, 1);
+  sys.add_channel("fb", c, a, 1);
+  sys.add_channel("out", c, snk, 1);
+  sys.set_primed(c, true);
+  const analysis::PerformanceReport report = analysis::analyze_system(sys);
+  ASSERT_TRUE(report.live);
+  const SystemSimResult sim = simulate_system(sys, 100);
+  ASSERT_FALSE(sim.deadlocked);
+  EXPECT_NEAR(sim.measured_cycle_time, report.cycle_time, 1e-9);
+}
+
+}  // namespace
+}  // namespace ermes::sim

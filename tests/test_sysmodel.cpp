@@ -1,0 +1,311 @@
+// Unit tests for the system model: processes, channels, I/O orders, Pareto
+// sets, builders, validation.
+
+#include <gtest/gtest.h>
+
+#include "sysmodel/builder.h"
+#include "sysmodel/implementation.h"
+#include "sysmodel/system.h"
+#include "sysmodel/stats.h"
+#include "sysmodel/validate.h"
+
+namespace ermes::sysmodel {
+namespace {
+
+SystemModel tiny_pipeline() {
+  SystemModel sys;
+  const ProcessId src = sys.add_process("src", 1);
+  const ProcessId mid = sys.add_process("mid", 4);
+  const ProcessId snk = sys.add_process("snk", 1);
+  sys.add_channel("a", src, mid, 2);
+  sys.add_channel("b", mid, snk, 3);
+  return sys;
+}
+
+// ---- SystemModel -----------------------------------------------------------
+
+TEST(SystemModelTest, BasicCounts) {
+  const SystemModel sys = tiny_pipeline();
+  EXPECT_EQ(sys.num_processes(), 3);
+  EXPECT_EQ(sys.num_channels(), 2);
+}
+
+TEST(SystemModelTest, ChannelEndpointsAndLatency) {
+  const SystemModel sys = tiny_pipeline();
+  const ChannelId a = sys.find_channel("a");
+  EXPECT_EQ(sys.process_name(sys.channel_source(a)), "src");
+  EXPECT_EQ(sys.process_name(sys.channel_target(a)), "mid");
+  EXPECT_EQ(sys.channel_latency(a), 2);
+}
+
+TEST(SystemModelTest, FindByName) {
+  const SystemModel sys = tiny_pipeline();
+  EXPECT_EQ(sys.find_process("mid"), 1);
+  EXPECT_EQ(sys.find_process("nope"), kInvalidProcess);
+  EXPECT_EQ(sys.find_channel("b"), 1);
+  EXPECT_EQ(sys.find_channel("zzz"), kInvalidChannel);
+}
+
+TEST(SystemModelTest, DefaultOrdersAreInsertionOrder) {
+  SystemModel sys;
+  const ProcessId p = sys.add_process("p", 1);
+  const ProcessId q = sys.add_process("q", 1);
+  const ProcessId r = sys.add_process("r", 1);
+  const ChannelId c1 = sys.add_channel("c1", p, q, 1);
+  const ChannelId c2 = sys.add_channel("c2", p, r, 1);
+  EXPECT_EQ(sys.output_order(p), (std::vector<ChannelId>{c1, c2}));
+}
+
+TEST(SystemModelTest, SetOrdersValidatesPermutation) {
+  SystemModel sys;
+  const ProcessId p = sys.add_process("p", 1);
+  const ProcessId q = sys.add_process("q", 1);
+  const ProcessId r = sys.add_process("r", 1);
+  const ChannelId c1 = sys.add_channel("c1", p, q, 1);
+  const ChannelId c2 = sys.add_channel("c2", p, r, 1);
+  sys.set_output_order(p, {c2, c1});
+  EXPECT_EQ(sys.output_order(p), (std::vector<ChannelId>{c2, c1}));
+}
+
+TEST(SystemModelTest, SourceSinkDetection) {
+  const SystemModel sys = tiny_pipeline();
+  EXPECT_TRUE(sys.is_source(0));
+  EXPECT_FALSE(sys.is_source(1));
+  EXPECT_TRUE(sys.is_sink(2));
+  EXPECT_EQ(sys.sources(), (std::vector<ProcessId>{0}));
+  EXPECT_EQ(sys.sinks(), (std::vector<ProcessId>{2}));
+}
+
+TEST(SystemModelTest, PrimedFlag) {
+  SystemModel sys = tiny_pipeline();
+  EXPECT_FALSE(sys.primed(1));
+  sys.set_primed(1, true);
+  EXPECT_TRUE(sys.primed(1));
+}
+
+TEST(SystemModelTest, TotalArea) {
+  SystemModel sys;
+  sys.add_process("a", 1, 0.5);
+  sys.add_process("b", 1, 0.25);
+  EXPECT_DOUBLE_EQ(sys.total_area(), 0.75);
+}
+
+TEST(SystemModelTest, OrderCombinationsFormula) {
+  // The motivating example has 3!*3! = 36 combinations (paper Section 2).
+  const SystemModel sys = make_dac14_motivating_example();
+  EXPECT_DOUBLE_EQ(sys.num_order_combinations(), 36.0);
+}
+
+TEST(SystemModelTest, TopologyMirrorsChannels) {
+  const SystemModel sys = tiny_pipeline();
+  const graph::Digraph topo = sys.topology();
+  EXPECT_EQ(topo.num_nodes(), 3);
+  EXPECT_EQ(topo.num_arcs(), 2);
+  EXPECT_EQ(topo.tail(0), 0);
+  EXPECT_EQ(topo.head(0), 1);
+}
+
+TEST(SystemModelTest, ImplementationSelectionUpdatesLatencyArea) {
+  SystemModel sys = tiny_pipeline();
+  ParetoSet set;
+  set.add({"fast", 2, 1.0});
+  set.add({"slow", 8, 0.25});
+  sys.set_implementations(1, set, 1);
+  EXPECT_EQ(sys.latency(1), 8);
+  EXPECT_DOUBLE_EQ(sys.area(1), 0.25);
+  sys.select_implementation(1, 0);
+  EXPECT_EQ(sys.latency(1), 2);
+  EXPECT_DOUBLE_EQ(sys.area(1), 1.0);
+  EXPECT_EQ(sys.selected_implementation(1), 0u);
+}
+
+TEST(SystemModelTest, TotalParetoPoints) {
+  SystemModel sys = tiny_pipeline();
+  ParetoSet set;
+  set.add({"a", 2, 1.0});
+  set.add({"b", 8, 0.5});
+  sys.set_implementations(1, set, 0);
+  EXPECT_EQ(sys.total_pareto_points(), 2u);
+}
+
+// ---- ParetoSet -------------------------------------------------------------
+
+TEST(ParetoSetTest, SortedByLatency) {
+  ParetoSet set;
+  set.add({"slow", 10, 1.0});
+  set.add({"fast", 2, 4.0});
+  set.add({"mid", 5, 2.0});
+  EXPECT_EQ(set.at(0).latency, 2);
+  EXPECT_EQ(set.at(1).latency, 5);
+  EXPECT_EQ(set.at(2).latency, 10);
+}
+
+TEST(ParetoSetTest, ParetoOptimalityCheck) {
+  ParetoSet good({{"a", 2, 4.0}, {"b", 5, 2.0}});
+  EXPECT_TRUE(good.is_pareto_optimal());
+  ParetoSet bad({{"a", 2, 4.0}, {"b", 5, 5.0}});  // b dominated by a
+  EXPECT_FALSE(bad.is_pareto_optimal());
+}
+
+TEST(ParetoSetTest, PruneRemovesDominated) {
+  ParetoSet set({{"a", 2, 4.0}, {"dom", 3, 4.5}, {"b", 5, 2.0},
+                 {"dup", 5, 2.5}});
+  set.prune_to_frontier();
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.is_pareto_optimal());
+}
+
+TEST(ParetoSetTest, FastestAndSmallestIndices) {
+  ParetoSet set({{"a", 2, 4.0}, {"b", 5, 2.0}, {"c", 9, 1.0}});
+  EXPECT_EQ(set.fastest_index(), 0u);
+  EXPECT_EQ(set.smallest_index(), 2u);
+}
+
+TEST(ParetoSetTest, FindLocatesImplementation) {
+  ParetoSet set({{"a", 2, 4.0}, {"b", 5, 2.0}});
+  EXPECT_EQ(set.find({"b", 5, 2.0}), 1u);
+  EXPECT_EQ(set.find({"x", 7, 7.0}), ParetoSet::npos);
+}
+
+// ---- builder ---------------------------------------------------------------
+
+TEST(BuilderTest, BuildsFromSpec) {
+  SystemSpec spec;
+  spec.processes = {{"x", 3, 0.1}, {"y", 4, 0.2}};
+  spec.channels = {{"xy", "x", "y", 7}};
+  const SystemModel sys = build_system(spec);
+  EXPECT_EQ(sys.num_processes(), 2);
+  EXPECT_EQ(sys.latency(sys.find_process("x")), 3);
+  EXPECT_EQ(sys.channel_latency(sys.find_channel("xy")), 7);
+}
+
+TEST(BuilderTest, MotivatingExampleShape) {
+  const SystemModel sys = make_dac14_motivating_example();
+  EXPECT_EQ(sys.num_processes(), 7);
+  EXPECT_EQ(sys.num_channels(), 8);
+  EXPECT_EQ(sys.latency(sys.find_process("P2")), 5);
+  EXPECT_EQ(sys.channel_latency(sys.find_channel("d")), 3);
+  // P2's default put order is b, d, f (insertion order).
+  const ProcessId p2 = sys.find_process("P2");
+  std::vector<std::string> names;
+  for (ChannelId c : sys.output_order(p2)) names.push_back(sys.channel_name(c));
+  EXPECT_EQ(names, (std::vector<std::string>{"b", "d", "f"}));
+}
+
+TEST(BuilderTest, ApplyMotivatingOrders) {
+  SystemModel sys = make_dac14_motivating_example();
+  apply_motivating_orders(sys, {"f", "b", "d"}, {"e", "g", "d"});
+  const ProcessId p2 = sys.find_process("P2");
+  const ProcessId p6 = sys.find_process("P6");
+  EXPECT_EQ(sys.channel_name(sys.output_order(p2)[0]), "f");
+  EXPECT_EQ(sys.channel_name(sys.input_order(p6)[0]), "e");
+}
+
+// ---- validate --------------------------------------------------------------
+
+TEST(ValidateTest, MotivatingExampleIsClean) {
+  const ValidationReport report = validate(make_dac14_motivating_example());
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.warnings.empty());
+}
+
+TEST(ValidateTest, IsolatedProcessIsError) {
+  SystemModel sys = tiny_pipeline();
+  sys.add_process("island", 1);
+  const ValidationReport report = validate(sys);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidateTest, SelfLoopIsError) {
+  SystemModel sys;
+  const ProcessId p = sys.add_process("p", 1);
+  const ProcessId q = sys.add_process("q", 1);
+  sys.add_channel("pq", p, q, 1);
+  sys.add_channel("loop", q, q, 1);
+  EXPECT_FALSE(validate(sys).ok());
+}
+
+TEST(ValidateTest, MissingSourceWarns) {
+  SystemModel sys;
+  const ProcessId p = sys.add_process("p", 1);
+  const ProcessId q = sys.add_process("q", 1);
+  sys.add_channel("pq", p, q, 1);
+  sys.add_channel("qp", q, p, 1);
+  const ValidationReport report = validate(sys);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.warnings.empty());
+}
+
+TEST(ValidateTest, NonParetoSetWarns) {
+  SystemModel sys = tiny_pipeline();
+  ParetoSet set({{"a", 2, 1.0}, {"dominated", 3, 2.0}});
+  sys.set_implementations(1, set, 0);
+  const ValidationReport report = validate(sys);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.warnings.empty());
+}
+
+TEST(ValidateTest, DivergentLatencyWarns) {
+  SystemModel sys = tiny_pipeline();
+  ParetoSet set({{"a", 2, 1.0}, {"b", 6, 0.5}});
+  sys.set_implementations(1, set, 0);
+  sys.set_latency(1, 999);  // diverges from selected implementation
+  const ValidationReport report = validate(sys);
+  EXPECT_FALSE(report.warnings.empty());
+}
+
+// ---- stats -------------------------------------------------------------------
+
+TEST(StatsTest, MotivatingExampleNumbers) {
+  const SystemStats stats =
+      compute_stats(make_dac14_motivating_example());
+  EXPECT_EQ(stats.processes, 7);
+  EXPECT_EQ(stats.channels, 8);
+  EXPECT_EQ(stats.sources, 1);
+  EXPECT_EQ(stats.sinks, 1);
+  EXPECT_EQ(stats.primed_processes, 0);
+  EXPECT_EQ(stats.feedback_channels, 0);
+  EXPECT_EQ(stats.max_fan_in, 3);   // P6
+  EXPECT_EQ(stats.max_fan_out, 3);  // P2
+  EXPECT_EQ(stats.reconvergence_points, 1);  // P6
+  EXPECT_EQ(stats.pipeline_depth, 5);  // src->P2->P3->P4->P6->snk
+  EXPECT_EQ(stats.min_channel_latency, 1);
+  EXPECT_EQ(stats.max_channel_latency, 3);
+  EXPECT_DOUBLE_EQ(stats.order_combinations, 36.0);
+}
+
+TEST(StatsTest, CountsPrimedAndFifo) {
+  SystemModel sys = tiny_pipeline();
+  sys.set_primed(1, true);
+  sys.set_channel_capacity(0, 4);
+  const SystemStats stats = compute_stats(sys);
+  EXPECT_EQ(stats.primed_processes, 1);
+  EXPECT_EQ(stats.fifo_channels, 1);
+}
+
+TEST(StatsTest, FeedbackCountedThroughPrimedArcs) {
+  SystemModel sys;
+  const ProcessId src = sys.add_process("src", 1);
+  const ProcessId a = sys.add_process("a", 1);
+  const ProcessId b = sys.add_process("b", 1);
+  const ProcessId snk = sys.add_process("snk", 1);
+  sys.add_channel("in", src, a, 1);
+  sys.add_channel("ab", a, b, 1);
+  sys.add_channel("fb", b, a, 1);
+  sys.add_channel("out", b, snk, 1);
+  sys.set_primed(b, true);
+  const SystemStats stats = compute_stats(sys);
+  // Both of b's outputs are primed-source; only they count as feedback.
+  EXPECT_EQ(stats.feedback_channels, 2);
+}
+
+TEST(StatsTest, ToStringMentionsKeyNumbers) {
+  const std::string text =
+      to_string(compute_stats(make_dac14_motivating_example()));
+  EXPECT_NE(text.find("7 processes"), std::string::npos);
+  EXPECT_NE(text.find("8 channels"), std::string::npos);
+  EXPECT_NE(text.find("36"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ermes::sysmodel

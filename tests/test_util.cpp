@@ -1,0 +1,204 @@
+// Unit tests for the util module: logging, RNG, tables, stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace ermes::util {
+namespace {
+
+// ---- log -------------------------------------------------------------------
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_level(LogLevel::kTrace);
+    set_log_sink([this](LogLevel level, std::string_view msg) {
+      captured_.emplace_back(level, std::string(msg));
+    });
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogTest, MessageReachesSink) {
+  ERMES_LOG(kInfo) << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+}
+
+TEST_F(LogTest, LevelFilters) {
+  set_log_level(LogLevel::kError);
+  ERMES_LOG(kDebug) << "dropped";
+  ERMES_LOG(kError) << "kept";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "kept");
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+// ---- rng -------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformRealInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(RngTest, FlipProbabilityRoughlyRespected) {
+  Rng rng(6);
+  int heads = 0;
+  for (int i = 0; i < 10'000; ++i) heads += rng.flip(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10'000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(8);
+  const auto p = rng.permutation(20);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(RngTest, IndexBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+  EXPECT_EQ(rng.index(1), 0u);
+}
+
+// ---- table -----------------------------------------------------------------
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name    value"), std::string::npos);
+  EXPECT_NE(text.find("longer  22"), std::string::npos);
+}
+
+TEST(TableTest, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.to_text().find("only"), std::string::npos);
+}
+
+TEST(TableTest, CsvQuoting) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, CsvHeaderFirst) {
+  Table t({"p", "q"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv().substr(0, 4), "p,q\n");
+}
+
+TEST(TableTest, IndentApplied) {
+  Table t({"h"});
+  t.add_row({"v"});
+  const std::string text = t.to_text(2);
+  EXPECT_EQ(text.substr(0, 3), "  h");
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(12.5, 2), "12.5");
+  EXPECT_EQ(format_double(3.0, 3), "3");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+}
+
+TEST(FormatDoubleTest, RespectsDigits) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 2), "0.33");
+}
+
+// ---- stopwatch -------------------------------------------------------------
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.elapsed_ms(), 8.0);
+  EXPECT_LT(sw.elapsed_seconds(), 5.0);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ms(), 9.0);
+}
+
+TEST(StopwatchTest, UnitsConsistent) {
+  Stopwatch sw;
+  const double s = sw.elapsed_seconds();
+  const double us = sw.elapsed_us();
+  EXPECT_GE(us, s);  // microseconds numerically exceed seconds
+}
+
+}  // namespace
+}  // namespace ermes::util

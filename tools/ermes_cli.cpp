@@ -1,0 +1,242 @@
+// ermes — command-line driver for the whole methodology.
+//
+//   ermes analyze  <file.soc>              performance report + deadlock diagnosis
+//   ermes order    <file.soc> [-o out.soc] channel ordering (Algorithm 1 + safety nets)
+//   ermes simulate <file.soc> [items]      cycle-accurate rendezvous simulation
+//   ermes dse      <file.soc> <tct>        ERMES exploration toward a target cycle time
+//   ermes size     <file.soc> <tct>        FIFO buffer sizing toward a target cycle time
+//   ermes stats    <file.soc>              topology statistics
+//   ermes sens     <file.soc>              latency sensitivity table
+//   ermes dot      <file.soc>              Graphviz topology dump to stdout
+//   ermes tmgdot   <file.soc>              Graphviz dump of the elaborated TMG
+//   ermes demo                             write the DAC'14 motivating example to stdout
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/buffer_sizing.h"
+#include "analysis/deadlock.h"
+#include "analysis/sensitivity.h"
+#include "analysis/tmg_builder.h"
+#include "analysis/performance.h"
+#include "dse/explorer.h"
+#include "graph/dot.h"
+#include "io/soc_format.h"
+#include "ordering/channel_ordering.h"
+#include "ordering/local_search.h"
+#include "sim/system_sim.h"
+#include "sysmodel/builder.h"
+#include "sysmodel/stats.h"
+#include "tmg/dot.h"
+#include "util/table.h"
+
+using namespace ermes;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ermes "
+               "<analyze|order|simulate|dse|size|stats|sens|dot|tmgdot|demo> "
+               "<file.soc> [args]\n");
+  return 2;
+}
+
+bool load(const char* path, io::ParseResult& parsed) {
+  parsed = io::load_soc(path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "error: %s: %s\n", path, parsed.error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_analyze(const char* path) {
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  const analysis::PerformanceReport report =
+      analysis::analyze_system(parsed.system);
+  if (!report.live) {
+    const analysis::DeadlockDiagnosis diag =
+        analysis::diagnose_system(parsed.system);
+    std::printf("DEADLOCK: %s\n",
+                analysis::to_string(diag, parsed.system).c_str());
+    return 1;
+  }
+  std::printf("%s\n", analysis::summarize(report, parsed.system).c_str());
+  return 0;
+}
+
+int cmd_order(const char* path, const char* out_path) {
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  const double before_ct = [&] {
+    const auto report = analysis::analyze_system(parsed.system);
+    return report.live ? report.cycle_time : -1.0;
+  }();
+  sysmodel::SystemModel ordered =
+      ordering::with_optimal_ordering(parsed.system);
+  const analysis::PerformanceReport after =
+      analysis::analyze_system(ordered);
+  std::printf("cycle time: %s -> %s\n",
+              before_ct < 0 ? "DEADLOCK"
+                            : util::format_double(before_ct).c_str(),
+              util::format_double(after.cycle_time).c_str());
+  if (out_path != nullptr) {
+    if (!io::save_soc(ordered, out_path, parsed.system_name)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path);
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::printf("%s", io::write_soc(ordered, parsed.system_name).c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const char* path, std::int64_t items) {
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  const sim::SystemSimResult result =
+      sim::simulate_system(parsed.system, items);
+  if (result.deadlocked) {
+    std::printf("DEADLOCK at cycle %lld\n",
+                static_cast<long long>(result.deadlock.at_cycle));
+    return 1;
+  }
+  std::printf("%lld items in %lld cycles: %s cycles/item (throughput %s)\n",
+              static_cast<long long>(result.items),
+              static_cast<long long>(result.cycles),
+              util::format_double(result.measured_cycle_time).c_str(),
+              util::format_double(result.throughput, 6).c_str());
+  return 0;
+}
+
+int cmd_dse(const char* path, std::int64_t tct) {
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  dse::ExplorerOptions options;
+  options.target_cycle_time = tct;
+  const dse::ExplorationResult result =
+      dse::explore(parsed.system, options);
+  util::Table table({"iter", "action", "CT", "area", "meets TCT"});
+  for (const dse::IterationRecord& rec : result.history) {
+    table.add_row({std::to_string(rec.iteration), dse::to_string(rec.action),
+                   util::format_double(rec.cycle_time, 0),
+                   util::format_double(rec.area, 4),
+                   rec.meets_target ? "yes" : "no"});
+  }
+  std::printf("%s", table.to_text(0).c_str());
+  std::printf("%s\n", result.met_target ? "target met" : "target NOT met");
+  return result.met_target ? 0 : 1;
+}
+
+int cmd_size(const char* path, std::int64_t tct) {
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  const analysis::SizingResult result =
+      analysis::size_for_cycle_time(parsed.system, tct);
+  std::printf("%s: %lld slots added, cycle time %s\n",
+              result.success ? "target met" : "target NOT met",
+              static_cast<long long>(result.slots_added),
+              util::format_double(result.cycle_time).c_str());
+  for (const auto& [channel, capacity] : result.changes) {
+    std::printf("  channel %s -> capacity %lld\n",
+                parsed.system.channel_name(channel).c_str(),
+                static_cast<long long>(capacity));
+  }
+  std::printf("%s", io::write_soc(parsed.system, parsed.system_name).c_str());
+  return result.success ? 0 : 1;
+}
+
+int cmd_stats(const char* path) {
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  std::printf("%s\n",
+              sysmodel::to_string(sysmodel::compute_stats(parsed.system))
+                  .c_str());
+  return 0;
+}
+
+int cmd_sensitivity(const char* path) {
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  const analysis::SensitivityReport report =
+      analysis::latency_sensitivity(parsed.system);
+  if (report.processes.empty()) {
+    std::printf("system is deadlocked; no sensitivity available\n");
+    return 1;
+  }
+  util::Table table({"process", "latency", "CT gain/cycle", "critical"});
+  for (const analysis::ProcessSensitivity& entry : report.processes) {
+    table.add_row({parsed.system.process_name(entry.process),
+                   std::to_string(parsed.system.latency(entry.process)),
+                   util::format_double(entry.ct_gain_per_cycle, 3),
+                   entry.on_critical_cycle ? "yes" : "no"});
+  }
+  std::printf("base cycle time %s\n%s",
+              util::format_double(report.base_cycle_time).c_str(),
+              table.to_text(0).c_str());
+  return 0;
+}
+
+int cmd_tmgdot(const char* path) {
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  const analysis::SystemTmg stmg = analysis::build_tmg(parsed.system);
+  std::printf("%s", tmg::to_dot(stmg.graph, parsed.system_name).c_str());
+  return 0;
+}
+
+int cmd_dot(const char* path) {
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  graph::DotOptions options;
+  options.graph_name = parsed.system_name;
+  const sysmodel::SystemModel& sys = parsed.system;
+  options.arc_label = [&sys](graph::ArcId a) {
+    return sys.channel_name(a) + " (" +
+           std::to_string(sys.channel_latency(a)) + ")";
+  };
+  std::printf("%s", graph::to_dot(sys.topology(), options).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "demo") {
+    std::printf("%s",
+                io::write_soc(sysmodel::make_dac14_motivating_example(),
+                              "dac14_motivating")
+                    .c_str());
+    return 0;
+  }
+  if (argc < 3) return usage();
+  if (cmd == "analyze") return cmd_analyze(argv[2]);
+  if (cmd == "order") {
+    const char* out = nullptr;
+    if (argc >= 5 && std::strcmp(argv[3], "-o") == 0) out = argv[4];
+    return cmd_order(argv[2], out);
+  }
+  if (cmd == "simulate") {
+    return cmd_simulate(argv[2], argc >= 4 ? std::atoll(argv[3]) : 200);
+  }
+  if (cmd == "dse") {
+    if (argc < 4) return usage();
+    return cmd_dse(argv[2], std::atoll(argv[3]));
+  }
+  if (cmd == "size") {
+    if (argc < 4) return usage();
+    return cmd_size(argv[2], std::atoll(argv[3]));
+  }
+  if (cmd == "dot") return cmd_dot(argv[2]);
+  if (cmd == "stats") return cmd_stats(argv[2]);
+  if (cmd == "sens") return cmd_sensitivity(argv[2]);
+  if (cmd == "tmgdot") return cmd_tmgdot(argv[2]);
+  return usage();
+}
