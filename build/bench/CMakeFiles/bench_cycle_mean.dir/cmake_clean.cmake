@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cycle_mean.dir/bench_cycle_mean.cpp.o"
+  "CMakeFiles/bench_cycle_mean.dir/bench_cycle_mean.cpp.o.d"
+  "bench_cycle_mean"
+  "bench_cycle_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cycle_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fifo_sizing.dir/bench_fifo_sizing.cpp.o"
+  "CMakeFiles/bench_fifo_sizing.dir/bench_fifo_sizing.cpp.o.d"
+  "bench_fifo_sizing"
+  "bench_fifo_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fifo_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_tmg.dir/bench_fig3_tmg.cpp.o"
+  "CMakeFiles/bench_fig3_tmg.dir/bench_fig3_tmg.cpp.o.d"
+  "bench_fig3_tmg"
+  "bench_fig3_tmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_explorations.dir/bench_fig6_explorations.cpp.o"
+  "CMakeFiles/bench_fig6_explorations.dir/bench_fig6_explorations.cpp.o.d"
+  "bench_fig6_explorations"
+  "bench_fig6_explorations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_explorations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m1_reordering.dir/bench_m1_reordering.cpp.o"
+  "CMakeFiles/bench_m1_reordering.dir/bench_m1_reordering.cpp.o.d"
+  "bench_m1_reordering"
+  "bench_m1_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m1_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

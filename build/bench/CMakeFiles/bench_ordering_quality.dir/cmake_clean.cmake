@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ordering_quality.dir/bench_ordering_quality.cpp.o"
+  "CMakeFiles/bench_ordering_quality.dir/bench_ordering_quality.cpp.o.d"
+  "bench_ordering_quality"
+  "bench_ordering_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ordering_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_filterbank.dir/audio_filterbank.cpp.o"
+  "CMakeFiles/audio_filterbank.dir/audio_filterbank.cpp.o.d"
+  "audio_filterbank"
+  "audio_filterbank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_filterbank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg2_dse.dir/mpeg2_dse.cpp.o"
+  "CMakeFiles/mpeg2_dse.dir/mpeg2_dse.cpp.o.d"
+  "mpeg2_dse"
+  "mpeg2_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg2_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

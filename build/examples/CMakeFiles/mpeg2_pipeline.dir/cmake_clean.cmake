@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg2_pipeline.dir/mpeg2_pipeline.cpp.o"
+  "CMakeFiles/mpeg2_pipeline.dir/mpeg2_pipeline.cpp.o.d"
+  "mpeg2_pipeline"
+  "mpeg2_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg2_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_generator.dir/soc_generator.cpp.o"
+  "CMakeFiles/soc_generator.dir/soc_generator.cpp.o.d"
+  "soc_generator"
+  "soc_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

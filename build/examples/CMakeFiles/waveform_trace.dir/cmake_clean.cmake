@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveform_trace.dir/waveform_trace.cpp.o"
+  "CMakeFiles/waveform_trace.dir/waveform_trace.cpp.o.d"
+  "waveform_trace"
+  "waveform_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveform_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

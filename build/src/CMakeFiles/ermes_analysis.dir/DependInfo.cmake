@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/buffer_sizing.cpp" "src/CMakeFiles/ermes_analysis.dir/analysis/buffer_sizing.cpp.o" "gcc" "src/CMakeFiles/ermes_analysis.dir/analysis/buffer_sizing.cpp.o.d"
+  "/root/repo/src/analysis/deadlock.cpp" "src/CMakeFiles/ermes_analysis.dir/analysis/deadlock.cpp.o" "gcc" "src/CMakeFiles/ermes_analysis.dir/analysis/deadlock.cpp.o.d"
+  "/root/repo/src/analysis/performance.cpp" "src/CMakeFiles/ermes_analysis.dir/analysis/performance.cpp.o" "gcc" "src/CMakeFiles/ermes_analysis.dir/analysis/performance.cpp.o.d"
+  "/root/repo/src/analysis/sensitivity.cpp" "src/CMakeFiles/ermes_analysis.dir/analysis/sensitivity.cpp.o" "gcc" "src/CMakeFiles/ermes_analysis.dir/analysis/sensitivity.cpp.o.d"
+  "/root/repo/src/analysis/tmg_builder.cpp" "src/CMakeFiles/ermes_analysis.dir/analysis/tmg_builder.cpp.o" "gcc" "src/CMakeFiles/ermes_analysis.dir/analysis/tmg_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermes_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_tmg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

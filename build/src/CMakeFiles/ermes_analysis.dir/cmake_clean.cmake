@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_analysis.dir/analysis/buffer_sizing.cpp.o"
+  "CMakeFiles/ermes_analysis.dir/analysis/buffer_sizing.cpp.o.d"
+  "CMakeFiles/ermes_analysis.dir/analysis/deadlock.cpp.o"
+  "CMakeFiles/ermes_analysis.dir/analysis/deadlock.cpp.o.d"
+  "CMakeFiles/ermes_analysis.dir/analysis/performance.cpp.o"
+  "CMakeFiles/ermes_analysis.dir/analysis/performance.cpp.o.d"
+  "CMakeFiles/ermes_analysis.dir/analysis/sensitivity.cpp.o"
+  "CMakeFiles/ermes_analysis.dir/analysis/sensitivity.cpp.o.d"
+  "CMakeFiles/ermes_analysis.dir/analysis/tmg_builder.cpp.o"
+  "CMakeFiles/ermes_analysis.dir/analysis/tmg_builder.cpp.o.d"
+  "libermes_analysis.a"
+  "libermes_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/area_recovery.cpp" "src/CMakeFiles/ermes_dse.dir/dse/area_recovery.cpp.o" "gcc" "src/CMakeFiles/ermes_dse.dir/dse/area_recovery.cpp.o.d"
+  "/root/repo/src/dse/explorer.cpp" "src/CMakeFiles/ermes_dse.dir/dse/explorer.cpp.o" "gcc" "src/CMakeFiles/ermes_dse.dir/dse/explorer.cpp.o.d"
+  "/root/repo/src/dse/report.cpp" "src/CMakeFiles/ermes_dse.dir/dse/report.cpp.o" "gcc" "src/CMakeFiles/ermes_dse.dir/dse/report.cpp.o.d"
+  "/root/repo/src/dse/selection.cpp" "src/CMakeFiles/ermes_dse.dir/dse/selection.cpp.o" "gcc" "src/CMakeFiles/ermes_dse.dir/dse/selection.cpp.o.d"
+  "/root/repo/src/dse/timing_opt.cpp" "src/CMakeFiles/ermes_dse.dir/dse/timing_opt.cpp.o" "gcc" "src/CMakeFiles/ermes_dse.dir/dse/timing_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermes_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_tmg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_dse.dir/dse/area_recovery.cpp.o"
+  "CMakeFiles/ermes_dse.dir/dse/area_recovery.cpp.o.d"
+  "CMakeFiles/ermes_dse.dir/dse/explorer.cpp.o"
+  "CMakeFiles/ermes_dse.dir/dse/explorer.cpp.o.d"
+  "CMakeFiles/ermes_dse.dir/dse/report.cpp.o"
+  "CMakeFiles/ermes_dse.dir/dse/report.cpp.o.d"
+  "CMakeFiles/ermes_dse.dir/dse/selection.cpp.o"
+  "CMakeFiles/ermes_dse.dir/dse/selection.cpp.o.d"
+  "CMakeFiles/ermes_dse.dir/dse/timing_opt.cpp.o"
+  "CMakeFiles/ermes_dse.dir/dse/timing_opt.cpp.o.d"
+  "libermes_dse.a"
+  "libermes_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

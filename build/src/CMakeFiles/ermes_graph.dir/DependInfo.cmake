@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/cycles.cpp" "src/CMakeFiles/ermes_graph.dir/graph/cycles.cpp.o" "gcc" "src/CMakeFiles/ermes_graph.dir/graph/cycles.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/ermes_graph.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/ermes_graph.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/ermes_graph.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/ermes_graph.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/CMakeFiles/ermes_graph.dir/graph/scc.cpp.o" "gcc" "src/CMakeFiles/ermes_graph.dir/graph/scc.cpp.o.d"
+  "/root/repo/src/graph/topo.cpp" "src/CMakeFiles/ermes_graph.dir/graph/topo.cpp.o" "gcc" "src/CMakeFiles/ermes_graph.dir/graph/topo.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/CMakeFiles/ermes_graph.dir/graph/traversal.cpp.o" "gcc" "src/CMakeFiles/ermes_graph.dir/graph/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

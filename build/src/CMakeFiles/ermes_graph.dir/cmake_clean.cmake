@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_graph.dir/graph/cycles.cpp.o"
+  "CMakeFiles/ermes_graph.dir/graph/cycles.cpp.o.d"
+  "CMakeFiles/ermes_graph.dir/graph/digraph.cpp.o"
+  "CMakeFiles/ermes_graph.dir/graph/digraph.cpp.o.d"
+  "CMakeFiles/ermes_graph.dir/graph/dot.cpp.o"
+  "CMakeFiles/ermes_graph.dir/graph/dot.cpp.o.d"
+  "CMakeFiles/ermes_graph.dir/graph/scc.cpp.o"
+  "CMakeFiles/ermes_graph.dir/graph/scc.cpp.o.d"
+  "CMakeFiles/ermes_graph.dir/graph/topo.cpp.o"
+  "CMakeFiles/ermes_graph.dir/graph/topo.cpp.o.d"
+  "CMakeFiles/ermes_graph.dir/graph/traversal.cpp.o"
+  "CMakeFiles/ermes_graph.dir/graph/traversal.cpp.o.d"
+  "libermes_graph.a"
+  "libermes_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

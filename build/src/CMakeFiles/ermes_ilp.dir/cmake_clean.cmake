@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_ilp.dir/ilp/branch_and_bound.cpp.o"
+  "CMakeFiles/ermes_ilp.dir/ilp/branch_and_bound.cpp.o.d"
+  "CMakeFiles/ermes_ilp.dir/ilp/mckp.cpp.o"
+  "CMakeFiles/ermes_ilp.dir/ilp/mckp.cpp.o.d"
+  "CMakeFiles/ermes_ilp.dir/ilp/model.cpp.o"
+  "CMakeFiles/ermes_ilp.dir/ilp/model.cpp.o.d"
+  "CMakeFiles/ermes_ilp.dir/ilp/simplex.cpp.o"
+  "CMakeFiles/ermes_ilp.dir/ilp/simplex.cpp.o.d"
+  "libermes_ilp.a"
+  "libermes_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libermes_ilp.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/soc_format.cpp" "src/CMakeFiles/ermes_io.dir/io/soc_format.cpp.o" "gcc" "src/CMakeFiles/ermes_io.dir/io/soc_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermes_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_io.dir/io/soc_format.cpp.o"
+  "CMakeFiles/ermes_io.dir/io/soc_format.cpp.o.d"
+  "libermes_io.a"
+  "libermes_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

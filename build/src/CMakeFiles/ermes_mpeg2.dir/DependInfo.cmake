@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/mpeg2/characterization.cpp" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/characterization.cpp.o" "gcc" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/characterization.cpp.o.d"
+  "/root/repo/src/apps/mpeg2/functional_pipeline.cpp" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/functional_pipeline.cpp.o" "gcc" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/functional_pipeline.cpp.o.d"
+  "/root/repo/src/apps/mpeg2/kernels/dct.cpp" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/dct.cpp.o" "gcc" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/dct.cpp.o.d"
+  "/root/repo/src/apps/mpeg2/kernels/motion.cpp" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/motion.cpp.o" "gcc" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/motion.cpp.o.d"
+  "/root/repo/src/apps/mpeg2/kernels/quant.cpp" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/quant.cpp.o" "gcc" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/quant.cpp.o.d"
+  "/root/repo/src/apps/mpeg2/kernels/vlc.cpp" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/vlc.cpp.o" "gcc" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/vlc.cpp.o.d"
+  "/root/repo/src/apps/mpeg2/kernels/zigzag.cpp" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/zigzag.cpp.o" "gcc" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/zigzag.cpp.o.d"
+  "/root/repo/src/apps/mpeg2/topology.cpp" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/topology.cpp.o" "gcc" "src/CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermes_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_tmg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

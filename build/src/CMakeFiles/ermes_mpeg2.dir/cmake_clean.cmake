@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/characterization.cpp.o"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/characterization.cpp.o.d"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/functional_pipeline.cpp.o"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/functional_pipeline.cpp.o.d"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/dct.cpp.o"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/dct.cpp.o.d"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/motion.cpp.o"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/motion.cpp.o.d"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/quant.cpp.o"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/quant.cpp.o.d"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/vlc.cpp.o"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/vlc.cpp.o.d"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/zigzag.cpp.o"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/kernels/zigzag.cpp.o.d"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/topology.cpp.o"
+  "CMakeFiles/ermes_mpeg2.dir/apps/mpeg2/topology.cpp.o.d"
+  "libermes_mpeg2.a"
+  "libermes_mpeg2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_mpeg2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

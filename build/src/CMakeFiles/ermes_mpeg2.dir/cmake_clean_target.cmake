@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libermes_mpeg2.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ordering/baselines.cpp" "src/CMakeFiles/ermes_ordering.dir/ordering/baselines.cpp.o" "gcc" "src/CMakeFiles/ermes_ordering.dir/ordering/baselines.cpp.o.d"
+  "/root/repo/src/ordering/channel_ordering.cpp" "src/CMakeFiles/ermes_ordering.dir/ordering/channel_ordering.cpp.o" "gcc" "src/CMakeFiles/ermes_ordering.dir/ordering/channel_ordering.cpp.o.d"
+  "/root/repo/src/ordering/labeling.cpp" "src/CMakeFiles/ermes_ordering.dir/ordering/labeling.cpp.o" "gcc" "src/CMakeFiles/ermes_ordering.dir/ordering/labeling.cpp.o.d"
+  "/root/repo/src/ordering/local_search.cpp" "src/CMakeFiles/ermes_ordering.dir/ordering/local_search.cpp.o" "gcc" "src/CMakeFiles/ermes_ordering.dir/ordering/local_search.cpp.o.d"
+  "/root/repo/src/ordering/repair.cpp" "src/CMakeFiles/ermes_ordering.dir/ordering/repair.cpp.o" "gcc" "src/CMakeFiles/ermes_ordering.dir/ordering/repair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermes_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_tmg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_ordering.dir/ordering/baselines.cpp.o"
+  "CMakeFiles/ermes_ordering.dir/ordering/baselines.cpp.o.d"
+  "CMakeFiles/ermes_ordering.dir/ordering/channel_ordering.cpp.o"
+  "CMakeFiles/ermes_ordering.dir/ordering/channel_ordering.cpp.o.d"
+  "CMakeFiles/ermes_ordering.dir/ordering/labeling.cpp.o"
+  "CMakeFiles/ermes_ordering.dir/ordering/labeling.cpp.o.d"
+  "CMakeFiles/ermes_ordering.dir/ordering/local_search.cpp.o"
+  "CMakeFiles/ermes_ordering.dir/ordering/local_search.cpp.o.d"
+  "CMakeFiles/ermes_ordering.dir/ordering/repair.cpp.o"
+  "CMakeFiles/ermes_ordering.dir/ordering/repair.cpp.o.d"
+  "libermes_ordering.a"
+  "libermes_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

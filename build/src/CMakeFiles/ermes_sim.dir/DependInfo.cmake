@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/kernel.cpp" "src/CMakeFiles/ermes_sim.dir/sim/kernel.cpp.o" "gcc" "src/CMakeFiles/ermes_sim.dir/sim/kernel.cpp.o.d"
+  "/root/repo/src/sim/program.cpp" "src/CMakeFiles/ermes_sim.dir/sim/program.cpp.o" "gcc" "src/CMakeFiles/ermes_sim.dir/sim/program.cpp.o.d"
+  "/root/repo/src/sim/system_sim.cpp" "src/CMakeFiles/ermes_sim.dir/sim/system_sim.cpp.o" "gcc" "src/CMakeFiles/ermes_sim.dir/sim/system_sim.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/ermes_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/ermes_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermes_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_sim.dir/sim/kernel.cpp.o"
+  "CMakeFiles/ermes_sim.dir/sim/kernel.cpp.o.d"
+  "CMakeFiles/ermes_sim.dir/sim/program.cpp.o"
+  "CMakeFiles/ermes_sim.dir/sim/program.cpp.o.d"
+  "CMakeFiles/ermes_sim.dir/sim/system_sim.cpp.o"
+  "CMakeFiles/ermes_sim.dir/sim/system_sim.cpp.o.d"
+  "CMakeFiles/ermes_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/ermes_sim.dir/sim/trace.cpp.o.d"
+  "libermes_sim.a"
+  "libermes_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_synth.dir/synth/generator.cpp.o"
+  "CMakeFiles/ermes_synth.dir/synth/generator.cpp.o.d"
+  "CMakeFiles/ermes_synth.dir/synth/pareto_gen.cpp.o"
+  "CMakeFiles/ermes_synth.dir/synth/pareto_gen.cpp.o.d"
+  "libermes_synth.a"
+  "libermes_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysmodel/builder.cpp" "src/CMakeFiles/ermes_sysmodel.dir/sysmodel/builder.cpp.o" "gcc" "src/CMakeFiles/ermes_sysmodel.dir/sysmodel/builder.cpp.o.d"
+  "/root/repo/src/sysmodel/implementation.cpp" "src/CMakeFiles/ermes_sysmodel.dir/sysmodel/implementation.cpp.o" "gcc" "src/CMakeFiles/ermes_sysmodel.dir/sysmodel/implementation.cpp.o.d"
+  "/root/repo/src/sysmodel/stats.cpp" "src/CMakeFiles/ermes_sysmodel.dir/sysmodel/stats.cpp.o" "gcc" "src/CMakeFiles/ermes_sysmodel.dir/sysmodel/stats.cpp.o.d"
+  "/root/repo/src/sysmodel/system.cpp" "src/CMakeFiles/ermes_sysmodel.dir/sysmodel/system.cpp.o" "gcc" "src/CMakeFiles/ermes_sysmodel.dir/sysmodel/system.cpp.o.d"
+  "/root/repo/src/sysmodel/validate.cpp" "src/CMakeFiles/ermes_sysmodel.dir/sysmodel/validate.cpp.o" "gcc" "src/CMakeFiles/ermes_sysmodel.dir/sysmodel/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermes_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_sysmodel.dir/sysmodel/builder.cpp.o"
+  "CMakeFiles/ermes_sysmodel.dir/sysmodel/builder.cpp.o.d"
+  "CMakeFiles/ermes_sysmodel.dir/sysmodel/implementation.cpp.o"
+  "CMakeFiles/ermes_sysmodel.dir/sysmodel/implementation.cpp.o.d"
+  "CMakeFiles/ermes_sysmodel.dir/sysmodel/stats.cpp.o"
+  "CMakeFiles/ermes_sysmodel.dir/sysmodel/stats.cpp.o.d"
+  "CMakeFiles/ermes_sysmodel.dir/sysmodel/system.cpp.o"
+  "CMakeFiles/ermes_sysmodel.dir/sysmodel/system.cpp.o.d"
+  "CMakeFiles/ermes_sysmodel.dir/sysmodel/validate.cpp.o"
+  "CMakeFiles/ermes_sysmodel.dir/sysmodel/validate.cpp.o.d"
+  "libermes_sysmodel.a"
+  "libermes_sysmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_sysmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

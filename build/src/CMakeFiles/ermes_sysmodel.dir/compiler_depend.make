@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ermes_sysmodel.
+# This may be replaced when dependencies are built.

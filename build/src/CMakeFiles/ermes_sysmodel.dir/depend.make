@@ -1,0 +1,2 @@
+# Empty dependencies file for ermes_sysmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmg/brute_force.cpp" "src/CMakeFiles/ermes_tmg.dir/tmg/brute_force.cpp.o" "gcc" "src/CMakeFiles/ermes_tmg.dir/tmg/brute_force.cpp.o.d"
+  "/root/repo/src/tmg/cycle_ratio.cpp" "src/CMakeFiles/ermes_tmg.dir/tmg/cycle_ratio.cpp.o" "gcc" "src/CMakeFiles/ermes_tmg.dir/tmg/cycle_ratio.cpp.o.d"
+  "/root/repo/src/tmg/dot.cpp" "src/CMakeFiles/ermes_tmg.dir/tmg/dot.cpp.o" "gcc" "src/CMakeFiles/ermes_tmg.dir/tmg/dot.cpp.o.d"
+  "/root/repo/src/tmg/howard.cpp" "src/CMakeFiles/ermes_tmg.dir/tmg/howard.cpp.o" "gcc" "src/CMakeFiles/ermes_tmg.dir/tmg/howard.cpp.o.d"
+  "/root/repo/src/tmg/karp.cpp" "src/CMakeFiles/ermes_tmg.dir/tmg/karp.cpp.o" "gcc" "src/CMakeFiles/ermes_tmg.dir/tmg/karp.cpp.o.d"
+  "/root/repo/src/tmg/liveness.cpp" "src/CMakeFiles/ermes_tmg.dir/tmg/liveness.cpp.o" "gcc" "src/CMakeFiles/ermes_tmg.dir/tmg/liveness.cpp.o.d"
+  "/root/repo/src/tmg/marked_graph.cpp" "src/CMakeFiles/ermes_tmg.dir/tmg/marked_graph.cpp.o" "gcc" "src/CMakeFiles/ermes_tmg.dir/tmg/marked_graph.cpp.o.d"
+  "/root/repo/src/tmg/token_game.cpp" "src/CMakeFiles/ermes_tmg.dir/tmg/token_game.cpp.o" "gcc" "src/CMakeFiles/ermes_tmg.dir/tmg/token_game.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermes_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_tmg.dir/tmg/brute_force.cpp.o"
+  "CMakeFiles/ermes_tmg.dir/tmg/brute_force.cpp.o.d"
+  "CMakeFiles/ermes_tmg.dir/tmg/cycle_ratio.cpp.o"
+  "CMakeFiles/ermes_tmg.dir/tmg/cycle_ratio.cpp.o.d"
+  "CMakeFiles/ermes_tmg.dir/tmg/dot.cpp.o"
+  "CMakeFiles/ermes_tmg.dir/tmg/dot.cpp.o.d"
+  "CMakeFiles/ermes_tmg.dir/tmg/howard.cpp.o"
+  "CMakeFiles/ermes_tmg.dir/tmg/howard.cpp.o.d"
+  "CMakeFiles/ermes_tmg.dir/tmg/karp.cpp.o"
+  "CMakeFiles/ermes_tmg.dir/tmg/karp.cpp.o.d"
+  "CMakeFiles/ermes_tmg.dir/tmg/liveness.cpp.o"
+  "CMakeFiles/ermes_tmg.dir/tmg/liveness.cpp.o.d"
+  "CMakeFiles/ermes_tmg.dir/tmg/marked_graph.cpp.o"
+  "CMakeFiles/ermes_tmg.dir/tmg/marked_graph.cpp.o.d"
+  "CMakeFiles/ermes_tmg.dir/tmg/token_game.cpp.o"
+  "CMakeFiles/ermes_tmg.dir/tmg/token_game.cpp.o.d"
+  "libermes_tmg.a"
+  "libermes_tmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_tmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

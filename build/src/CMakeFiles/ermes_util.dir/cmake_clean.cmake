@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_util.dir/util/log.cpp.o"
+  "CMakeFiles/ermes_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/ermes_util.dir/util/period.cpp.o"
+  "CMakeFiles/ermes_util.dir/util/period.cpp.o.d"
+  "CMakeFiles/ermes_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ermes_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ermes_util.dir/util/stopwatch.cpp.o"
+  "CMakeFiles/ermes_util.dir/util/stopwatch.cpp.o.d"
+  "CMakeFiles/ermes_util.dir/util/table.cpp.o"
+  "CMakeFiles/ermes_util.dir/util/table.cpp.o.d"
+  "libermes_util.a"
+  "libermes_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

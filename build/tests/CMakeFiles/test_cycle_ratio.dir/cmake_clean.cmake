@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycle_ratio.dir/test_cycle_ratio.cpp.o"
+  "CMakeFiles/test_cycle_ratio.dir/test_cycle_ratio.cpp.o.d"
+  "test_cycle_ratio"
+  "test_cycle_ratio.pdb"
+  "test_cycle_ratio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycle_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermes_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_mpeg2.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_tmg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_motivating.dir/test_motivating.cpp.o"
+  "CMakeFiles/test_motivating.dir/test_motivating.cpp.o.d"
+  "test_motivating"
+  "test_motivating.pdb"
+  "test_motivating[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpeg2.dir/test_mpeg2.cpp.o"
+  "CMakeFiles/test_mpeg2.dir/test_mpeg2.cpp.o.d"
+  "test_mpeg2"
+  "test_mpeg2.pdb"
+  "test_mpeg2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpeg2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ordering_props.dir/test_ordering_props.cpp.o"
+  "CMakeFiles/test_ordering_props.dir/test_ordering_props.cpp.o.d"
+  "test_ordering_props"
+  "test_ordering_props.pdb"
+  "test_ordering_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ordering_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

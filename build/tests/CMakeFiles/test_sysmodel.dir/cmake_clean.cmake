@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysmodel.dir/test_sysmodel.cpp.o"
+  "CMakeFiles/test_sysmodel.dir/test_sysmodel.cpp.o.d"
+  "test_sysmodel"
+  "test_sysmodel.pdb"
+  "test_sysmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmg.dir/test_tmg.cpp.o"
+  "CMakeFiles/test_tmg.dir/test_tmg.cpp.o.d"
+  "test_tmg"
+  "test_tmg.pdb"
+  "test_tmg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

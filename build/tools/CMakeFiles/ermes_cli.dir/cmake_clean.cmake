@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermes_cli.dir/ermes_cli.cpp.o"
+  "CMakeFiles/ermes_cli.dir/ermes_cli.cpp.o.d"
+  "ermes"
+  "ermes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermes_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
