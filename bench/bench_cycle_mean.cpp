@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/performance.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "ordering/channel_ordering.h"
 #include "synth/generator.h"
 #include "tmg/brute_force.h"
@@ -52,6 +54,23 @@ void BM_Howard(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Howard)->Arg(32)->Arg(256)->Arg(2048)->Arg(16384);
+
+// Same workload with telemetry collection on: quantifies the overhead
+// contract (must stay within a few percent of BM_Howard). The span ring is
+// shrunk so a long benchmark run cannot grow the event vector unboundedly.
+void BM_HowardTelemetry(benchmark::State& state) {
+  const tmg::RatioGraph rg =
+      random_ratio_graph(static_cast<std::int32_t>(state.range(0)), 11);
+  obs::SpanRecorder::global().set_capacity(1 << 10);
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmg::max_cycle_ratio_howard(rg));
+  }
+  obs::set_enabled(false);
+  obs::SpanRecorder::global().clear();
+  obs::Registry::global().reset();
+}
+BENCHMARK(BM_HowardTelemetry)->Arg(32)->Arg(256)->Arg(2048)->Arg(16384);
 
 void BM_Lawler(benchmark::State& state) {
   const tmg::RatioGraph rg =

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "tmg/howard.h"
 #include "tmg/liveness.h"
 #include "util/table.h"
@@ -10,6 +12,8 @@
 namespace ermes::analysis {
 
 PerformanceReport analyze(const SystemTmg& stmg) {
+  obs::ObsSpan span("analysis.analyze", "analysis");
+  obs::count("analysis.analyses");
   PerformanceReport report;
 
   const tmg::LivenessResult liveness = tmg::check_liveness(stmg.graph);

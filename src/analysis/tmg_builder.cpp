@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace ermes::analysis {
 
 using sysmodel::ChannelId;
@@ -11,6 +13,7 @@ using tmg::PlaceId;
 using tmg::TransitionId;
 
 SystemTmg build_tmg(const SystemModel& sys) {
+  obs::count("analysis.tmg_builds");
   SystemTmg out;
 
   // Transitions. A rendezvous channel is one shared transition; a FIFO

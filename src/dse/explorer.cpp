@@ -6,6 +6,8 @@
 #include "analysis/performance.h"
 #include "dse/area_recovery.h"
 #include "dse/timing_opt.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "ordering/channel_ordering.h"
 #include "util/log.h"
 
@@ -33,9 +35,15 @@ PerformanceReport evaluate_candidate(const SystemModel& sys,
   SystemModel candidate = sys;
   apply_selection(candidate, selection);
   if (reorder) {
+    obs::ObsSpan reorder_span("dse.reorder", "dse");
     ordering::apply_ordering(candidate, ordering::channel_ordering(candidate));
   }
-  const PerformanceReport report = analysis::analyze_system(candidate);
+  PerformanceReport report;
+  {
+    obs::ObsSpan analyze_span("dse.analyze", "dse");
+    report = analysis::analyze_system(candidate);
+  }
+  obs::count("dse.candidates_evaluated");
   if (out != nullptr) *out = std::move(candidate);
   return report;
 }
@@ -43,6 +51,7 @@ PerformanceReport evaluate_candidate(const SystemModel& sys,
 }  // namespace
 
 ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
+  obs::ObsSpan explore_span("dse.explore", "dse");
   ExplorationResult result;
   std::set<SelectionVector> visited;
 
@@ -80,14 +89,26 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
     }
   };
 
-  if (options.reorder_channels) {
-    ordering::apply_ordering(sys, ordering::channel_ordering(sys));
+  PerformanceReport report;
+  {
+    obs::ObsSpan init_span("dse.iteration", "dse");
+    if (options.reorder_channels) {
+      obs::ObsSpan reorder_span("dse.reorder", "dse");
+      ordering::apply_ordering(sys, ordering::channel_ordering(sys));
+    }
+    obs::ObsSpan analyze_span("dse.analyze", "dse");
+    report = analysis::analyze_system(sys);
   }
-  PerformanceReport report = analysis::analyze_system(sys);
   record(0, Action::kInit, report);
   visited.insert(current_selection(sys));
+  ERMES_LOG(kDebug) << "dse: init CT="
+                    << (report.live ? report.cycle_time : -1.0)
+                    << " area=" << sys.total_area() << " target="
+                    << options.target_cycle_time;
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    obs::ObsSpan iter_span("dse.iteration", "dse");
+    obs::count("dse.iterations");
     if (!report.live) {
       ERMES_LOG(kWarn) << "explorer: system deadlocked, stopping";
       break;
@@ -106,9 +127,12 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
       // Area recovery. Overshooting the target is allowed (the next
       // iteration repairs it, exactly like the Fig. 6 trajectories), so any
       // change is accepted.
+      obs::ObsSpan select_span("dse.select", "dse");
+      obs::count("dse.area_recoveries");
       const AreaRecoveryResult ar =
           area_recovery(sys, report.critical_processes, slack,
                         options.target_cycle_time);
+      select_span.close();
       if (ar.feasible && ar.selection != current_selection(sys)) {
         next = ar.selection;
         action = Action::kAreaRecovery;
@@ -129,9 +153,12 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
           {/*allow_critical_slowdown=*/false, /*pin_non_critical=*/true},
       };
       for (const TimingOptPolicy& policy : kPolicies) {
+        obs::ObsSpan select_span("dse.select", "dse");
+        obs::count("dse.timing_opts");
         const TimingOptResult to = timing_optimization(
             sys, report.critical_processes, -slack, std::nullopt,
             options.target_cycle_time, policy);
+        select_span.close();
         if (!to.feasible || to.selection == current_selection(sys)) continue;
         SystemModel candidate_system;
         const PerformanceReport candidate_report =
@@ -153,6 +180,9 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
     }
 
     if (!accepted) {
+      ERMES_LOG(kDebug) << "dse: iter " << iter
+                        << " no acceptable move (slack=" << slack
+                        << "), converged";
       result.converged = true;
       break;
     }
@@ -160,12 +190,18 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
       // Configuration already explored: stop instead of cycling (the
       // paper's "constraints to discard the configurations already
       // optimized").
+      ERMES_LOG(kDebug) << "dse: iter " << iter
+                        << " revisited a configuration, converged";
       result.converged = true;
       break;
     }
     sys = std::move(accepted_system);
     report = accepted_report;
     record(iter, action, report);
+    ERMES_LOG(kDebug) << "dse: iter " << iter << " action="
+                      << to_string(action) << " CT=" << report.cycle_time
+                      << " area=" << sys.total_area() << " slack="
+                      << result.history.back().slack;
   }
 
   // Roll back to the best recorded state when the loop stopped elsewhere
@@ -178,6 +214,9 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
     rec.iteration = result.history.back().iteration + 1;
     rec.action = Action::kNone;
     result.history.push_back(rec);
+    obs::count("dse.rollbacks");
+    ERMES_LOG(kDebug) << "dse: rolled back to best state (CT="
+                      << rec.cycle_time << ", area=" << rec.area << ")";
   }
   result.met_target = !result.history.empty() &&
                       result.history.back().meets_target;
@@ -187,6 +226,7 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
 
 ExplorationResult explore_area_constrained(
     SystemModel sys, const DualExplorerOptions& options) {
+  obs::ObsSpan explore_span("dse.explore_area_constrained", "dse");
   ExplorationResult result;
   std::set<SelectionVector> visited;
 
@@ -212,6 +252,8 @@ ExplorationResult explore_area_constrained(
   visited.insert(current_selection(sys));
 
   for (int iter = 1; iter <= options.max_iterations && report.live; ++iter) {
+    obs::ObsSpan iter_span("dse.iteration", "dse");
+    obs::count("dse.iterations");
     bool accepted = false;
     SystemModel accepted_system;
     PerformanceReport accepted_report;

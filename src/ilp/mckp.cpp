@@ -5,10 +5,12 @@
 #include <limits>
 
 #include "ilp/branch_and_bound.h"
+#include "obs/metrics.h"
 
 namespace ermes::ilp {
 
 MckpSolution solve_mckp(const MckpProblem& problem) {
+  obs::count("ilp.mckp_solves");
   Model model;
   std::vector<std::vector<VarId>> vars(problem.groups.size());
   LinearExpr objective;
@@ -49,6 +51,7 @@ MckpSolution solve_mckp(const MckpProblem& problem) {
 }
 
 MckpSolution solve_mckp_dp(const MckpProblem& problem) {
+  obs::count("ilp.mckp_solves");
   MckpSolution out;
   // Weights may be negative (e.g. a latency *gain* frees budget). Shift each
   // group by its minimum weight so the DP runs over non-negative integers;

@@ -1,0 +1,56 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ermes::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // %g never emits a locale decimal point other than '.' in the "C" locale,
+  // but the process locale may differ; normalize defensively.
+  for (char* p = buf; *p != '\0'; ++p) {
+    if (*p == ',') *p = '.';
+  }
+  return buf;
+}
+
+std::string json_micros(std::int64_t ns) {
+  const bool negative = ns < 0;
+  const std::int64_t abs_ns = negative ? -ns : ns;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld.%03lld", negative ? "-" : "",
+                static_cast<long long>(abs_ns / 1000),
+                static_cast<long long>(abs_ns % 1000));
+  return buf;
+}
+
+}  // namespace ermes::obs

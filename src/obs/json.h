@@ -1,0 +1,27 @@
+#pragma once
+// Tiny JSON emission helpers shared by the telemetry exporters.
+//
+// ERMES has no external JSON dependency; the metrics snapshot and the Chrome
+// trace writer only ever *emit* JSON, so a string escaper and a
+// locale-independent number formatter are all that is needed.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ermes::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX escapes.
+std::string json_escape(std::string_view s);
+
+/// Formats a double as a JSON number ("." decimal separator regardless of
+/// locale, no exponent for the magnitudes telemetry produces, NaN/inf mapped
+/// to 0 since JSON cannot represent them).
+std::string json_number(double value);
+
+/// Formats nanoseconds as a microsecond JSON number with nanosecond
+/// resolution ("1234.567"), the unit Chrome trace events use for ts/dur.
+std::string json_micros(std::int64_t ns);
+
+}  // namespace ermes::obs

@@ -1,0 +1,287 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace ermes::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t bucket_upper_bound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kHistogramBuckets - 1) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+// ---- HistogramData ----------------------------------------------------------
+
+void HistogramData::observe(std::int64_t value) {
+  if (count == 0) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  ++buckets[static_cast<std::size_t>(bucket_index(value))];
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    buckets[static_cast<std::size_t>(b)] +=
+        other.buckets[static_cast<std::size_t>(b)];
+  }
+}
+
+std::int64_t HistogramData::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::int64_t>(q * static_cast<double>(count));
+  std::int64_t seen = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen > rank || (seen == count && seen >= rank)) {
+      return std::min(bucket_upper_bound(b), max);
+    }
+  }
+  return max;
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+namespace {
+
+void atomic_min(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(std::int64_t value) {
+  // First observation seeds min/max; the count_ fetch_add is the linearizing
+  // operation (min/max may be transiently off by concurrent firsts, which is
+  // acceptable for telemetry).
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, value);
+    atomic_max(max_, value);
+  }
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Histogram::record(const HistogramData& data) {
+  if (data.count == 0) return;
+  if (count_.fetch_add(data.count, std::memory_order_relaxed) == 0) {
+    min_.store(data.min, std::memory_order_relaxed);
+    max_.store(data.max, std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, data.min);
+    atomic_max(max_, data.max);
+  }
+  sum_.fetch_add(data.sum, std::memory_order_relaxed);
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const std::int64_t n = data.buckets[static_cast<std::size_t>(b)];
+    if (n != 0) {
+      buckets_[static_cast<std::size_t>(b)].fetch_add(
+          n, std::memory_order_relaxed);
+    }
+  }
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.min = min_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    out.buckets[static_cast<std::size_t>(b)] =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // leaked: outlive all statics
+  return *registry;
+}
+
+template <typename T>
+static T& find_or_create(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+    std::string_view name) {
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  return *map.emplace(std::string(name), std::make_unique<T>())
+              .first->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(histograms_, name);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::vector<Registry::Entry> Registry::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    Entry entry;
+    entry.name = name;
+    entry.kind = Entry::Kind::kCounter;
+    entry.value = counter->value();
+    out.push_back(std::move(entry));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    Entry entry;
+    entry.name = name;
+    entry.kind = Entry::Kind::kGauge;
+    entry.value = gauge->value();
+    out.push_back(std::move(entry));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Entry entry;
+    entry.name = name;
+    entry.kind = Entry::Kind::kHistogram;
+    entry.hist = histogram->snapshot();
+    entry.value = entry.hist.count;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  const std::vector<Entry> all = entries();
+  std::ostringstream out;
+  auto emit_scalar_section = [&](const char* section, Entry::Kind kind,
+                                 bool first_section) {
+    out << (first_section ? "" : ",") << '"' << section << "\":{";
+    bool first = true;
+    for (const Entry& entry : all) {
+      if (entry.kind != kind) continue;
+      out << (first ? "" : ",") << '"' << json_escape(entry.name)
+          << "\":" << entry.value;
+      first = false;
+    }
+    out << '}';
+  };
+  out << '{';
+  emit_scalar_section("counters", Entry::Kind::kCounter, true);
+  emit_scalar_section("gauges", Entry::Kind::kGauge, false);
+  out << ",\"histograms\":{";
+  bool first = true;
+  for (const Entry& entry : all) {
+    if (entry.kind != Entry::Kind::kHistogram) continue;
+    const HistogramData& h = entry.hist;
+    out << (first ? "" : ",") << '"' << json_escape(entry.name) << "\":{"
+        << "\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"min\":" << (h.count ? h.min : 0)
+        << ",\"max\":" << (h.count ? h.max : 0)
+        << ",\"mean\":" << json_number(h.mean()) << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const std::int64_t n = h.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      out << (first_bucket ? "" : ",") << '[' << bucket_upper_bound(b) << ','
+          << n << ']';
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+bool Registry::write_json(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size() &&
+      std::fputc('\n', file) != EOF;
+  return std::fclose(file) == 0 && ok;
+}
+
+// ---- convenience ------------------------------------------------------------
+
+void count(std::string_view name, std::int64_t delta) {
+  if (!enabled()) return;
+  Registry::global().counter(name).add(delta);
+}
+
+void gauge_set(std::string_view name, std::int64_t value) {
+  if (!enabled()) return;
+  Registry::global().gauge(name).set(value);
+}
+
+void observe(std::string_view name, std::int64_t value) {
+  if (!enabled()) return;
+  Registry::global().histogram(name).observe(value);
+}
+
+}  // namespace ermes::obs

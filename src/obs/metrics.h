@@ -1,0 +1,196 @@
+#pragma once
+// Library-wide telemetry: a thread-safe hierarchical metrics registry.
+//
+// Three instrument kinds, all addressed by dotted hierarchical names
+// ("howard.iterations", "sim.channel.dct_q.blocked_puts"):
+//
+//   * Counter   — monotonically increasing int64 (events, items).
+//   * Gauge     — last-written int64 (sizes, levels).
+//   * Histogram — value distribution over fixed log2 buckets (durations,
+//                 wait times); tracks count/sum/min/max exactly, the
+//                 distribution shape at power-of-two resolution.
+//
+// Cost contract: every instrumentation site must check obs::enabled() (a
+// single relaxed atomic load) before touching any instrument, so a build
+// with telemetry off pays one predictable branch per site and no atomic
+// read-modify-write. Enabled-path updates are lock-free atomics; only name
+// lookup takes the registry mutex, so hot loops should resolve their
+// instruments once (the returned references stay valid for the process
+// lifetime — reset() zeroes values but never erases registrations).
+//
+// The JSON snapshot (Registry::to_json) is the interchange format consumed
+// by `ermes --metrics out.json` and the tests; obs/report.h renders the same
+// data as analysis-style text tables.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ermes::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Process-wide master switch. Off by default: libraries must stay silent
+/// and near-free unless the application opts in.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+// ---- histogram bucketing ----------------------------------------------------
+
+/// Bucket i >= 1 holds values in [2^(i-1), 2^i - 1]; bucket 0 holds <= 0.
+/// 64 buckets cover the whole non-negative int64 range.
+inline constexpr int kHistogramBuckets = 64;
+
+/// Log2 bucket index for a value.
+inline int bucket_index(std::int64_t value) {
+  if (value <= 0) return 0;
+  const int width = std::bit_width(static_cast<std::uint64_t>(value));
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+/// Inclusive upper bound of a bucket (int64 max for the last).
+std::int64_t bucket_upper_bound(int bucket);
+
+/// Plain (non-atomic) histogram accumulator: the sim kernel and other
+/// single-threaded producers accumulate into one of these and merge it into
+/// a registry Histogram in one shot.
+struct HistogramData {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // meaningful only when count > 0
+  std::int64_t max = 0;
+  std::array<std::int64_t, kHistogramBuckets> buckets{};
+
+  void observe(std::int64_t value);
+  void merge(const HistogramData& other);
+  void reset() { *this = HistogramData{}; }
+
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+  /// Approximate quantile (q in [0,1]): upper bound of the bucket holding
+  /// the q-th observation. Exact for min/max-free questions like "p99 is
+  /// below 2^k cycles".
+  std::int64_t quantile(double q) const;
+};
+
+// ---- instruments ------------------------------------------------------------
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  void observe(std::int64_t value);
+  /// Merges a batch accumulated off to the side (one pass of atomics instead
+  /// of one per observation).
+  void record(const HistogramData& data);
+  HistogramData snapshot() const;
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+  std::array<std::atomic<std::int64_t>, kHistogramBuckets> buckets_{};
+};
+
+// ---- registry ---------------------------------------------------------------
+
+class Registry {
+ public:
+  /// The process-wide registry all ERMES instrumentation reports into.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates an instrument. References stay valid for the registry
+  /// lifetime (reset() zeroes, it never erases), so call sites may cache
+  /// them across runs.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zeroes every instrument, keeping all registrations (and therefore all
+  /// outstanding references) intact. Call between runs for a fresh snapshot.
+  void reset();
+
+  /// One snapshot entry, used by the table renderer and tests.
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::int64_t value = 0;  // counter/gauge value; histogram count
+    HistogramData hist;      // filled for histograms
+  };
+  /// All instruments, sorted by (kind, name).
+  std::vector<Entry> entries() const;
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms serialize count/sum/min/max/mean and the non-empty buckets
+  /// as [upper_bound, count] pairs.
+  std::string to_json() const;
+
+  /// Convenience: serializes to_json() to a file. Returns false on I/O error.
+  bool write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// ---- convenience free functions --------------------------------------------
+//
+// One-liners for warm (not innermost-loop) call sites; they check enabled()
+// themselves, so `obs::count("dse.iterations");` is safe to sprinkle. Each
+// call pays one registry map lookup — hot loops should cache instrument
+// references instead.
+
+void count(std::string_view name, std::int64_t delta = 1);
+void gauge_set(std::string_view name, std::int64_t value);
+void observe(std::string_view name, std::int64_t value);
+
+}  // namespace ermes::obs

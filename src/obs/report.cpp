@@ -1,0 +1,53 @@
+#include "obs/report.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace ermes::obs {
+
+std::string metrics_tables(const Registry& registry,
+                           const std::string& prefix) {
+  const std::vector<Registry::Entry> all = registry.entries();
+  auto selected = [&](const Registry::Entry& entry) {
+    return prefix.empty() || entry.name.rfind(prefix, 0) == 0;
+  };
+
+  util::Table scalars({"metric", "kind", "value"});
+  for (const Registry::Entry& entry : all) {
+    if (!selected(entry) || entry.kind == Registry::Entry::Kind::kHistogram) {
+      continue;
+    }
+    scalars.add_row({entry.name,
+                     entry.kind == Registry::Entry::Kind::kCounter ? "counter"
+                                                                   : "gauge",
+                     std::to_string(entry.value)});
+  }
+
+  util::Table hists({"histogram", "count", "sum", "mean", "min", "max",
+                     "~p99"});
+  for (const Registry::Entry& entry : all) {
+    if (!selected(entry) || entry.kind != Registry::Entry::Kind::kHistogram) {
+      continue;
+    }
+    const HistogramData& h = entry.hist;
+    hists.add_row({entry.name, std::to_string(h.count), std::to_string(h.sum),
+                   util::format_double(h.mean()),
+                   std::to_string(h.count ? h.min : 0),
+                   std::to_string(h.count ? h.max : 0),
+                   std::to_string(h.quantile(0.99))});
+  }
+
+  std::ostringstream out;
+  if (scalars.num_rows() > 0) out << scalars.to_text(0);
+  if (hists.num_rows() > 0) {
+    if (scalars.num_rows() > 0) out << '\n';
+    out << hists.to_text(0);
+  }
+  if (scalars.num_rows() == 0 && hists.num_rows() == 0) {
+    out << "(no metrics recorded)\n";
+  }
+  return out.str();
+}
+
+}  // namespace ermes::obs

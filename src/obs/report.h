@@ -1,0 +1,16 @@
+#pragma once
+// Text rendering of a metrics snapshot, in the analysis-report table style.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ermes::obs {
+
+/// Renders every registered instrument as aligned text tables (counters +
+/// gauges first, then one summary row per histogram with mean/min/max/p99).
+/// `prefix` filters to names starting with it ("" = everything).
+std::string metrics_tables(const Registry& registry = Registry::global(),
+                           const std::string& prefix = "");
+
+}  // namespace ermes::obs

@@ -1,0 +1,153 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace ermes::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Dense per-process thread index so trace rows are small stable integers.
+std::int32_t thread_index() {
+  static std::mutex mu;
+  static std::map<std::thread::id, std::int32_t> ids;
+  std::lock_guard<std::mutex> lock(mu);
+  const auto [it, inserted] =
+      ids.emplace(std::this_thread::get_id(),
+                  static_cast<std::int32_t>(ids.size()));
+  return it->second;
+}
+
+}  // namespace
+
+SpanRecorder& SpanRecorder::global() {
+  static SpanRecorder* recorder = new SpanRecorder();  // leaked: see Registry
+  return *recorder;
+}
+
+SpanRecorder::SpanRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_ns_(steady_now_ns()) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void SpanRecorder::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+std::int64_t SpanRecorder::now_ns() const {
+  return steady_now_ns() - epoch_ns_;
+}
+
+void SpanRecorder::record(std::string name, const char* category,
+                          std::int64_t start_ns, std::int64_t dur_ns) {
+  SpanEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.tid = thread_index();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+void SpanRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+std::size_t SpanRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::int64_t SpanRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<SpanEvent> SpanRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+std::string SpanRecorder::to_chrome_json() const {
+  const std::vector<SpanEvent> all = events();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& event : all) {
+    out << (first ? "" : ",") << "{\"name\":\"" << json_escape(event.name)
+        << "\",\"cat\":\"" << json_escape(event.category)
+        << "\",\"ph\":\"X\",\"ts\":" << json_micros(event.start_ns)
+        << ",\"dur\":" << json_micros(event.dur_ns)
+        << ",\"pid\":0,\"tid\":" << event.tid << '}';
+    first = false;
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+bool SpanRecorder::write_chrome_json(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size() &&
+      std::fputc('\n', file) != EOF;
+  return std::fclose(file) == 0 && ok;
+}
+
+ObsSpan::ObsSpan(std::string_view name, const char* category)
+    : category_(category) {
+  if (!enabled()) return;
+  name_ = name;  // copied only on the enabled path
+  start_ns_ = SpanRecorder::global().now_ns();
+}
+
+void ObsSpan::close() {
+  if (start_ns_ < 0) return;
+  SpanRecorder& recorder = SpanRecorder::global();
+  recorder.record(std::move(name_), category_, start_ns_,
+                  recorder.now_ns() - start_ns_);
+  start_ns_ = -1;
+}
+
+}  // namespace ermes::obs

@@ -1,0 +1,104 @@
+#pragma once
+// Scoped trace spans exported as Chrome trace-event JSON.
+//
+// An ObsSpan is an RAII guard: construction stamps a start time, destruction
+// records a completed span into the process-wide SpanRecorder. Spans nest
+// naturally — a child guard is destroyed before its parent, so its
+// [start, start+dur) interval is contained in the parent's and Perfetto /
+// chrome://tracing renders the containment as a flame graph.
+//
+// The recorder is a fixed-capacity ring buffer: recording never allocates
+// beyond the pre-sized ring and long runs keep the most recent spans (the
+// dropped count is reported so truncation is never silent). All timestamps
+// come from one steady_clock epoch per recorder, which makes ts/dur
+// monotonically consistent within an export.
+//
+// Cost contract: with obs::enabled() false an ObsSpan is two branches and no
+// clock read; enabled, it is two clock reads plus one short critical section
+// on the recorder mutex.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ermes::obs {
+
+struct SpanEvent {
+  std::string name;
+  const char* category = "ermes";  // must point to a static string
+  std::int64_t start_ns = 0;       // steady time since the recorder epoch
+  std::int64_t dur_ns = 0;
+  std::int32_t tid = 0;  // small dense thread index, not the OS id
+};
+
+class SpanRecorder {
+ public:
+  /// The process-wide recorder all ObsSpans report into.
+  static SpanRecorder& global();
+
+  explicit SpanRecorder(std::size_t capacity = 1 << 16);
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// Resizes the ring; discards already-recorded spans.
+  void set_capacity(std::size_t capacity);
+
+  /// Nanoseconds of steady time since this recorder's epoch.
+  std::int64_t now_ns() const;
+
+  /// Records a completed span (called by ~ObsSpan; usable directly for spans
+  /// whose bounds are known after the fact).
+  void record(std::string name, const char* category, std::int64_t start_ns,
+              std::int64_t dur_ns);
+
+  /// Drops all recorded spans (the epoch is unchanged).
+  void clear();
+
+  std::size_t size() const;
+  std::int64_t dropped() const;
+
+  /// Recorded spans, oldest first.
+  std::vector<SpanEvent> events() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), "X" complete events
+  /// with microsecond ts/dur at nanosecond resolution. Open the file in
+  /// Perfetto (ui.perfetto.dev) or chrome://tracing.
+  std::string to_chrome_json() const;
+
+  /// Serializes to_chrome_json() to a file. Returns false on I/O error.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;   // ring write cursor
+  bool wrapped_ = false;
+  std::int64_t dropped_ = 0;
+  std::int64_t epoch_ns_;  // steady_clock reading at construction
+};
+
+/// RAII span guard. Inactive (and nearly free) when obs::enabled() is false
+/// at construction; close() ends the span early.
+class ObsSpan {
+ public:
+  explicit ObsSpan(std::string_view name, const char* category = "ermes");
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+  ~ObsSpan() { close(); }
+
+  /// Records the span now instead of at scope exit (idempotent).
+  void close();
+
+  bool active() const { return start_ns_ >= 0; }
+
+ private:
+  std::string name_;
+  const char* category_;
+  std::int64_t start_ns_ = -1;  // -1 = inactive / already closed
+};
+
+}  // namespace ermes::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "ordering/repair.h"
 
 namespace ermes::ordering {
@@ -15,6 +17,8 @@ namespace {
 ChannelOrderingResult final_ordering(const SystemModel& sys,
                                      LabelingResult labels, bool tiebreak,
                                      bool feedback_first_last = false) {
+  obs::ObsSpan span("ordering.final_ordering", "ordering");
+  obs::count("ordering.orderings_computed");
   ChannelOrderingResult result;
   result.labels = std::move(labels);
   const LabelingResult& lab = result.labels;
@@ -87,6 +91,7 @@ ChannelOrderingResult channel_ordering_feedback_safe(const SystemModel& sys) {
 }
 
 void apply_ordering(SystemModel& sys, const ChannelOrderingResult& result) {
+  obs::count("ordering.orderings_applied");
   for (ProcessId p = 0; p < sys.num_processes(); ++p) {
     const auto pi = static_cast<std::size_t>(p);
     sys.set_input_order(p, result.input_order[pi]);

@@ -10,6 +10,7 @@
 #include <deque>
 #include <string>
 
+#include "obs/metrics.h"
 #include "sim/process.h"
 
 namespace ermes::sim {
@@ -42,6 +43,17 @@ struct ChannelState {
   std::int64_t last_transfer_completed_at = -1;
   std::int64_t producer_stall_cycles = 0;
   std::int64_t consumer_stall_cycles = 0;
+
+  /// Stall accounting: wait episodes with a nonzero wait (a put/get that
+  /// found its peer absent or the buffer full/empty and actually suspended).
+  std::int64_t blocked_puts = 0;
+  std::int64_t blocked_gets = 0;
+  /// Wait-time distribution per episode, zero-wait episodes included (so
+  /// count == completed puts/gets and the mean is the expected wait per
+  /// statement). Accumulated single-threaded by the kernel; merge into the
+  /// global registry with Kernel::publish_metrics().
+  obs::HistogramData put_wait;
+  obs::HistogramData get_wait;
 };
 
 }  // namespace ermes::sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/log.h"
 #include "util/period.h"
 
@@ -99,6 +101,8 @@ void Kernel::reset() {
     proc.loop_iterations = 0;
     proc.stall_cycles = 0;
     proc.compute_cycles = 0;
+    proc.cycles_in_status.fill(0);
+    proc.status_since = 0;
   }
   for (ChannelState& chan : chans_) {
     chan.producer_waiting = chan.consumer_waiting = false;
@@ -109,7 +113,19 @@ void Kernel::reset() {
     chan.transfers_completed = 0;
     chan.last_transfer_completed_at = -1;
     chan.producer_stall_cycles = chan.consumer_stall_cycles = 0;
+    chan.blocked_puts = chan.blocked_gets = 0;
+    chan.put_wait.reset();
+    chan.get_wait.reset();
   }
+}
+
+// Every in-run status change funnels through here so the per-status time
+// split stays consistent with the event clock.
+void Kernel::set_status(ProcessState& proc, ProcessState::Status status) {
+  proc.cycles_in_status[static_cast<std::size_t>(proc.status)] +=
+      now_ - proc.status_since;
+  proc.status_since = now_;
+  proc.status = status;
 }
 
 void Kernel::advance(SimProcessId p) {
@@ -130,7 +146,7 @@ void Kernel::advance(SimProcessId p) {
           ++proc.pc;
           continue;
         }
-        proc.status = ProcessState::Status::kComputing;
+        set_status(proc, ProcessState::Status::kComputing);
         proc.wake_at = now_ + stmt.cycles;
         trace_proc(p);
         heap_.push_back(Event{proc.wake_at, Event::Kind::kProcessWake, p});
@@ -145,7 +161,7 @@ void Kernel::advance(SimProcessId p) {
         assert(chan.consumer == p);
         chan.consumer_waiting = true;
         chan.consumer_wait_since = now_;
-        proc.status = ProcessState::Status::kWaiting;
+        set_status(proc, ProcessState::Status::kWaiting);
         proc.waiting_on = stmt.channel;
         trace_proc(p);
         if (chan.capacity > 0) {
@@ -162,7 +178,7 @@ void Kernel::advance(SimProcessId p) {
         assert(chan.producer == p);
         chan.producer_waiting = true;
         chan.producer_wait_since = now_;
-        proc.status = ProcessState::Status::kWaiting;
+        set_status(proc, ProcessState::Status::kWaiting);
         proc.waiting_on = stmt.channel;
         trace_proc(p);
         if (chan.capacity > 0) {
@@ -192,9 +208,13 @@ void Kernel::try_rendezvous(SimChannelId c) {
   chan.consumer_stall_cycles += consumer_stall;
   producer.stall_cycles += producer_stall;
   consumer.stall_cycles += consumer_stall;
+  chan.put_wait.observe(producer_stall);
+  chan.get_wait.observe(consumer_stall);
+  if (producer_stall > 0) ++chan.blocked_puts;
+  if (consumer_stall > 0) ++chan.blocked_gets;
   chan.in_flight = producer.behavior ? producer.behavior->on_put(c) : Packet{};
-  producer.status = ProcessState::Status::kTransferring;
-  consumer.status = ProcessState::Status::kTransferring;
+  set_status(producer, ProcessState::Status::kTransferring);
+  set_status(consumer, ProcessState::Status::kTransferring);
   producer.wake_at = consumer.wake_at = now_ + chan.latency;
   trace_proc(chan.producer);
   trace_proc(chan.consumer);
@@ -214,11 +234,13 @@ void Kernel::try_fifo_put(SimChannelId c) {
   const std::int64_t stall = now_ - chan.producer_wait_since;
   chan.producer_stall_cycles += stall;
   producer.stall_cycles += stall;
+  chan.put_wait.observe(stall);
+  if (stall > 0) ++chan.blocked_puts;
   chan.producer_waiting = false;
   chan.transfer_in_progress = true;
   ++chan.writes_in_flight;
   chan.in_flight = producer.behavior ? producer.behavior->on_put(c) : Packet{};
-  producer.status = ProcessState::Status::kTransferring;
+  set_status(producer, ProcessState::Status::kTransferring);
   producer.wake_at = now_ + chan.latency;
   trace_proc(chan.producer);
   push_event(now_ + chan.latency, Event::Kind::kTransferDone, c);
@@ -232,12 +254,14 @@ void Kernel::try_fifo_get(SimChannelId c) {
   const std::int64_t stall = now_ - chan.consumer_wait_since;
   chan.consumer_stall_cycles += stall;
   consumer.stall_cycles += stall;
+  chan.get_wait.observe(stall);
+  if (stall > 0) ++chan.blocked_gets;
   chan.consumer_waiting = false;
   const Packet packet = std::move(chan.buffer.front());
   chan.buffer.pop_front();
   if (consumer.behavior) consumer.behavior->on_get(c, packet);
   record_observation(c);
-  consumer.status = ProcessState::Status::kReady;
+  set_status(consumer, ProcessState::Status::kReady);
   consumer.waiting_on = -1;
   trace_proc(chan.consumer);
   trace_chan(c);
@@ -257,7 +281,7 @@ void Kernel::complete_fifo_write(SimChannelId c) {
   trace_chan(c);
 
   ProcessState& producer = procs_[static_cast<std::size_t>(chan.producer)];
-  producer.status = ProcessState::Status::kReady;
+  set_status(producer, ProcessState::Status::kReady);
   producer.waiting_on = -1;
   ++producer.pc;
 
@@ -266,12 +290,14 @@ void Kernel::complete_fifo_write(SimChannelId c) {
     const std::int64_t stall = now_ - chan.consumer_wait_since;
     chan.consumer_stall_cycles += stall;
     consumer.stall_cycles += stall;
+    chan.get_wait.observe(stall);
+    if (stall > 0) ++chan.blocked_gets;
     chan.consumer_waiting = false;
     const Packet packet = std::move(chan.buffer.front());
     chan.buffer.pop_front();
     if (consumer.behavior) consumer.behavior->on_get(c, packet);
     record_observation(c);
-    consumer.status = ProcessState::Status::kReady;
+    set_status(consumer, ProcessState::Status::kReady);
     consumer.waiting_on = -1;
     trace_proc(chan.consumer);
     trace_chan(c);
@@ -300,8 +326,8 @@ void Kernel::complete_transfer(SimChannelId c) {
   if (consumer.behavior) consumer.behavior->on_get(c, chan.in_flight);
   chan.in_flight = {};
 
-  producer.status = ProcessState::Status::kReady;
-  consumer.status = ProcessState::Status::kReady;
+  set_status(producer, ProcessState::Status::kReady);
+  set_status(consumer, ProcessState::Status::kReady);
   producer.waiting_on = consumer.waiting_on = -1;
   trace_proc(chan.producer);
   trace_proc(chan.consumer);
@@ -360,6 +386,7 @@ DeadlockInfo Kernel::detect_deadlock() const {
 
 RunResult Kernel::run(SimChannelId observe, std::int64_t target_transfers,
                       std::int64_t max_cycles) {
+  obs::ObsSpan span("sim.run", "sim");
   RunResult result;
   observe_ = observe;
   if (!started_) {
@@ -407,7 +434,7 @@ RunResult Kernel::run(SimChannelId observe, std::int64_t target_transfers,
         if (proc.status == ProcessState::Status::kComputing &&
             proc.wake_at == now_) {
           if (proc.behavior) proc.behavior->on_compute();
-          proc.status = ProcessState::Status::kReady;
+          set_status(proc, ProcessState::Status::kReady);
           trace_proc(event.index);
           ++proc.pc;
           advance(event.index);
@@ -425,6 +452,13 @@ RunResult Kernel::run(SimChannelId observe, std::int64_t target_transfers,
     if (result.hit_cycle_limit) break;
   }
 
+  // Close the open status intervals so the per-status splits sum to now_.
+  for (ProcessState& proc : procs_) {
+    proc.cycles_in_status[static_cast<std::size_t>(proc.status)] +=
+        now_ - proc.status_since;
+    proc.status_since = now_;
+  }
+
   result.cycles = now_;
   if (observe >= 0) {
     result.observed_count =
@@ -435,6 +469,60 @@ RunResult Kernel::run(SimChannelId observe, std::int64_t target_transfers,
     result.throughput = 1.0 / result.measured_cycle_time;
   }
   return result;
+}
+
+void Kernel::publish_metrics(std::string_view prefix) const {
+  if (!obs::enabled()) return;
+  obs::Registry& registry = obs::Registry::global();
+  const std::string base(prefix);
+
+  std::int64_t transfers = 0, blocked_puts = 0, blocked_gets = 0;
+  obs::HistogramData all_put_wait, all_get_wait;
+  for (const ChannelState& chan : chans_) {
+    transfers += chan.transfers_completed;
+    blocked_puts += chan.blocked_puts;
+    blocked_gets += chan.blocked_gets;
+    all_put_wait.merge(chan.put_wait);
+    all_get_wait.merge(chan.get_wait);
+    const std::string cbase = base + ".channel." + chan.name;
+    registry.counter(cbase + ".transfers").add(chan.transfers_completed);
+    registry.counter(cbase + ".blocked_puts").add(chan.blocked_puts);
+    registry.counter(cbase + ".blocked_gets").add(chan.blocked_gets);
+    registry.counter(cbase + ".put_wait_cycles")
+        .add(chan.producer_stall_cycles);
+    registry.counter(cbase + ".get_wait_cycles")
+        .add(chan.consumer_stall_cycles);
+    registry.histogram(cbase + ".put_wait").record(chan.put_wait);
+    registry.histogram(cbase + ".get_wait").record(chan.get_wait);
+  }
+
+  std::int64_t stall_cycles = 0;
+  using Status = ProcessState::Status;
+  for (const ProcessState& proc : procs_) {
+    stall_cycles += proc.stall_cycles;
+    const std::string pbase = base + ".process." + proc.name;
+    registry.counter(pbase + ".ready_cycles")
+        .add(proc.cycles_in_status[static_cast<std::size_t>(Status::kReady)]);
+    registry.counter(pbase + ".compute_cycles")
+        .add(proc.cycles_in_status[static_cast<std::size_t>(
+            Status::kComputing)]);
+    registry.counter(pbase + ".waiting_cycles")
+        .add(proc.cycles_in_status[static_cast<std::size_t>(
+            Status::kWaiting)]);
+    registry.counter(pbase + ".transfer_cycles")
+        .add(proc.cycles_in_status[static_cast<std::size_t>(
+            Status::kTransferring)]);
+  }
+
+  registry.counter(base + ".runs").add(1);
+  registry.counter(base + ".cycles").add(now_);
+  registry.counter(base + ".transfers").add(transfers);
+  registry.counter(base + ".blocked_puts").add(blocked_puts);
+  registry.counter(base + ".blocked_gets").add(blocked_gets);
+  registry.counter(base + ".rendezvous_waits").add(blocked_puts + blocked_gets);
+  registry.counter(base + ".stall_cycles").add(stall_cycles);
+  registry.histogram(base + ".put_wait").record(all_put_wait);
+  registry.histogram(base + ".get_wait").record(all_get_wait);
 }
 
 }  // namespace ermes::sim

@@ -9,10 +9,12 @@
 // statistics and per-channel throughput — the observable the TMG model
 // predicts analytically.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/channel.h"
@@ -41,6 +43,13 @@ struct ProcessState {
   std::int64_t loop_iterations = 0;  // completed passes over the program
   std::int64_t stall_cycles = 0;     // cycles suspended at blocking I/O
   std::int64_t compute_cycles = 0;
+
+  /// Simulated-time split by Status (indexed by static_cast<size_t>(Status)):
+  /// ready / computing / waiting / transferring. Maintained on every status
+  /// change and flushed up to now() when run() returns, so the four entries
+  /// always sum to the simulated time span of the runs so far.
+  std::array<std::int64_t, 4> cycles_in_status{};
+  std::int64_t status_since = 0;  // when the current status was entered
 };
 
 struct DeadlockInfo {
@@ -114,6 +123,14 @@ class Kernel {
 
   std::int64_t now() const { return now_; }
 
+  /// Merges the cumulative kernel statistics into the global telemetry
+  /// registry under `prefix` (counters like "<prefix>.blocked_puts",
+  /// per-channel "<prefix>.channel.<name>.blocked_puts", wait-time
+  /// histograms). No-op when telemetry is disabled. Statistics are
+  /// cumulative across run() calls: publish once per kernel lifetime (or
+  /// reset() in between) to avoid double counting.
+  void publish_metrics(std::string_view prefix = "sim") const;
+
  private:
   struct Event {
     std::int64_t time;
@@ -122,6 +139,7 @@ class Kernel {
   };
 
   void advance(SimProcessId p);
+  void set_status(ProcessState& proc, ProcessState::Status status);
   void try_rendezvous(SimChannelId c);
   void complete_transfer(SimChannelId c);
   void try_fifo_put(SimChannelId c);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace ermes::sim {
 
 using sysmodel::ChannelId;
@@ -83,6 +85,10 @@ SystemSimResult simulate_system(const SystemModel& sys, std::int64_t items,
   result.throughput = run.throughput;
   result.cycles = run.cycles;
   result.items = run.observed_count;
+  if (obs::enabled()) {
+    result.stalls = collect_stalls(kernel);
+    kernel.publish_metrics();
+  }
   return result;
 }
 

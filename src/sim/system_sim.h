@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/kernel.h"
+#include "sim/stall_report.h"
 #include "sysmodel/system.h"
 
 namespace ermes::sim {
@@ -32,6 +33,10 @@ struct SystemSimResult {
   double throughput = 0.0;
   std::int64_t cycles = 0;
   std::int64_t items = 0;
+  /// Per-process / per-channel stall accounting. Collected (and the kernel
+  /// statistics published to the telemetry registry under "sim.") only when
+  /// obs::enabled(); empty otherwise.
+  StallReport stalls;
 };
 
 /// Simulates until `items` transfers complete on `observe` (default: the

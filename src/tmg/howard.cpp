@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "graph/scc.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/log.h"
 
 namespace ermes::tmg {
@@ -36,12 +38,16 @@ class SccSolver {
   // Runs policy iteration. Fills `out` with this SCC's critical cycle if it
   // beats the current content. Returns false when no internal cycle exists
   // (trivial SCC without self-loop).
+  /// Policy-improvement rounds performed by the last solve() call.
+  int iterations() const { return iterations_; }
+
   bool solve(CycleRatioResult& out) {
     if (!init_policy()) return false;
     // Howard terminates after finitely many improvements; the cap is a
     // defensive bound (never hit in our test corpus).
     const int max_iters = 64 + 2 * static_cast<int>(members_.size());
     for (int iter = 0; iter < max_iters; ++iter) {
+      iterations_ = iter + 1;
       if (!evaluate()) {
         // Zero-token cycle: infinite ratio (deadlocked TMG).
         out.has_cycle = true;
@@ -231,6 +237,7 @@ class SccSolver {
   std::vector<std::int32_t> done_;
   std::int32_t stamp_ = 0;
   std::vector<NodeId> walk_;
+  int iterations_ = 0;
 
   bool best_of_eval_set_ = false;
   std::vector<ArcId> best_cycle_;
@@ -240,7 +247,27 @@ class SccSolver {
 
 }  // namespace
 
+namespace {
+
+// Publishes one solve's worth of telemetry in a single batch; the statics
+// cache the registry lookups (registrations are never erased, so the
+// references stay valid across Registry::reset()).
+void publish_howard_metrics(int iterations) {
+  static obs::Counter& solves =
+      obs::Registry::global().counter("howard.solves");
+  static obs::Counter& iters =
+      obs::Registry::global().counter("howard.iterations");
+  static obs::Histogram& per_solve =
+      obs::Registry::global().histogram("howard.iterations_per_solve");
+  solves.add(1);
+  iters.add(iterations);
+  per_solve.observe(iterations);
+}
+
+}  // namespace
+
 CycleRatioResult max_cycle_ratio_howard(const RatioGraph& rg) {
+  obs::ObsSpan span("howard.solve", "tmg");
   CycleRatioResult result;
   // Zero-token cycles make the ratio infinite but are invisible to policy
   // improvement (their lambda never materializes unless a policy lands on
@@ -252,15 +279,24 @@ CycleRatioResult max_cycle_ratio_howard(const RatioGraph& rg) {
     result.ratio_den = 0;
     for (graph::ArcId a : zero_cycle) result.ratio_num += rg.arc_weight(a);
     result.critical_cycle = std::move(zero_cycle);
+    ERMES_LOG(kDebug) << "howard: zero-token cycle of "
+                      << result.critical_cycle.size()
+                      << " arcs, ratio infinite";
+    if (obs::enabled()) publish_howard_metrics(0);
     return result;
   }
   const graph::SccResult sccs = graph::strongly_connected_components(rg.g);
+  int total_iterations = 0;
   for (std::int32_t c = 0; c < sccs.num_components; ++c) {
     SccSolver solver(rg, sccs.component, c,
                      sccs.members[static_cast<std::size_t>(c)]);
-    solver.solve(result);
-    if (result.is_infinite()) return result;  // deadlock dominates
+    if (solver.solve(result)) total_iterations += solver.iterations();
+    if (result.is_infinite()) break;  // deadlock dominates
   }
+  if (obs::enabled()) publish_howard_metrics(total_iterations);
+  ERMES_LOG(kDebug) << "howard: converged after " << total_iterations
+                    << " policy iterations over " << sccs.num_components
+                    << " SCCs";
   return result;
 }
 

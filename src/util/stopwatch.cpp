@@ -2,6 +2,12 @@
 
 namespace ermes::util {
 
+std::int64_t Stopwatch::elapsed_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start_)
+      .count();
+}
+
 double Stopwatch::elapsed_seconds() const {
   return std::chrono::duration<double>(Clock::now() - start_).count();
 }

@@ -1,24 +1,33 @@
 #pragma once
-// Wall-clock stopwatch used by the scalability benchmarks.
+// Wall-clock stopwatch used by the benchmarks and the telemetry layer.
+//
+// Explicitly bound to std::chrono::steady_clock: telemetry durations must
+// be monotonic (never jump backwards on NTP adjustments), and the trace
+// exporter relies on elapsed_ns() being consistent with the span recorder's
+// steady epoch.
 
 #include <chrono>
+#include <cstdint>
 
 namespace ermes::util {
 
 class Stopwatch {
  public:
+  /// Monotonic clock; the explicit alias is part of the contract.
+  using Clock = std::chrono::steady_clock;
+
   Stopwatch() : start_(Clock::now()) {}
 
   /// Restarts the stopwatch.
   void reset() { start_ = Clock::now(); }
 
   /// Elapsed time since construction or the last reset().
+  std::int64_t elapsed_ns() const;
   double elapsed_seconds() const;
   double elapsed_ms() const { return elapsed_seconds() * 1e3; }
   double elapsed_us() const { return elapsed_seconds() * 1e6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

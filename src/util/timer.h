@@ -1,0 +1,51 @@
+#pragma once
+// RAII timer guard that feeds a histogram in the telemetry registry.
+//
+// Usage:
+//   { util::Timer t("ilp.solve_ns"); solve(); }        // named lookup
+//   static obs::Histogram& h =
+//       obs::Registry::global().histogram("howard.solve_ns");
+//   { util::Timer t(h); ... }                           // cached, hot paths
+//
+// The guard observes elapsed nanoseconds at scope exit, and only when
+// telemetry is enabled — with obs::enabled() false it costs two branches.
+// Header-only; users link ermes_obs (any target linking ermes::ermes does).
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace ermes::util {
+
+class Timer {
+ public:
+  /// Feeds a pre-resolved histogram (preferred on hot paths).
+  explicit Timer(obs::Histogram& histogram)
+      : histogram_(obs::enabled() ? &histogram : nullptr) {}
+
+  /// Resolves `name` in the global registry (one map lookup when enabled).
+  explicit Timer(std::string_view name)
+      : histogram_(obs::enabled()
+                       ? &obs::Registry::global().histogram(name)
+                       : nullptr) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { stop(); }
+
+  /// Records now instead of at scope exit (idempotent).
+  void stop() {
+    if (histogram_ == nullptr) return;
+    histogram_->observe(stopwatch_.elapsed_ns());
+    histogram_ = nullptr;
+  }
+
+ private:
+  obs::Histogram* histogram_;
+  Stopwatch stopwatch_;
+};
+
+}  // namespace ermes::util

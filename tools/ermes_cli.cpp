@@ -9,12 +9,20 @@
 //   ermes sens     <file.soc>              latency sensitivity table
 //   ermes dot      <file.soc>              Graphviz topology dump to stdout
 //   ermes tmgdot   <file.soc>              Graphviz dump of the elaborated TMG
+//   ermes profile  <file.soc> [tct]        phase timings + telemetry for the full flow
 //   ermes demo                             write the DAC'14 motivating example to stdout
+//
+// Global flags (any command):
+//   --metrics <out.json>   enable telemetry, write a metrics snapshot on exit
+//   --trace <out.json>     enable telemetry, write a Chrome trace (Perfetto)
+//   --log <level>          trace|debug|info|warn|error|off (default warn)
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "analysis/buffer_sizing.h"
 #include "analysis/deadlock.h"
@@ -24,12 +32,17 @@
 #include "dse/explorer.h"
 #include "graph/dot.h"
 #include "io/soc_format.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/span.h"
 #include "ordering/channel_ordering.h"
 #include "ordering/local_search.h"
 #include "sim/system_sim.h"
 #include "sysmodel/builder.h"
 #include "sysmodel/stats.h"
 #include "tmg/dot.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
 #include "util/table.h"
 
 using namespace ermes;
@@ -39,9 +52,96 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ermes "
-               "<analyze|order|simulate|dse|size|stats|sens|dot|tmgdot|demo> "
-               "<file.soc> [args]\n");
+               "<analyze|order|simulate|dse|size|stats|sens|dot|tmgdot|"
+               "profile|demo> "
+               "<file.soc> [args]\n"
+               "       global flags: [--metrics out.json] [--trace out.json] "
+               "[--log trace|debug|info|warn|error|off]\n");
   return 2;
+}
+
+// Output paths for the telemetry dumps; either one enables collection.
+struct GlobalOptions {
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+bool parse_log_level(const char* name, util::LogLevel* out) {
+  const struct { const char* name; util::LogLevel level; } kLevels[] = {
+      {"trace", util::LogLevel::kTrace}, {"debug", util::LogLevel::kDebug},
+      {"info", util::LogLevel::kInfo},   {"warn", util::LogLevel::kWarn},
+      {"error", util::LogLevel::kError}, {"off", util::LogLevel::kOff},
+  };
+  for (const auto& entry : kLevels) {
+    if (std::strcmp(name, entry.name) == 0) {
+      *out = entry.level;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Strips --metrics/--trace/--log (with their values) out of argv; the
+// remaining positional arguments keep their order. Returns false on a
+// malformed flag (missing value, unknown log level).
+bool extract_global_flags(int argc, char** argv, GlobalOptions& options,
+                          std::vector<char*>& positional) {
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--metrics") == 0 ||
+        std::strcmp(arg, "--trace") == 0 || std::strcmp(arg, "--log") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg);
+        return false;
+      }
+      const char* value = argv[++i];
+      if (std::strcmp(arg, "--metrics") == 0) {
+        options.metrics_path = value;
+      } else if (std::strcmp(arg, "--trace") == 0) {
+        options.trace_path = value;
+      } else {
+        util::LogLevel level;
+        if (!parse_log_level(value, &level)) {
+          std::fprintf(stderr, "error: unknown log level '%s'\n", value);
+          return false;
+        }
+        util::set_log_level(level);
+      }
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
+  if (!options.metrics_path.empty() || !options.trace_path.empty()) {
+    obs::set_enabled(true);
+  }
+  return true;
+}
+
+// Writes the requested telemetry dumps after the command ran. Returns false
+// if a requested dump could not be written.
+bool flush_telemetry(const GlobalOptions& options) {
+  bool ok = true;
+  if (!options.metrics_path.empty()) {
+    if (obs::Registry::global().write_json(options.metrics_path)) {
+      std::fprintf(stderr, "metrics written to %s\n",
+                   options.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.metrics_path.c_str());
+      ok = false;
+    }
+  }
+  if (!options.trace_path.empty()) {
+    if (obs::SpanRecorder::global().write_chrome_json(options.trace_path)) {
+      std::fprintf(stderr, "trace written to %s (open in Perfetto)\n",
+                   options.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.trace_path.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 bool load(const char* path, io::ParseResult& parsed) {
@@ -111,6 +211,9 @@ int cmd_simulate(const char* path, std::int64_t items) {
               static_cast<long long>(result.cycles),
               util::format_double(result.measured_cycle_time).c_str(),
               util::format_double(result.throughput, 6).c_str());
+  if (obs::enabled()) {
+    std::printf("\n%s", result.stalls.to_text(0).c_str());
+  }
   return 0;
 }
 
@@ -131,6 +234,64 @@ int cmd_dse(const char* path, std::int64_t tct) {
   std::printf("%s", table.to_text(0).c_str());
   std::printf("%s\n", result.met_target ? "target met" : "target NOT met");
   return result.met_target ? 0 : 1;
+}
+
+// Runs the full flow (parse, analyze, order, dse) with telemetry forced on
+// and prints a phase-time table followed by the collected metrics. When no
+// target cycle time is given, the post-ordering cycle time is the target, so
+// the DSE phase degenerates to area recovery at current performance.
+int cmd_profile(const char* path, std::int64_t tct) {
+  obs::set_enabled(true);
+  util::Table phases({"phase", "time (ms)", "result"});
+  auto ms = [](const util::Stopwatch& sw) {
+    return util::format_double(
+        static_cast<double>(sw.elapsed_ns()) / 1e6, 3);
+  };
+
+  util::Stopwatch parse_sw;
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  phases.add_row({"parse", ms(parse_sw),
+                  std::to_string(parsed.system.num_processes()) +
+                      " processes, " +
+                      std::to_string(parsed.system.num_channels()) +
+                      " channels"});
+
+  util::Stopwatch analyze_sw;
+  const analysis::PerformanceReport initial =
+      analysis::analyze_system(parsed.system);
+  phases.add_row({"analyze", ms(analyze_sw),
+                  initial.live
+                      ? "CT " + util::format_double(initial.cycle_time)
+                      : "DEADLOCK"});
+
+  util::Stopwatch order_sw;
+  sysmodel::SystemModel ordered =
+      ordering::with_optimal_ordering(parsed.system);
+  const analysis::PerformanceReport after_order =
+      analysis::analyze_system(ordered);
+  phases.add_row({"order", ms(order_sw),
+                  after_order.live
+                      ? "CT " + util::format_double(after_order.cycle_time)
+                      : "DEADLOCK"});
+
+  if (after_order.live) {
+    if (tct <= 0) {
+      tct = static_cast<std::int64_t>(std::llround(after_order.cycle_time));
+    }
+    util::Stopwatch dse_sw;
+    dse::ExplorerOptions options;
+    options.target_cycle_time = tct;
+    const dse::ExplorationResult result = dse::explore(ordered, options);
+    phases.add_row(
+        {"dse (tct " + std::to_string(tct) + ")", ms(dse_sw),
+         std::to_string(result.history.size()) + " iterations, " +
+             (result.met_target ? "target met" : "target NOT met")});
+  }
+
+  std::printf("%s\n%s", phases.to_text(0).c_str(),
+              obs::metrics_tables().c_str());
+  return 0;
 }
 
 int cmd_size(const char* path, std::int64_t tct) {
@@ -204,9 +365,8 @@ int cmd_dot(const char* path) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+// Dispatches on the positional arguments left after global-flag stripping.
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "demo") {
@@ -234,9 +394,24 @@ int main(int argc, char** argv) {
     if (argc < 4) return usage();
     return cmd_size(argv[2], std::atoll(argv[3]));
   }
+  if (cmd == "profile") {
+    return cmd_profile(argv[2], argc >= 4 ? std::atoll(argv[3]) : 0);
+  }
   if (cmd == "dot") return cmd_dot(argv[2]);
   if (cmd == "stats") return cmd_stats(argv[2]);
   if (cmd == "sens") return cmd_sensitivity(argv[2]);
   if (cmd == "tmgdot") return cmd_tmgdot(argv[2]);
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GlobalOptions options;
+  std::vector<char*> positional;
+  if (!extract_global_flags(argc, argv, options, positional)) return 2;
+  const int rc =
+      dispatch(static_cast<int>(positional.size()), positional.data());
+  if (!flush_telemetry(options) && rc == 0) return 1;
+  return rc;
 }
