@@ -1,0 +1,235 @@
+#include "analysis/eval_cache.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace ermes::analysis {
+
+namespace {
+
+// FNV-1a offset/prime over splitmix64-diffused words: FNV alone mixes low
+// bytes poorly for small integers (latencies are tiny), so each word is
+// avalanche-mixed first. Near-identical systems — two processes swapping
+// latencies, one order transposition — must land on distinct fingerprints.
+struct Hasher {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void word(std::uint64_t w) {
+    h = (h ^ util::splitmix64(w)) * 0x100000001b3ULL;
+  }
+  void sword(std::int64_t w) { word(static_cast<std::uint64_t>(w)); }
+};
+
+#ifndef NDEBUG
+bool reports_bit_identical(const PerformanceReport& a,
+                           const PerformanceReport& b) {
+  const auto bits = [](double d) {
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  return a.live == b.live && bits(a.cycle_time) == bits(b.cycle_time) &&
+         a.ct_num == b.ct_num && a.ct_den == b.ct_den &&
+         bits(a.throughput) == bits(b.throughput) &&
+         a.dead_cycle == b.dead_cycle &&
+         a.critical_processes == b.critical_processes &&
+         a.critical_channels == b.critical_channels &&
+         a.critical_places == b.critical_places;
+}
+#endif
+
+}  // namespace
+
+std::uint64_t system_fingerprint(const sysmodel::SystemModel& sys) {
+  Hasher hasher;
+  hasher.sword(sys.num_processes());
+  hasher.sword(sys.num_channels());
+  for (sysmodel::ProcessId p = 0; p < sys.num_processes(); ++p) {
+    hasher.sword(sys.latency(p));
+    hasher.word(sys.primed(p) ? 0x9e37 : 0x79b9);
+    // Orders are length-prefixed so that shifting a channel between the two
+    // lists cannot alias a permutation within one list.
+    const auto& inputs = sys.input_order(p);
+    hasher.word(inputs.size());
+    for (sysmodel::ChannelId c : inputs) hasher.sword(c);
+    const auto& outputs = sys.output_order(p);
+    hasher.word(outputs.size());
+    for (sysmodel::ChannelId c : outputs) hasher.sword(c);
+  }
+  for (sysmodel::ChannelId c = 0; c < sys.num_channels(); ++c) {
+    hasher.sword(sys.channel_source(c));
+    hasher.sword(sys.channel_target(c));
+    hasher.sword(sys.channel_latency(c));
+    hasher.sword(sys.channel_capacity(c));
+  }
+  return hasher.h;
+}
+
+std::uint64_t implementation_fingerprint(const sysmodel::SystemModel& sys) {
+  Hasher hasher;
+  hasher.sword(sys.num_processes());
+  for (sysmodel::ProcessId p = 0; p < sys.num_processes(); ++p) {
+    const sysmodel::ParetoSet& set = sys.implementations(p);
+    hasher.word(set.size());
+    for (const sysmodel::Implementation& impl : set.implementations()) {
+      hasher.sword(impl.latency);
+      std::uint64_t area_bits;
+      std::memcpy(&area_bits, &impl.area, sizeof(area_bits));
+      hasher.word(area_bits);
+    }
+  }
+  return hasher.h;
+}
+
+std::uint64_t fingerprint_mix(std::uint64_t h, std::uint64_t word) {
+  return (h ^ util::splitmix64(word)) * 0x100000001b3ULL;
+}
+
+EvalCache::EvalCache(std::size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  eval_shards_.reserve(num_shards);
+  aux_shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard<PerformanceReport>>());
+    eval_shards_.push_back(std::make_unique<Shard<OrderedEval>>());
+    aux_shards_.push_back(std::make_unique<Shard<std::vector<std::int64_t>>>());
+  }
+}
+
+bool EvalCache::lookup(std::uint64_t fingerprint,
+                       PerformanceReport* out) const {
+  Shard<PerformanceReport>& shard = shard_of(shards_, fingerprint);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(fingerprint);
+    if (it != shard.map.end()) {
+      if (out != nullptr) *out = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) obs::count("analysis.eval_cache.hits");
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) obs::count("analysis.eval_cache.misses");
+  return false;
+}
+
+void EvalCache::insert(std::uint64_t fingerprint,
+                       const PerformanceReport& report) {
+  Shard<PerformanceReport>& shard = shard_of(shards_, fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(fingerprint, report);
+}
+
+bool EvalCache::lookup_eval(std::uint64_t pre_reorder_fingerprint,
+                            OrderedEval* out) const {
+  Shard<OrderedEval>& shard = shard_of(eval_shards_, pre_reorder_fingerprint);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(pre_reorder_fingerprint);
+    if (it != shard.map.end()) {
+      if (out != nullptr) *out = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) obs::count("analysis.eval_cache.eval_hits");
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) obs::count("analysis.eval_cache.eval_misses");
+  return false;
+}
+
+void EvalCache::insert_eval(std::uint64_t pre_reorder_fingerprint,
+                            const OrderedEval& eval) {
+  Shard<OrderedEval>& shard = shard_of(eval_shards_, pre_reorder_fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(pre_reorder_fingerprint, eval);
+}
+
+bool EvalCache::lookup_aux(std::uint64_t key,
+                           std::vector<std::int64_t>* out) const {
+  Shard<std::vector<std::int64_t>>& shard = shard_of(aux_shards_, key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      if (out != nullptr) *out = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) obs::count("analysis.eval_cache.aux_hits");
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) obs::count("analysis.eval_cache.aux_misses");
+  return false;
+}
+
+void EvalCache::insert_aux(std::uint64_t key,
+                           const std::vector<std::int64_t>& payload) {
+  Shard<std::vector<std::int64_t>>& shard = shard_of(aux_shards_, key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(key, payload);
+}
+
+PerformanceReport EvalCache::analyze(const sysmodel::SystemModel& sys) {
+  const std::uint64_t fingerprint = system_fingerprint(sys);
+  PerformanceReport report;
+  if (lookup(fingerprint, &report)) {
+#ifndef NDEBUG
+    // Sampled collision/staleness guard: every 16th hit re-runs the full
+    // sequential analysis and insists on a bit-identical report.
+    if (verify_tick_.fetch_add(1, std::memory_order_relaxed) % 16 == 0) {
+      assert(reports_bit_identical(report, analyze_system(sys)) &&
+             "EvalCache: cached report diverges from sequential re-analysis "
+             "(fingerprint collision or stale entry)");
+    }
+#endif
+    return report;
+  }
+  report = analyze_system(sys);
+  insert(fingerprint, report);
+  return report;
+}
+
+void EvalCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+  }
+  for (const auto& shard : eval_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+  }
+  for (const auto& shard : aux_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+  }
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  for (const auto& shard : eval_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  for (const auto& shard : aux_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+double EvalCache::hit_rate() const {
+  const double h = static_cast<double>(hits());
+  const double m = static_cast<double>(misses());
+  return h + m > 0.0 ? h / (h + m) : 0.0;
+}
+
+}  // namespace ermes::analysis

@@ -1,0 +1,134 @@
+#pragma once
+// Memoized system evaluation.
+//
+// The cycle time, critical cycle, and liveness of a system are pure
+// functions of its TMG labeling — process latencies, channel delays and
+// capacities, I/O orders, and the initial marking (primed flags). Millo &
+// de Simone's periodic-scheduling results make this precise: throughput is
+// determined by the (delay, marking) pair alone. That purity is what makes
+// evaluations safely cacheable across DSE iterations, TCT sweep points, and
+// threads: two candidates that agree on the labeling agree on the report,
+// bit for bit.
+//
+// system_fingerprint hashes exactly the fields the TMG elaboration reads
+// (and nothing else — areas and names are excluded on purpose), so the
+// fingerprint is a sound memo key up to 64-bit collisions. Debug builds
+// guard against collisions and staleness by re-analyzing a sampled subset
+// of hits and asserting bit-identical reports.
+//
+// EvalCache is sharded: lookups take one shard mutex, so concurrent workers
+// evaluating different candidates rarely contend. Hit/miss counts are kept
+// per cache and mirrored into the obs registry (analysis.eval_cache.hits /
+// .misses) when telemetry is enabled.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/performance.h"
+#include "sysmodel/system.h"
+
+namespace ermes::analysis {
+
+/// 64-bit fingerprint of everything performance analysis depends on:
+/// process latencies and primed flags, per-process get/put orders, channel
+/// endpoints, delays, and capacities. Names and areas are excluded (they do
+/// not affect the TMG). FNV-style combination of splitmix64-diffused words.
+std::uint64_t system_fingerprint(const sysmodel::SystemModel& sys);
+
+/// Companion fingerprint of the implementation space: each process' Pareto
+/// set as (latency, area-bits) pairs. system_fingerprint deliberately
+/// excludes areas (they do not affect the TMG); solvers that *do* read areas
+/// — the DSE selection ILPs — fold this in alongside the current selection.
+/// Constant across an exploration (only the selection changes, never the
+/// sets), so callers compute it once per run.
+std::uint64_t implementation_fingerprint(const sysmodel::SystemModel& sys);
+
+/// Folds one more word into a memo key with the same FNV/splitmix
+/// combination the fingerprints use (for solver parameters, tags, ...).
+std::uint64_t fingerprint_mix(std::uint64_t h, std::uint64_t word);
+
+/// Memoized result of a full candidate evaluation (reorder + analyze): the
+/// channel orders Algorithm 1 chose and the analysis of the ordered system.
+/// Keyed by the fingerprint of the *pre-reorder* system — the ordering pass
+/// is deterministic, so its output is as cacheable as the analysis itself
+/// (and in the DSE loop it is the larger share of the evaluation cost).
+struct OrderedEval {
+  std::vector<std::vector<sysmodel::ChannelId>> input_orders;   // per process
+  std::vector<std::vector<sysmodel::ChannelId>> output_orders;  // per process
+  PerformanceReport report;
+};
+
+class EvalCache {
+ public:
+  explicit EvalCache(std::size_t num_shards = 16);
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Memoized analysis::analyze_system: returns the cached report when the
+  /// fingerprint of `sys` was seen before, computes and stores it otherwise.
+  /// Thread-safe; results are bit-identical to the uncached path.
+  PerformanceReport analyze(const sysmodel::SystemModel& sys);
+
+  /// Direct probe (no computation). Returns true and fills *out on a hit.
+  /// Counts toward the hit/miss statistics.
+  bool lookup(std::uint64_t fingerprint, PerformanceReport* out) const;
+
+  /// Stores a report under a fingerprint (first write wins).
+  void insert(std::uint64_t fingerprint, const PerformanceReport& report);
+
+  /// Ordered-evaluation memo (see OrderedEval). Counts into the same
+  /// hit/miss statistics; obs counters analysis.eval_cache.eval_hits /
+  /// .eval_misses split it out.
+  bool lookup_eval(std::uint64_t pre_reorder_fingerprint,
+                   OrderedEval* out) const;
+  void insert_eval(std::uint64_t pre_reorder_fingerprint,
+                   const OrderedEval& eval);
+
+  /// Auxiliary memo for pure solver results derived from a fingerprint
+  /// (the DSE selection ILPs memoize through this). The caller owns the key
+  /// derivation — the key must cover everything the solver reads — and the
+  /// payload encoding; the cache only provides sharded, counted storage.
+  bool lookup_aux(std::uint64_t key, std::vector<std::int64_t>* out) const;
+  void insert_aux(std::uint64_t key, const std::vector<std::int64_t>& payload);
+
+  /// Drops every entry; statistics are kept.
+  void clear();
+
+  std::int64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Number of distinct fingerprints stored (both memo kinds).
+  std::size_t size() const;
+  /// hits / (hits + misses); 0 when empty.
+  double hit_rate() const;
+
+ private:
+  template <typename V>
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, V> map;
+  };
+
+  template <typename V>
+  static Shard<V>& shard_of(
+      const std::vector<std::unique_ptr<Shard<V>>>& shards,
+      std::uint64_t fingerprint) {
+    return *shards[static_cast<std::size_t>(fingerprint) % shards.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard<PerformanceReport>>> shards_;
+  std::vector<std::unique_ptr<Shard<OrderedEval>>> eval_shards_;
+  std::vector<std::unique_ptr<Shard<std::vector<std::int64_t>>>> aux_shards_;
+  mutable std::atomic<std::int64_t> hits_{0};
+  mutable std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::uint64_t> verify_tick_{0};  // debug-only sampling cursor
+};
+
+}  // namespace ermes::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "analysis/eval_cache.h"
 #include "analysis/performance.h"
 
 namespace ermes::analysis {
@@ -11,16 +12,26 @@ using sysmodel::ProcessId;
 using sysmodel::SystemModel;
 
 SensitivityReport latency_sensitivity(const SystemModel& sys,
-                                      std::int64_t step) {
+                                      std::int64_t step,
+                                      exec::ThreadPool* pool,
+                                      EvalCache* cache) {
   SensitivityReport report;
-  const PerformanceReport base = analyze_system(sys);
+  const auto analyze = [&](const SystemModel& candidate) {
+    return cache != nullptr ? cache->analyze(candidate)
+                            : analyze_system(candidate);
+  };
+  const PerformanceReport base = analyze(sys);
   if (!base.live) return report;
   report.base_cycle_time = base.cycle_time;
   const std::set<ProcessId> critical(base.critical_processes.begin(),
                                      base.critical_processes.end());
 
-  SystemModel scratch = sys;
-  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+  const auto n = static_cast<std::size_t>(sys.num_processes());
+  report.processes.resize(n);
+  // Each perturbation is an independent one-change analysis; entry i only
+  // ever depends on (sys, i), so fanning out cannot change any value.
+  const auto perturb = [&](std::size_t i, SystemModel& scratch) {
+    const auto p = static_cast<ProcessId>(i);
     ProcessSensitivity entry;
     entry.process = p;
     entry.on_critical_cycle = critical.count(p) != 0;
@@ -30,14 +41,28 @@ SensitivityReport latency_sensitivity(const SystemModel& sys,
       entry.ct_after_step = base.cycle_time;
     } else {
       scratch.set_latency(p, reduced);
-      entry.ct_after_step = analyze_system(scratch).cycle_time;
+      entry.ct_after_step = analyze(scratch).cycle_time;
       scratch.set_latency(p, original);
       entry.ct_gain_per_cycle =
           (base.cycle_time - entry.ct_after_step) /
           static_cast<double>(original - reduced);
     }
-    report.processes.push_back(entry);
+    report.processes[i] = entry;
+  };
+
+  if (pool != nullptr && pool->jobs() > 1 && n > 1) {
+    // Thread-local scratch copies: parallel_for chunks are contiguous, so a
+    // per-chunk copy would also work, but one copy per task keeps the body
+    // trivially data-race-free at any grain.
+    pool->parallel_for(n, [&](std::size_t i) {
+      SystemModel scratch = sys;
+      perturb(i, scratch);
+    });
+  } else {
+    SystemModel scratch = sys;
+    for (std::size_t i = 0; i < n; ++i) perturb(i, scratch);
   }
+
   std::stable_sort(report.processes.begin(), report.processes.end(),
                    [](const ProcessSensitivity& a,
                       const ProcessSensitivity& b) {

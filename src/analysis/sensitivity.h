@@ -13,9 +13,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "sysmodel/system.h"
 
 namespace ermes::analysis {
+
+class EvalCache;
 
 struct ProcessSensitivity {
   sysmodel::ProcessId process = sysmodel::kInvalidProcess;
@@ -35,7 +38,13 @@ struct SensitivityReport {
 
 /// Finite-difference sensitivity with the given latency step. The system
 /// must be live. Channel orders are held fixed (run the ordering first).
+/// The per-process perturbations are independent analyses; they fan out
+/// across `pool` when given and memoize through `cache` when given, with a
+/// report identical to the serial uncached one (entries are slotted by
+/// process, then stably sorted).
 SensitivityReport latency_sensitivity(const sysmodel::SystemModel& sys,
-                                      std::int64_t step = 1);
+                                      std::int64_t step = 1,
+                                      exec::ThreadPool* pool = nullptr,
+                                      EvalCache* cache = nullptr);
 
 }  // namespace ermes::analysis

@@ -12,7 +12,8 @@ using sysmodel::SystemModel;
 AreaRecoveryResult area_recovery(const SystemModel& sys,
                                  const std::vector<ProcessId>& critical,
                                  std::int64_t slack,
-                                 std::int64_t ring_cap) {
+                                 std::int64_t ring_cap,
+                                 exec::ThreadPool* pool) {
   AreaRecoveryResult result;
   if (slack <= 0) return result;
 
@@ -22,28 +23,30 @@ AreaRecoveryResult area_recovery(const SystemModel& sys,
     on_critical[static_cast<std::size_t>(p)] = true;
   }
 
+  const std::vector<std::vector<Candidate>> cands = candidate_lists(
+      sys,
+      [&](ProcessId p, std::vector<Candidate>& list) {
+        if (ring_cap <= 0) return;
+        // Drop candidates that would push p's own ring to the cap; the
+        // current selection always stays eligible so the problem remains
+        // feasible.
+        const std::int64_t io_latency = ring_io_latency(sys, p);
+        std::erase_if(list, [&](const Candidate& cand) {
+          const std::int64_t ring =
+              io_latency + sys.latency(p) - cand.latency_gain;
+          return cand.latency_gain != 0 && ring >= ring_cap;
+        });
+      },
+      pool);
+
   // Multiple-choice knapsack: one item per candidate implementation;
   // value = area gain; weight = latency *cost* (-latency gain) for critical
   // processes, 0 otherwise; capacity = slack. A strictly-below budget is
   // used (slack - 1) to maintain CT < TCT rather than CT <= TCT.
   ilp::MckpProblem problem;
-  std::vector<std::vector<Candidate>> cands;
   for (ProcessId p = 0; p < sys.num_processes(); ++p) {
-    const std::int64_t io_latency = ring_io_latency(sys, p);
-    std::vector<Candidate> list = candidates_of(sys, p);
-    if (ring_cap > 0) {
-      // Drop candidates that would push p's own ring to the cap; the
-      // current selection always stays eligible so the problem remains
-      // feasible.
-      std::erase_if(list, [&](const Candidate& cand) {
-        const std::int64_t ring =
-            io_latency + sys.latency(p) - cand.latency_gain;
-        return cand.latency_gain != 0 && ring >= ring_cap;
-      });
-    }
-    cands.push_back(std::move(list));
     std::vector<ilp::MckpItem> group;
-    for (const Candidate& cand : cands.back()) {
+    for (const Candidate& cand : cands[static_cast<std::size_t>(p)]) {
       ilp::MckpItem item;
       item.value = cand.area_gain;
       item.weight = on_critical[static_cast<std::size_t>(p)]

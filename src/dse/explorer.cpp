@@ -1,6 +1,11 @@
 #include "dse/explorer.h"
 
+#include <atomic>
+#include <cassert>
 #include <cmath>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
 #include <set>
 
 #include "analysis/performance.h"
@@ -13,6 +18,7 @@
 
 namespace ermes::dse {
 
+using analysis::EvalCache;
 using analysis::PerformanceReport;
 using sysmodel::SystemModel;
 
@@ -28,24 +34,267 @@ const char* to_string(Action action) {
 
 namespace {
 
-// Applies a selection (plus reordering) to a copy and analyzes it.
-PerformanceReport evaluate_candidate(const SystemModel& sys,
-                                     const SelectionVector& selection,
-                                     bool reorder, SystemModel* out) {
-  SystemModel candidate = sys;
-  apply_selection(candidate, selection);
-  if (reorder) {
-    obs::ObsSpan reorder_span("dse.reorder", "dse");
-    ordering::apply_ordering(candidate, ordering::channel_ordering(candidate));
+// Execution context of one exploration run: the evaluation pool and memo,
+// owned locally unless the caller shared theirs through the options.
+struct EvalContext {
+  EvalCache* cache = nullptr;
+  exec::ThreadPool* pool = nullptr;
+  // Fingerprint of the Pareto sets (constant across a run); folded into the
+  // selection-solver memo keys because system_fingerprint excludes areas.
+  std::uint64_t impl_fp = 0;
+  std::unique_ptr<EvalCache> owned_cache;
+  std::unique_ptr<exec::ThreadPool> owned_pool;
+
+  EvalContext(int jobs, EvalCache* shared_cache, exec::ThreadPool* shared_pool) {
+    if (shared_cache != nullptr) {
+      cache = shared_cache;
+    } else {
+      owned_cache = std::make_unique<EvalCache>();
+      cache = owned_cache.get();
+    }
+    const std::size_t want =
+        jobs <= 0 ? exec::default_jobs() : static_cast<std::size_t>(jobs);
+    if (shared_pool != nullptr) {
+      pool = shared_pool;
+    } else if (want > 1) {
+      owned_pool = std::make_unique<exec::ThreadPool>(want);
+      pool = owned_pool.get();
+    }
   }
-  PerformanceReport report;
+};
+
+// Reorders `sys` in place (when asked) and analyzes it through the memo.
+// The whole reorder+analyze tail is memoized under the fingerprint of the
+// *pre-reorder* system: Algorithm 1 is deterministic, so a repeat candidate
+// (another sweep point, a warm re-run) skips both the ordering pass and
+// Howard and only replays the stored orders onto the copy.
+PerformanceReport reorder_and_analyze(SystemModel& sys, bool reorder,
+                                      EvalCache& cache) {
+  if (!reorder) {
+    obs::ObsSpan analyze_span("dse.analyze", "dse");
+    return cache.analyze(sys);
+  }
+  const std::uint64_t pre_fp = analysis::system_fingerprint(sys);
+  analysis::OrderedEval memo;
+  if (cache.lookup_eval(pre_fp, &memo)) {
+    for (sysmodel::ProcessId p = 0; p < sys.num_processes(); ++p) {
+      sys.set_input_order(p, memo.input_orders[p]);
+      sys.set_output_order(p, memo.output_orders[p]);
+    }
+    return memo.report;
+  }
+  {
+    obs::ObsSpan reorder_span("dse.reorder", "dse");
+    ordering::apply_ordering(sys, ordering::channel_ordering(sys));
+  }
   {
     obs::ObsSpan analyze_span("dse.analyze", "dse");
-    report = analysis::analyze_system(candidate);
+    memo.report = cache.analyze(sys);
   }
+  memo.input_orders.reserve(sys.num_processes());
+  memo.output_orders.reserve(sys.num_processes());
+  for (sysmodel::ProcessId p = 0; p < sys.num_processes(); ++p) {
+    memo.input_orders.push_back(sys.input_order(p));
+    memo.output_orders.push_back(sys.output_order(p));
+  }
+  cache.insert_eval(pre_fp, memo);
+  return memo.report;
+}
+
+// Applies a selection (plus reordering) to a copy and analyzes it through
+// the memo.
+PerformanceReport evaluate_candidate(const SystemModel& sys,
+                                     const SelectionVector& selection,
+                                     bool reorder, SystemModel* out,
+                                     EvalCache& cache) {
+  SystemModel candidate = sys;
+  apply_selection(candidate, selection);
+  const PerformanceReport report =
+      reorder_and_analyze(candidate, reorder, cache);
   obs::count("dse.candidates_evaluated");
   if (out != nullptr) *out = std::move(candidate);
   return report;
+}
+
+struct Evaluated {
+  SystemModel system;
+  PerformanceReport report;
+};
+
+// Evaluates every candidate selection of an iteration, fanning across the
+// pool when one is available. Result slot i always corresponds to
+// selection i, and each evaluation is a pure function of (sys, selection),
+// so the outcome is identical at any worker count.
+std::vector<Evaluated> evaluate_candidates(
+    const SystemModel& sys, const std::vector<SelectionVector>& selections,
+    bool reorder, EvalContext& ctx) {
+  std::vector<Evaluated> out(selections.size());
+  const auto eval_one = [&](std::size_t i) {
+    out[i].report = evaluate_candidate(sys, selections[i], reorder,
+                                       &out[i].system, *ctx.cache);
+  };
+  if (ctx.pool != nullptr && selections.size() > 1) {
+    ctx.pool->parallel_for(selections.size(), eval_one, /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < selections.size(); ++i) eval_one(i);
+  }
+#ifndef NDEBUG
+  // Parallel/sequential equivalence guard: re-run a sampled candidate
+  // through the plain sequential path and insist on a bit-identical report.
+  if (!selections.empty()) {
+    const std::size_t probe = selections.size() / 2;
+    SystemModel replay = sys;
+    apply_selection(replay, selections[probe]);
+    if (reorder) {
+      ordering::apply_ordering(replay, ordering::channel_ordering(replay));
+    }
+    const PerformanceReport expected = analysis::analyze_system(replay);
+    const PerformanceReport& got = out[probe].report;
+    assert(got.live == expected.live &&
+           got.cycle_time == expected.cycle_time &&
+           got.ct_num == expected.ct_num && got.ct_den == expected.ct_den &&
+           got.critical_processes == expected.critical_processes &&
+           "dse: parallel evaluation diverged from the sequential path");
+  }
+#endif
+  return out;
+}
+
+// --- memoized selection solvers ---------------------------------------------
+//
+// The selection ILPs are pure functions of (system, Pareto sets, current
+// selection, solver parameters) — in the DSE loop they dominate the
+// iteration cost, so repeat states (warm sweeps, overlapping trajectories of
+// nearby TCT points) fetch the proposal from the shared cache instead of
+// re-solving. The key folds in everything the solver reads; debug builds
+// re-solve a sampled subset of hits and assert identical proposals.
+
+double bits_to_double(std::int64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+std::int64_t double_to_bits(double d) {
+  std::int64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+std::uint64_t selection_key(std::uint64_t tag, const SystemModel& sys,
+                            const EvalContext& ctx,
+                            std::initializer_list<std::uint64_t> params) {
+  std::uint64_t h =
+      analysis::fingerprint_mix(analysis::system_fingerprint(sys), tag);
+  h = analysis::fingerprint_mix(h, ctx.impl_fp);
+  // The current selection is folded in explicitly: latencies alone identify
+  // it only for strictly Pareto-optimal sets, and the solvers read areas.
+  for (std::size_t choice : current_selection(sys)) {
+    h = analysis::fingerprint_mix(h, choice);
+  }
+  for (std::uint64_t w : params) h = analysis::fingerprint_mix(h, w);
+  return h;
+}
+
+#ifndef NDEBUG
+std::atomic<std::uint64_t> g_solver_verify_tick{0};
+#endif
+
+TimingOptResult memoized_timing_opt(
+    const SystemModel& sys, const std::vector<sysmodel::ProcessId>& critical,
+    std::int64_t needed, std::optional<double> area_budget,
+    std::int64_t ring_cap, const TimingOptPolicy& policy, EvalContext& ctx) {
+  const std::uint64_t key = selection_key(
+      0x71u, sys, ctx,
+      {static_cast<std::uint64_t>(needed),
+       area_budget ? 0x1uLL : 0x0uLL,
+       area_budget ? static_cast<std::uint64_t>(double_to_bits(*area_budget))
+                   : 0uLL,
+       static_cast<std::uint64_t>(ring_cap),
+       (policy.allow_critical_slowdown ? 0x2uLL : 0uLL) |
+           (policy.pin_non_critical ? 0x4uLL : 0uLL)});
+  std::vector<std::int64_t> payload;
+  if (ctx.cache->lookup_aux(key, &payload)) {
+    TimingOptResult result;
+    result.feasible = payload[0] != 0;
+    result.latency_gain = payload[1];
+    result.area_gain = bits_to_double(payload[2]);
+    result.selection.assign(payload.begin() + 3, payload.end());
+#ifndef NDEBUG
+    if (g_solver_verify_tick.fetch_add(1, std::memory_order_relaxed) % 16 ==
+        0) {
+      const TimingOptResult expected = timing_optimization(
+          sys, critical, needed, area_budget, ring_cap, policy, ctx.pool);
+      assert(expected.feasible == result.feasible &&
+             expected.selection == result.selection &&
+             "dse: memoized timing-opt proposal diverges from a re-solve "
+             "(selection memo key under-covers the solver inputs)");
+    }
+#endif
+    return result;
+  }
+  const TimingOptResult result = timing_optimization(
+      sys, critical, needed, area_budget, ring_cap, policy, ctx.pool);
+  payload = {result.feasible ? 1 : 0, result.latency_gain,
+             double_to_bits(result.area_gain)};
+  payload.insert(payload.end(), result.selection.begin(),
+                 result.selection.end());
+  ctx.cache->insert_aux(key, payload);
+  return result;
+}
+
+AreaRecoveryResult memoized_area_recovery(
+    const SystemModel& sys, const std::vector<sysmodel::ProcessId>& critical,
+    std::int64_t slack, std::int64_t ring_cap, EvalContext& ctx) {
+  const std::uint64_t key =
+      selection_key(0xa2u, sys, ctx,
+                    {static_cast<std::uint64_t>(slack),
+                     static_cast<std::uint64_t>(ring_cap)});
+  std::vector<std::int64_t> payload;
+  if (ctx.cache->lookup_aux(key, &payload)) {
+    AreaRecoveryResult result;
+    result.feasible = payload[0] != 0;
+    result.area_gain = bits_to_double(payload[1]);
+    result.latency_spent = payload[2];
+    result.selection.assign(payload.begin() + 3, payload.end());
+#ifndef NDEBUG
+    if (g_solver_verify_tick.fetch_add(1, std::memory_order_relaxed) % 16 ==
+        0) {
+      const AreaRecoveryResult expected =
+          area_recovery(sys, critical, slack, ring_cap, ctx.pool);
+      assert(expected.feasible == result.feasible &&
+             expected.selection == result.selection &&
+             "dse: memoized area-recovery proposal diverges from a re-solve "
+             "(selection memo key under-covers the solver inputs)");
+    }
+#endif
+    return result;
+  }
+  const AreaRecoveryResult result =
+      area_recovery(sys, critical, slack, ring_cap, ctx.pool);
+  payload = {result.feasible ? 1 : 0, double_to_bits(result.area_gain),
+             result.latency_spent};
+  payload.insert(payload.end(), result.selection.begin(),
+                 result.selection.end());
+  ctx.cache->insert_aux(key, payload);
+  return result;
+}
+
+// Distinct selections in first-seen order (candidate lists are tiny).
+std::vector<SelectionVector> dedup_selections(
+    std::vector<SelectionVector> selections) {
+  std::vector<SelectionVector> unique;
+  for (SelectionVector& sel : selections) {
+    bool seen = false;
+    for (const SelectionVector& have : unique) {
+      if (have == sel) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) unique.push_back(std::move(sel));
+  }
+  return unique;
 }
 
 }  // namespace
@@ -54,6 +303,8 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
   obs::ObsSpan explore_span("dse.explore", "dse");
   ExplorationResult result;
   std::set<SelectionVector> visited;
+  EvalContext ctx(options.jobs, options.cache, options.pool);
+  ctx.impl_fp = analysis::implementation_fingerprint(sys);
 
   // Best state seen so far: a target-meeting state with minimal area beats
   // everything; among violating states, minimal cycle time. The exploration
@@ -92,12 +343,7 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
   PerformanceReport report;
   {
     obs::ObsSpan init_span("dse.iteration", "dse");
-    if (options.reorder_channels) {
-      obs::ObsSpan reorder_span("dse.reorder", "dse");
-      ordering::apply_ordering(sys, ordering::channel_ordering(sys));
-    }
-    obs::ObsSpan analyze_span("dse.analyze", "dse");
-    report = analysis::analyze_system(sys);
+    report = reorder_and_analyze(sys, options.reorder_channels, *ctx.cache);
   }
   record(0, Action::kInit, report);
   visited.insert(current_selection(sys));
@@ -118,7 +364,7 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
         static_cast<std::int64_t>(std::llround(report.cycle_time));
 
     SelectionVector next;
-    Action action;
+    Action action = Action::kNone;
     bool accepted = false;
     SystemModel accepted_system;
     PerformanceReport accepted_report;
@@ -130,15 +376,15 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
       obs::ObsSpan select_span("dse.select", "dse");
       obs::count("dse.area_recoveries");
       const AreaRecoveryResult ar =
-          area_recovery(sys, report.critical_processes, slack,
-                        options.target_cycle_time);
+          memoized_area_recovery(sys, report.critical_processes, slack,
+                                 options.target_cycle_time, ctx);
       select_span.close();
       if (ar.feasible && ar.selection != current_selection(sys)) {
         next = ar.selection;
         action = Action::kAreaRecovery;
         accepted_report =
             evaluate_candidate(sys, next, options.reorder_channels,
-                               &accepted_system);
+                               &accepted_system, *ctx.cache);
         accepted = accepted_report.live;
       }
     } else {
@@ -146,33 +392,39 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
       // to progressively stricter ones. A liberal move can slow a process
       // that sits on a *different* near-critical cycle (the per-cycle ILP
       // cannot see the coupling), so each candidate is trial-evaluated and
-      // the first non-degrading one wins.
+      // the first non-degrading one — in policy order — wins. Every ILP and
+      // every evaluation is pure, so all the iteration's candidates can be
+      // proposed up front and analyzed concurrently: the accepted move is
+      // identical to the sequential cascade's.
       const TimingOptPolicy kPolicies[] = {
           {/*allow_critical_slowdown=*/true, /*pin_non_critical=*/false},
           {/*allow_critical_slowdown=*/false, /*pin_non_critical=*/false},
           {/*allow_critical_slowdown=*/false, /*pin_non_critical=*/true},
       };
+      std::vector<SelectionVector> proposals;
       for (const TimingOptPolicy& policy : kPolicies) {
         obs::ObsSpan select_span("dse.select", "dse");
         obs::count("dse.timing_opts");
-        const TimingOptResult to = timing_optimization(
+        const TimingOptResult to = memoized_timing_opt(
             sys, report.critical_processes, -slack, std::nullopt,
-            options.target_cycle_time, policy);
-        select_span.close();
-        if (!to.feasible || to.selection == current_selection(sys)) continue;
-        SystemModel candidate_system;
-        const PerformanceReport candidate_report =
-            evaluate_candidate(sys, to.selection, options.reorder_channels,
-                               &candidate_system);
+            options.target_cycle_time, policy, ctx);
+        if (to.feasible && to.selection != current_selection(sys)) {
+          proposals.push_back(to.selection);
+        }
+      }
+      proposals = dedup_selections(std::move(proposals));
+      std::vector<Evaluated> evaluated = evaluate_candidates(
+          sys, proposals, options.reorder_channels, ctx);
+      for (std::size_t i = 0; i < evaluated.size(); ++i) {
         // Accept plateaus (<=): with several co-critical cycles, fixing one
         // keeps CT flat until the next iteration attacks the twin cycle;
         // the visited-set guarantees termination.
-        if (candidate_report.live &&
-            candidate_report.cycle_time <= report.cycle_time) {
-          next = to.selection;
+        if (evaluated[i].report.live &&
+            evaluated[i].report.cycle_time <= report.cycle_time) {
+          next = proposals[i];
           action = Action::kTimingOpt;
-          accepted_system = std::move(candidate_system);
-          accepted_report = candidate_report;
+          accepted_system = std::move(evaluated[i].system);
+          accepted_report = evaluated[i].report;
           accepted = true;
           break;
         }
@@ -229,6 +481,8 @@ ExplorationResult explore_area_constrained(
   obs::ObsSpan explore_span("dse.explore_area_constrained", "dse");
   ExplorationResult result;
   std::set<SelectionVector> visited;
+  EvalContext ctx(options.jobs, options.cache, options.pool);
+  ctx.impl_fp = analysis::implementation_fingerprint(sys);
 
   auto record = [&](int iteration, Action action,
                     const PerformanceReport& report) {
@@ -244,10 +498,8 @@ ExplorationResult explore_area_constrained(
     result.history.push_back(rec);
   };
 
-  if (options.reorder_channels) {
-    ordering::apply_ordering(sys, ordering::channel_ordering(sys));
-  }
-  PerformanceReport report = analysis::analyze_system(sys);
+  PerformanceReport report =
+      reorder_and_analyze(sys, options.reorder_channels, *ctx.cache);
   record(0, Action::kInit, report);
   visited.insert(current_selection(sys));
 
@@ -263,20 +515,25 @@ ExplorationResult explore_area_constrained(
         {/*allow_critical_slowdown=*/false, /*pin_non_critical=*/false},
         {/*allow_critical_slowdown=*/false, /*pin_non_critical=*/true},
     };
+    std::vector<SelectionVector> proposals;
     for (const TimingOptPolicy& policy : kPolicies) {
-      const TimingOptResult to = timing_optimization(
+      const TimingOptResult to = memoized_timing_opt(
           sys, report.critical_processes, /*needed=*/0, options.area_budget,
-          /*ring_cap=*/0, policy);
-      if (!to.feasible || to.selection == current_selection(sys)) continue;
-      SystemModel candidate_system;
-      const PerformanceReport candidate_report = evaluate_candidate(
-          sys, to.selection, options.reorder_channels, &candidate_system);
-      if (candidate_report.live &&
-          candidate_report.cycle_time <= report.cycle_time &&
-          candidate_system.total_area() <= options.area_budget + 1e-9) {
-        next = to.selection;
-        accepted_system = std::move(candidate_system);
-        accepted_report = candidate_report;
+          /*ring_cap=*/0, policy, ctx);
+      if (to.feasible && to.selection != current_selection(sys)) {
+        proposals.push_back(to.selection);
+      }
+    }
+    proposals = dedup_selections(std::move(proposals));
+    std::vector<Evaluated> evaluated =
+        evaluate_candidates(sys, proposals, options.reorder_channels, ctx);
+    for (std::size_t i = 0; i < evaluated.size(); ++i) {
+      if (evaluated[i].report.live &&
+          evaluated[i].report.cycle_time <= report.cycle_time &&
+          evaluated[i].system.total_area() <= options.area_budget + 1e-9) {
+        next = proposals[i];
+        accepted_system = std::move(evaluated[i].system);
+        accepted_report = evaluated[i].report;
         accepted = true;
         break;
       }

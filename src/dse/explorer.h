@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/eval_cache.h"
 #include "dse/selection.h"
+#include "exec/thread_pool.h"
 #include "sysmodel/system.h"
 
 namespace ermes::dse {
@@ -39,6 +41,22 @@ struct ExplorerOptions {
   std::int64_t target_cycle_time = 0;  // TCT
   int max_iterations = 32;
   bool reorder_channels = true;  // run Algorithm 1 after each selection
+
+  // --- execution (see src/exec and analysis/eval_cache.h) ------------------
+  //
+  // Candidate evaluation (apply + reorder + analyze) is a pure function of
+  // the candidate labeling, so the per-iteration candidates can be analyzed
+  // concurrently and memoized without changing any result: the exploration
+  // trajectory is bit-identical at every jobs setting.
+  //
+  /// Evaluation parallelism: 1 = serial (default), 0 = exec::default_jobs().
+  int jobs = 1;
+  /// Memo for candidate evaluations. nullptr = a fresh per-run cache (still
+  /// reuses results across iterations); pass a shared cache to also reuse
+  /// across runs, e.g. the points of a multi-TCT sweep.
+  analysis::EvalCache* cache = nullptr;
+  /// Worker pool to evaluate on. nullptr = a per-run pool when jobs > 1.
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct ExplorationResult {
@@ -61,6 +79,10 @@ struct DualExplorerOptions {
   double area_budget = 0.0;
   int max_iterations = 32;
   bool reorder_channels = true;
+  /// Execution knobs with the same semantics as ExplorerOptions.
+  int jobs = 1;
+  analysis::EvalCache* cache = nullptr;
+  exec::ThreadPool* pool = nullptr;
 };
 
 ExplorationResult explore_area_constrained(sysmodel::SystemModel sys,

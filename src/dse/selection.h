@@ -9,8 +9,10 @@
 // non-positive latency gain and vice versa.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "sysmodel/system.h"
 
 namespace ermes::dse {
@@ -25,6 +27,16 @@ struct Candidate {
 /// gains zero). Processes without Pareto sets yield only the no-op.
 std::vector<Candidate> candidates_of(const sysmodel::SystemModel& sys,
                                      sysmodel::ProcessId p);
+
+/// Per-process candidate lists for the whole system, with `filter` applied
+/// to each process' list (policy pruning, ring caps). Scoring fans out
+/// across `pool` when given; result slot p always holds process p's list,
+/// so the output is identical at any worker count.
+std::vector<std::vector<Candidate>> candidate_lists(
+    const sysmodel::SystemModel& sys,
+    const std::function<void(sysmodel::ProcessId, std::vector<Candidate>&)>&
+        filter,
+    exec::ThreadPool* pool = nullptr);
 
 /// A full selection: implementation index per process.
 using SelectionVector = std::vector<std::size_t>;

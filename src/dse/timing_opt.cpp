@@ -14,7 +14,8 @@ TimingOptResult timing_optimization(const SystemModel& sys,
                                     std::int64_t needed,
                                     std::optional<double> area_budget,
                                     std::int64_t ring_cap,
-                                    TimingOptPolicy policy) {
+                                    TimingOptPolicy policy,
+                                    exec::ThreadPool* pool) {
   TimingOptResult result;
   std::vector<bool> on_critical(static_cast<std::size_t>(sys.num_processes()),
                                 false);
@@ -22,28 +23,29 @@ TimingOptResult timing_optimization(const SystemModel& sys,
     on_critical[static_cast<std::size_t>(p)] = true;
   }
 
-  std::vector<std::vector<Candidate>> cands;
-  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
-    std::vector<Candidate> list = candidates_of(sys, p);
-    if (policy.pin_non_critical && !on_critical[static_cast<std::size_t>(p)]) {
-      std::erase_if(list,
-                    [](const Candidate& cand) { return cand.latency_gain != 0; });
-    }
-    if (!policy.allow_critical_slowdown &&
-        on_critical[static_cast<std::size_t>(p)]) {
-      std::erase_if(list,
-                    [](const Candidate& cand) { return cand.latency_gain < 0; });
-    }
-    if (ring_cap > 0) {
-      const std::int64_t io_latency = ring_io_latency(sys, p);
-      std::erase_if(list, [&](const Candidate& cand) {
-        const std::int64_t ring =
-            io_latency + sys.latency(p) - cand.latency_gain;
-        return cand.latency_gain != 0 && ring >= ring_cap;
-      });
-    }
-    cands.push_back(std::move(list));
-  }
+  const std::vector<std::vector<Candidate>> cands = candidate_lists(
+      sys,
+      [&](ProcessId p, std::vector<Candidate>& list) {
+        if (policy.pin_non_critical &&
+            !on_critical[static_cast<std::size_t>(p)]) {
+          std::erase_if(
+              list, [](const Candidate& cand) { return cand.latency_gain != 0; });
+        }
+        if (!policy.allow_critical_slowdown &&
+            on_critical[static_cast<std::size_t>(p)]) {
+          std::erase_if(
+              list, [](const Candidate& cand) { return cand.latency_gain < 0; });
+        }
+        if (ring_cap > 0) {
+          const std::int64_t io_latency = ring_io_latency(sys, p);
+          std::erase_if(list, [&](const Candidate& cand) {
+            const std::int64_t ring =
+                io_latency + sys.latency(p) - cand.latency_gain;
+            return cand.latency_gain != 0 && ring >= ring_cap;
+          });
+        }
+      },
+      pool);
 
   // Stage A: maximize the critical-cycle latency gain, optionally under the
   // area budget.

@@ -49,10 +49,13 @@ struct TimingOptPolicy {
 };
 
 /// `ring_cap` as in area_recovery (0 = disabled; typically the TCT).
+/// Per-process candidate scoring fans out across `pool` when given (the
+/// result does not depend on the worker count).
 TimingOptResult timing_optimization(
     const sysmodel::SystemModel& sys,
     const std::vector<sysmodel::ProcessId>& critical, std::int64_t needed,
     std::optional<double> area_budget = std::nullopt,
-    std::int64_t ring_cap = 0, TimingOptPolicy policy = {});
+    std::int64_t ring_cap = 0, TimingOptPolicy policy = {},
+    exec::ThreadPool* pool = nullptr);
 
 }  // namespace ermes::dse

@@ -11,10 +11,33 @@
 
 namespace ermes::util {
 
+/// SplitMix64 finalizer (Steele-Lea-Flood): a cheap bijective mixer whose
+/// outputs pass BigCrush. Used to derive independent seeds from a base seed
+/// and to diffuse words in hash/fingerprint computations.
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Seeded 64-bit Mersenne engine with convenience samplers.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Rng for shard `shard` of a test/benchmark corpus rooted at `seed`.
+  ///
+  /// Raw arithmetic on a base seed (seed + shard, seed ^ shard, seed * K)
+  /// lets two shards of *different* corpora collide onto the same engine
+  /// state and silently share a stream. for_shard splitmix64-mixes the base
+  /// seed and the shard index through independent rounds, so every
+  /// (seed, shard) pair maps to a statistically independent stream.
+  /// Rng(s) itself is left untouched: seeded corpora (and the thresholds
+  /// tuned against them) are a stability contract, see README "Reproducibility".
+  static Rng for_shard(std::uint64_t seed, std::uint64_t shard) {
+    return Rng(splitmix64(splitmix64(seed) ^ splitmix64(~shard)));
+  }
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);

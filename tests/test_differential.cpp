@@ -1,0 +1,324 @@
+// Randomized differential testing of every TMG analysis path.
+//
+// A generator builds random strongly connected timed marked graphs (a
+// permutation-cycle backbone guarantees strong connectivity; extra arcs add
+// cycle structure), then independent oracles must agree on every instance:
+//
+//  D1. Unit-token graphs: Howard's policy iteration == Karp's cycle mean ==
+//      brute-force cycle enumeration (on unit-token graphs the maximum cycle
+//      ratio *is* the maximum cycle mean), exactly as rationals and within
+//      1e-9 as doubles.
+//  D2. General markings: Howard == Lawler's binary search == brute force,
+//      including agreement on infinite ratios (zero-token cycles).
+//  D3. Every solver's reported critical cycle reproduces its claimed ratio.
+//  D4. The structural liveness check (token-free cycle search) agrees with
+//      actually playing the token game: a strongly connected TMG with a dead
+//      cycle deadlocks after finitely many firings, a live one never does.
+//
+// Failures shrink the offending instance (dropping extra arcs, zeroing
+// delays, trimming tokens) while the disagreement persists, then print the
+// seed and a compact reconstruction of the minimized graph.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tmg/brute_force.h"
+#include "tmg/cycle_ratio.h"
+#include "tmg/howard.h"
+#include "tmg/karp.h"
+#include "tmg/liveness.h"
+#include "tmg/marked_graph.h"
+#include "tmg/token_game.h"
+#include "util/rng.h"
+
+namespace ermes::tmg {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 0xd1ffe7e57ULL;
+
+// A value-type recipe for a random TMG, kept separate from MarkedGraph so
+// the shrinker can edit and rebuild it.
+struct TmgSpec {
+  std::vector<std::int64_t> delays;  // one per transition
+  std::vector<int> backbone;         // permutation cycle (strong connectivity)
+  std::vector<std::int64_t> backbone_tokens;
+  struct Arc {
+    int src = 0;
+    int dst = 0;
+    std::int64_t tokens = 0;
+  };
+  std::vector<Arc> extras;
+
+  int num_transitions() const { return static_cast<int>(delays.size()); }
+
+  MarkedGraph build() const {
+    MarkedGraph g;
+    for (std::size_t t = 0; t < delays.size(); ++t) {
+      g.add_transition("t" + std::to_string(t), delays[t]);
+    }
+    for (std::size_t i = 0; i < backbone.size(); ++i) {
+      g.add_place(backbone[i], backbone[(i + 1) % backbone.size()],
+                  backbone_tokens[i]);
+    }
+    for (const Arc& arc : extras) {
+      g.add_place(arc.src, arc.dst, arc.tokens);
+    }
+    return g;
+  }
+};
+
+TmgSpec random_spec(util::Rng& rng, bool unit_tokens) {
+  TmgSpec spec;
+  const int n = static_cast<int>(rng.uniform_int(3, 10));
+  spec.delays.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    spec.delays.push_back(rng.uniform_int(0, 20));
+  }
+  for (std::size_t i : rng.permutation(static_cast<std::size_t>(n))) {
+    spec.backbone.push_back(static_cast<int>(i));
+    spec.backbone_tokens.push_back(unit_tokens ? 1 : rng.uniform_int(0, 2));
+  }
+  const std::int64_t extra = rng.uniform_int(0, 2 * n);
+  for (std::int64_t e = 0; e < extra; ++e) {
+    TmgSpec::Arc arc;
+    arc.src = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+    arc.dst = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+    arc.tokens = unit_tokens ? 1 : rng.uniform_int(0, 2);
+    spec.extras.push_back(arc);
+  }
+  return spec;
+}
+
+std::string describe(const TmgSpec& spec) {
+  std::ostringstream os;
+  os << "transitions (delay):";
+  for (std::size_t t = 0; t < spec.delays.size(); ++t) {
+    os << " t" << t << "(" << spec.delays[t] << ")";
+  }
+  os << "\nbackbone:";
+  for (std::size_t i = 0; i < spec.backbone.size(); ++i) {
+    os << " " << spec.backbone[i] << "->"
+       << spec.backbone[(i + 1) % spec.backbone.size()] << "["
+       << spec.backbone_tokens[i] << "]";
+  }
+  os << "\nextras:";
+  for (const TmgSpec::Arc& arc : spec.extras) {
+    os << " " << arc.src << "->" << arc.dst << "[" << arc.tokens << "]";
+  }
+  return os.str();
+}
+
+// Greedy shrink: keep any edit under which the failure persists, until no
+// edit helps. Edits: drop an extra arc, zero a delay, drop a token.
+using FailurePredicate = std::function<bool(const TmgSpec&)>;
+
+TmgSpec shrink(TmgSpec spec, const FailurePredicate& fails) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < spec.extras.size(); ++i) {
+      TmgSpec cand = spec;
+      cand.extras.erase(cand.extras.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      if (fails(cand)) {
+        spec = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    for (std::size_t t = 0; t < spec.delays.size(); ++t) {
+      if (spec.delays[t] == 0) continue;
+      TmgSpec cand = spec;
+      cand.delays[t] = 0;
+      if (fails(cand)) {
+        spec = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    for (std::size_t i = 0; i < spec.backbone_tokens.size(); ++i) {
+      if (spec.backbone_tokens[i] <= 1) continue;
+      TmgSpec cand = spec;
+      cand.backbone_tokens[i] -= 1;
+      if (fails(cand)) {
+        spec = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return spec;
+}
+
+void report_failure(std::uint64_t seed, const TmgSpec& original,
+                    const FailurePredicate& fails, const char* what) {
+  const TmgSpec minimal = shrink(original, fails);
+  ADD_FAILURE() << what << " (shard seed " << seed << ")\n"
+                << "minimized instance:\n"
+                << describe(minimal);
+}
+
+// Ratio of the cycle claimed by a result, recomputed from its arcs.
+bool critical_cycle_consistent(const RatioGraph& rg,
+                               const CycleRatioResult& result) {
+  if (!result.has_cycle || result.is_infinite()) return true;
+  if (result.critical_cycle.empty()) return false;
+  std::int64_t w = 0, t = 0;
+  for (graph::ArcId a : result.critical_cycle) {
+    w += rg.arc_weight(a);
+    t += rg.arc_tokens(a);
+  }
+  return t > 0 && compare_ratios(w, t, result.ratio_num, result.ratio_den) == 0;
+}
+
+bool results_agree(const CycleRatioResult& a, const CycleRatioResult& b) {
+  if (a.has_cycle != b.has_cycle) return false;
+  if (!a.has_cycle) return true;
+  if (a.is_infinite() || b.is_infinite()) {
+    return a.is_infinite() == b.is_infinite();
+  }
+  return compare_ratios(a.ratio_num, a.ratio_den, b.ratio_num, b.ratio_den) ==
+             0 &&
+         std::abs(a.ratio - b.ratio) <= 1e-9;
+}
+
+// --- D1 + D3 (unit tokens) --------------------------------------------------
+
+bool unit_token_solvers_disagree(const TmgSpec& spec) {
+  const MarkedGraph g = spec.build();
+  const RatioGraph rg = to_ratio_graph(g);
+  const CycleRatioResult howard = max_cycle_ratio_howard(rg);
+  const CycleRatioResult karp = max_cycle_mean_karp(rg);
+  const CycleRatioResult brute = max_cycle_ratio_brute_force(rg);
+  // Every unit-token arc carries one token, so ratio denominators equal arc
+  // counts and the max cycle ratio equals Karp's max cycle mean.
+  return !results_agree(howard, brute) || !results_agree(karp, brute) ||
+         !critical_cycle_consistent(rg, howard) ||
+         !critical_cycle_consistent(rg, karp) ||
+         !critical_cycle_consistent(rg, brute);
+}
+
+TEST(DifferentialCycleRatio, UnitTokensHowardKarpBruteForceAgree) {
+  for (std::uint64_t shard = 0; shard < 120; ++shard) {
+    util::Rng rng = util::Rng::for_shard(kBaseSeed, shard);
+    const TmgSpec spec = random_spec(rng, /*unit_tokens=*/true);
+    if (unit_token_solvers_disagree(spec)) {
+      report_failure(shard, spec, unit_token_solvers_disagree,
+                     "Howard/Karp/brute-force disagree on a unit-token TMG");
+      return;
+    }
+  }
+}
+
+// --- D2 + D3 (general markings) ---------------------------------------------
+
+bool general_token_solvers_disagree(const TmgSpec& spec) {
+  const MarkedGraph g = spec.build();
+  const RatioGraph rg = to_ratio_graph(g);
+  const CycleRatioResult howard = max_cycle_ratio_howard(rg);
+  const CycleRatioResult lawler = max_cycle_ratio_lawler(rg);
+  const CycleRatioResult brute = max_cycle_ratio_brute_force(rg);
+  return !results_agree(howard, brute) || !results_agree(lawler, brute) ||
+         !critical_cycle_consistent(rg, howard) ||
+         !critical_cycle_consistent(rg, lawler) ||
+         !critical_cycle_consistent(rg, brute);
+}
+
+TEST(DifferentialCycleRatio, GeneralMarkingsHowardLawlerBruteForceAgree) {
+  for (std::uint64_t shard = 0; shard < 120; ++shard) {
+    util::Rng rng = util::Rng::for_shard(kBaseSeed ^ 0xa5a5a5a5ULL, shard);
+    const TmgSpec spec = random_spec(rng, /*unit_tokens=*/false);
+    if (general_token_solvers_disagree(spec)) {
+      report_failure(shard, spec, general_token_solvers_disagree,
+                     "Howard/Lawler/brute-force disagree on a general TMG");
+      return;
+    }
+  }
+}
+
+// --- D4 (liveness vs token game) --------------------------------------------
+
+// Round-robin fair play. Marked graphs are conflict-free (every place has
+// one consumer), so firing one enabled transition never disables another;
+// a strongly connected TMG with a token-free cycle starves every transition
+// after finitely many firings (tokens on any path out of the dead cycle are
+// never replenished), while a live one runs forever.
+bool token_game_deadlocks(const MarkedGraph& g, std::int64_t max_firings) {
+  TokenGame game(g);
+  std::int64_t fired = 0;
+  while (fired < max_firings) {
+    const std::vector<TransitionId> enabled = game.enabled();
+    if (enabled.empty()) return true;
+    for (TransitionId t : enabled) {
+      game.fire(t);
+      ++fired;
+    }
+  }
+  return false;
+}
+
+bool liveness_disagrees_with_token_game(const TmgSpec& spec) {
+  const MarkedGraph g = spec.build();
+  const LivenessResult liveness = check_liveness(g);
+  // Firings before deadlock are bounded by (#transitions x total tokens);
+  // the corpus tops out near 10 x ~60, so 20000 is far beyond the bound.
+  const bool deadlocked = token_game_deadlocks(g, 20'000);
+  if (liveness.live == deadlocked) return true;
+  if (!liveness.live) {
+    // The witness must be a real token-free cycle.
+    if (liveness.dead_cycle.empty()) return true;
+    for (std::size_t i = 0; i < liveness.dead_cycle.size(); ++i) {
+      const PlaceId p = liveness.dead_cycle[i];
+      const PlaceId q =
+          liveness.dead_cycle[(i + 1) % liveness.dead_cycle.size()];
+      if (g.tokens(p) != 0 || g.consumer(p) != g.producer(q)) return true;
+    }
+  }
+  return false;
+}
+
+TEST(DifferentialLiveness, StructuralCheckAgreesWithTokenGame) {
+  for (std::uint64_t shard = 0; shard < 120; ++shard) {
+    util::Rng rng = util::Rng::for_shard(kBaseSeed ^ 0x11feULL, shard);
+    const TmgSpec spec = random_spec(rng, /*unit_tokens=*/false);
+    if (liveness_disagrees_with_token_game(spec)) {
+      report_failure(shard, spec, liveness_disagrees_with_token_game,
+                     "liveness check disagrees with the token game");
+      return;
+    }
+  }
+}
+
+// --- generator sanity --------------------------------------------------------
+
+TEST(DifferentialGenerator, ShardsProduceDistinctStreams) {
+  // for_shard must give unrelated streams: the first samples of 64
+  // consecutive shards should not collide en masse.
+  std::vector<std::int64_t> firsts;
+  for (std::uint64_t shard = 0; shard < 64; ++shard) {
+    util::Rng rng = util::Rng::for_shard(kBaseSeed, shard);
+    firsts.push_back(rng.uniform_int(0, 1'000'000'000));
+  }
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_EQ(std::unique(firsts.begin(), firsts.end()), firsts.end());
+}
+
+TEST(DifferentialGenerator, UnitTokenGraphsAreAlwaysLive) {
+  for (std::uint64_t shard = 0; shard < 32; ++shard) {
+    util::Rng rng = util::Rng::for_shard(kBaseSeed + 7, shard);
+    const MarkedGraph g = random_spec(rng, /*unit_tokens=*/true).build();
+    EXPECT_TRUE(is_live(g)) << "shard " << shard;
+  }
+}
+
+}  // namespace
+}  // namespace ermes::tmg

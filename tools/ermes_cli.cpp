@@ -4,6 +4,7 @@
 //   ermes order    <file.soc> [-o out.soc] channel ordering (Algorithm 1 + safety nets)
 //   ermes simulate <file.soc> [items]      cycle-accurate rendezvous simulation
 //   ermes dse      <file.soc> <tct>        ERMES exploration toward a target cycle time
+//   ermes sweep    <file.soc> <lo> <hi> [step]  parallel multi-TCT exploration sweep
 //   ermes size     <file.soc> <tct>        FIFO buffer sizing toward a target cycle time
 //   ermes stats    <file.soc>              topology statistics
 //   ermes sens     <file.soc>              latency sensitivity table
@@ -16,7 +17,9 @@
 //   --metrics <out.json>   enable telemetry, write a metrics snapshot on exit
 //   --trace <out.json>     enable telemetry, write a Chrome trace (Perfetto)
 //   --log <level>          trace|debug|info|warn|error|off (default warn)
+//   --jobs <N>             parallelism for dse/sweep/sens (default 1; 0 = all cores)
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -26,10 +29,12 @@
 
 #include "analysis/buffer_sizing.h"
 #include "analysis/deadlock.h"
+#include "analysis/eval_cache.h"
 #include "analysis/sensitivity.h"
 #include "analysis/tmg_builder.h"
 #include "analysis/performance.h"
 #include "dse/explorer.h"
+#include "exec/thread_pool.h"
 #include "graph/dot.h"
 #include "io/soc_format.h"
 #include "obs/metrics.h"
@@ -52,11 +57,11 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ermes "
-               "<analyze|order|simulate|dse|size|stats|sens|dot|tmgdot|"
+               "<analyze|order|simulate|dse|sweep|size|stats|sens|dot|tmgdot|"
                "profile|demo> "
                "<file.soc> [args]\n"
                "       global flags: [--metrics out.json] [--trace out.json] "
-               "[--log trace|debug|info|warn|error|off]\n");
+               "[--log trace|debug|info|warn|error|off] [--jobs N]\n");
   return 2;
 }
 
@@ -64,7 +69,14 @@ int usage() {
 struct GlobalOptions {
   std::string metrics_path;
   std::string trace_path;
+  int jobs = 1;  // evaluation parallelism; 0 = all cores
 };
+
+// Effective parallelism from --jobs (0 = all cores).
+std::size_t effective_jobs(const GlobalOptions& options) {
+  return options.jobs <= 0 ? exec::hardware_jobs()
+                           : static_cast<std::size_t>(options.jobs);
+}
 
 bool parse_log_level(const char* name, util::LogLevel* out) {
   const struct { const char* name; util::LogLevel level; } kLevels[] = {
@@ -89,7 +101,8 @@ bool extract_global_flags(int argc, char** argv, GlobalOptions& options,
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--metrics") == 0 ||
-        std::strcmp(arg, "--trace") == 0 || std::strcmp(arg, "--log") == 0) {
+        std::strcmp(arg, "--trace") == 0 || std::strcmp(arg, "--log") == 0 ||
+        std::strcmp(arg, "--jobs") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s needs a value\n", arg);
         return false;
@@ -99,6 +112,9 @@ bool extract_global_flags(int argc, char** argv, GlobalOptions& options,
         options.metrics_path = value;
       } else if (std::strcmp(arg, "--trace") == 0) {
         options.trace_path = value;
+      } else if (std::strcmp(arg, "--jobs") == 0) {
+        options.jobs = std::atoi(value);
+        exec::set_default_jobs(effective_jobs(options));
       } else {
         util::LogLevel level;
         if (!parse_log_level(value, &level)) {
@@ -217,11 +233,12 @@ int cmd_simulate(const char* path, std::int64_t items) {
   return 0;
 }
 
-int cmd_dse(const char* path, std::int64_t tct) {
+int cmd_dse(const char* path, std::int64_t tct, const GlobalOptions& global) {
   io::ParseResult parsed;
   if (!load(path, parsed)) return 1;
   dse::ExplorerOptions options;
   options.target_cycle_time = tct;
+  options.jobs = static_cast<int>(effective_jobs(global));
   const dse::ExplorationResult result =
       dse::explore(parsed.system, options);
   util::Table table({"iter", "action", "CT", "area", "meets TCT"});
@@ -234,6 +251,59 @@ int cmd_dse(const char* path, std::int64_t tct) {
   std::printf("%s", table.to_text(0).c_str());
   std::printf("%s\n", result.met_target ? "target met" : "target NOT met");
   return result.met_target ? 0 : 1;
+}
+
+// Explores every target in [lo, hi] (step apart) concurrently: one serial
+// exploration per sweep point, fanned across the pool, all sharing one
+// evaluation memo — sweep points revisit the same candidate systems
+// constantly, so the warm cache does a large share of the work.
+int cmd_sweep(const char* path, std::int64_t lo, std::int64_t hi,
+              std::int64_t step, const GlobalOptions& global) {
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return 1;
+  if (lo <= 0 || hi < lo) {
+    std::fprintf(stderr, "error: sweep needs 0 < lo <= hi\n");
+    return 2;
+  }
+  if (step <= 0) step = std::max<std::int64_t>(1, (hi - lo) / 7);
+  std::vector<std::int64_t> targets;
+  for (std::int64_t tct = lo; tct <= hi; tct += step) targets.push_back(tct);
+
+  analysis::EvalCache cache;
+  exec::ThreadPool pool(effective_jobs(global));
+  util::Stopwatch sw;
+  const std::vector<dse::ExplorationResult> results =
+      pool.parallel_map<dse::ExplorationResult>(
+          targets.size(),
+          [&](std::size_t i) {
+            dse::ExplorerOptions options;
+            options.target_cycle_time = targets[i];
+            options.jobs = 1;  // parallel across sweep points, serial within
+            options.cache = &cache;
+            return dse::explore(parsed.system, options);
+          },
+          /*grain=*/1);
+  const double elapsed_ms = static_cast<double>(sw.elapsed_ns()) / 1e6;
+
+  util::Table table({"TCT", "iters", "final CT", "final area", "meets TCT"});
+  bool all_met = true;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const dse::IterationRecord& last = results[i].history.back();
+    table.add_row({std::to_string(targets[i]),
+                   std::to_string(results[i].history.size()),
+                   util::format_double(last.cycle_time, 0),
+                   util::format_double(last.area, 4),
+                   results[i].met_target ? "yes" : "no"});
+    all_met = all_met && results[i].met_target;
+  }
+  std::printf("%s", table.to_text(0).c_str());
+  std::printf("%zu targets in %s ms on %zu jobs; cache: %lld hits / %lld "
+              "misses (%.1f%% hit rate, %zu entries)\n",
+              targets.size(), util::format_double(elapsed_ms, 1).c_str(),
+              pool.jobs(), static_cast<long long>(cache.hits()),
+              static_cast<long long>(cache.misses()), cache.hit_rate() * 100.0,
+              cache.size());
+  return all_met ? 0 : 1;
 }
 
 // Runs the full flow (parse, analyze, order, dse) with telemetry forced on
@@ -321,11 +391,13 @@ int cmd_stats(const char* path) {
   return 0;
 }
 
-int cmd_sensitivity(const char* path) {
+int cmd_sensitivity(const char* path, const GlobalOptions& global) {
   io::ParseResult parsed;
   if (!load(path, parsed)) return 1;
+  exec::ThreadPool pool(effective_jobs(global));
+  analysis::EvalCache cache;
   const analysis::SensitivityReport report =
-      analysis::latency_sensitivity(parsed.system);
+      analysis::latency_sensitivity(parsed.system, 1, &pool, &cache);
   if (report.processes.empty()) {
     std::printf("system is deadlocked; no sensitivity available\n");
     return 1;
@@ -366,7 +438,7 @@ int cmd_dot(const char* path) {
 }
 
 // Dispatches on the positional arguments left after global-flag stripping.
-int dispatch(int argc, char** argv) {
+int dispatch(int argc, char** argv, const GlobalOptions& global) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "demo") {
@@ -388,7 +460,12 @@ int dispatch(int argc, char** argv) {
   }
   if (cmd == "dse") {
     if (argc < 4) return usage();
-    return cmd_dse(argv[2], std::atoll(argv[3]));
+    return cmd_dse(argv[2], std::atoll(argv[3]), global);
+  }
+  if (cmd == "sweep") {
+    if (argc < 5) return usage();
+    return cmd_sweep(argv[2], std::atoll(argv[3]), std::atoll(argv[4]),
+                     argc >= 6 ? std::atoll(argv[5]) : 0, global);
   }
   if (cmd == "size") {
     if (argc < 4) return usage();
@@ -399,7 +476,7 @@ int dispatch(int argc, char** argv) {
   }
   if (cmd == "dot") return cmd_dot(argv[2]);
   if (cmd == "stats") return cmd_stats(argv[2]);
-  if (cmd == "sens") return cmd_sensitivity(argv[2]);
+  if (cmd == "sens") return cmd_sensitivity(argv[2], global);
   if (cmd == "tmgdot") return cmd_tmgdot(argv[2]);
   return usage();
 }
@@ -411,7 +488,7 @@ int main(int argc, char** argv) {
   std::vector<char*> positional;
   if (!extract_global_flags(argc, argv, options, positional)) return 2;
   const int rc =
-      dispatch(static_cast<int>(positional.size()), positional.data());
+      dispatch(static_cast<int>(positional.size()), positional.data(), options);
   if (!flush_telemetry(options) && rc == 0) return 1;
   return rc;
 }
