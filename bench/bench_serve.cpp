@@ -1,0 +1,335 @@
+// Load generator for the analysis service (`ermes serve`).
+//
+// Boots an in-process Server on a unix-domain socket and drives it with N
+// concurrent clients over a repeated-target `explore` workload (the daemon's
+// reason to exist: the warm cache turns repeat targets into memo replays).
+// Asserts the three production claims and records everything in
+// BENCH_serve.json:
+//
+//  (a) correctness under concurrency — every response's "text" member equals
+//      the canonical single-shot CLI rendering (both sides call svc::render,
+//      which is the bit-identity contract tests/test_svc.cpp verifies against
+//      direct analysis);
+//  (b) cross-client warm cache — hit rate > 90% on the repeated-target
+//      workload, measured on the server's shared EvalCache;
+//  (c) backpressure — a deliberately undersized broker (1 worker, tiny
+//      queue, slowed iterations) answers the overflow portion of a burst
+//      with `overloaded` immediately instead of blocking.
+//
+// Flags: --smoke (tiny sizes; the serve-smoke CTest entry), --clients N,
+// --requests N (per client), --out path (default BENCH_serve.json).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/performance.h"
+#include "apps/mpeg2/characterization.h"
+#include "dse/explorer.h"
+#include "io/soc_format.h"
+#include "svc/client.h"
+#include "svc/json.h"
+#include "svc/protocol.h"
+#include "svc/render.h"
+#include "svc/server.h"
+#include "sysmodel/builder.h"
+#include "util/stopwatch.h"
+
+using namespace ermes;
+
+namespace {
+
+struct Config {
+  bool smoke = false;
+  int clients = 8;
+  int requests_per_client = 40;
+  std::string out_path = "BENCH_serve.json";
+};
+
+std::string temp_socket_path(const char* tag) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = tmp != nullptr ? tmp : "/tmp";
+  return dir + "/ermes_bench_" + tag + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+// Canonical per-target expected response text, computed exactly the way the
+// single-shot CLI does it (same svc::render entry point, serial evaluation).
+std::string expected_explore_text(const sysmodel::SystemModel& sys,
+                                  std::int64_t tct) {
+  dse::ExplorerOptions options;
+  options.target_cycle_time = tct;
+  options.jobs = 1;
+  return svc::explore_text(dse::explore(sys, options));
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[index];
+}
+
+// Phase 1+2: concurrent clients over a repeated-target explore workload.
+struct LoadResult {
+  double elapsed_s = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  int total_requests = 0;
+  int mismatches = 0;
+  int transport_errors = 0;
+};
+
+LoadResult run_load(const Config& config, const sysmodel::SystemModel& sys,
+                    const std::string& soc,
+                    const std::vector<std::int64_t>& targets) {
+  svc::ServerOptions options;
+  options.socket_path = temp_socket_path("load");
+  options.broker.workers = 0;  // all cores
+  options.broker.queue_depth = 4096;  // admission is not under test here
+  svc::Server server(std::move(options));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  std::thread server_thread([&server] { server.run(); });
+
+  std::vector<std::string> expected;
+  expected.reserve(targets.size());
+  for (const std::int64_t tct : targets) {
+    expected.push_back(expected_explore_text(sys, tct));
+  }
+
+  LoadResult load;
+  load.total_requests = config.clients * config.requests_per_client;
+  std::mutex latencies_mu;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(load.total_requests));
+  std::atomic<int> mismatches{0};
+  std::atomic<int> transport_errors{0};
+
+  util::Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::string client_error;
+      std::unique_ptr<svc::Client> client =
+          svc::Client::connect_unix(server.socket_path(), &client_error);
+      if (client == nullptr) {
+        transport_errors.fetch_add(config.requests_per_client);
+        return;
+      }
+      std::vector<double> mine;
+      mine.reserve(static_cast<std::size_t>(config.requests_per_client));
+      for (int r = 0; r < config.requests_per_client; ++r) {
+        // Repeated-target workload: every client cycles the same target
+        // set, offset by client index so first touches interleave.
+        const std::size_t t =
+            static_cast<std::size_t>(c + r) % targets.size();
+        const std::string id =
+            "c" + std::to_string(c) + "r" + std::to_string(r);
+        util::Stopwatch sw;
+        const svc::ResponseView view = client->call(svc::encode_request(
+            svc::Op::kExplore, svc::JsonValue::string(id), soc, targets[t]));
+        mine.push_back(static_cast<double>(sw.elapsed_ns()) / 1e6);
+        if (!view.ok) {
+          transport_errors.fetch_add(1);
+          continue;
+        }
+        const svc::JsonValue* text =
+            view.success ? view.result.find("text") : nullptr;
+        if (text == nullptr || text->as_string() != expected[t]) {
+          mismatches.fetch_add(1);
+        }
+      }
+      std::lock_guard<std::mutex> lock(latencies_mu);
+      latencies_ms.insert(latencies_ms.end(), mine.begin(), mine.end());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  load.elapsed_s = static_cast<double>(wall.elapsed_ns()) / 1e9;
+
+  load.cache_hits = server.broker().cache().hits();
+  load.cache_misses = server.broker().cache().misses();
+  load.cache_hit_rate = server.broker().cache().hit_rate();
+  server.request_stop();
+  server_thread.join();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  load.p50_ms = percentile(latencies_ms, 0.50);
+  load.p99_ms = percentile(latencies_ms, 0.99);
+  load.throughput_rps =
+      load.elapsed_s > 0.0
+          ? static_cast<double>(latencies_ms.size()) / load.elapsed_s
+          : 0.0;
+  load.mismatches = mismatches.load();
+  load.transport_errors = transport_errors.load();
+  return load;
+}
+
+// Phase 3: overload probe against an undersized broker.
+struct OverloadResult {
+  int burst = 0;
+  int overloaded = 0;
+  int served = 0;
+  double burst_submit_ms = 0.0;  // proves rejection didn't block
+};
+
+OverloadResult run_overload(const std::string& soc) {
+  svc::BrokerOptions options;
+  options.workers = 1;
+  options.queue_depth = 2;
+  options.test_iter_delay_ms = 20;
+  svc::Broker broker(options);
+
+  OverloadResult result;
+  result.burst = 24;
+  std::atomic<int> overloaded{0};
+  std::atomic<int> served{0};
+  const std::string request = svc::encode_request(
+      svc::Op::kExplore, svc::JsonValue::null(), soc, /*tct=*/1);
+  util::Stopwatch sw;
+  for (int i = 0; i < result.burst; ++i) {
+    broker.handle_line(request, [&](std::string response) {
+      const svc::ResponseView view = svc::parse_response(response);
+      if (!view.success && view.error_code == "overloaded") {
+        overloaded.fetch_add(1);
+      } else {
+        served.fetch_add(1);
+      }
+    });
+  }
+  // All burst submissions returned; rejections were immediate, not queued
+  // behind the deliberately slow worker.
+  result.burst_submit_ms = static_cast<double>(sw.elapsed_ns()) / 1e6;
+  broker.begin_drain();
+  broker.drain();
+  result.overloaded = overloaded.load();
+  result.served = served.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.smoke = true;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      config.clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      config.requests_per_client = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--smoke] [--clients N] "
+                   "[--requests N] [--out path]\n");
+      return 2;
+    }
+  }
+  if (config.smoke) {
+    config.clients = 4;
+    config.requests_per_client = 16;
+  }
+  if (config.clients < 4) config.clients = 4;  // the concurrency claim
+
+  // Workload: the MPEG-2 encoder (the paper's case study) in full mode, the
+  // DAC'14 motivating example in smoke mode — both over 4 repeat targets
+  // around the post-ordering cycle time.
+  sysmodel::SystemModel sys =
+      config.smoke ? sysmodel::make_dac14_motivating_example()
+                   : mpeg2::make_characterized_mpeg2_encoder();
+  const std::string name = config.smoke ? "dac14_motivating" : "mpeg2";
+  const std::string soc = io::write_soc(sys, name);
+  const double base_ct = analysis::analyze_system(sys).cycle_time;
+  std::vector<std::int64_t> targets;
+  for (int i = 0; i < 4; ++i) {
+    targets.push_back(
+        static_cast<std::int64_t>(base_ct * (1.0 + 0.1 * i)) + 1);
+  }
+
+  std::printf("bench_serve: %d clients x %d requests, %zu repeat targets "
+              "(%s)\n",
+              config.clients, config.requests_per_client, targets.size(),
+              name.c_str());
+
+  const LoadResult load = run_load(config, sys, soc, targets);
+  std::printf("  load: %.2f s, %.1f req/s, p50 %.2f ms, p99 %.2f ms\n",
+              load.elapsed_s, load.throughput_rps, load.p50_ms, load.p99_ms);
+  std::printf("  cache: %lld hits / %lld misses (%.1f%% hit rate)\n",
+              static_cast<long long>(load.cache_hits),
+              static_cast<long long>(load.cache_misses),
+              load.cache_hit_rate * 100.0);
+  std::printf("  correctness: %d mismatches, %d transport errors\n",
+              load.mismatches, load.transport_errors);
+
+  const OverloadResult overload = run_overload(soc);
+  std::printf("  overload: %d/%d rejected `overloaded`, burst submitted in "
+              "%.2f ms\n",
+              overload.overloaded, overload.burst, overload.burst_submit_ms);
+
+  const bool identical = load.mismatches == 0 && load.transport_errors == 0;
+  const bool warm = load.cache_hit_rate > 0.90;
+  const bool backpressure = overload.overloaded > 0;
+
+  svc::JsonValue report = svc::JsonValue::object();
+  report.set("bench", svc::JsonValue::string("serve"));
+  report.set("smoke", svc::JsonValue::boolean(config.smoke));
+  report.set("system", svc::JsonValue::string(name));
+  report.set("clients", svc::JsonValue::integer(config.clients));
+  report.set("requests_per_client",
+             svc::JsonValue::integer(config.requests_per_client));
+  report.set("targets", svc::JsonValue::integer(
+                            static_cast<std::int64_t>(targets.size())));
+  report.set("elapsed_s", svc::JsonValue::number(load.elapsed_s));
+  report.set("throughput_rps", svc::JsonValue::number(load.throughput_rps));
+  report.set("p50_ms", svc::JsonValue::number(load.p50_ms));
+  report.set("p99_ms", svc::JsonValue::number(load.p99_ms));
+  report.set("cache_hits", svc::JsonValue::integer(load.cache_hits));
+  report.set("cache_misses", svc::JsonValue::integer(load.cache_misses));
+  report.set("cache_hit_rate", svc::JsonValue::number(load.cache_hit_rate));
+  report.set("responses_bit_identical", svc::JsonValue::boolean(identical));
+  report.set("warm_cache_above_90pct", svc::JsonValue::boolean(warm));
+  report.set("overload_burst", svc::JsonValue::integer(overload.burst));
+  report.set("overload_rejected",
+             svc::JsonValue::integer(overload.overloaded));
+  report.set("overload_served", svc::JsonValue::integer(overload.served));
+  report.set("overload_rejects_instead_of_blocking",
+             svc::JsonValue::boolean(backpressure));
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  const std::string json = report.to_string();
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("  report written to %s\n", config.out_path.c_str());
+
+  if (!identical || !warm || !backpressure) {
+    std::fprintf(stderr,
+                 "bench_serve FAILED: identical=%d warm=%d backpressure=%d\n",
+                 identical, warm, backpressure);
+    return 1;
+  }
+  std::printf("bench_serve PASSED\n");
+  return 0;
+}

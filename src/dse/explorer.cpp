@@ -353,6 +353,12 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
                     << options.target_cycle_time;
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (options.should_stop && options.should_stop()) {
+      result.cancelled = true;
+      obs::count("dse.cancelled");
+      ERMES_LOG(kDebug) << "dse: iter " << iter << " cancelled by caller";
+      break;
+    }
     obs::ObsSpan iter_span("dse.iteration", "dse");
     obs::count("dse.iterations");
     if (!report.live) {
@@ -504,6 +510,11 @@ ExplorationResult explore_area_constrained(
   visited.insert(current_selection(sys));
 
   for (int iter = 1; iter <= options.max_iterations && report.live; ++iter) {
+    if (options.should_stop && options.should_stop()) {
+      result.cancelled = true;
+      obs::count("dse.cancelled");
+      break;
+    }
     obs::ObsSpan iter_span("dse.iteration", "dse");
     obs::count("dse.iterations");
     bool accepted = false;

@@ -14,6 +14,7 @@
 // Fig. 6.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -57,12 +58,19 @@ struct ExplorerOptions {
   analysis::EvalCache* cache = nullptr;
   /// Worker pool to evaluate on. nullptr = a per-run pool when jobs > 1.
   exec::ThreadPool* pool = nullptr;
+  /// Cooperative cancellation, polled between iterations. Returning true
+  /// stops the run after the last completed iteration with
+  /// ExplorationResult::cancelled set; the partial history stays valid and
+  /// the best state seen so far is still reported. Deadline enforcement in
+  /// the analysis service (src/svc) hangs off this hook.
+  std::function<bool()> should_stop;
 };
 
 struct ExplorationResult {
   std::vector<IterationRecord> history;
   bool converged = false;        // reached a fixpoint (no further change)
   bool met_target = false;       // final state satisfies CT < TCT
+  bool cancelled = false;        // stopped early by options.should_stop
   sysmodel::SystemModel final_system;
 };
 
@@ -83,6 +91,7 @@ struct DualExplorerOptions {
   int jobs = 1;
   analysis::EvalCache* cache = nullptr;
   exec::ThreadPool* pool = nullptr;
+  std::function<bool()> should_stop;
 };
 
 ExplorationResult explore_area_constrained(sysmodel::SystemModel sys,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "util/log.h"
 #include "util/stopwatch.h"
 
 namespace ermes::exec {
@@ -75,11 +76,27 @@ ThreadPool& ThreadPool::shared() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      work_cv_.wait(lock, [this] {
+        return stop_ || !queue_.empty() || !tasks_.empty();
+      });
       if (stop_) return;
-      batch = queue_.front();
+      if (!queue_.empty()) {
+        batch = queue_.front();
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        if (obs::enabled()) {
+          obs::gauge_set("exec.pool.task_queue_depth",
+                         static_cast<std::int64_t>(tasks_.size()));
+        }
+      }
+    }
+    if (batch == nullptr) {
+      run_task(task);
+      continue;
     }
     run_chunks(*batch);
     {
@@ -93,6 +110,46 @@ void ThreadPool::worker_loop() {
       }
     }
   }
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  ThreadPool* const previous = t_running_pool;
+  t_running_pool = this;
+  try {
+    task();
+  } catch (const std::exception& e) {
+    ERMES_LOG(kError) << "exec::ThreadPool: submitted task threw: "
+                      << e.what();
+  } catch (...) {
+    ERMES_LOG(kError) << "exec::ThreadPool: submitted task threw";
+  }
+  t_running_pool = previous;
+  if (obs::enabled()) obs::count("exec.pool.tasks");
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (t_running_pool == this) {
+    throw std::logic_error(
+        "exec::ThreadPool: nested submit from inside a task of the same pool");
+  }
+  if (workers_.empty()) {
+    run_task(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    if (obs::enabled()) {
+      obs::gauge_set("exec.pool.task_queue_depth",
+                     static_cast<std::int64_t>(tasks_.size()));
+    }
+  }
+  work_cv_.notify_one();
+}
+
+std::size_t ThreadPool::pending_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
 }
 
 void ThreadPool::run_chunks(Batch& batch) {

@@ -21,9 +21,15 @@
 //  * Nested submits are rejected (std::logic_error): a task that blocks on
 //    its own pool can deadlock a fixed-worker design, and every legitimate
 //    use in this codebase parallelizes exactly one loop level.
+//  * submit() adds a fire-and-forget task queue next to the batch queue so
+//    long-lived services (src/svc) can dispatch independent requests onto
+//    the same fixed workers. Workers prefer batches (the latency-sensitive
+//    data-parallel path) and drain tasks otherwise; the caller thread never
+//    executes submitted tasks.
 //
-// Instrumented through obs when enabled: exec.pool.batches / chunks
-// counters, exec.pool.queue_depth gauge, exec.pool.chunk_ns histogram.
+// Instrumented through obs when enabled: exec.pool.batches / chunks /
+// tasks counters, exec.pool.queue_depth / task_queue_depth gauges,
+// exec.pool.chunk_ns histogram.
 
 #include <cstddef>
 #include <condition_variable>
@@ -80,17 +86,34 @@ class ThreadPool {
     return out;
   }
 
+  /// Enqueues an independent task for asynchronous execution on a worker
+  /// thread and returns immediately. Tasks run in FIFO order relative to
+  /// each other (workers prefer parallel_for batches). A throwing task is
+  /// caught and logged, never propagated — callers that care report errors
+  /// through their own channel. On a pool with no workers (jobs <= 1) the
+  /// task runs inline on the calling thread before submit() returns. Tasks
+  /// still queued when the pool is destroyed are discarded; services must
+  /// drain (wait for their own completion signals) before teardown.
+  /// Throws std::logic_error when invoked from inside a task of this pool.
+  void submit(std::function<void()> task);
+
+  /// Submitted-but-not-yet-started task count (diagnostic; racy by nature).
+  std::size_t pending_tasks() const;
+
  private:
   struct Batch;
 
   void worker_loop();
   /// Claims and runs chunks of `batch` until its cursor is exhausted.
   void run_chunks(Batch& batch);
+  /// Runs one submitted task with the nested-submit guard armed.
+  void run_task(std::function<void()>& task);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<std::shared_ptr<Batch>> queue_;
+  std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
 };
 

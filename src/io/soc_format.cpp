@@ -1,6 +1,7 @@
 #include "io/soc_format.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -46,20 +47,29 @@ struct Parser {
     return false;
   }
 
+  // Upper bound on latencies/capacities: large enough for any real design,
+  // small enough that sums and products across a system stay far away from
+  // int64/double overflow when the input is hostile.
+  static constexpr std::int64_t kMaxMagnitude = 1'000'000'000'000;  // 1e12
+
   bool parse_i64(const std::string& token, std::int64_t& out) {
     try {
       std::size_t pos = 0;
       out = std::stoll(token, &pos);
-      return pos == token.size();
+      return pos == token.size() && out <= kMaxMagnitude &&
+             out >= -kMaxMagnitude;
     } catch (...) {
       return false;
     }
   }
+  // Rejects non-finite values: stod happily parses "inf"/"nan", which would
+  // poison every downstream cycle-time and area computation.
   bool parse_f64(const std::string& token, double& out) {
     try {
       std::size_t pos = 0;
       out = std::stod(token, &pos);
-      return pos == token.size();
+      return pos == token.size() && std::isfinite(out) &&
+             std::fabs(out) <= 1e18;
     } catch (...) {
       return false;
     }
@@ -80,7 +90,9 @@ struct Parser {
     std::size_t i = 4;
     while (i < t.size()) {
       if (t[i] == "area" && i + 1 < t.size()) {
-        if (!parse_f64(t[i + 1], area)) return fail("bad area");
+        if (!parse_f64(t[i + 1], area) || area < 0.0) {
+          return fail("bad area");
+        }
         i += 2;
       } else if (t[i] == "primed") {
         primed = true;
@@ -115,6 +127,7 @@ struct Parser {
       if (!parse_i64(t[8], capacity) || capacity < 0) {
         return fail("bad capacity");
       }
+      if (t.size() != 9) return fail("unexpected trailing tokens");
       result.system.set_channel_capacity(c, capacity);
     } else if (t.size() != 7) {
       return fail("unexpected trailing tokens");
@@ -137,7 +150,9 @@ struct Parser {
     if (!parse_i64(t[4], row.impl.latency) || row.impl.latency < 0) {
       return fail("bad latency");
     }
-    if (!parse_f64(t[6], row.impl.area)) return fail("bad area");
+    if (!parse_f64(t[6], row.impl.area) || row.impl.area < 0.0) {
+      return fail("bad area");
+    }
     row.selected = t.size() == 8 && t[7] == "selected";
     if (t.size() > 8 || (t.size() == 8 && !row.selected)) {
       return fail("unexpected trailing tokens");
@@ -200,7 +215,9 @@ struct Parser {
 
 }  // namespace
 
-ParseResult parse_soc(const std::string& text) {
+namespace {
+
+ParseResult parse_soc_impl(const std::string& text) {
   Parser parser;
   parser.result.ok = true;
   parser.result.system_name = "system";
@@ -235,6 +252,26 @@ ParseResult parse_soc(const std::string& text) {
   }
   parser.finalize_impls();
   return std::move(parser.result);
+}
+
+}  // namespace
+
+ParseResult parse_soc(const std::string& text) {
+  // Last-resort containment: hostile input must produce a structured error,
+  // never an uncaught throw. Everything reachable from here validates before
+  // touching the model, so this only fires on resource exhaustion
+  // (bad_alloc, length_error from pathological token sizes).
+  try {
+    return parse_soc_impl(text);
+  } catch (const std::exception& e) {
+    ParseResult result;
+    result.error = std::string("parse failed: ") + e.what();
+    return result;
+  } catch (...) {
+    ParseResult result;
+    result.error = "parse failed: unknown error";
+    return result;
+  }
 }
 
 ParseResult load_soc(const std::string& path) {

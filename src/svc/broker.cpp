@@ -1,0 +1,434 @@
+#include "svc/broker.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/performance.h"
+#include "dse/explorer.h"
+#include "io/soc_format.h"
+#include "obs/metrics.h"
+#include "ordering/channel_ordering.h"
+#include "svc/render.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+namespace ermes::svc {
+
+namespace {
+
+std::size_t effective_workers(std::size_t workers) {
+  return workers == 0 ? exec::hardware_jobs() : workers;
+}
+
+}  // namespace
+
+// The pool gets `workers` dedicated threads (ThreadPool counts the caller,
+// and the broker's callers — connection threads — never execute tasks).
+Broker::Broker(BrokerOptions options)
+    : options_(options), pool_(effective_workers(options.workers) + 1) {}
+
+Broker::~Broker() {
+  begin_drain();
+  drain();
+}
+
+void Broker::set_drain_callback(std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  drain_callback_ = std::move(callback);
+}
+
+void Broker::begin_drain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  std::function<void()> callback;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (!drain_callback_fired_ && drain_callback_) {
+      drain_callback_fired_ = true;
+      callback = drain_callback_;
+    }
+  }
+  if (callback) callback();
+}
+
+void Broker::drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void Broker::finish_one() {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("svc.requests.completed");
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1 == 0) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+Broker::Stats Broker::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.rejected_overloaded =
+      rejected_overloaded_.load(std::memory_order_relaxed);
+  s.rejected_shutting_down =
+      rejected_shutting_down_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  s.waiting = waiting_.load(std::memory_order_relaxed);
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Broker::handle_line(const std::string& line, DoneFn done) {
+  RequestParse parsed = parse_request(line);
+  if (!parsed.ok) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.requests.bad_request");
+    done(encode_error(parsed.request.id, ErrorCode::kBadRequest,
+                      parsed.error));
+    return;
+  }
+  const JsonValue id = parsed.request.id;
+  if (draining()) {
+    rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.requests.rejected_shutting_down");
+    done(encode_error(id, ErrorCode::kShuttingDown, "server is draining"));
+    return;
+  }
+
+  // Bounded admission with backpressure: beyond queue_depth waiting
+  // requests, reject immediately instead of queueing (the caller never
+  // blocks on a full queue).
+  const std::int64_t waiting =
+      waiting_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (waiting > static_cast<std::int64_t>(options_.queue_depth)) {
+    waiting_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.requests.rejected_overloaded");
+    done(encode_error(id, ErrorCode::kOverloaded,
+                      "admission queue full (depth " +
+                          std::to_string(options_.queue_depth) + ")"));
+    return;
+  }
+  obs::gauge_set("svc.queue.waiting", waiting);
+
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("svc.requests.accepted");
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+
+  std::int64_t deadline_ms = parsed.request.deadline_ms > 0
+                                 ? parsed.request.deadline_ms
+                                 : options_.default_deadline_ms;
+  const bool has_deadline = deadline_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? deadline_ms : 0);
+
+  pool_.submit([this, request = std::move(parsed.request), has_deadline,
+                deadline, done = std::move(done)] {
+    const std::int64_t now_waiting =
+        waiting_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    obs::gauge_set("svc.queue.waiting", now_waiting);
+    execute(request, has_deadline, deadline, done);
+    finish_one();
+  });
+}
+
+std::string Broker::handle_line_sync(const std::string& line) {
+  // The response callback may run on a worker thread; hand the line back
+  // through a tiny rendezvous.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string response;
+  bool ready = false;
+  handle_line(line, [&](std::string r) {
+    std::lock_guard<std::mutex> lock(mu);
+    response = std::move(r);
+    ready = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return response;
+}
+
+void Broker::execute(const Request& request, bool has_deadline,
+                     Clock::time_point deadline, const DoneFn& done) {
+  util::Stopwatch sw;
+  // Cooperative cancellation poll, shared by the DSE loop and the sweep's
+  // per-target boundary. The test hook's sleep lives here so a deliberately
+  // slow exploration still spends its time inside the cancellable region.
+  const auto should_stop = [this, has_deadline, deadline] {
+    if (options_.test_iter_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.test_iter_delay_ms));
+    }
+    return has_deadline && Clock::now() >= deadline;
+  };
+
+  std::string response;
+  try {
+    if (has_deadline && Clock::now() >= deadline) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      obs::count("svc.requests.deadline_exceeded");
+      response = encode_error(request.id, ErrorCode::kDeadlineExceeded,
+                              "deadline expired before execution started");
+    } else {
+      std::string soc_error;
+      bool cancelled = false;
+      JsonValue result;
+      switch (request.op) {
+        case Op::kAnalyze:
+          result = run_analyze(request, &soc_error);
+          break;
+        case Op::kOrder:
+          result = run_order(request, &soc_error);
+          break;
+        case Op::kExplore:
+          result = run_explore(request, should_stop, &soc_error, &cancelled);
+          break;
+        case Op::kSweep:
+          result = run_sweep(request, should_stop, &soc_error, &cancelled);
+          break;
+        case Op::kStats:
+          result = run_stats();
+          break;
+        case Op::kShutdown:
+          result = JsonValue::object();
+          result.set("draining", JsonValue::boolean(true));
+          break;
+      }
+      if (!soc_error.empty()) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        obs::count("svc.requests.bad_request");
+        response = encode_error(request.id, ErrorCode::kBadRequest,
+                                "soc: " + soc_error);
+      } else if (cancelled) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        obs::count("svc.requests.deadline_exceeded");
+        response = encode_error(request.id, ErrorCode::kDeadlineExceeded,
+                                "deadline exceeded during exploration");
+      } else {
+        response = encode_ok(request.id, std::move(result));
+      }
+    }
+  } catch (const std::exception& e) {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.requests.internal_error");
+    ERMES_LOG(kError) << "svc: request handler threw: " << e.what();
+    response = encode_error(request.id, ErrorCode::kInternal, e.what());
+  } catch (...) {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.requests.internal_error");
+    response = encode_error(request.id, ErrorCode::kInternal,
+                            "unexpected exception");
+  }
+
+  obs::observe("svc.request_ns", sw.elapsed_ns());
+
+  // A shutdown request flips the drain switch before its own response goes
+  // out, so any request observed after the response is deterministically
+  // rejected with shutting_down. Delivery is still guaranteed: this request
+  // counts toward in_flight_ until finish_one(), and the server only closes
+  // connections after drain() sees in_flight_ == 0.
+  if (request.op == Op::kShutdown) begin_drain();
+  done(std::move(response));
+}
+
+JsonValue Broker::run_analyze(const Request& request, std::string* soc_error) {
+  const io::ParseResult parsed = io::parse_soc(request.soc);
+  if (!parsed.ok) {
+    *soc_error = parsed.error;
+    return JsonValue::null();
+  }
+  const analysis::PerformanceReport report = cache_.analyze(parsed.system);
+  JsonValue result = JsonValue::object();
+  result.set("live", JsonValue::boolean(report.live));
+  result.set("cycle_time", JsonValue::number(report.cycle_time));
+  result.set("ct_num", JsonValue::integer(report.ct_num));
+  result.set("ct_den", JsonValue::integer(report.ct_den));
+  result.set("throughput", JsonValue::number(report.throughput));
+  JsonValue critical = JsonValue::array();
+  for (const sysmodel::ProcessId p : report.critical_processes) {
+    critical.push_back(JsonValue::string(parsed.system.process_name(p)));
+  }
+  result.set("critical_processes", std::move(critical));
+  result.set("text", JsonValue::string(analyze_text(parsed.system, report)));
+  return result;
+}
+
+JsonValue Broker::run_order(const Request& request, std::string* soc_error) {
+  const io::ParseResult parsed = io::parse_soc(request.soc);
+  if (!parsed.ok) {
+    *soc_error = parsed.error;
+    return JsonValue::null();
+  }
+  const analysis::PerformanceReport before = cache_.analyze(parsed.system);
+  const sysmodel::SystemModel ordered =
+      ordering::with_optimal_ordering(parsed.system);
+  const analysis::PerformanceReport after = cache_.analyze(ordered);
+  JsonValue result = JsonValue::object();
+  if (before.live) {
+    result.set("cycle_time_before", JsonValue::number(before.cycle_time));
+  } else {
+    result.set("cycle_time_before", JsonValue::null());
+  }
+  result.set("cycle_time_after", JsonValue::number(after.cycle_time));
+  result.set("soc",
+             JsonValue::string(io::write_soc(ordered, parsed.system_name)));
+  result.set("text",
+             JsonValue::string(order_text(before.live, before.cycle_time,
+                                          after, ordered,
+                                          parsed.system_name)));
+  return result;
+}
+
+namespace {
+
+JsonValue history_json(const dse::ExplorationResult& result) {
+  JsonValue history = JsonValue::array();
+  for (const dse::IterationRecord& rec : result.history) {
+    JsonValue row = JsonValue::object();
+    row.set("iteration", JsonValue::integer(rec.iteration));
+    row.set("action", JsonValue::string(dse::to_string(rec.action)));
+    row.set("cycle_time", JsonValue::number(rec.cycle_time));
+    row.set("area", JsonValue::number(rec.area));
+    row.set("slack", JsonValue::integer(rec.slack));
+    row.set("meets_target", JsonValue::boolean(rec.meets_target));
+    history.push_back(std::move(row));
+  }
+  return history;
+}
+
+}  // namespace
+
+JsonValue Broker::run_explore(const Request& request,
+                              const std::function<bool()>& should_stop,
+                              std::string* soc_error, bool* cancelled) {
+  const io::ParseResult parsed = io::parse_soc(request.soc);
+  if (!parsed.ok) {
+    *soc_error = parsed.error;
+    return JsonValue::null();
+  }
+  dse::ExplorerOptions options;
+  options.target_cycle_time = request.tct;
+  options.jobs = 1;  // parallelism lives at the request level
+  options.cache = &cache_;
+  options.should_stop = should_stop;
+  const dse::ExplorationResult result = dse::explore(parsed.system, options);
+  if (result.cancelled) {
+    *cancelled = true;
+    return JsonValue::null();
+  }
+  JsonValue out = JsonValue::object();
+  out.set("met_target", JsonValue::boolean(result.met_target));
+  out.set("converged", JsonValue::boolean(result.converged));
+  out.set("iterations",
+          JsonValue::integer(static_cast<std::int64_t>(result.history.size())));
+  if (!result.history.empty()) {
+    out.set("final_cycle_time",
+            JsonValue::number(result.history.back().cycle_time));
+    out.set("final_area", JsonValue::number(result.history.back().area));
+  }
+  out.set("history", history_json(result));
+  out.set("text", JsonValue::string(explore_text(result)));
+  return out;
+}
+
+JsonValue Broker::run_sweep(const Request& request,
+                            const std::function<bool()>& should_stop,
+                            std::string* soc_error, bool* cancelled) {
+  const io::ParseResult parsed = io::parse_soc(request.soc);
+  if (!parsed.ok) {
+    *soc_error = parsed.error;
+    return JsonValue::null();
+  }
+  std::int64_t step = request.step;
+  if (step <= 0) {
+    step = std::max<std::int64_t>(1, (request.hi - request.lo) / 7);
+  }
+  std::vector<std::int64_t> targets;
+  for (std::int64_t tct = request.lo; tct <= request.hi; tct += step) {
+    targets.push_back(tct);
+  }
+  // Serial within the request (requests are the unit of parallelism); the
+  // shared warm cache still makes later targets mostly memo replays. The
+  // deadline is polled between targets and inside each exploration.
+  std::vector<dse::ExplorationResult> results;
+  results.reserve(targets.size());
+  for (const std::int64_t tct : targets) {
+    dse::ExplorerOptions options;
+    options.target_cycle_time = tct;
+    options.jobs = 1;
+    options.cache = &cache_;
+    options.should_stop = should_stop;
+    results.push_back(dse::explore(parsed.system, options));
+    if (results.back().cancelled) {
+      *cancelled = true;
+      return JsonValue::null();
+    }
+  }
+  JsonValue rows = JsonValue::array();
+  bool all_met = true;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    JsonValue row = JsonValue::object();
+    row.set("tct", JsonValue::integer(targets[i]));
+    row.set("iterations",
+            JsonValue::integer(
+                static_cast<std::int64_t>(results[i].history.size())));
+    row.set("final_cycle_time",
+            JsonValue::number(results[i].history.back().cycle_time));
+    row.set("final_area", JsonValue::number(results[i].history.back().area));
+    row.set("met_target", JsonValue::boolean(results[i].met_target));
+    rows.push_back(std::move(row));
+    all_met = all_met && results[i].met_target;
+  }
+  JsonValue out = JsonValue::object();
+  out.set("targets", std::move(rows));
+  out.set("all_met", JsonValue::boolean(all_met));
+  out.set("text", JsonValue::string(sweep_text(targets, results)));
+  return out;
+}
+
+JsonValue Broker::run_stats() {
+  const Stats s = stats();
+  JsonValue broker = JsonValue::object();
+  broker.set("accepted", JsonValue::integer(s.accepted));
+  broker.set("completed", JsonValue::integer(s.completed));
+  broker.set("bad_requests", JsonValue::integer(s.bad_requests));
+  broker.set("rejected_overloaded",
+             JsonValue::integer(s.rejected_overloaded));
+  broker.set("rejected_shutting_down",
+             JsonValue::integer(s.rejected_shutting_down));
+  broker.set("deadline_exceeded", JsonValue::integer(s.deadline_exceeded));
+  broker.set("internal_errors", JsonValue::integer(s.internal_errors));
+  broker.set("waiting", JsonValue::integer(s.waiting));
+  broker.set("in_flight", JsonValue::integer(s.in_flight));
+  broker.set("queue_depth",
+             JsonValue::integer(
+                 static_cast<std::int64_t>(options_.queue_depth)));
+  broker.set("workers",
+             JsonValue::integer(static_cast<std::int64_t>(pool_.jobs() - 1)));
+
+  JsonValue cache = JsonValue::object();
+  cache.set("hits", JsonValue::integer(cache_.hits()));
+  cache.set("misses", JsonValue::integer(cache_.misses()));
+  cache.set("hit_rate", JsonValue::number(cache_.hit_rate()));
+  cache.set("entries",
+            JsonValue::integer(static_cast<std::int64_t>(cache_.size())));
+
+  JsonValue out = JsonValue::object();
+  out.set("protocol_version", JsonValue::integer(kProtocolVersion));
+  out.set("broker", std::move(broker));
+  out.set("cache", std::move(cache));
+  // The obs registry snapshot is already JSON; splice it in verbatim.
+  out.set("metrics", JsonValue::raw(obs::Registry::global().to_json()));
+  return out;
+}
+
+}  // namespace ermes::svc

@@ -1,0 +1,149 @@
+#pragma once
+// Request broker of the analysis service: admission control, deadlines, and
+// execution of protocol requests on a shared thread pool + warm cache.
+//
+// The broker is the transport-free core of `ermes serve` (the socket layer
+// in svc/server.h feeds it lines and writes back whatever it produces), so
+// every production behaviour is testable in-process:
+//
+//   * Bounded admission: at most `queue_depth` requests may be admitted but
+//     not yet executing; request number queue_depth+1 is rejected with
+//     `overloaded` immediately instead of blocking the connection. Heavy
+//     requests therefore shed load instead of accumulating unbounded memory
+//     and latency — the client retries against a healthier instant.
+//   * Deadlines: an admitted request carries an absolute deadline (its
+//     `deadline_ms`, else the broker default, else none). Expiry is checked
+//     before execution starts and cooperatively between DSE iterations /
+//     sweep points through dse::ExplorerOptions::should_stop; an expired
+//     request returns `deadline_exceeded` and frees its worker — it is never
+//     hard-killed, so caches and metrics stay coherent.
+//   * One process-wide warm analysis::EvalCache shared by all clients and
+//     requests: repeat targets (the DSE exploration-pressure workload) hit
+//     the memo across connections, which is the entire point of running
+//     ERMES as a daemon rather than a cold CLI process per evaluation.
+//   * Drain: begin_drain() atomically flips admission off (subsequent
+//     requests get `shutting_down`); drain() blocks until the in-flight set
+//     is empty. The `shutdown` op responds, then begins the drain.
+//
+// Metrics are mirrored into the obs registry (svc.requests.*,
+// svc.queue.waiting, svc.request_ns); the `stats` op snapshots them.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "analysis/eval_cache.h"
+#include "exec/thread_pool.h"
+#include "svc/protocol.h"
+
+namespace ermes::svc {
+
+struct BrokerOptions {
+  /// Request-execution parallelism (dedicated pool workers). 0 = all cores.
+  std::size_t workers = 0;
+  /// Maximum admitted-but-not-yet-executing requests before `overloaded`.
+  std::size_t queue_depth = 64;
+  /// Default deadline applied when a request does not carry one. 0 = none.
+  std::int64_t default_deadline_ms = 0;
+  /// Test hook: sleep this long inside every DSE iteration's cancellation
+  /// poll, making `explore` deliberately slow so the deadline and overload
+  /// paths are exercised deterministically (tests/bench only).
+  std::int64_t test_iter_delay_ms = 0;
+};
+
+class Broker {
+ public:
+  explicit Broker(BrokerOptions options = {});
+  ~Broker();
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Response sink: invoked exactly once per handle_line call with the full
+  /// response line (no trailing newline). Runs on a pool worker for admitted
+  /// requests, or inline on the caller for rejections and parse failures.
+  using DoneFn = std::function<void(std::string)>;
+
+  /// Parses, validates, admits, and (asynchronously) executes one request
+  /// line. Never throws; never blocks on the queue.
+  void handle_line(const std::string& line, DoneFn done);
+
+  /// Synchronous convenience for tests and the smoke driver: blocks until
+  /// the response is ready.
+  std::string handle_line_sync(const std::string& line);
+
+  /// Stops admission: subsequent requests are rejected with shutting_down.
+  /// Idempotent; invokes the drain callback (once) when one is registered.
+  void begin_drain();
+  /// True once begin_drain() ran.
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  /// Blocks until every admitted request has completed.
+  void drain();
+  /// Hook for the server: called from begin_drain() (possibly on a worker
+  /// thread executing a `shutdown` request) to wake the accept loop.
+  void set_drain_callback(std::function<void()> callback);
+
+  /// The process-wide warm cache shared across all requests.
+  analysis::EvalCache& cache() { return cache_; }
+
+  struct Stats {
+    std::int64_t accepted = 0;
+    std::int64_t completed = 0;
+    std::int64_t bad_requests = 0;
+    std::int64_t rejected_overloaded = 0;
+    std::int64_t rejected_shutting_down = 0;
+    std::int64_t deadline_exceeded = 0;
+    std::int64_t internal_errors = 0;
+    std::int64_t waiting = 0;    // admitted, not yet executing
+    std::int64_t in_flight = 0;  // admitted, not yet responded
+  };
+  Stats stats() const;
+
+  const BrokerOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Executes an admitted request (worker thread) and emits the response.
+  void execute(const Request& request, bool has_deadline,
+               Clock::time_point deadline, const DoneFn& done);
+  JsonValue run_analyze(const Request& request, std::string* soc_error);
+  JsonValue run_order(const Request& request, std::string* soc_error);
+  /// Returns ok=false with kDeadlineExceeded semantics via *cancelled.
+  JsonValue run_explore(const Request& request,
+                        const std::function<bool()>& should_stop,
+                        std::string* soc_error, bool* cancelled);
+  JsonValue run_sweep(const Request& request,
+                      const std::function<bool()>& should_stop,
+                      std::string* soc_error, bool* cancelled);
+  JsonValue run_stats();
+
+  void finish_one();
+
+  BrokerOptions options_;
+  analysis::EvalCache cache_;
+  exec::ThreadPool pool_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<std::int64_t> waiting_{0};
+  std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<std::int64_t> accepted_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> bad_requests_{0};
+  std::atomic<std::int64_t> rejected_overloaded_{0};
+  std::atomic<std::int64_t> rejected_shutting_down_{0};
+  std::atomic<std::int64_t> deadline_exceeded_{0};
+  std::atomic<std::int64_t> internal_errors_{0};
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::function<void()> drain_callback_;
+  bool drain_callback_fired_ = false;
+};
+
+}  // namespace ermes::svc

@@ -1,0 +1,119 @@
+#include "svc/client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ermes::svc {
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Client> Client::connect_unix(const std::string& path,
+                                             std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long";
+    return nullptr;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "cannot create unix socket";
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "cannot connect to " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+std::unique_ptr<Client> Client::connect_tcp(const std::string& host, int port,
+                                            std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad address " + host;
+    return nullptr;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "cannot create TCP socket";
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "cannot connect to " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+bool Client::send_line(const std::string& line, std::string* error) {
+  std::string framed = line;
+  framed += '\n';
+  const char* data = framed.data();
+  std::size_t size = framed.size();
+  while (size > 0) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("send failed: ") + std::strerror(errno);
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::recv_line(std::string* line, std::string* error) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      *error = std::string("recv failed: ") + std::strerror(errno);
+      return false;
+    }
+    if (n == 0) {
+      *error = "connection closed by server";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+ResponseView Client::call(const std::string& request_line) {
+  ResponseView view;
+  std::string error;
+  if (!send_line(request_line, &error)) {
+    view.parse_error = error;
+    return view;
+  }
+  std::string response;
+  if (!recv_line(&response, &error)) {
+    view.parse_error = error;
+    return view;
+  }
+  return parse_response(response);
+}
+
+}  // namespace ermes::svc

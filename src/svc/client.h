@@ -1,0 +1,47 @@
+#pragma once
+// Blocking NDJSON client for the analysis service.
+//
+// One Client is one connection. call() does a single request/response
+// exchange; send_line()/recv_line() expose the raw framing for pipelined
+// use (the server responds in completion order, so pipelining callers must
+// match responses to requests by id themselves). Not thread-safe — one
+// Client per thread, which is exactly how the load generator drives it.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "svc/protocol.h"
+
+namespace ermes::svc {
+
+class Client {
+ public:
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a unix-domain socket; nullptr + *error on failure.
+  static std::unique_ptr<Client> connect_unix(const std::string& path,
+                                              std::string* error);
+  /// Connects to a TCP endpoint (host is a dotted quad, e.g. 127.0.0.1).
+  static std::unique_ptr<Client> connect_tcp(const std::string& host, int port,
+                                             std::string* error);
+
+  /// Writes one line (newline appended). False + *error on transport error.
+  bool send_line(const std::string& line, std::string* error);
+  /// Blocks for the next line. False + *error on EOF / transport error.
+  bool recv_line(std::string* line, std::string* error);
+
+  /// One request/response exchange, parsed. ResponseView::parse_error
+  /// doubles as the transport error channel when the exchange fails.
+  ResponseView call(const std::string& request_line);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string buffer_;  // bytes received past the last returned line
+};
+
+}  // namespace ermes::svc

@@ -1,0 +1,468 @@
+#include "svc/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace ermes::svc {
+
+// ---- construction -----------------------------------------------------------
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = value;
+  // Mirror integral doubles into the exact accessor so round trips through
+  // number() keep as_int() usable. The upper bound is exclusive: 2^63
+  // itself is representable as a double but not as an int64, and casting it
+  // would be undefined behaviour.
+  if (std::isfinite(value) && value == std::floor(value) &&
+      value >= -9223372036854775808.0 && value < 9223372036854775808.0) {
+    v.int_ = static_cast<std::int64_t>(value);
+    v.is_int_ = true;
+  }
+  return v;
+}
+
+JsonValue JsonValue::integer(std::int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = static_cast<double>(value);
+  v.int_ = value;
+  v.is_int_ = true;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string_view s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_.assign(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::raw(std::string json) {
+  JsonValue v;
+  v.kind_ = Kind::kRaw;
+  v.str_ = std::move(json);
+  return v;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::push_back(JsonValue value) {
+  if (kind_ != Kind::kArray) return;
+  items_.push_back(std::move(value));
+}
+
+void JsonValue::set(std::string_view key, JsonValue value) {
+  if (kind_ != Kind::kObject) return;
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+}
+
+// ---- serialization ----------------------------------------------------------
+
+namespace {
+
+void append_number(std::string& out, double value, bool is_int,
+                   std::int64_t int_value) {
+  if (is_int) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(int_value));
+    out += buf;
+    return;
+  }
+  if (!std::isfinite(value)) {
+    out += "0";  // JSON cannot represent NaN/inf
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+void JsonValue::append_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      append_number(out, num_, is_int_, int_);
+      return;
+    case Kind::kString:
+      out += '"';
+      out += obs::json_escape(str_);
+      out += '"';
+      return;
+    case Kind::kRaw:
+      out += str_;
+      return;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : items_) {
+        if (!first) out += ',';
+        first = false;
+        item.append_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [name, value] : members_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += obs::json_escape(name);
+        out += "\":";
+        value.append_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::to_string() const {
+  std::string out;
+  append_to(out);
+  return out;
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+namespace {
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int max_depth = kJsonMaxDepth;
+  std::string error;
+
+  bool fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  bool consume(char expected) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == expected) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + expected + "'");
+  }
+
+  bool parse_literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos + 4 > text.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+    }
+    return true;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    // Caller consumed the opening quote.
+    out.clear();
+    while (true) {
+      if (pos >= text.size()) return fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return fail("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair.
+            if (pos + 2 > text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            pos += 2;
+            std::uint32_t low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+      return fail("bad number");
+    }
+    if (text[pos] == '0') {
+      ++pos;
+    } else {
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    bool integral = true;
+    if (pos < text.size() && text[pos] == '.') {
+      integral = false;
+      ++pos;
+      if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+        return fail("bad number");
+      }
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      integral = false;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+        return fail("bad number");
+      }
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    const std::string literal(text.substr(start, pos - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(literal.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        out = JsonValue::integer(static_cast<std::int64_t>(v));
+        return true;
+      }
+      // Out of int64 range: fall through to double.
+    }
+    errno = 0;
+    const double d = std::strtod(literal.c_str(), nullptr);
+    if (!std::isfinite(d)) return fail("number out of range");
+    out = JsonValue::number(d);
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > max_depth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    switch (c) {
+      case 'n':
+        if (!parse_literal("null")) return false;
+        out = JsonValue::null();
+        return true;
+      case 't':
+        if (!parse_literal("true")) return false;
+        out = JsonValue::boolean(true);
+        return true;
+      case 'f':
+        if (!parse_literal("false")) return false;
+        out = JsonValue::boolean(false);
+        return true;
+      case '"': {
+        ++pos;
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue::string(s);
+        return true;
+      }
+      case '[': {
+        ++pos;
+        out = JsonValue::array();
+        skip_ws();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          JsonValue item;
+          if (!parse_value(item, depth + 1)) return false;
+          out.push_back(std::move(item));
+          skip_ws();
+          if (pos >= text.size()) return fail("unterminated array");
+          if (text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (text[pos] == ']') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos;
+        out = JsonValue::object();
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          if (pos >= text.size() || text[pos] != '"') {
+            return fail("expected object key");
+          }
+          ++pos;
+          std::string key;
+          if (!parse_string(key)) return false;
+          if (!consume(':')) return false;
+          JsonValue value;
+          if (!parse_value(value, depth + 1)) return false;
+          if (out.find(key) != nullptr) return fail("duplicate key '" + key + "'");
+          out.set(key, std::move(value));
+          skip_ws();
+          if (pos >= text.size()) return fail("unterminated object");
+          if (text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (text[pos] == '}') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+        return fail("unexpected character");
+    }
+  }
+};
+
+}  // namespace
+
+JsonParseResult json_parse(std::string_view text, int max_depth) {
+  JsonParseResult result;
+  JsonParser parser;
+  parser.text = text;
+  parser.max_depth = max_depth;
+  if (!parser.parse_value(result.value, 0)) {
+    result.error = parser.error;
+    return result;
+  }
+  if (!parser.at_end()) {
+    parser.fail("trailing content after document");
+    result.error = parser.error;
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace ermes::svc

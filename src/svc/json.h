@@ -1,0 +1,101 @@
+#pragma once
+// Minimal JSON document model for the analysis-service protocol.
+//
+// The NDJSON protocol (src/svc/protocol.h) needs a real JSON *parser* —
+// unlike the telemetry exporters (obs/json.h), which only emit — because the
+// daemon reads requests from untrusted clients. The parser is a strict
+// recursive-descent over the RFC 8259 grammar with a hard nesting-depth
+// limit, so hostile input (malformed, truncated, deeply nested) produces a
+// structured error and never a crash, an uncaught throw, or unbounded
+// recursion.
+//
+// The value model is deliberately small: one tagged struct, object members
+// in insertion order (serialization is deterministic), numbers kept both as
+// double and — when the literal is integral and in range — as an exact
+// int64. A kRaw kind splices pre-serialized JSON (e.g. the obs registry
+// snapshot) into a document without reparsing it.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ermes::svc {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject, kRaw };
+
+  JsonValue() = default;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double value);
+  static JsonValue integer(std::int64_t value);
+  static JsonValue string(std::string_view s);
+  static JsonValue array();
+  static JsonValue object();
+  /// Pre-serialized JSON emitted verbatim. The caller vouches for validity.
+  static JsonValue raw(std::string json);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  /// True when the number has an exact int64 value (integer literals in
+  /// range, and integral doubles — "2e0" counts; "1.5" and 2^63 do not).
+  bool is_integer() const { return kind_ == Kind::kNumber && is_int_; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return num_; }
+  std::int64_t as_int() const { return int_; }
+  const std::string& as_string() const { return str_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Appends to an array (no-op with an assert-free pass on other kinds).
+  void push_back(JsonValue value);
+  /// Sets an object member (appends; last set wins on serialization by
+  /// overwriting the existing slot).
+  void set(std::string_view key, JsonValue value);
+
+  /// Compact, deterministic serialization (no whitespace, members in
+  /// insertion order, UTF-8 passed through, control characters escaped).
+  std::string to_string() const;
+
+ private:
+  void append_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  bool is_int_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  std::string str_;  // string payload or raw JSON
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  std::string error;  // with a byte offset
+  JsonValue value;
+};
+
+inline constexpr int kJsonMaxDepth = 64;
+
+/// Strict parse of one JSON document (trailing non-whitespace is an error).
+/// Never throws; depth beyond `max_depth` and any syntax error return a
+/// structured failure.
+JsonParseResult json_parse(std::string_view text, int max_depth = kJsonMaxDepth);
+
+}  // namespace ermes::svc

@@ -1,0 +1,239 @@
+#include "svc/protocol.h"
+
+namespace ermes::svc {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kAnalyze: return "analyze";
+    case Op::kOrder: return "order";
+    case Op::kExplore: return "explore";
+    case Op::kSweep: return "sweep";
+    case Op::kStats: return "stats";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+bool parse_op(std::string_view name, Op* out) {
+  const struct { std::string_view name; Op op; } kOps[] = {
+      {"analyze", Op::kAnalyze}, {"order", Op::kOrder},
+      {"explore", Op::kExplore}, {"sweep", Op::kSweep},
+      {"stats", Op::kStats},     {"shutdown", Op::kShutdown},
+  };
+  for (const auto& entry : kOps) {
+    if (entry.name == name) {
+      *out = entry.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool needs_soc(Op op) {
+  return op == Op::kAnalyze || op == Op::kOrder || op == Op::kExplore ||
+         op == Op::kSweep;
+}
+
+// Validates an optional non-negative integer member into *out.
+bool read_i64(const JsonValue& obj, std::string_view key, std::int64_t* out,
+              std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_integer() || v->as_int() < 0) {
+    *error = std::string(key) + " must be a non-negative integer";
+    return false;
+  }
+  *out = v->as_int();
+  return true;
+}
+
+}  // namespace
+
+RequestParse parse_request(std::string_view line) {
+  RequestParse out;
+  const JsonParseResult doc = json_parse(line);
+  if (!doc.ok) {
+    out.error = "invalid JSON: " + doc.error;
+    return out;
+  }
+  if (!doc.value.is_object()) {
+    out.error = "request must be a JSON object";
+    return out;
+  }
+  const JsonValue& obj = doc.value;
+
+  // Recover the id first so even schema failures echo it back.
+  if (const JsonValue* id = obj.find("id")) {
+    if (!id->is_string() && !id->is_integer() && !id->is_null()) {
+      out.error = "id must be a string or an integer";
+      return out;
+    }
+    out.request.id = *id;
+  }
+
+  if (const JsonValue* v = obj.find("v")) {
+    if (!v->is_integer() || v->as_int() != kProtocolVersion) {
+      out.error = "unsupported protocol version (this server speaks v" +
+                  std::to_string(kProtocolVersion) + ")";
+      return out;
+    }
+  }
+
+  const JsonValue* op = obj.find("op");
+  if (op == nullptr || !op->is_string()) {
+    out.error = "missing required member 'op'";
+    return out;
+  }
+  if (!parse_op(op->as_string(), &out.request.op)) {
+    out.error = "unknown op '" + op->as_string() + "'";
+    return out;
+  }
+
+  // Strict v1 schema: every member must be known and apply to the op.
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    const bool known =
+        key == "v" || key == "id" || key == "op" || key == "deadline_ms" ||
+        (key == "soc" && needs_soc(out.request.op)) ||
+        (key == "tct" && out.request.op == Op::kExplore) ||
+        ((key == "lo" || key == "hi" || key == "step") &&
+         out.request.op == Op::kSweep);
+    if (!known) {
+      out.error = "unexpected member '" + key + "' for op '" +
+                  std::string(to_string(out.request.op)) + "'";
+      return out;
+    }
+  }
+
+  if (needs_soc(out.request.op)) {
+    const JsonValue* soc = obj.find("soc");
+    if (soc == nullptr || !soc->is_string() || soc->as_string().empty()) {
+      out.error = "op '" + std::string(to_string(out.request.op)) +
+                  "' requires a non-empty string member 'soc'";
+      return out;
+    }
+    out.request.soc = soc->as_string();
+  }
+
+  if (!read_i64(obj, "deadline_ms", &out.request.deadline_ms, &out.error)) {
+    return out;
+  }
+
+  if (out.request.op == Op::kExplore) {
+    const JsonValue* tct = obj.find("tct");
+    if (tct == nullptr || !tct->is_integer() || tct->as_int() <= 0) {
+      out.error = "op 'explore' requires a positive integer member 'tct'";
+      return out;
+    }
+    out.request.tct = tct->as_int();
+  }
+
+  if (out.request.op == Op::kSweep) {
+    if (!read_i64(obj, "lo", &out.request.lo, &out.error)) return out;
+    if (!read_i64(obj, "hi", &out.request.hi, &out.error)) return out;
+    if (!read_i64(obj, "step", &out.request.step, &out.error)) return out;
+    if (out.request.lo <= 0 || out.request.hi < out.request.lo) {
+      out.error = "op 'sweep' needs 0 < lo <= hi";
+      return out;
+    }
+  }
+
+  out.ok = true;
+  return out;
+}
+
+namespace {
+
+JsonValue envelope(const JsonValue& id) {
+  JsonValue response = JsonValue::object();
+  response.set("v", JsonValue::integer(kProtocolVersion));
+  response.set("id", id);
+  return response;
+}
+
+}  // namespace
+
+std::string encode_ok(const JsonValue& id, JsonValue result) {
+  JsonValue response = envelope(id);
+  response.set("ok", JsonValue::boolean(true));
+  response.set("result", std::move(result));
+  return response.to_string();
+}
+
+std::string encode_error(const JsonValue& id, ErrorCode code,
+                         std::string_view message) {
+  JsonValue error = JsonValue::object();
+  error.set("code", JsonValue::string(to_string(code)));
+  error.set("message", JsonValue::string(message));
+  JsonValue response = envelope(id);
+  response.set("ok", JsonValue::boolean(false));
+  response.set("error", std::move(error));
+  return response.to_string();
+}
+
+std::string encode_request(Op op, const JsonValue& id, std::string_view soc,
+                           std::int64_t tct, std::int64_t lo, std::int64_t hi,
+                           std::int64_t step, std::int64_t deadline_ms) {
+  JsonValue request = JsonValue::object();
+  request.set("v", JsonValue::integer(kProtocolVersion));
+  if (!id.is_null()) request.set("id", id);
+  request.set("op", JsonValue::string(to_string(op)));
+  if (!soc.empty()) request.set("soc", JsonValue::string(soc));
+  if (tct > 0) request.set("tct", JsonValue::integer(tct));
+  if (lo > 0) request.set("lo", JsonValue::integer(lo));
+  if (hi > 0) request.set("hi", JsonValue::integer(hi));
+  if (step > 0) request.set("step", JsonValue::integer(step));
+  if (deadline_ms > 0) {
+    request.set("deadline_ms", JsonValue::integer(deadline_ms));
+  }
+  return request.to_string();
+}
+
+ResponseView parse_response(std::string_view line) {
+  ResponseView view;
+  const JsonParseResult doc = json_parse(line);
+  if (!doc.ok) {
+    view.parse_error = doc.error;
+    return view;
+  }
+  if (!doc.value.is_object()) {
+    view.parse_error = "response must be a JSON object";
+    return view;
+  }
+  if (const JsonValue* id = doc.value.find("id")) view.id = *id;
+  const JsonValue* ok = doc.value.find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    view.parse_error = "response missing 'ok'";
+    return view;
+  }
+  view.ok = true;
+  view.success = ok->as_bool();
+  if (view.success) {
+    if (const JsonValue* result = doc.value.find("result")) {
+      view.result = *result;
+    }
+  } else if (const JsonValue* error = doc.value.find("error")) {
+    if (const JsonValue* code = error->find("code")) {
+      if (code->is_string()) view.error_code = code->as_string();
+    }
+    if (const JsonValue* message = error->find("message")) {
+      if (message->is_string()) view.error_message = message->as_string();
+    }
+  }
+  return view;
+}
+
+}  // namespace ermes::svc

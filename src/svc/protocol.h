@@ -1,0 +1,102 @@
+#pragma once
+// Versioned NDJSON request/response protocol of the analysis service.
+//
+// One request per line, one response line per request, both JSON objects:
+//
+//   -> {"v":1,"id":"r1","op":"analyze","soc":"system s\nprocess a ..."}
+//   <- {"v":1,"id":"r1","ok":true,"result":{...}}
+//   <- {"v":1,"id":"r2","ok":false,
+//       "error":{"code":"bad_request","message":"..."}}
+//
+// Request schema (v1, strict — unknown members are rejected so that a
+// future v2 field can never be silently ignored by a v1 server):
+//
+//   v            optional int, must be 1 when present
+//   id           optional string or integer, echoed verbatim (null if absent)
+//   op           required: analyze | order | explore | sweep | stats | shutdown
+//   soc          model text (required for analyze/order/explore/sweep)
+//   tct          required positive integer for explore
+//   lo, hi, step sweep targets (step optional); 0 < lo <= hi
+//   deadline_ms  optional deadline in milliseconds (0/absent = server default)
+//
+// Error codes, in the order a request can die: `bad_request` (framing,
+// schema, or .soc parse failure), `overloaded` (admission queue full),
+// `shutting_down` (daemon draining), `deadline_exceeded` (cooperative
+// cancellation fired), `internal` (handler threw). Responses are emitted by
+// the broker; this header is pure data — parsing, validation, and encoding
+// with no sockets and no threads, so the whole protocol is unit-testable
+// in-process.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "svc/json.h"
+
+namespace ermes::svc {
+
+inline constexpr int kProtocolVersion = 1;
+
+enum class ErrorCode {
+  kBadRequest,
+  kOverloaded,
+  kShuttingDown,
+  kDeadlineExceeded,
+  kInternal,
+};
+
+const char* to_string(ErrorCode code);
+
+enum class Op { kAnalyze, kOrder, kExplore, kSweep, kStats, kShutdown };
+
+const char* to_string(Op op);
+bool parse_op(std::string_view name, Op* out);
+
+struct Request {
+  JsonValue id;  // string/integer echoed into the response; null when absent
+  Op op = Op::kStats;
+  std::string soc;
+  std::int64_t tct = 0;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::int64_t step = 0;
+  std::int64_t deadline_ms = 0;  // 0 = use the broker default
+};
+
+struct RequestParse {
+  bool ok = false;
+  std::string error;  // bad_request message when !ok
+  Request request;    // request.id is best-effort recovered even on failure
+};
+
+/// Parses and schema-validates one request line. Never throws.
+RequestParse parse_request(std::string_view line);
+
+/// Serializes a success response line (no trailing newline).
+std::string encode_ok(const JsonValue& id, JsonValue result);
+
+/// Serializes an error response line (no trailing newline).
+std::string encode_error(const JsonValue& id, ErrorCode code,
+                         std::string_view message);
+
+/// Convenience for clients: builds a request line from parts (no newline).
+/// Fields with zero values are omitted, matching the schema's optionality.
+std::string encode_request(Op op, const JsonValue& id, std::string_view soc,
+                           std::int64_t tct = 0, std::int64_t lo = 0,
+                           std::int64_t hi = 0, std::int64_t step = 0,
+                           std::int64_t deadline_ms = 0);
+
+/// Parsed view of a response line (for clients and tests).
+struct ResponseView {
+  bool ok = false;          // transport-level parse succeeded
+  std::string parse_error;  // when !ok
+  JsonValue id;
+  bool success = false;     // "ok" member
+  std::string error_code;   // when !success
+  std::string error_message;
+  JsonValue result;         // when success
+};
+
+ResponseView parse_response(std::string_view line);
+
+}  // namespace ermes::svc

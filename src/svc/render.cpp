@@ -1,0 +1,58 @@
+#include "svc/render.h"
+
+#include "analysis/deadlock.h"
+#include "io/soc_format.h"
+#include "util/table.h"
+
+namespace ermes::svc {
+
+std::string analyze_text(const sysmodel::SystemModel& sys,
+                         const analysis::PerformanceReport& report) {
+  if (!report.live) {
+    const analysis::DeadlockDiagnosis diag = analysis::diagnose_system(sys);
+    return "DEADLOCK: " + analysis::to_string(diag, sys) + "\n";
+  }
+  return analysis::summarize(report, sys) + "\n";
+}
+
+std::string order_text(bool before_live, double before_ct,
+                       const analysis::PerformanceReport& after,
+                       const sysmodel::SystemModel& ordered,
+                       const std::string& system_name) {
+  std::string out = "cycle time: ";
+  out += before_live ? util::format_double(before_ct) : "DEADLOCK";
+  out += " -> ";
+  out += util::format_double(after.cycle_time);
+  out += "\n";
+  out += io::write_soc(ordered, system_name);
+  return out;
+}
+
+std::string explore_text(const dse::ExplorationResult& result) {
+  util::Table table({"iter", "action", "CT", "area", "meets TCT"});
+  for (const dse::IterationRecord& rec : result.history) {
+    table.add_row({std::to_string(rec.iteration), dse::to_string(rec.action),
+                   util::format_double(rec.cycle_time, 0),
+                   util::format_double(rec.area, 4),
+                   rec.meets_target ? "yes" : "no"});
+  }
+  std::string out = table.to_text(0);
+  out += result.met_target ? "target met\n" : "target NOT met\n";
+  return out;
+}
+
+std::string sweep_text(const std::vector<std::int64_t>& targets,
+                       const std::vector<dse::ExplorationResult>& results) {
+  util::Table table({"TCT", "iters", "final CT", "final area", "meets TCT"});
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const dse::IterationRecord& last = results[i].history.back();
+    table.add_row({std::to_string(targets[i]),
+                   std::to_string(results[i].history.size()),
+                   util::format_double(last.cycle_time, 0),
+                   util::format_double(last.area, 4),
+                   results[i].met_target ? "yes" : "no"});
+  }
+  return table.to_text(0);
+}
+
+}  // namespace ermes::svc

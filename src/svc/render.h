@@ -1,0 +1,43 @@
+#pragma once
+// Canonical text rendering of command results, shared by the CLI and the
+// analysis service.
+//
+// The service's bit-identical contract — a daemon response carries exactly
+// the text a single-shot `ermes <cmd>` invocation prints to stdout — only
+// holds if both go through one renderer. The CLI calls these and printf's
+// the returned string; the broker calls the same functions and ships the
+// string in the response's "text" member; bench/bench_serve.cpp asserts the
+// two are equal byte for byte.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/performance.h"
+#include "dse/explorer.h"
+#include "sysmodel/system.h"
+
+namespace ermes::svc {
+
+/// `ermes analyze`: performance summary, or the deadlock diagnosis when the
+/// system is not live (exactly the CLI stdout, trailing newline included).
+std::string analyze_text(const sysmodel::SystemModel& sys,
+                         const analysis::PerformanceReport& report);
+
+/// `ermes order` without -o: the cycle-time delta line followed by the
+/// serialized ordered system. `before_live` false renders "DEADLOCK" as the
+/// pre-ordering cycle time.
+std::string order_text(bool before_live, double before_ct,
+                       const analysis::PerformanceReport& after,
+                       const sysmodel::SystemModel& ordered,
+                       const std::string& system_name);
+
+/// `ermes dse`: the per-iteration history table plus the verdict line.
+std::string explore_text(const dse::ExplorationResult& result);
+
+/// `ermes sweep`: the per-target result table (the CLI additionally prints a
+/// timing/cache line, which is run-dependent and deliberately excluded).
+std::string sweep_text(const std::vector<std::int64_t>& targets,
+                       const std::vector<dse::ExplorationResult>& results);
+
+}  // namespace ermes::svc

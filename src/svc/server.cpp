@@ -1,0 +1,302 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/log.h"
+
+namespace ermes::svc {
+
+namespace {
+
+// Self-pipe write end for the signal handlers; write() is async-signal-safe.
+std::atomic<int> g_signal_wake_fd{-1};
+
+extern "C" void ermes_svc_signal_handler(int) {
+  const int fd = g_signal_wake_fd.load();
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+
+  // Serialized line write; failures (peer gone) just mark the connection
+  // closed — the in-flight request already completed against the cache.
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!open.load(std::memory_order_acquire)) return;
+    std::string framed = line;
+    framed += '\n';
+    if (!write_all(fd, framed.data(), framed.size())) {
+      open.store(false, std::memory_order_release);
+    }
+    obs::count("svc.bytes_out", static_cast<std::int64_t>(framed.size()));
+  }
+
+  void shutdown_both() {
+    open.store(false, std::memory_order_release);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+struct Server::Impl {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<std::thread> threads;
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      broker_(std::make_unique<Broker>(options_.broker)),
+      impl_(std::make_unique<Impl>()) {}
+
+Server::~Server() {
+  if (g_signal_wake_fd.load() == wake_pipe_[1]) g_signal_wake_fd.store(-1);
+  // Belt and braces for a server destroyed without run() completing: finish
+  // in-flight work, unblock the readers, and join them before closing fds.
+  broker_->begin_drain();
+  broker_->drain();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const std::shared_ptr<Connection>& conn : impl_->connections) {
+      conn->shutdown_both();
+    }
+  }
+  for (std::thread& t : impl_->threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const std::shared_ptr<Connection>& conn : impl_->connections) {
+      ::close(conn->fd);
+    }
+    impl_->connections.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (const int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (!options_.socket_path.empty()) {
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+bool Server::start(std::string* error) {
+  if (::pipe(wake_pipe_) != 0) {
+    *error = "cannot create wake pipe";
+    return false;
+  }
+  broker_->set_drain_callback([this] { wake(); });
+
+  if (!options_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      *error = "socket path too long";
+      return false;
+    }
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // A stale socket file from a dead daemon would make bind fail; probe it
+    // with a connect and remove it only when nobody answers. A socket that
+    // went through a failed connect is in an unspecified state, so the
+    // probe uses its own fd.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool served = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                                    sizeof(addr)) == 0;
+      ::close(probe);
+      if (served) {
+        *error = "socket " + options_.socket_path + " is already served";
+        return false;
+      }
+    }
+    ::unlink(options_.socket_path.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      *error = "cannot create unix socket";
+      return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      *error = "cannot bind " + options_.socket_path;
+      return false;
+    }
+  } else {
+    if (options_.port < 0) {
+      *error = "no socket path and no port configured";
+      return false;
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      *error = "cannot create TCP socket";
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      *error = "cannot bind 127.0.0.1:" + std::to_string(options_.port);
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+
+  if (::listen(listen_fd_, 64) != 0) {
+    *error = "listen failed";
+    return false;
+  }
+
+  if (options_.install_signal_handlers) {
+    g_signal_wake_fd.store(wake_pipe_[1]);
+    struct sigaction action{};
+    action.sa_handler = ermes_svc_signal_handler;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+  }
+  return true;
+}
+
+void Server::wake() {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void Server::request_stop() {
+  broker_->begin_drain();  // drain callback wakes the accept loop
+}
+
+void Server::run() {
+  accept_loop();
+
+  // Graceful drain: admission is already off (the broker rejects with
+  // shutting_down); wait for in-flight requests to finish and their
+  // responses to be written, then unblock and join the readers.
+  broker_->begin_drain();
+  broker_->drain();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const std::shared_ptr<Connection>& conn : impl_->connections) {
+      conn->shutdown_both();
+    }
+  }
+  for (std::thread& t : impl_->threads) t.join();
+  impl_->threads.clear();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const std::shared_ptr<Connection>& conn : impl_->connections) {
+      ::close(conn->fd);
+    }
+    impl_->connections.clear();
+  }
+  ERMES_LOG(kInfo) << "svc: drained and stopped";
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        // A handled signal interrupted poll; the self-pipe byte (if the
+        // signal was ours) is picked up on the next iteration.
+        continue;
+      }
+      ERMES_LOG(kError) << "svc: poll failed, stopping";
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || broker_->draining()) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    obs::count("svc.connections");
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->connections.push_back(conn);
+    impl_->threads.emplace_back([this, conn] { connection_loop(conn); });
+  }
+}
+
+void Server::connection_loop(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: the peer is gone
+    obs::count("svc.bytes_in", n);
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      obs::count("svc.requests.lines");
+      broker_->handle_line(
+          line, [conn](std::string response) { conn->write_line(response); });
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options_.max_line_bytes) {
+      // The stream cannot be resynchronized once a line exceeds the frame
+      // bound; answer once and drop the connection.
+      conn->write_line(encode_error(
+          JsonValue::null(), ErrorCode::kBadRequest,
+          "request line exceeds " + std::to_string(options_.max_line_bytes) +
+              " bytes"));
+      break;
+    }
+  }
+  conn->shutdown_both();
+}
+
+}  // namespace ermes::svc

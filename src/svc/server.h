@@ -1,0 +1,85 @@
+#pragma once
+// Socket front end of the analysis service (`ermes serve`).
+//
+// The server owns the listening socket (a unix-domain socket path or a TCP
+// port on 127.0.0.1), accepts connections, and runs one reader thread per
+// connection that splits the stream into NDJSON lines and feeds them to the
+// Broker. Responses are written back on the same connection under a
+// per-connection write lock, so a client may pipeline many requests and
+// receive the responses (matched by id) as they complete — completion
+// order, not submission order.
+//
+// Lifecycle: start() binds and listens; run() blocks in a poll/accept loop
+// until the broker starts draining, then performs the graceful shutdown
+// sequence — stop accepting, let in-flight requests finish (the broker
+// rejects new ones with shutting_down), flush their responses, shut down
+// every connection, join the reader threads. Drain is triggered by a
+// `shutdown` request, by request_stop(), or — when install_signal_handlers
+// is set — by SIGINT/SIGTERM via a self-pipe.
+//
+// Robustness rules at the framing layer: a line longer than max_line_bytes
+// gets a bad_request response and the connection is closed (the stream
+// cannot be resynchronized); empty lines are ignored; a half-line at EOF is
+// dropped. Malformed JSON inside a line is the broker's bad_request path,
+// and never kills the connection.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "svc/broker.h"
+
+namespace ermes::svc {
+
+struct ServerOptions {
+  /// Unix-domain socket path. Takes precedence over `port` when non-empty.
+  std::string socket_path;
+  /// TCP port on 127.0.0.1 (0 = ephemeral, query with Server::port()).
+  int port = -1;
+  BrokerOptions broker;
+  /// Upper bound on one request line; longer input closes the connection.
+  std::size_t max_line_bytes = 8u << 20;
+  /// Route SIGINT/SIGTERM into a graceful drain of this server.
+  bool install_signal_handlers = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens. On failure fills *error and returns false.
+  bool start(std::string* error);
+
+  /// Accept loop; returns after a graceful drain completes.
+  void run();
+
+  /// Initiates the drain from any thread (also wired to signals).
+  void request_stop();
+
+  /// Bound TCP port (after start(); -1 for unix-socket servers).
+  int port() const { return bound_port_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  Broker& broker() { return *broker_; }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void connection_loop(const std::shared_ptr<Connection>& conn);
+  void wake();
+
+  ServerOptions options_;
+  std::unique_ptr<Broker> broker_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int bound_port_ = -1;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ermes::svc

@@ -1,0 +1,92 @@
+#pragma once
+// Hostile-input corpus for the .soc parser, shared by tests/test_io.cpp
+// (direct io::parse_soc hardening) and tests/test_svc.cpp (the daemon's
+// end-to-end bad_request path: every entry shipped inside an `analyze`
+// request must come back as a structured error, never kill the server).
+//
+// Each entry is a complete .soc document that must be REJECTED: parse_soc
+// returns ok == false with a non-empty error and must not crash, throw out
+// of the call, or hang.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ermes::testing {
+
+struct BadSoc {
+  const char* label;  // what the entry attacks
+  const char* text;
+};
+
+inline const std::vector<BadSoc>& bad_soc_corpus() {
+  static const std::vector<BadSoc> corpus = {
+      {"unknown keyword", "systtem oops\n"},
+      {"system without name", "system\n"},
+      {"system with extra tokens", "system a b c\n"},
+      {"process missing latency keyword", "process a 3\n"},
+      {"process non-numeric latency", "process a latency ten\n"},
+      {"process negative latency", "process a latency -4\n"},
+      {"process latency overflow",
+       "process a latency 99999999999999999999999999\n"},
+      {"process latency above magnitude bound",
+       "process a latency 9000000000000000\n"},
+      {"process area inf", "process a latency 1 area inf\n"},
+      {"process area nan", "process a latency 1 area nan\n"},
+      {"process negative area", "process a latency 1 area -2.5\n"},
+      {"process area overflow", "process a latency 1 area 1e999\n"},
+      {"process trailing garbage", "process a latency 1 garbage\n"},
+      {"duplicate process",
+       "process a latency 1\nprocess a latency 2\n"},
+      {"channel arrow missing",
+       "process a latency 1\nprocess b latency 1\n"
+       "channel ab a b latency 0\n"},
+      {"channel unknown source",
+       "process b latency 1\nchannel ab a -> b latency 0\n"},
+      {"channel unknown target",
+       "process a latency 1\nchannel ab a -> b latency 0\n"},
+      {"channel negative latency",
+       "process a latency 1\nprocess b latency 1\n"
+       "channel ab a -> b latency -1\n"},
+      {"channel bad capacity",
+       "process a latency 1\nprocess b latency 1\n"
+       "channel ab a -> b latency 0 capacity many\n"},
+      {"channel negative capacity",
+       "process a latency 1\nprocess b latency 1\n"
+       "channel ab a -> b latency 0 capacity -3\n"},
+      {"duplicate channel",
+       "process a latency 1\nprocess b latency 1\n"
+       "channel ab a -> b latency 0\nchannel ab a -> b latency 0\n"},
+      {"channel trailing garbage",
+       "process a latency 1\nprocess b latency 1\n"
+       "channel ab a -> b latency 0 capacity 1 junk\n"},
+      {"impl for unknown process", "impl ghost fast latency 1 area 2\n"},
+      {"impl non-finite area",
+       "process a latency 1\nimpl a fast latency 1 area inf\n"},
+      {"impl trailing garbage",
+       "process a latency 1\nimpl a fast latency 1 area 2 selected junk\n"},
+      {"gets unknown process", "gets ghost\n"},
+      {"gets unknown channel",
+       "process a latency 1\nprocess b latency 1\n"
+       "channel ab a -> b latency 0\ngets b ghost\n"},
+      {"gets wrong channel set",
+       "process a latency 1\nprocess b latency 1\n"
+       "channel ab a -> b latency 0\nchannel ba b -> a latency 0\n"
+       "gets b ba\n"},
+      {"gets duplicated channel",
+       "process a latency 1\nprocess b latency 1\n"
+       "channel ab a -> b latency 0\ngets b ab ab\n"},
+  };
+  return corpus;
+}
+
+/// A deeply nested / pathological oversized document: a single token of
+/// `size` bytes. Must be rejected (or cleanly parsed) without crashing.
+inline std::string huge_token_soc(std::size_t size) {
+  std::string soc = "process ";
+  soc.append(size, 'x');
+  soc += " latency 1\n";
+  return soc;
+}
+
+}  // namespace ermes::testing

@@ -1,0 +1,164 @@
+// Integration tests for the `ermes` binary's exit-code and error-message
+// contract: 0 success, 1 I/O failure, 2 usage, 3 model parse, 4
+// analysis-domain failure — and every failure prints a one-line `error: ...`
+// to stderr. The binary path arrives via the ERMES_CLI_PATH compile
+// definition (see tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "io/soc_format.h"
+#include "sysmodel/builder.h"
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Runs `ermes <args>` through the shell, capturing stdout/stderr.
+RunResult run_cli(const std::string& args) {
+  static int counter = 0;
+  const std::string base =
+      ::testing::TempDir() + "/ermes_cli_" + std::to_string(::getpid()) +
+      "_" + std::to_string(counter++);
+  const std::string out_path = base + ".out";
+  const std::string err_path = base + ".err";
+  const std::string command = std::string(ERMES_CLI_PATH) + " " + args +
+                              " >" + out_path + " 2>" + err_path;
+  const int status = std::system(command.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  result.out = slurp(out_path);
+  result.err = slurp(err_path);
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  return result;
+}
+
+// A failure's stderr is exactly one line starting with "error: ".
+void expect_error_line(const RunResult& result) {
+  ASSERT_FALSE(result.err.empty());
+  EXPECT_EQ(result.err.rfind("error: ", 0), 0u) << result.err;
+  EXPECT_EQ(std::count(result.err.begin(), result.err.end(), '\n'), 1)
+      << result.err;
+}
+
+std::string demo_path() {
+  static std::string path = [] {
+    const std::string p = ::testing::TempDir() + "/ermes_cli_demo.soc";
+    ermes::io::save_soc(ermes::sysmodel::make_dac14_motivating_example(), p,
+                        "dac14_motivating");
+    return p;
+  }();
+  return path;
+}
+
+TEST(CliExitCodes, SuccessIsZero) {
+  const RunResult result = run_cli("analyze " + demo_path());
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.err.empty()) << result.err;
+  EXPECT_NE(result.out.find("cycle time"), std::string::npos) << result.out;
+}
+
+TEST(CliExitCodes, NoArgumentsIsUsage) {
+  const RunResult result = run_cli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_EQ(result.err.rfind("error: ", 0), 0u) << result.err;
+}
+
+TEST(CliExitCodes, UnknownCommandIsUsage) {
+  const RunResult result = run_cli("frobnicate " + demo_path());
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CliExitCodes, NonNumericPositionalIsUsage) {
+  const RunResult result = run_cli("dse " + demo_path() + " ten");
+  EXPECT_EQ(result.exit_code, 2);
+  expect_error_line(result);
+}
+
+TEST(CliExitCodes, BadSweepRangeIsUsage) {
+  const RunResult result = run_cli("sweep " + demo_path() + " 9 3");
+  EXPECT_EQ(result.exit_code, 2);
+  expect_error_line(result);
+}
+
+TEST(CliExitCodes, MissingFileIsParseError) {
+  const RunResult result = run_cli("analyze /nonexistent/no_such.soc");
+  EXPECT_EQ(result.exit_code, 3);
+  expect_error_line(result);
+}
+
+TEST(CliExitCodes, MalformedModelIsParseError) {
+  const std::string bad = ::testing::TempDir() + "/ermes_cli_bad.soc";
+  std::ofstream(bad) << "process a latency banana\n";
+  const RunResult result = run_cli("analyze " + bad);
+  EXPECT_EQ(result.exit_code, 3);
+  expect_error_line(result);
+  EXPECT_NE(result.err.find("line 1"), std::string::npos) << result.err;
+  std::remove(bad.c_str());
+}
+
+TEST(CliExitCodes, DeadlockIsAnalysisFailure) {
+  // Two processes blocked on each other with no primed token: deadlock.
+  const std::string dead = ::testing::TempDir() + "/ermes_cli_dead.soc";
+  std::ofstream(dead) << "system dead\n"
+                         "process a latency 1\n"
+                         "process b latency 1\n"
+                         "channel ab a -> b latency 0\n"
+                         "channel ba b -> a latency 0\n";
+  const RunResult result = run_cli("analyze " + dead);
+  EXPECT_EQ(result.exit_code, 4);
+  expect_error_line(result);
+  EXPECT_NE(result.out.find("DEADLOCK"), std::string::npos) << result.out;
+  std::remove(dead.c_str());
+}
+
+TEST(CliExitCodes, UnmetTargetIsAnalysisFailure) {
+  // The demo system cannot reach a cycle time of 1.
+  const RunResult result = run_cli("dse " + demo_path() + " 1");
+  EXPECT_EQ(result.exit_code, 4);
+  expect_error_line(result);
+  EXPECT_NE(result.out.find("target NOT met"), std::string::npos)
+      << result.out;
+}
+
+TEST(CliExitCodes, RequestWithoutEndpointIsUsage) {
+  const RunResult result = run_cli("request analyze " + demo_path());
+  EXPECT_EQ(result.exit_code, 2);
+  expect_error_line(result);
+}
+
+TEST(CliExitCodes, RequestAgainstDeadSocketIsFailure) {
+  const RunResult result = run_cli(
+      "request --socket /nonexistent/ermes.sock analyze " + demo_path());
+  EXPECT_EQ(result.exit_code, 1);
+  expect_error_line(result);
+}
+
+TEST(CliExitCodes, ServeWithoutEndpointIsUsage) {
+  const RunResult result = run_cli("serve");
+  EXPECT_EQ(result.exit_code, 2);
+  expect_error_line(result);
+}
+
+}  // namespace

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/eval_cache.h"
@@ -357,6 +359,85 @@ TEST(EvalCache, ConcurrentAnalyzeIsRaceFreeAndConsistent) {
   EXPECT_EQ(cache.size(), variants.size());
   EXPECT_EQ(cache.hits() + cache.misses(),
             static_cast<std::int64_t>(kTasks));
+}
+
+// ---- submit(): fire-and-forget task queue ------------------------------------
+
+namespace {
+
+// Polls until `done` reaches `expected` or ~5 s pass (workers have no join
+// API by design; the service layer waits on its own counters).
+void wait_for_count(const std::atomic<int>& done, int expected) {
+  for (int spins = 0; spins < 5000 && done.load() < expected; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+TEST(ThreadPoolSubmit, RunsEveryTask) {
+  exec::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  wait_for_count(done, kTasks);
+  EXPECT_EQ(done.load(), kTasks);
+  EXPECT_EQ(pool.pending_tasks(), 0u);
+}
+
+TEST(ThreadPoolSubmit, InlineWhenPoolHasNoWorkers) {
+  exec::ThreadPool pool(1);
+  std::atomic<int> done{0};
+  pool.submit([&done] { done.fetch_add(1); });
+  // jobs <= 1 means zero workers: the task ran inline, synchronously.
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolSubmit, ThrowingTaskDoesNotKillWorkers) {
+  exec::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  pool.submit([&done] { done.fetch_add(1); });
+  wait_for_count(done, 1);
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolSubmit, NestedSubmitIsRejected) {
+  exec::ThreadPool pool(2);
+  std::atomic<bool> rejected{false};
+  std::atomic<int> done{0};
+  pool.submit([&] {
+    try {
+      pool.submit([] {});
+    } catch (const std::logic_error&) {
+      rejected.store(true);
+    }
+    done.fetch_add(1);
+  });
+  wait_for_count(done, 1);
+  EXPECT_TRUE(rejected.load());
+}
+
+TEST(ThreadPoolSubmit, CoexistsWithParallelFor) {
+  // Batches and tasks share the workers; interleaving them must lose
+  // neither. The service serves requests (tasks) whose bodies run
+  // parallel_for elsewhere, so this mix is the production shape.
+  exec::ThreadPool pool(4);
+  std::atomic<int> task_done{0};
+  std::atomic<int> iter_done{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&task_done] { task_done.fetch_add(1); });
+    }
+    pool.parallel_for(
+        64, [&iter_done](std::size_t) { iter_done.fetch_add(1); },
+        /*grain=*/4);
+  }
+  wait_for_count(task_done, 80);
+  EXPECT_EQ(task_done.load(), 80);
+  EXPECT_EQ(iter_done.load(), 640);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "ordering/baselines.h"
 #include "synth/generator.h"
 #include "synth/pareto_gen.h"
+#include "soc_bad_corpus.h"
 #include "sysmodel/builder.h"
 #include "util/rng.h"
 
@@ -218,6 +219,63 @@ TEST(SocRoundTripTest, FileSaveLoad) {
 TEST(SocWriteTest, StableOutput) {
   const SystemModel sys = sysmodel::make_dac14_motivating_example();
   EXPECT_EQ(write_soc(sys, "m"), write_soc(sys, "m"));
+}
+
+// ---- hostile input -----------------------------------------------------------
+
+// Every corpus entry must produce a structured error — ok == false with a
+// message — and never crash or throw out of parse_soc. The same corpus runs
+// end-to-end against the daemon in tests/test_svc.cpp.
+TEST(SocHardeningTest, BadCorpusRejectedStructurally) {
+  for (const ermes::testing::BadSoc& bad : ermes::testing::bad_soc_corpus()) {
+    ParseResult parsed;
+    ASSERT_NO_THROW(parsed = parse_soc(bad.text)) << bad.label;
+    EXPECT_FALSE(parsed.ok) << bad.label;
+    EXPECT_FALSE(parsed.error.empty()) << bad.label;
+  }
+}
+
+// Rejections must be deterministic: the same hostile input yields the same
+// error message (no dependence on leftover parser state).
+TEST(SocHardeningTest, BadCorpusDeterministic) {
+  for (const ermes::testing::BadSoc& bad : ermes::testing::bad_soc_corpus()) {
+    EXPECT_EQ(parse_soc(bad.text).error, parse_soc(bad.text).error)
+        << bad.label;
+  }
+}
+
+// An absurdly long token must not crash (a 4 MiB process name is legal, if
+// silly — the point is bounded, exception-free handling).
+TEST(SocHardeningTest, HugeTokenSurvives) {
+  ParseResult parsed;
+  ASSERT_NO_THROW(parsed = parse_soc(ermes::testing::huge_token_soc(4u << 20)));
+  if (parsed.ok) {
+    EXPECT_EQ(parsed.system.num_processes(), 1u);
+  } else {
+    EXPECT_FALSE(parsed.error.empty());
+  }
+}
+
+// Truncated documents (every prefix of a valid file) must parse or reject
+// cleanly — a truncation can never crash.
+TEST(SocHardeningTest, EveryPrefixHandled) {
+  const std::string full =
+      write_soc(sysmodel::make_dac14_motivating_example(), "m");
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    ParseResult parsed;
+    ASSERT_NO_THROW(parsed = parse_soc(full.substr(0, len))) << "len " << len;
+    if (!parsed.ok) {
+      EXPECT_FALSE(parsed.error.empty()) << "len " << len;
+    }
+  }
+}
+
+// Error messages carry the offending line number.
+TEST(SocHardeningTest, ErrorsNameTheLine) {
+  const ParseResult parsed =
+      parse_soc("system ok\nprocess a latency 1\nprocess a latency 2\n");
+  ASSERT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("line 3"), std::string::npos) << parsed.error;
 }
 
 }  // namespace

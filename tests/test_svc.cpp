@@ -1,0 +1,560 @@
+// Tests for the analysis service (src/svc): the JSON document model and
+// parser, the NDJSON protocol, the broker (admission control, deadlines,
+// drain), and the socket server end-to-end over a unix-domain socket with
+// concurrent clients.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/soc_format.h"
+#include "soc_bad_corpus.h"
+#include "svc/broker.h"
+#include "svc/client.h"
+#include "svc/json.h"
+#include "svc/protocol.h"
+#include "svc/render.h"
+#include "svc/server.h"
+#include "sysmodel/builder.h"
+
+namespace ermes::svc {
+namespace {
+
+std::string demo_soc() {
+  return io::write_soc(sysmodel::make_dac14_motivating_example(),
+                       "dac14_motivating");
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json_parse("null").ok);
+  EXPECT_TRUE(json_parse("true").ok);
+  EXPECT_TRUE(json_parse("false").ok);
+  JsonParseResult number = json_parse("42");
+  ASSERT_TRUE(number.ok);
+  EXPECT_TRUE(number.value.is_integer());
+  EXPECT_EQ(number.value.as_int(), 42);
+  JsonParseResult negative = json_parse("-17");
+  ASSERT_TRUE(negative.ok);
+  EXPECT_EQ(negative.value.as_int(), -17);
+  JsonParseResult fraction = json_parse("2.55e1");
+  ASSERT_TRUE(fraction.ok);
+  EXPECT_FALSE(fraction.value.is_integer());
+  EXPECT_DOUBLE_EQ(fraction.value.as_double(), 25.5);
+  // An integral double keeps its exact accessor usable.
+  JsonParseResult integral = json_parse("2.5e1");
+  ASSERT_TRUE(integral.ok);
+  EXPECT_TRUE(integral.value.is_integer());
+  EXPECT_EQ(integral.value.as_int(), 25);
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const JsonParseResult parsed = json_parse(
+      R"({"a":[1,2,{"b":"x"}],"c":{"d":null},"e":"\u00e9\n"})");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const JsonValue* a = parsed.value.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[0].as_int(), 1);
+  const JsonValue* e = parsed.value.find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->as_string(), "\xc3\xa9\n");
+}
+
+TEST(Json, RoundTripsThroughToString) {
+  const std::string doc =
+      R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":-7})";
+  const JsonParseResult once = json_parse(doc);
+  ASSERT_TRUE(once.ok);
+  const JsonParseResult twice = json_parse(once.value.to_string());
+  ASSERT_TRUE(twice.ok);
+  EXPECT_EQ(once.value.to_string(), twice.value.to_string());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  const char* kBad[] = {
+      "",          "{",           "}",           "[1,",       "{\"a\":}",
+      "tru",       "nul",         "01",          "1.",        "1e",
+      "\"\\q\"",   "\"\\u12\"",   "\"\\ud800\"", "{'a':1}",   "[1]]",
+      "{\"a\":1,}", "[,1]",       "\"unterminated", "+1",     "--1",
+      "{\"a\":1 \"b\":2}",        "\x01",        "{\"a\":1}{", "inf",
+  };
+  for (const char* text : kBad) {
+    const JsonParseResult parsed = json_parse(text);
+    EXPECT_FALSE(parsed.ok) << "input: " << text;
+    EXPECT_FALSE(parsed.error.empty()) << "input: " << text;
+  }
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  EXPECT_FALSE(json_parse(R"({"a":1,"a":2})").ok);
+}
+
+TEST(Json, RejectsRawControlCharactersInStrings) {
+  EXPECT_FALSE(json_parse("\"a\nb\"").ok);
+}
+
+TEST(Json, DepthLimitStopsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += '[';
+  const JsonParseResult parsed = json_parse(deep);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("nesting too deep"), std::string::npos);
+  // Just inside the limit parses fine.
+  std::string ok;
+  for (int i = 0; i < kJsonMaxDepth; ++i) ok += '[';
+  for (int i = 0; i < kJsonMaxDepth; ++i) ok += ']';
+  EXPECT_TRUE(json_parse(ok).ok);
+}
+
+TEST(Json, Int64BoundaryValuesAreExact) {
+  const JsonParseResult max = json_parse("9223372036854775807");
+  ASSERT_TRUE(max.ok);
+  ASSERT_TRUE(max.value.is_integer());
+  EXPECT_EQ(max.value.as_int(), 9223372036854775807LL);
+  // One past int64 falls back to double rather than failing.
+  const JsonParseResult over = json_parse("9223372036854775808");
+  ASSERT_TRUE(over.ok);
+  EXPECT_FALSE(over.value.is_integer());
+}
+
+TEST(Json, SerializationIsDeterministic) {
+  JsonValue object = JsonValue::object();
+  object.set("z", JsonValue::integer(1));
+  object.set("a", JsonValue::string("two"));
+  object.set("z", JsonValue::integer(3));  // overwrite keeps the slot
+  EXPECT_EQ(object.to_string(), R"({"z":3,"a":"two"})");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+
+TEST(Protocol, ParsesMinimalRequest) {
+  const RequestParse parsed = parse_request(R"({"op":"stats"})");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.op, Op::kStats);
+  EXPECT_TRUE(parsed.request.id.is_null());
+}
+
+TEST(Protocol, ParsesFullExploreRequest) {
+  const RequestParse parsed = parse_request(
+      R"({"v":1,"id":"r1","op":"explore","soc":"x","tct":12,"deadline_ms":500})");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.op, Op::kExplore);
+  EXPECT_EQ(parsed.request.soc, "x");
+  EXPECT_EQ(parsed.request.tct, 12);
+  EXPECT_EQ(parsed.request.deadline_ms, 500);
+  EXPECT_EQ(parsed.request.id.as_string(), "r1");
+}
+
+TEST(Protocol, RejectsBadRequests) {
+  const char* kBad[] = {
+      "not json at all",
+      "[]",                                     // not an object
+      R"({"v":2,"op":"stats"})",                // wrong version
+      R"({"v":"1","op":"stats"})",              // version wrong type
+      R"({"op":"frobnicate"})",                 // unknown op
+      R"({"soc":"x"})",                         // missing op
+      R"({"op":"stats","bogus":1})",            // unknown member
+      R"({"op":"analyze"})",                    // missing soc
+      R"({"op":"analyze","soc":""})",           // empty soc
+      R"({"op":"explore","soc":"x"})",          // missing tct
+      R"({"op":"explore","soc":"x","tct":0})",  // non-positive tct
+      R"({"op":"explore","soc":"x","tct":1.5})",   // fractional tct
+      R"({"op":"sweep","soc":"x","lo":5,"hi":2})", // hi < lo
+      R"({"op":"sweep","soc":"x","lo":0,"hi":2})", // lo <= 0
+      R"({"op":"stats","id":true})",            // id must be string/int/null
+      R"({"op":"stats","deadline_ms":-5})",     // negative deadline
+  };
+  for (const char* line : kBad) {
+    const RequestParse parsed = parse_request(line);
+    EXPECT_FALSE(parsed.ok) << "line: " << line;
+    EXPECT_FALSE(parsed.error.empty()) << "line: " << line;
+  }
+}
+
+TEST(Protocol, EncodeRequestRoundTrips) {
+  const std::string line =
+      encode_request(Op::kSweep, JsonValue::integer(7), "soc text\nline2", 0,
+                     10, 20, 5, 250);
+  const RequestParse parsed = parse_request(line);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.op, Op::kSweep);
+  EXPECT_EQ(parsed.request.soc, "soc text\nline2");
+  EXPECT_EQ(parsed.request.lo, 10);
+  EXPECT_EQ(parsed.request.hi, 20);
+  EXPECT_EQ(parsed.request.step, 5);
+  EXPECT_EQ(parsed.request.deadline_ms, 250);
+  EXPECT_EQ(parsed.request.id.as_int(), 7);
+}
+
+TEST(Protocol, ResponsesEchoTheRequestId) {
+  JsonValue result = JsonValue::object();
+  result.set("x", JsonValue::integer(1));
+  const ResponseView ok =
+      parse_response(encode_ok(JsonValue::string("r9"), std::move(result)));
+  ASSERT_TRUE(ok.ok) << ok.parse_error;
+  EXPECT_TRUE(ok.success);
+  EXPECT_EQ(ok.id.as_string(), "r9");
+  ASSERT_NE(ok.result.find("x"), nullptr);
+
+  const ResponseView err = parse_response(
+      encode_error(JsonValue::integer(3), ErrorCode::kOverloaded, "full"));
+  ASSERT_TRUE(err.ok) << err.parse_error;
+  EXPECT_FALSE(err.success);
+  EXPECT_EQ(err.id.as_int(), 3);
+  EXPECT_EQ(err.error_code, "overloaded");
+  EXPECT_EQ(err.error_message, "full");
+}
+
+// ---------------------------------------------------------------------------
+// Broker
+
+TEST(Broker, AnalyzeMatchesDirectAnalysisBitForBit) {
+  Broker broker({.workers = 2});
+  const std::string response = broker.handle_line_sync(
+      encode_request(Op::kAnalyze, JsonValue::string("a"), demo_soc()));
+  const ResponseView view = parse_response(response);
+  ASSERT_TRUE(view.ok) << view.parse_error;
+  ASSERT_TRUE(view.success) << view.error_message;
+  const JsonValue* text = view.result.find("text");
+  ASSERT_NE(text, nullptr);
+  const sysmodel::SystemModel sys = sysmodel::make_dac14_motivating_example();
+  EXPECT_EQ(text->as_string(),
+            analyze_text(sys, analysis::analyze_system(sys)));
+}
+
+TEST(Broker, BadCorpusComesBackAsBadRequest) {
+  // Every hostile .soc from the shared corpus must produce a structured
+  // bad_request end-to-end — the broker keeps serving afterwards.
+  Broker broker({.workers = 1});
+  for (const ermes::testing::BadSoc& bad : ermes::testing::bad_soc_corpus()) {
+    const ResponseView view = parse_response(broker.handle_line_sync(
+        encode_request(Op::kAnalyze, JsonValue::string(bad.label), bad.text)));
+    ASSERT_TRUE(view.ok) << bad.label << ": " << view.parse_error;
+    EXPECT_FALSE(view.success) << bad.label;
+    EXPECT_EQ(view.error_code, "bad_request") << bad.label;
+  }
+  // Still healthy: a good request succeeds.
+  const ResponseView ok = parse_response(broker.handle_line_sync(
+      encode_request(Op::kAnalyze, JsonValue::null(), demo_soc())));
+  EXPECT_TRUE(ok.success) << ok.error_message;
+  EXPECT_EQ(broker.stats().bad_requests,
+            static_cast<std::int64_t>(ermes::testing::bad_soc_corpus().size()));
+}
+
+TEST(Broker, MalformedJsonLineIsBadRequest) {
+  Broker broker({.workers = 1});
+  const ResponseView view =
+      parse_response(broker.handle_line_sync("this is not json"));
+  ASSERT_TRUE(view.ok) << view.parse_error;
+  EXPECT_FALSE(view.success);
+  EXPECT_EQ(view.error_code, "bad_request");
+}
+
+TEST(Broker, OverloadRejectsInsteadOfBlocking) {
+  // One worker, queue depth 2, and a slow explore occupying the worker:
+  // pushing many more requests must return `overloaded` immediately for the
+  // excess instead of blocking the submitting thread.
+  Broker broker({.workers = 1, .queue_depth = 2, .test_iter_delay_ms = 20});
+  const std::string slow = encode_request(Op::kExplore, JsonValue::null(),
+                                          demo_soc(), /*tct=*/1);
+  std::atomic<int> overloaded{0};
+  std::atomic<int> responded{0};
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    broker.handle_line(slow, [&](std::string response) {
+      const ResponseView view = parse_response(response);
+      if (!view.success && view.error_code == "overloaded") {
+        overloaded.fetch_add(1);
+      }
+      responded.fetch_add(1);
+    });
+  }
+  broker.begin_drain();
+  broker.drain();
+  EXPECT_EQ(responded.load(), kRequests);
+  EXPECT_GE(overloaded.load(), kRequests - 3);  // depth 2 + 1 executing
+  EXPECT_EQ(broker.stats().rejected_overloaded, overloaded.load());
+}
+
+TEST(Broker, DeadlineExceededReleasesTheWorker) {
+  // test_iter_delay_ms makes every DSE iteration cost >= 20 ms, so a 1 ms
+  // deadline must cancel during the first iterations and come back within a
+  // small multiple of the iteration delay — then the worker is free and a
+  // normal request completes.
+  Broker broker({.workers = 1, .test_iter_delay_ms = 20});
+  const auto start = std::chrono::steady_clock::now();
+  const ResponseView slow = parse_response(broker.handle_line_sync(
+      encode_request(Op::kExplore, JsonValue::string("slow"), demo_soc(),
+                     /*tct=*/1, 0, 0, 0, /*deadline_ms=*/1)));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(slow.ok) << slow.parse_error;
+  EXPECT_FALSE(slow.success);
+  EXPECT_EQ(slow.error_code, "deadline_exceeded");
+  // Tolerance: one pending iteration poll (20 ms) plus generous scheduling
+  // slack; the whole uncancelled exploration would take far longer.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+  EXPECT_EQ(broker.stats().deadline_exceeded, 1);
+
+  // The daemon keeps serving: same op without a deadline succeeds.
+  Broker fast({.workers = 1});
+  const ResponseView after = parse_response(fast.handle_line_sync(
+      encode_request(Op::kExplore, JsonValue::null(), demo_soc(), /*tct=*/12)));
+  EXPECT_TRUE(after.success) << after.error_message;
+}
+
+TEST(Broker, DefaultDeadlineApplies) {
+  Broker broker(
+      {.workers = 1, .default_deadline_ms = 1, .test_iter_delay_ms = 20});
+  const ResponseView view = parse_response(broker.handle_line_sync(
+      encode_request(Op::kExplore, JsonValue::null(), demo_soc(), /*tct=*/1)));
+  EXPECT_FALSE(view.success);
+  EXPECT_EQ(view.error_code, "deadline_exceeded");
+}
+
+TEST(Broker, WarmCacheIsSharedAcrossRequests) {
+  Broker broker({.workers = 2});
+  const std::string request =
+      encode_request(Op::kExplore, JsonValue::null(), demo_soc(), /*tct=*/12);
+  ASSERT_TRUE(parse_response(broker.handle_line_sync(request)).success);
+  const std::int64_t misses_after_first = broker.cache().misses();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(parse_response(broker.handle_line_sync(request)).success);
+  }
+  // Repeat requests replay the memo: no (or almost no) new misses.
+  EXPECT_LE(broker.cache().misses(), misses_after_first + 1);
+  EXPECT_GT(broker.cache().hits(), 0);
+}
+
+TEST(Broker, ShutdownRespondsThenDrains) {
+  Broker broker({.workers = 1});
+  const ResponseView view = parse_response(broker.handle_line_sync(
+      encode_request(Op::kShutdown, JsonValue::string("bye"), "")));
+  ASSERT_TRUE(view.ok) << view.parse_error;
+  EXPECT_TRUE(view.success);
+  EXPECT_TRUE(broker.draining());
+  // Requests after the drain flip get shutting_down.
+  const ResponseView rejected = parse_response(broker.handle_line_sync(
+      encode_request(Op::kAnalyze, JsonValue::null(), demo_soc())));
+  EXPECT_FALSE(rejected.success);
+  EXPECT_EQ(rejected.error_code, "shutting_down");
+  EXPECT_EQ(broker.stats().rejected_shutting_down, 1);
+}
+
+TEST(Broker, StatsReportsCounters) {
+  Broker broker({.workers = 1, .queue_depth = 5});
+  ASSERT_TRUE(parse_response(broker.handle_line_sync(
+                  encode_request(Op::kAnalyze, JsonValue::null(), demo_soc())))
+                  .success);
+  const ResponseView stats = parse_response(
+      broker.handle_line_sync(encode_request(Op::kStats, JsonValue::null(),
+                                             "")));
+  ASSERT_TRUE(stats.success) << stats.error_message;
+  const JsonValue* broker_stats = stats.result.find("broker");
+  ASSERT_NE(broker_stats, nullptr);
+  EXPECT_EQ(broker_stats->find("queue_depth")->as_int(), 5);
+  EXPECT_GE(broker_stats->find("accepted")->as_int(), 2);
+  ASSERT_NE(stats.result.find("cache"), nullptr);
+  ASSERT_NE(stats.result.find("metrics"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end (unix-domain socket)
+
+std::string test_socket_path(const char* tag) {
+  return ::testing::TempDir() + "/ermes_svc_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(Server, ServesConcurrentClientsOverUnixSocket) {
+  ServerOptions options;
+  options.socket_path = test_socket_path("conc");
+  options.broker.workers = 2;
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread server_thread([&server] { server.run(); });
+
+  const std::string soc = demo_soc();
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  const sysmodel::SystemModel sys = sysmodel::make_dac14_motivating_example();
+  const std::string expected_text =
+      analyze_text(sys, analysis::analyze_system(sys));
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::string client_error;
+      std::unique_ptr<Client> client =
+          Client::connect_unix(server.socket_path(), &client_error);
+      if (client == nullptr) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::string id =
+            "c" + std::to_string(c) + "r" + std::to_string(r);
+        const ResponseView view = client->call(
+            encode_request(Op::kAnalyze, JsonValue::string(id), soc));
+        if (!view.ok || !view.success ||
+            view.id.as_string() != id ||
+            view.result.find("text")->as_string() != expected_text) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  server.request_stop();
+  server_thread.join();
+  // Cross-client cache sharing: one cold miss set, everything else hits.
+  EXPECT_GT(server.broker().cache().hits(), 0);
+}
+
+TEST(Server, PipelinedRequestsAllAnswered) {
+  ServerOptions options;
+  options.socket_path = test_socket_path("pipe");
+  options.broker.workers = 2;
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread server_thread([&server] { server.run(); });
+
+  std::string client_error;
+  std::unique_ptr<Client> client =
+      Client::connect_unix(server.socket_path(), &client_error);
+  ASSERT_NE(client, nullptr) << client_error;
+  const std::string soc = demo_soc();
+  constexpr int kPipelined = 16;
+  for (int i = 0; i < kPipelined; ++i) {
+    ASSERT_TRUE(client->send_line(
+        encode_request(Op::kAnalyze, JsonValue::integer(i), soc),
+        &client_error))
+        << client_error;
+  }
+  // Responses arrive in completion order; collect ids and check coverage.
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < kPipelined; ++i) {
+    std::string line;
+    ASSERT_TRUE(client->recv_line(&line, &client_error)) << client_error;
+    const ResponseView view = parse_response(line);
+    ASSERT_TRUE(view.ok) << view.parse_error;
+    EXPECT_TRUE(view.success);
+    seen.insert(view.id.as_int());
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kPipelined));
+
+  server.request_stop();
+  server_thread.join();
+}
+
+TEST(Server, MalformedLinesGetBadRequestWithoutKillingConnection) {
+  ServerOptions options;
+  options.socket_path = test_socket_path("bad");
+  options.broker.workers = 1;
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread server_thread([&server] { server.run(); });
+
+  std::string client_error;
+  std::unique_ptr<Client> client =
+      Client::connect_unix(server.socket_path(), &client_error);
+  ASSERT_NE(client, nullptr) << client_error;
+  const ResponseView bad = client->call("{{{{ not json");
+  ASSERT_TRUE(bad.ok) << bad.parse_error;
+  EXPECT_FALSE(bad.success);
+  EXPECT_EQ(bad.error_code, "bad_request");
+  // Same connection still works.
+  const ResponseView good = client->call(
+      encode_request(Op::kAnalyze, JsonValue::null(), demo_soc()));
+  ASSERT_TRUE(good.ok) << good.parse_error;
+  EXPECT_TRUE(good.success);
+
+  server.request_stop();
+  server_thread.join();
+}
+
+TEST(Server, ShutdownRequestDrainsTheServer) {
+  ServerOptions options;
+  options.socket_path = test_socket_path("down");
+  options.broker.workers = 1;
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread server_thread([&server] { server.run(); });
+
+  std::string client_error;
+  std::unique_ptr<Client> client =
+      Client::connect_unix(server.socket_path(), &client_error);
+  ASSERT_NE(client, nullptr) << client_error;
+  const ResponseView view = client->call(
+      encode_request(Op::kShutdown, JsonValue::string("bye"), ""));
+  ASSERT_TRUE(view.ok) << view.parse_error;
+  EXPECT_TRUE(view.success);
+  // run() returns once the drain completes — joining proves it.
+  server_thread.join();
+  EXPECT_TRUE(server.broker().draining());
+}
+
+TEST(Server, OversizedLineIsRejectedAndConnectionClosed) {
+  ServerOptions options;
+  options.socket_path = test_socket_path("huge");
+  options.broker.workers = 1;
+  options.max_line_bytes = 1024;
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread server_thread([&server] { server.run(); });
+
+  // Raw socket: 4 KiB with NO newline, so the frame bound trips while the
+  // line is still incomplete — the server answers bad_request and hangs up.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, server.socket_path().c_str(),
+               sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string blob(4096, 'x');
+  ASSERT_EQ(::send(fd, blob.data(), blob.size(), 0),
+            static_cast<ssize_t>(blob.size()));
+  std::string line;
+  char chunk[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // server hangs up after the error response
+    line.append(chunk, static_cast<std::size_t>(n));
+    if (line.find('\n') != std::string::npos) break;
+  }
+  ::close(fd);
+  ASSERT_NE(line.find('\n'), std::string::npos) << "no response before EOF";
+  const ResponseView view = parse_response(line.substr(0, line.find('\n')));
+  EXPECT_FALSE(view.success);
+  EXPECT_EQ(view.error_code, "bad_request");
+
+  server.request_stop();
+  server_thread.join();
+}
+
+}  // namespace
+}  // namespace ermes::svc

@@ -12,12 +12,18 @@
 //   ermes tmgdot   <file.soc>              Graphviz dump of the elaborated TMG
 //   ermes profile  <file.soc> [tct]        phase timings + telemetry for the full flow
 //   ermes demo                             write the DAC'14 motivating example to stdout
+//   ermes serve    [--socket p|--port n]   long-lived analysis daemon (NDJSON protocol)
+//   ermes request  (--socket p|--port n) <op> [args]  one request against a daemon
 //
 // Global flags (any command):
 //   --metrics <out.json>   enable telemetry, write a metrics snapshot on exit
 //   --trace <out.json>     enable telemetry, write a Chrome trace (Perfetto)
 //   --log <level>          trace|debug|info|warn|error|off (default warn)
 //   --jobs <N>             parallelism for dse/sweep/sens (default 1; 0 = all cores)
+//
+// Exit codes: 0 success, 1 I/O or internal failure, 2 usage error, 3 model
+// parse error, 4 analysis-domain failure (deadlock, target not met). Every
+// failure path prints a one-line `error: ...` to stderr.
 
 #include <algorithm>
 #include <cmath>
@@ -43,6 +49,10 @@
 #include "ordering/channel_ordering.h"
 #include "ordering/local_search.h"
 #include "sim/system_sim.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+#include "svc/render.h"
+#include "svc/server.h"
 #include "sysmodel/builder.h"
 #include "sysmodel/stats.h"
 #include "tmg/dot.h"
@@ -54,15 +64,45 @@ using namespace ermes;
 
 namespace {
 
+// Exit-code contract (asserted by tests/test_cli.cpp): every failure path
+// prints exactly one `error: ...` line to stderr and returns its class code.
+constexpr int kExitOk = 0;
+constexpr int kExitFailure = 1;   // I/O or internal failure
+constexpr int kExitUsage = 2;     // bad command line
+constexpr int kExitParse = 3;     // malformed .soc model
+constexpr int kExitAnalysis = 4;  // analysis-domain failure
+
 int usage() {
+  std::fprintf(stderr, "error: invalid usage\n");
   std::fprintf(stderr,
                "usage: ermes "
                "<analyze|order|simulate|dse|sweep|size|stats|sens|dot|tmgdot|"
-               "profile|demo> "
+               "profile|demo|serve|request> "
                "<file.soc> [args]\n"
                "       global flags: [--metrics out.json] [--trace out.json] "
-               "[--log trace|debug|info|warn|error|off] [--jobs N]\n");
-  return 2;
+               "[--log trace|debug|info|warn|error|off] [--jobs N]\n"
+               "       serve:   ermes serve [--socket path | --port N] "
+               "[--workers N] [--queue N] [--deadline-ms N]\n"
+               "       request: ermes request (--socket path | --port N) "
+               "<analyze|order|explore|sweep|stats|shutdown> [file.soc] "
+               "[args] [--deadline-ms N] [--text]\n");
+  return kExitUsage;
+}
+
+// Strict positional integer (atoll would silently read garbage as 0).
+bool parse_arg_i64(const char* arg, std::int64_t* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stoll(arg, &pos);
+    return pos == std::strlen(arg);
+  } catch (...) {
+    return false;
+  }
+}
+
+int usage_bad_number(const char* arg) {
+  std::fprintf(stderr, "error: expected an integer, got '%s'\n", arg);
+  return kExitUsage;
 }
 
 // Output paths for the telemetry dumps; either one enables collection.
@@ -171,56 +211,55 @@ bool load(const char* path, io::ParseResult& parsed) {
 
 int cmd_analyze(const char* path) {
   io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
+  if (!load(path, parsed)) return kExitParse;
   const analysis::PerformanceReport report =
       analysis::analyze_system(parsed.system);
+  // Shared renderer: the daemon's `analyze` response carries this exact text.
+  std::printf("%s", svc::analyze_text(parsed.system, report).c_str());
   if (!report.live) {
-    const analysis::DeadlockDiagnosis diag =
-        analysis::diagnose_system(parsed.system);
-    std::printf("DEADLOCK: %s\n",
-                analysis::to_string(diag, parsed.system).c_str());
-    return 1;
+    std::fprintf(stderr, "error: system deadlocks\n");
+    return kExitAnalysis;
   }
-  std::printf("%s\n", analysis::summarize(report, parsed.system).c_str());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_order(const char* path, const char* out_path) {
   io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
-  const double before_ct = [&] {
-    const auto report = analysis::analyze_system(parsed.system);
-    return report.live ? report.cycle_time : -1.0;
-  }();
+  if (!load(path, parsed)) return kExitParse;
+  const analysis::PerformanceReport before =
+      analysis::analyze_system(parsed.system);
   sysmodel::SystemModel ordered =
       ordering::with_optimal_ordering(parsed.system);
   const analysis::PerformanceReport after =
       analysis::analyze_system(ordered);
-  std::printf("cycle time: %s -> %s\n",
-              before_ct < 0 ? "DEADLOCK"
-                            : util::format_double(before_ct).c_str(),
-              util::format_double(after.cycle_time).c_str());
   if (out_path != nullptr) {
+    std::printf("cycle time: %s -> %s\n",
+                before.live ? util::format_double(before.cycle_time).c_str()
+                            : "DEADLOCK",
+                util::format_double(after.cycle_time).c_str());
     if (!io::save_soc(ordered, out_path, parsed.system_name)) {
       std::fprintf(stderr, "error: cannot write %s\n", out_path);
-      return 1;
+      return kExitFailure;
     }
     std::printf("wrote %s\n", out_path);
   } else {
-    std::printf("%s", io::write_soc(ordered, parsed.system_name).c_str());
+    std::printf("%s", svc::order_text(before.live, before.cycle_time, after,
+                                      ordered, parsed.system_name)
+                          .c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_simulate(const char* path, std::int64_t items) {
   io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
+  if (!load(path, parsed)) return kExitParse;
   const sim::SystemSimResult result =
       sim::simulate_system(parsed.system, items);
   if (result.deadlocked) {
     std::printf("DEADLOCK at cycle %lld\n",
                 static_cast<long long>(result.deadlock.at_cycle));
-    return 1;
+    std::fprintf(stderr, "error: simulation deadlocked\n");
+    return kExitAnalysis;
   }
   std::printf("%lld items in %lld cycles: %s cycles/item (throughput %s)\n",
               static_cast<long long>(result.items),
@@ -230,27 +269,25 @@ int cmd_simulate(const char* path, std::int64_t items) {
   if (obs::enabled()) {
     std::printf("\n%s", result.stalls.to_text(0).c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_dse(const char* path, std::int64_t tct, const GlobalOptions& global) {
   io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
+  if (!load(path, parsed)) return kExitParse;
   dse::ExplorerOptions options;
   options.target_cycle_time = tct;
   options.jobs = static_cast<int>(effective_jobs(global));
   const dse::ExplorationResult result =
       dse::explore(parsed.system, options);
-  util::Table table({"iter", "action", "CT", "area", "meets TCT"});
-  for (const dse::IterationRecord& rec : result.history) {
-    table.add_row({std::to_string(rec.iteration), dse::to_string(rec.action),
-                   util::format_double(rec.cycle_time, 0),
-                   util::format_double(rec.area, 4),
-                   rec.meets_target ? "yes" : "no"});
+  // Shared renderer: the daemon's `explore` response carries this exact text.
+  std::printf("%s", svc::explore_text(result).c_str());
+  if (!result.met_target) {
+    std::fprintf(stderr, "error: target cycle time %lld not met\n",
+                 static_cast<long long>(tct));
+    return kExitAnalysis;
   }
-  std::printf("%s", table.to_text(0).c_str());
-  std::printf("%s\n", result.met_target ? "target met" : "target NOT met");
-  return result.met_target ? 0 : 1;
+  return kExitOk;
 }
 
 // Explores every target in [lo, hi] (step apart) concurrently: one serial
@@ -259,12 +296,12 @@ int cmd_dse(const char* path, std::int64_t tct, const GlobalOptions& global) {
 // constantly, so the warm cache does a large share of the work.
 int cmd_sweep(const char* path, std::int64_t lo, std::int64_t hi,
               std::int64_t step, const GlobalOptions& global) {
-  io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
   if (lo <= 0 || hi < lo) {
     std::fprintf(stderr, "error: sweep needs 0 < lo <= hi\n");
-    return 2;
+    return kExitUsage;
   }
+  io::ParseResult parsed;
+  if (!load(path, parsed)) return kExitParse;
   if (step <= 0) step = std::max<std::int64_t>(1, (hi - lo) / 7);
   std::vector<std::int64_t> targets;
   for (std::int64_t tct = lo; tct <= hi; tct += step) targets.push_back(tct);
@@ -285,25 +322,24 @@ int cmd_sweep(const char* path, std::int64_t lo, std::int64_t hi,
           /*grain=*/1);
   const double elapsed_ms = static_cast<double>(sw.elapsed_ns()) / 1e6;
 
-  util::Table table({"TCT", "iters", "final CT", "final area", "meets TCT"});
+  // Shared renderer for the table (the timing/cache line below is
+  // run-dependent and stays CLI-only; the daemon omits it).
+  std::printf("%s", svc::sweep_text(targets, results).c_str());
   bool all_met = true;
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    const dse::IterationRecord& last = results[i].history.back();
-    table.add_row({std::to_string(targets[i]),
-                   std::to_string(results[i].history.size()),
-                   util::format_double(last.cycle_time, 0),
-                   util::format_double(last.area, 4),
-                   results[i].met_target ? "yes" : "no"});
-    all_met = all_met && results[i].met_target;
+  for (const dse::ExplorationResult& result : results) {
+    all_met = all_met && result.met_target;
   }
-  std::printf("%s", table.to_text(0).c_str());
   std::printf("%zu targets in %s ms on %zu jobs; cache: %lld hits / %lld "
               "misses (%.1f%% hit rate, %zu entries)\n",
               targets.size(), util::format_double(elapsed_ms, 1).c_str(),
               pool.jobs(), static_cast<long long>(cache.hits()),
               static_cast<long long>(cache.misses()), cache.hit_rate() * 100.0,
               cache.size());
-  return all_met ? 0 : 1;
+  if (!all_met) {
+    std::fprintf(stderr, "error: at least one sweep target not met\n");
+    return kExitAnalysis;
+  }
+  return kExitOk;
 }
 
 // Runs the full flow (parse, analyze, order, dse) with telemetry forced on
@@ -320,7 +356,7 @@ int cmd_profile(const char* path, std::int64_t tct) {
 
   util::Stopwatch parse_sw;
   io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
+  if (!load(path, parsed)) return kExitParse;
   phases.add_row({"parse", ms(parse_sw),
                   std::to_string(parsed.system.num_processes()) +
                       " processes, " +
@@ -361,12 +397,12 @@ int cmd_profile(const char* path, std::int64_t tct) {
 
   std::printf("%s\n%s", phases.to_text(0).c_str(),
               obs::metrics_tables().c_str());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_size(const char* path, std::int64_t tct) {
   io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
+  if (!load(path, parsed)) return kExitParse;
   const analysis::SizingResult result =
       analysis::size_for_cycle_time(parsed.system, tct);
   std::printf("%s: %lld slots added, cycle time %s\n",
@@ -379,28 +415,34 @@ int cmd_size(const char* path, std::int64_t tct) {
                 static_cast<long long>(capacity));
   }
   std::printf("%s", io::write_soc(parsed.system, parsed.system_name).c_str());
-  return result.success ? 0 : 1;
+  if (!result.success) {
+    std::fprintf(stderr, "error: target cycle time %lld not met\n",
+                 static_cast<long long>(tct));
+    return kExitAnalysis;
+  }
+  return kExitOk;
 }
 
 int cmd_stats(const char* path) {
   io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
+  if (!load(path, parsed)) return kExitParse;
   std::printf("%s\n",
               sysmodel::to_string(sysmodel::compute_stats(parsed.system))
                   .c_str());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_sensitivity(const char* path, const GlobalOptions& global) {
   io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
+  if (!load(path, parsed)) return kExitParse;
   exec::ThreadPool pool(effective_jobs(global));
   analysis::EvalCache cache;
   const analysis::SensitivityReport report =
       analysis::latency_sensitivity(parsed.system, 1, &pool, &cache);
   if (report.processes.empty()) {
     std::printf("system is deadlocked; no sensitivity available\n");
-    return 1;
+    std::fprintf(stderr, "error: system deadlocks\n");
+    return kExitAnalysis;
   }
   util::Table table({"process", "latency", "CT gain/cycle", "critical"});
   for (const analysis::ProcessSensitivity& entry : report.processes) {
@@ -412,20 +454,20 @@ int cmd_sensitivity(const char* path, const GlobalOptions& global) {
   std::printf("base cycle time %s\n%s",
               util::format_double(report.base_cycle_time).c_str(),
               table.to_text(0).c_str());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_tmgdot(const char* path) {
   io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
+  if (!load(path, parsed)) return kExitParse;
   const analysis::SystemTmg stmg = analysis::build_tmg(parsed.system);
   std::printf("%s", tmg::to_dot(stmg.graph, parsed.system_name).c_str());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_dot(const char* path) {
   io::ParseResult parsed;
-  if (!load(path, parsed)) return 1;
+  if (!load(path, parsed)) return kExitParse;
   graph::DotOptions options;
   options.graph_name = parsed.system_name;
   const sysmodel::SystemModel& sys = parsed.system;
@@ -437,6 +479,185 @@ int cmd_dot(const char* path) {
   return 0;
 }
 
+// Flags shared by `serve` and `request`: endpoint selection plus the serve
+// tuning knobs. Unknown flags fail parsing; positionals pass through.
+struct EndpointOptions {
+  std::string socket_path;
+  std::int64_t port = -1;
+  std::int64_t workers = 0;
+  std::int64_t queue = 64;
+  std::int64_t deadline_ms = 0;
+  std::int64_t test_iter_delay_ms = 0;  // undocumented: CI/test determinism
+  bool text = false;                    // request: print result.text, not JSON
+  std::vector<const char*> positional;
+};
+
+bool parse_endpoint_flags(int argc, char** argv, int first,
+                          EndpointOptions& out) {
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool takes_value =
+        std::strcmp(arg, "--socket") == 0 || std::strcmp(arg, "--port") == 0 ||
+        std::strcmp(arg, "--workers") == 0 ||
+        std::strcmp(arg, "--queue") == 0 ||
+        std::strcmp(arg, "--deadline-ms") == 0 ||
+        std::strcmp(arg, "--test-iter-delay-ms") == 0;
+    if (takes_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg);
+        return false;
+      }
+      const char* value = argv[++i];
+      if (std::strcmp(arg, "--socket") == 0) {
+        out.socket_path = value;
+        continue;
+      }
+      std::int64_t number = 0;
+      if (!parse_arg_i64(value, &number)) {
+        std::fprintf(stderr, "error: %s expects an integer, got '%s'\n", arg,
+                     value);
+        return false;
+      }
+      if (std::strcmp(arg, "--port") == 0) out.port = number;
+      else if (std::strcmp(arg, "--workers") == 0) out.workers = number;
+      else if (std::strcmp(arg, "--queue") == 0) out.queue = number;
+      else if (std::strcmp(arg, "--deadline-ms") == 0) out.deadline_ms = number;
+      else out.test_iter_delay_ms = number;
+      continue;
+    }
+    if (std::strcmp(arg, "--text") == 0) {
+      out.text = true;
+      continue;
+    }
+    if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
+      return false;
+    }
+    out.positional.push_back(arg);
+  }
+  return true;
+}
+
+// `ermes serve`: run the analysis daemon until a shutdown request or signal.
+int cmd_serve(int argc, char** argv) {
+  EndpointOptions ep;
+  if (!parse_endpoint_flags(argc, argv, 2, ep)) return kExitUsage;
+  if (!ep.positional.empty()) return usage();
+  if (ep.socket_path.empty() && ep.port < 0) {
+    std::fprintf(stderr, "error: serve needs --socket <path> or --port <N>\n");
+    return kExitUsage;
+  }
+  obs::set_enabled(true);  // the `stats` op snapshots the registry
+
+  svc::ServerOptions options;
+  options.socket_path = ep.socket_path;
+  options.port = static_cast<int>(ep.port);
+  options.broker.workers = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, ep.workers));
+  options.broker.queue_depth =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, ep.queue));
+  options.broker.default_deadline_ms = ep.deadline_ms;
+  options.broker.test_iter_delay_ms = ep.test_iter_delay_ms;
+  options.install_signal_handlers = true;
+
+  svc::Server server(std::move(options));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitFailure;
+  }
+  if (!server.socket_path().empty()) {
+    std::printf("listening on %s\n", server.socket_path().c_str());
+  } else {
+    std::printf("listening on 127.0.0.1:%d\n", server.port());
+  }
+  std::fflush(stdout);  // readiness line must reach scripted clients now
+  server.run();
+  return kExitOk;
+}
+
+// `ermes request`: one request against a running daemon; prints the raw
+// response line (or the result's text member with --text).
+int cmd_request(int argc, char** argv) {
+  EndpointOptions ep;
+  if (!parse_endpoint_flags(argc, argv, 2, ep)) return kExitUsage;
+  if (ep.socket_path.empty() && ep.port < 0) {
+    std::fprintf(stderr,
+                 "error: request needs --socket <path> or --port <N>\n");
+    return kExitUsage;
+  }
+  if (ep.positional.empty()) return usage();
+
+  svc::Op op;
+  if (!svc::parse_op(ep.positional[0], &op)) {
+    std::fprintf(stderr, "error: unknown op '%s'\n", ep.positional[0]);
+    return kExitUsage;
+  }
+  const bool needs_soc = op == svc::Op::kAnalyze || op == svc::Op::kOrder ||
+                         op == svc::Op::kExplore || op == svc::Op::kSweep;
+  std::string soc;
+  std::size_t next = 1;
+  if (needs_soc) {
+    if (ep.positional.size() < 2) return usage();
+    std::FILE* file = std::fopen(ep.positional[1], "rb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "error: cannot read %s\n", ep.positional[1]);
+      return kExitFailure;
+    }
+    char chunk[64 * 1024];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+      soc.append(chunk, n);
+    }
+    std::fclose(file);
+    next = 2;
+  }
+  std::int64_t tct = 0, lo = 0, hi = 0, step = 0;
+  auto take_number = [&](std::int64_t* slot) {
+    if (next >= ep.positional.size()) return false;
+    return parse_arg_i64(ep.positional[next++], slot);
+  };
+  if (op == svc::Op::kExplore && !take_number(&tct)) return usage();
+  if (op == svc::Op::kSweep) {
+    if (!take_number(&lo) || !take_number(&hi)) return usage();
+    if (next < ep.positional.size() && !take_number(&step)) return usage();
+  }
+  if (next != ep.positional.size()) return usage();
+
+  std::string error;
+  std::unique_ptr<svc::Client> client =
+      ep.socket_path.empty()
+          ? svc::Client::connect_tcp("127.0.0.1", static_cast<int>(ep.port),
+                                     &error)
+          : svc::Client::connect_unix(ep.socket_path, &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitFailure;
+  }
+  const std::string line =
+      svc::encode_request(op, svc::JsonValue::string("cli"), soc, tct, lo, hi,
+                          step, ep.deadline_ms);
+  const svc::ResponseView response = client->call(line);
+  if (!response.ok) {
+    std::fprintf(stderr, "error: %s\n", response.parse_error.c_str());
+    return kExitFailure;
+  }
+  if (!response.success) {
+    std::fprintf(stderr, "error: %s: %s\n", response.error_code.c_str(),
+                 response.error_message.c_str());
+    // The daemon's bad_request covers both protocol and .soc parse failures;
+    // map it to the CLI's parse class, everything else to analysis-domain.
+    return response.error_code == "bad_request" ? kExitParse : kExitAnalysis;
+  }
+  if (ep.text) {
+    const svc::JsonValue* text = response.result.find("text");
+    std::printf("%s", text != nullptr ? text->as_string().c_str() : "");
+  } else {
+    std::printf("%s\n", response.result.to_string().c_str());
+  }
+  return kExitOk;
+}
+
 // Dispatches on the positional arguments left after global-flag stripping.
 int dispatch(int argc, char** argv, const GlobalOptions& global) {
   if (argc < 2) return usage();
@@ -446,9 +667,22 @@ int dispatch(int argc, char** argv, const GlobalOptions& global) {
                 io::write_soc(sysmodel::make_dac14_motivating_example(),
                               "dac14_motivating")
                     .c_str());
-    return 0;
+    return kExitOk;
   }
+  if (cmd == "serve") return cmd_serve(argc, argv);
+  if (cmd == "request") return cmd_request(argc, argv);
   if (argc < 3) return usage();
+  // Positional integers parse strictly: `ermes dse f.soc ten` is a usage
+  // error, not a silent tct=0.
+  std::int64_t numbers[3] = {0, 0, 0};
+  for (int i = 3; i < argc && i < 6; ++i) {
+    if (!parse_arg_i64(argv[i], &numbers[i - 3]) &&
+        !(cmd == "order" && std::strcmp(argv[i], "-o") == 0) &&
+        !(cmd == "order" && i >= 4 &&
+          std::strcmp(argv[i - 1], "-o") == 0)) {
+      return usage_bad_number(argv[i]);
+    }
+  }
   if (cmd == "analyze") return cmd_analyze(argv[2]);
   if (cmd == "order") {
     const char* out = nullptr;
@@ -456,23 +690,23 @@ int dispatch(int argc, char** argv, const GlobalOptions& global) {
     return cmd_order(argv[2], out);
   }
   if (cmd == "simulate") {
-    return cmd_simulate(argv[2], argc >= 4 ? std::atoll(argv[3]) : 200);
+    return cmd_simulate(argv[2], argc >= 4 ? numbers[0] : 200);
   }
   if (cmd == "dse") {
     if (argc < 4) return usage();
-    return cmd_dse(argv[2], std::atoll(argv[3]), global);
+    return cmd_dse(argv[2], numbers[0], global);
   }
   if (cmd == "sweep") {
     if (argc < 5) return usage();
-    return cmd_sweep(argv[2], std::atoll(argv[3]), std::atoll(argv[4]),
-                     argc >= 6 ? std::atoll(argv[5]) : 0, global);
+    return cmd_sweep(argv[2], numbers[0], numbers[1],
+                     argc >= 6 ? numbers[2] : 0, global);
   }
   if (cmd == "size") {
     if (argc < 4) return usage();
-    return cmd_size(argv[2], std::atoll(argv[3]));
+    return cmd_size(argv[2], numbers[0]);
   }
   if (cmd == "profile") {
-    return cmd_profile(argv[2], argc >= 4 ? std::atoll(argv[3]) : 0);
+    return cmd_profile(argv[2], argc >= 4 ? numbers[0] : 0);
   }
   if (cmd == "dot") return cmd_dot(argv[2]);
   if (cmd == "stats") return cmd_stats(argv[2]);
