@@ -23,6 +23,12 @@ std::size_t effective_workers(std::size_t workers) {
   return workers == 0 ? exec::hardware_jobs() : workers;
 }
 
+// Upper bound on any deadline (24 h). `now() + milliseconds(deadline_ms)`
+// converts to steady_clock's nanosecond period, so an unclamped
+// client-supplied value near INT64_MAX would signed-overflow (UB) and in
+// practice wrap to a deadline in the past, failing the request instantly.
+constexpr std::int64_t kMaxDeadlineMs = 86'400'000;
+
 }  // namespace
 
 // The pool gets `workers` dedicated threads (ThreadPool counts the caller,
@@ -41,7 +47,7 @@ void Broker::set_drain_callback(std::function<void()> callback) {
 }
 
 void Broker::begin_drain() {
-  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  if (draining_.exchange(true)) return;  // seq_cst pairs with handle_line
   std::function<void()> callback;
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
@@ -55,18 +61,20 @@ void Broker::begin_drain() {
 
 void Broker::drain() {
   std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [this] {
-    return in_flight_.load(std::memory_order_acquire) == 0;
-  });
+  drain_cv_.wait(lock, [this] { return in_flight_.load() == 0; });
+}
+
+void Broker::release_in_flight() {
+  if (in_flight_.fetch_sub(1) - 1 == 0) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
 }
 
 void Broker::finish_one() {
   completed_.fetch_add(1, std::memory_order_relaxed);
   obs::count("svc.requests.completed");
-  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1 == 0) {
-    std::lock_guard<std::mutex> lock(drain_mu_);
-    drain_cv_.notify_all();
-  }
+  release_in_flight();
 }
 
 Broker::Stats Broker::stats() const {
@@ -95,7 +103,15 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
     return;
   }
   const JsonValue id = parsed.request.id;
-  if (draining()) {
+
+  // Count the request in-flight *before* checking draining(); both sides
+  // are seq_cst, so either begin_drain() happens-before our load (we roll
+  // back and reject) or drain() observes our increment and waits for this
+  // request. Checking first would let a request slip past a concurrent
+  // begin_drain()+drain() and race the connection teardown.
+  in_flight_.fetch_add(1);
+  if (draining_.load()) {
+    release_in_flight();
     rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.requests.rejected_shutting_down");
     done(encode_error(id, ErrorCode::kShuttingDown, "server is draining"));
@@ -109,6 +125,7 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
       waiting_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (waiting > static_cast<std::int64_t>(options_.queue_depth)) {
     waiting_.fetch_sub(1, std::memory_order_acq_rel);
+    release_in_flight();
     rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.requests.rejected_overloaded");
     done(encode_error(id, ErrorCode::kOverloaded,
@@ -120,11 +137,11 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
 
   accepted_.fetch_add(1, std::memory_order_relaxed);
   obs::count("svc.requests.accepted");
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
 
   std::int64_t deadline_ms = parsed.request.deadline_ms > 0
                                  ? parsed.request.deadline_ms
                                  : options_.default_deadline_ms;
+  deadline_ms = std::min(deadline_ms, kMaxDeadlineMs);
   const bool has_deadline = deadline_ms > 0;
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(has_deadline ? deadline_ms : 0);
@@ -352,9 +369,15 @@ JsonValue Broker::run_sweep(const Request& request,
   if (step <= 0) {
     step = std::max<std::int64_t>(1, (request.hi - request.lo) / 7);
   }
+  // parse_request bounds the target count to kMaxSweepTargets; the cap here
+  // is defense in depth, and the `hi - step` comparison stops the walk
+  // before `tct += step` could overflow when hi is near INT64_MAX.
   std::vector<std::int64_t> targets;
-  for (std::int64_t tct = request.lo; tct <= request.hi; tct += step) {
+  for (std::int64_t tct = request.lo;;) {
     targets.push_back(tct);
+    if (static_cast<std::int64_t>(targets.size()) >= kMaxSweepTargets) break;
+    if (tct > request.hi - step) break;
+    tct += step;
   }
   // Serial within the request (requests are the unit of parallelism); the
   // shared warm cache still makes later targets mostly memo replays. The

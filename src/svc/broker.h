@@ -79,9 +79,7 @@ class Broker {
   /// Idempotent; invokes the drain callback (once) when one is registered.
   void begin_drain();
   /// True once begin_drain() ran.
-  bool draining() const {
-    return draining_.load(std::memory_order_acquire);
-  }
+  bool draining() const { return draining_.load(); }
   /// Blocks until every admitted request has completed.
   void drain();
   /// Hook for the server: called from begin_drain() (possibly on a worker
@@ -124,6 +122,9 @@ class Broker {
   JsonValue run_stats();
 
   void finish_one();
+  /// Decrements in_flight_ and wakes drain() at zero (rollback on
+  /// rejection; finish_one() for completed requests).
+  void release_in_flight();
 
   BrokerOptions options_;
   analysis::EvalCache cache_;

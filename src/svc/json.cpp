@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <unordered_set>
 
 #include "obs/json.h"
 
@@ -91,6 +92,11 @@ void JsonValue::set(std::string_view key, JsonValue value) {
     }
   }
   members_.emplace_back(std::string(key), std::move(value));
+}
+
+void JsonValue::append_member(std::string key, JsonValue value) {
+  if (kind_ != Kind::kObject) return;
+  members_.emplace_back(std::move(key), std::move(value));
 }
 
 // ---- serialization ----------------------------------------------------------
@@ -412,6 +418,10 @@ struct JsonParser {
           ++pos;
           return true;
         }
+        // Duplicate detection through a per-object hash set: a linear
+        // find() per member would make a crafted many-member object cost
+        // O(n^2) on the reader thread, ahead of admission control.
+        std::unordered_set<std::string> seen;
         while (true) {
           skip_ws();
           if (pos >= text.size() || text[pos] != '"') {
@@ -421,10 +431,12 @@ struct JsonParser {
           std::string key;
           if (!parse_string(key)) return false;
           if (!consume(':')) return false;
+          if (!seen.insert(key).second) {
+            return fail("duplicate key '" + key + "'");
+          }
           JsonValue value;
           if (!parse_value(value, depth + 1)) return false;
-          if (out.find(key) != nullptr) return fail("duplicate key '" + key + "'");
-          out.set(key, std::move(value));
+          out.append_member(std::move(key), std::move(value));
           skip_ws();
           if (pos >= text.size()) return fail("unterminated object");
           if (text[pos] == ',') {

@@ -67,6 +67,9 @@ class JsonValue {
   /// Sets an object member (appends; last set wins on serialization by
   /// overwriting the existing slot).
   void set(std::string_view key, JsonValue value);
+  /// Appends an object member without scanning for an existing slot — the
+  /// parser's O(1) path, which has already rejected duplicate keys.
+  void append_member(std::string key, JsonValue value);
 
   /// Compact, deterministic serialization (no whitespace, members in
   /// insertion order, UTF-8 passed through, control characters escaped).

@@ -149,6 +149,17 @@ RequestParse parse_request(std::string_view line) {
       out.error = "op 'sweep' needs 0 < lo <= hi";
       return out;
     }
+    // With an explicit step, bound the target count up front (a defaulted
+    // step is derived from the span and lands at ~8 targets). lo > 0 and
+    // hi >= lo make the span arithmetic overflow-free.
+    if (out.request.step > 0 &&
+        (out.request.hi - out.request.lo) / out.request.step + 1 >
+            kMaxSweepTargets) {
+      out.error = "op 'sweep' expands to more than " +
+                  std::to_string(kMaxSweepTargets) +
+                  " targets; raise 'step' or narrow [lo, hi]";
+      return out;
+    }
   }
 
   out.ok = true;

@@ -37,6 +37,11 @@ namespace ermes::svc {
 
 inline constexpr int kProtocolVersion = 1;
 
+/// Upper bound on the number of targets one `sweep` request may expand to;
+/// a wider [lo, hi]/step combination is rejected as bad_request instead of
+/// allocating (and exploring) an unbounded target list.
+inline constexpr std::int64_t kMaxSweepTargets = 1000;
+
 enum class ErrorCode {
   kBadRequest,
   kOverloaded,

@@ -9,7 +9,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -56,7 +58,7 @@ struct Server::Connection {
   // closed — the in-flight request already completed against the cache.
   void write_line(const std::string& line) {
     std::lock_guard<std::mutex> lock(write_mu);
-    if (!open.load(std::memory_order_acquire)) return;
+    if (!open.load(std::memory_order_acquire) || fd < 0) return;
     std::string framed = line;
     framed += '\n';
     if (!write_all(fd, framed.data(), framed.size())) {
@@ -65,16 +67,31 @@ struct Server::Connection {
     obs::count("svc.bytes_out", static_cast<std::int64_t>(framed.size()));
   }
 
+  // Half-close from another thread (drain): unblocks the reader's recv()
+  // without invalidating the fd it is blocked on.
   void shutdown_both() {
+    std::lock_guard<std::mutex> lock(write_mu);
     open.store(false, std::memory_order_release);
-    ::shutdown(fd, SHUT_RDWR);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+
+  // Final close; serialized against write_line so the fd number cannot be
+  // recycled under a response write still holding a shared_ptr to us.
+  void close_fd() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    open.store(false, std::memory_order_release);
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
   }
 };
 
 struct Server::Impl {
-  std::mutex mu;
+  mutable std::mutex mu;
   std::vector<std::shared_ptr<Connection>> connections;
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;   // running reader threads
+  std::vector<std::thread> finished;  // exited readers awaiting join
 };
 
 Server::Server(ServerOptions options)
@@ -88,22 +105,7 @@ Server::~Server() {
   // in-flight work, unblock the readers, and join them before closing fds.
   broker_->begin_drain();
   broker_->drain();
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    for (const std::shared_ptr<Connection>& conn : impl_->connections) {
-      conn->shutdown_both();
-    }
-  }
-  for (std::thread& t : impl_->threads) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    for (const std::shared_ptr<Connection>& conn : impl_->connections) {
-      ::close(conn->fd);
-    }
-    impl_->connections.clear();
-  }
+  shutdown_all_and_join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   for (const int fd : wake_pipe_) {
     if (fd >= 0) ::close(fd);
@@ -216,26 +218,60 @@ void Server::run() {
   // responses to be written, then unblock and join the readers.
   broker_->begin_drain();
   broker_->drain();
+  shutdown_all_and_join();
+  ERMES_LOG(kInfo) << "svc: drained and stopped";
+}
+
+std::size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->connections.size();
+}
+
+// Joins reader threads that already removed themselves on disconnect. Runs
+// on every accept-loop wakeup, so finished readers are reclaimed while the
+// server keeps serving, not only at shutdown.
+void Server::reap_finished() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    finished.swap(impl_->finished);
+  }
+  for (std::thread& t : finished) t.join();
+}
+
+void Server::shutdown_all_and_join() {
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     for (const std::shared_ptr<Connection>& conn : impl_->connections) {
       conn->shutdown_both();
     }
   }
-  for (std::thread& t : impl_->threads) t.join();
-  impl_->threads.clear();
+  // Take every thread handle in one swap: a reader that finishes after this
+  // point finds nothing to self-reap (its handle is ours) and just exits;
+  // no new readers can appear because the accept loop has returned.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (std::thread& t : impl_->threads) to_join.push_back(std::move(t));
+    impl_->threads.clear();
+    for (std::thread& t : impl_->finished) to_join.push_back(std::move(t));
+    impl_->finished.clear();
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     for (const std::shared_ptr<Connection>& conn : impl_->connections) {
-      ::close(conn->fd);
+      conn->close_fd();
     }
     impl_->connections.clear();
   }
-  ERMES_LOG(kInfo) << "svc: drained and stopped";
 }
 
 void Server::accept_loop() {
   for (;;) {
+    reap_finished();
     pollfd fds[2];
     fds[0].fd = listen_fd_;
     fds[0].events = POLLIN;
@@ -254,7 +290,17 @@ void Server::accept_loop() {
     if ((fds[1].revents & POLLIN) != 0 || broker_->draining()) return;
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion leaves the listen fd readable, so an
+        // immediate retry would busy-spin at 100% CPU. Back off briefly;
+        // disconnecting clients free fds in the meantime.
+        obs::count("svc.accept_backoff");
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      continue;
+    }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     obs::count("svc.connections");
@@ -296,7 +342,24 @@ void Server::connection_loop(const std::shared_ptr<Connection>& conn) {
       break;
     }
   }
+  // Reap on disconnect: close our fd, drop the connection record, and move
+  // our own thread handle to the finished list for the accept loop to join —
+  // a long-lived daemon must not accumulate one fd + one thread per client
+  // that ever connected. Responses still in flight hold a shared_ptr and
+  // turn into no-ops in write_line once `open` is false.
   conn->shutdown_both();
+  conn->close_fd();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& conns = impl_->connections;
+  conns.erase(std::remove(conns.begin(), conns.end(), conn), conns.end());
+  const std::thread::id me = std::this_thread::get_id();
+  for (auto it = impl_->threads.begin(); it != impl_->threads.end(); ++it) {
+    if (it->get_id() == me) {
+      impl_->finished.push_back(std::move(*it));
+      impl_->threads.erase(it);
+      break;
+    }
+  }
 }
 
 }  // namespace ermes::svc

@@ -63,6 +63,10 @@ class Server {
   int port() const { return bound_port_; }
   const std::string& socket_path() const { return options_.socket_path; }
 
+  /// Connections currently tracked (readers remove themselves on
+  /// disconnect, so this decays to zero once clients hang up).
+  std::size_t active_connections() const;
+
   Broker& broker() { return *broker_; }
 
  private:
@@ -71,6 +75,8 @@ class Server {
   void accept_loop();
   void connection_loop(const std::shared_ptr<Connection>& conn);
   void wake();
+  void reap_finished();
+  void shutdown_all_and_join();
 
   ServerOptions options_;
   std::unique_ptr<Broker> broker_;

@@ -102,6 +102,29 @@ TEST(Json, RejectsDuplicateKeys) {
   EXPECT_FALSE(json_parse(R"({"a":1,"a":2})").ok);
 }
 
+TEST(Json, ManyMemberObjectParsesInLinearTime) {
+  // Regression: duplicate-key detection used a linear scan per member,
+  // making a crafted object quadratic on the connection reader thread.
+  // 50k members parse in well under a second with the hash-set path; the
+  // quadratic version burned ~10^9 comparisons here.
+  constexpr int kMembers = 50000;
+  std::string doc = "{";
+  for (int i = 0; i < kMembers; ++i) {
+    if (i > 0) doc += ',';
+    doc += "\"k" + std::to_string(i) + "\":" + std::to_string(i);
+  }
+  doc += '}';
+  const JsonParseResult parsed = json_parse(doc);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.members().size(),
+            static_cast<std::size_t>(kMembers));
+  // A duplicate buried at the end is still caught.
+  std::string dup = doc;
+  dup.back() = ',';
+  dup += "\"k0\":99}";
+  EXPECT_FALSE(json_parse(dup).ok);
+}
+
 TEST(Json, RejectsRawControlCharactersInStrings) {
   EXPECT_FALSE(json_parse("\"a\nb\"").ok);
 }
@@ -177,6 +200,9 @@ TEST(Protocol, RejectsBadRequests) {
       R"({"op":"sweep","soc":"x","lo":0,"hi":2})", // lo <= 0
       R"({"op":"stats","id":true})",            // id must be string/int/null
       R"({"op":"stats","deadline_ms":-5})",     // negative deadline
+      // Sweep expanding past kMaxSweepTargets must be rejected up front
+      // rather than allocating an unbounded target list.
+      R"({"op":"sweep","soc":"x","lo":1,"hi":1000000000000000000,"step":1})",
   };
   for (const char* line : kBad) {
     const RequestParse parsed = parse_request(line);
@@ -316,6 +342,33 @@ TEST(Broker, DeadlineExceededReleasesTheWorker) {
   const ResponseView after = parse_response(fast.handle_line_sync(
       encode_request(Op::kExplore, JsonValue::null(), demo_soc(), /*tct=*/12)));
   EXPECT_TRUE(after.success) << after.error_message;
+}
+
+TEST(Broker, HugeDeadlineIsClampedNotWrapped) {
+  // Regression: now() + milliseconds(INT64_MAX) overflowed steady_clock's
+  // nanosecond representation and wrapped to a past deadline, so a huge
+  // client-supplied deadline failed instantly with deadline_exceeded.
+  Broker broker({.workers = 1});
+  const ResponseView view = parse_response(broker.handle_line_sync(
+      encode_request(Op::kAnalyze, JsonValue::null(), demo_soc(), 0, 0, 0, 0,
+                     /*deadline_ms=*/9223372036854775807LL)));
+  EXPECT_TRUE(view.success) << view.error_code << ": " << view.error_message;
+  EXPECT_EQ(broker.stats().deadline_exceeded, 0);
+}
+
+TEST(Broker, SweepNearInt64MaxDoesNotOverflow) {
+  // Regression: the target-building loop advanced with `tct += step`, which
+  // is signed-overflow UB once hi is within one step of INT64_MAX.
+  constexpr std::int64_t kMax = 9223372036854775807LL;
+  Broker broker({.workers = 1});
+  const ResponseView view = parse_response(broker.handle_line_sync(
+      encode_request(Op::kSweep, JsonValue::null(), demo_soc(), 0,
+                     /*lo=*/kMax - 2, /*hi=*/kMax, /*step=*/1)));
+  ASSERT_TRUE(view.success) << view.error_code << ": " << view.error_message;
+  const JsonValue* targets = view.result.find("targets");
+  ASSERT_NE(targets, nullptr);
+  EXPECT_EQ(targets->items().size(), 3u);
+  EXPECT_EQ(targets->items().back().find("tct")->as_int(), kMax);
 }
 
 TEST(Broker, DefaultDeadlineApplies) {
@@ -488,6 +541,46 @@ TEST(Server, MalformedLinesGetBadRequestWithoutKillingConnection) {
       encode_request(Op::kAnalyze, JsonValue::null(), demo_soc()));
   ASSERT_TRUE(good.ok) << good.parse_error;
   EXPECT_TRUE(good.success);
+
+  server.request_stop();
+  server_thread.join();
+}
+
+TEST(Server, DisconnectedClientsAreReaped) {
+  // Regression: completed connections kept their fd open and their reader
+  // thread unjoined until shutdown, so a long-lived daemon leaked one fd +
+  // one thread per client that ever connected (ending in EMFILE and a
+  // busy-spinning accept loop). Readers now reap themselves on disconnect.
+  ServerOptions options;
+  options.socket_path = test_socket_path("reap");
+  options.broker.workers = 1;
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread server_thread([&server] { server.run(); });
+
+  const std::string soc = demo_soc();
+  constexpr int kSequentialClients = 8;
+  for (int i = 0; i < kSequentialClients; ++i) {
+    std::string client_error;
+    std::unique_ptr<Client> client =
+        Client::connect_unix(server.socket_path(), &client_error);
+    ASSERT_NE(client, nullptr) << client_error;
+    const ResponseView view = client->call(
+        encode_request(Op::kAnalyze, JsonValue::integer(i), soc));
+    ASSERT_TRUE(view.ok) << view.parse_error;
+    EXPECT_TRUE(view.success);
+  }  // client destructor closes the socket
+
+  // The readers notice EOF and drop their connection records shortly after
+  // each hang-up; poll with a deadline instead of assuming scheduling.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.active_connections() > 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.active_connections(), 0u);
 
   server.request_stop();
   server_thread.join();
