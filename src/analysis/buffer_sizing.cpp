@@ -53,6 +53,8 @@ SizingResult size_for_liveness(SystemModel& sys, std::int64_t max_slots) {
       const PlaceRole& role2 = stmg.place_role[static_cast<std::size_t>(nxt)];
       if (role.kind != PlaceRole::Kind::kGet) continue;
       const ChannelId c = role.channel;
+      // An unbounded channel already has no space place to relax.
+      if (sys.channel_capacity(c) == sysmodel::kUnboundedCapacity) continue;
       if (role2.process == sys.channel_source(c)) pick = c;
     }
     if (pick == sysmodel::kInvalidChannel) break;  // buffering cannot help
@@ -76,6 +78,7 @@ SizingResult size_for_cycle_time(SystemModel& sys,
     ChannelId best = sysmodel::kInvalidChannel;
     double best_ct = report.cycle_time;
     for (ChannelId c : report.critical_channels) {
+      if (sys.channel_capacity(c) == sysmodel::kUnboundedCapacity) continue;
       sys.set_channel_capacity(c, sys.channel_capacity(c) + 1);
       const PerformanceReport cand = analyze_system(sys);
       sys.set_channel_capacity(c, sys.channel_capacity(c) - 1);

@@ -25,7 +25,13 @@ PerformanceReport analyze(const SystemTmg& stmg) {
   report.live = true;
 
   const tmg::RatioGraph rg = tmg::to_ratio_graph(stmg.graph);
-  const tmg::CycleRatioResult ratio = tmg::max_cycle_ratio_howard(rg);
+  return report_from_ratio(stmg, tmg::max_cycle_ratio_howard(rg));
+}
+
+PerformanceReport report_from_ratio(const SystemTmg& stmg,
+                                    const tmg::CycleRatioResult& ratio) {
+  PerformanceReport report;
+  report.live = true;
   if (!ratio.has_cycle) {
     // A system TMG always has the per-process rings, so this only happens on
     // empty systems; report zero cycle time.

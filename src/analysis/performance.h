@@ -42,6 +42,13 @@ struct PerformanceReport {
 /// Analyzes a pre-built TMG.
 PerformanceReport analyze(const SystemTmg& stmg);
 
+/// Builds a live report from an already-computed max cycle ratio of
+/// `stmg`'s ratio graph: maps the critical cycle back to processes and
+/// channels exactly as analyze() does. The SCC-partitioned engine in
+/// src/comp uses this to assemble reports from per-component solves.
+PerformanceReport report_from_ratio(const SystemTmg& stmg,
+                                    const tmg::CycleRatioResult& ratio);
+
 /// Builds the TMG of `sys` and analyzes it.
 PerformanceReport analyze_system(const sysmodel::SystemModel& sys);
 

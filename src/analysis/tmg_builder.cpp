@@ -19,7 +19,10 @@ SystemTmg build_tmg(const SystemModel& sys) {
   // Transitions. A rendezvous channel is one shared transition; a FIFO
   // channel splits into a write transition (delay = channel latency, in the
   // producer's ring) and a zero-delay read transition (consumer's ring),
-  // coupled by a data place (0 tokens) and a space place (k tokens).
+  // coupled by a data place (0 tokens) and a space place (k tokens). An
+  // unbounded channel (capacity == kUnboundedCapacity) gets the data place
+  // only: with no space place there is no consumer-to-producer arc, so the
+  // channel never closes a cycle and the two sides fall into separate SCCs.
   out.channel_transition.resize(static_cast<std::size_t>(sys.num_channels()));
   out.channel_read_transition.resize(
       static_cast<std::size_t>(sys.num_channels()));
@@ -29,7 +32,7 @@ SystemTmg build_tmg(const SystemModel& sys) {
     out.channel_transition[static_cast<std::size_t>(c)] = t;
     out.transition_origin.push_back(
         {TransitionOrigin::Kind::kChannel, sysmodel::kInvalidProcess, c});
-    if (sys.channel_capacity(c) > 0) {
+    if (sys.channel_capacity(c) != 0) {
       const TransitionId tr = out.graph.add_transition(
           "rd_" + sys.channel_name(c), 0);
       out.channel_read_transition[static_cast<std::size_t>(c)] = tr;
@@ -116,7 +119,7 @@ SystemTmg build_tmg(const SystemModel& sys) {
   // FIFO coupling places.
   for (ChannelId c = 0; c < sys.num_channels(); ++c) {
     const std::int64_t capacity = sys.channel_capacity(c);
-    if (capacity <= 0) continue;
+    if (capacity == 0) continue;
     const TransitionId tw =
         out.channel_transition[static_cast<std::size_t>(c)];
     const TransitionId tr =
@@ -124,9 +127,11 @@ SystemTmg build_tmg(const SystemModel& sys) {
     out.graph.add_place(tw, tr, 0, "data_" + sys.channel_name(c));
     out.place_role.push_back({PlaceRole::Kind::kFifoData,
                               sysmodel::kInvalidProcess, c});
-    out.graph.add_place(tr, tw, capacity, "space_" + sys.channel_name(c));
-    out.place_role.push_back({PlaceRole::Kind::kFifoSpace,
-                              sysmodel::kInvalidProcess, c});
+    if (capacity > 0) {
+      out.graph.add_place(tr, tw, capacity, "space_" + sys.channel_name(c));
+      out.place_role.push_back({PlaceRole::Kind::kFifoSpace,
+                                sysmodel::kInvalidProcess, c});
+    }
   }
   return out;
 }

@@ -1,0 +1,216 @@
+#include "comp/incremental.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "analysis/performance.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace ermes::comp {
+
+using sysmodel::ChannelId;
+using sysmodel::ProcessId;
+
+namespace {
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+#ifndef NDEBUG
+bool reports_bit_identical(const analysis::PerformanceReport& a,
+                           const analysis::PerformanceReport& b) {
+  const auto bits = [](double d) {
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  return a.live == b.live && bits(a.cycle_time) == bits(b.cycle_time) &&
+         a.ct_num == b.ct_num && a.ct_den == b.ct_den &&
+         bits(a.throughput) == bits(b.throughput) &&
+         a.dead_cycle == b.dead_cycle &&
+         a.critical_processes == b.critical_processes &&
+         a.critical_channels == b.critical_channels &&
+         a.critical_places == b.critical_places;
+}
+#endif
+
+}  // namespace
+
+IncrementalAnalyzer::IncrementalAnalyzer(sysmodel::SystemModel sys)
+    : IncrementalAnalyzer(std::move(sys), Options{}) {}
+
+IncrementalAnalyzer::IncrementalAnalyzer(sysmodel::SystemModel sys,
+                                         const Options& options)
+    : sys_(std::move(sys)), options_(options) {}
+
+void IncrementalAnalyzer::rebuild() {
+  obs::ObsSpan span("comp.incremental.rebuild", "comp");
+  stmg_ = analysis::build_tmg(sys_);
+  rg_ = tmg::to_ratio_graph(stmg_.graph);
+  const tmg::LivenessResult liveness = tmg::check_liveness(stmg_.graph);
+  live_ = liveness.live;
+  dead_cycle_ = liveness.dead_cycle;
+  sccs_ = graph::strongly_connected_components(rg_.g);
+  const auto n = static_cast<std::size_t>(sccs_.num_components);
+  res_.assign(n, tmg::CycleRatioResult{});
+  dirty_.assign(n, 1);
+  structure_dirty_ = false;
+  ++stats_.structure_rebuilds;
+}
+
+void IncrementalAnalyzer::apply_delay(tmg::TransitionId t,
+                                      std::int64_t delay) {
+  // With the structure already invalidated the next analyze() rebuilds
+  // everything from sys_; there is no derived state to patch.
+  if (structure_dirty_) return;
+  stmg_.graph.set_delay(t, delay);
+  const std::int32_t comp = sccs_.component[static_cast<std::size_t>(t)];
+  for (const graph::ArcId a : rg_.g.out_arcs(t)) {
+    rg_.weight[static_cast<std::size_t>(a)] = delay;
+    // Only arcs internal to t's component can lie on a cycle through t.
+    const std::int32_t head_comp =
+        sccs_.component[static_cast<std::size_t>(rg_.g.head(a))];
+    if (head_comp == comp) dirty_[static_cast<std::size_t>(comp)] = 1;
+  }
+}
+
+bool IncrementalAnalyzer::select_implementation(ProcessId p, std::size_t index,
+                                                std::string* error) {
+  if (!sys_.valid_process(p)) {
+    return set_error(error, "invalid process id " + std::to_string(p));
+  }
+  if (!sys_.has_implementations(p)) {
+    return set_error(error, "process " + sys_.process_name(p) +
+                                " has no implementation set");
+  }
+  if (index >= sys_.implementations(p).size()) {
+    return set_error(error, "process " + sys_.process_name(p) +
+                                ": implementation index " +
+                                std::to_string(index) + " out of range");
+  }
+  sys_.select_implementation(p, index);
+  ++stats_.patches;
+  apply_delay(stmg_.compute_transition.empty()
+                  ? tmg::kInvalidTransition
+                  : stmg_.compute_transition[static_cast<std::size_t>(p)],
+              sys_.latency(p));
+  return true;
+}
+
+bool IncrementalAnalyzer::set_latency(ProcessId p, std::int64_t latency,
+                                      std::string* error) {
+  if (!sys_.valid_process(p)) {
+    return set_error(error, "invalid process id " + std::to_string(p));
+  }
+  if (latency < 0) return set_error(error, "negative latency");
+  sys_.set_latency(p, latency);
+  ++stats_.patches;
+  apply_delay(stmg_.compute_transition.empty()
+                  ? tmg::kInvalidTransition
+                  : stmg_.compute_transition[static_cast<std::size_t>(p)],
+              latency);
+  return true;
+}
+
+bool IncrementalAnalyzer::set_channel_latency(ChannelId c,
+                                              std::int64_t latency,
+                                              std::string* error) {
+  if (!sys_.valid_channel(c)) {
+    return set_error(error, "invalid channel id " + std::to_string(c));
+  }
+  if (latency < 0) return set_error(error, "negative latency");
+  sys_.set_channel_latency(c, latency);
+  ++stats_.patches;
+  // The write-side transition carries the channel latency (the read side of
+  // a FIFO is zero-delay).
+  apply_delay(stmg_.channel_transition.empty()
+                  ? tmg::kInvalidTransition
+                  : stmg_.channel_transition[static_cast<std::size_t>(c)],
+              latency);
+  return true;
+}
+
+bool IncrementalAnalyzer::retarget_channel(ChannelId c, ProcessId new_target,
+                                           std::string* error) {
+  if (!sys_.valid_channel(c)) {
+    return set_error(error, "invalid channel id " + std::to_string(c));
+  }
+  if (!sys_.valid_process(new_target)) {
+    return set_error(error,
+                     "invalid process id " + std::to_string(new_target));
+  }
+  sys_.retarget_channel(c, new_target);
+  ++stats_.patches;
+  structure_dirty_ = true;  // elaboration changed: full rebuild next analyze
+  return true;
+}
+
+const PartitionedReport& IncrementalAnalyzer::analyze() {
+  obs::ObsSpan span("comp.incremental.analyze", "comp");
+  ++stats_.analyses;
+  if (structure_dirty_) rebuild();
+  if (!live_) {
+    report_ = PartitionedReport{};
+    report_.report.live = false;
+    report_.report.dead_cycle = dead_cycle_;
+    return report_;
+  }
+
+  std::vector<std::size_t> todo;
+  for (std::size_t c = 0; c < dirty_.size(); ++c) {
+    if (dirty_[c] != 0) todo.push_back(c);
+  }
+  stats_.sccs_clean +=
+      static_cast<std::int64_t>(dirty_.size() - todo.size());
+
+  std::vector<char> hit(todo.size(), 0);
+  const auto solve_one = [&](std::size_t i) {
+    bool from = false;
+    const auto c = static_cast<std::int32_t>(todo[i]);
+    res_[todo[i]] = solve_scc(rg_, sccs_, c, options_.cache, &from);
+    hit[i] = from ? 1 : 0;
+  };
+  if (options_.pool != nullptr && todo.size() > 1) {
+    options_.pool->parallel_for(todo.size(), solve_one, /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < todo.size(); ++i) solve_one(i);
+  }
+  dirty_.assign(dirty_.size(), 0);
+
+  report_ = assemble_partitioned(stmg_, sccs_, res_);
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    report_.sccs[todo[i]].from_cache = hit[i] != 0;
+    if (hit[i] != 0) {
+      ++report_.reused;
+    } else {
+      ++report_.solved;
+    }
+  }
+  stats_.sccs_solved += report_.solved;
+  stats_.sccs_reused += report_.reused;
+  if (obs::enabled()) {
+    obs::count("comp.incremental.analyses");
+    obs::count("comp.incremental.sccs_solved", report_.solved);
+    obs::count("comp.incremental.sccs_reused", report_.reused);
+  }
+#ifndef NDEBUG
+  {
+    // Sampled end-to-end guard: the patched-in-place TMG must agree with a
+    // cold elaboration of the patched system.
+    static std::atomic<std::uint64_t> tick{0};
+    if (tick.fetch_add(1, std::memory_order_relaxed) % 16 == 0) {
+      assert(reports_bit_identical(report_.report,
+                                   analysis::analyze_system(sys_)) &&
+             "incremental analysis diverged from cold re-analysis");
+    }
+  }
+#endif
+  return report_;
+}
+
+}  // namespace ermes::comp

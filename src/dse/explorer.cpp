@@ -9,6 +9,7 @@
 #include <set>
 
 #include "analysis/performance.h"
+#include "comp/partition.h"
 #include "dse/area_recovery.h"
 #include "dse/timing_opt.h"
 #include "obs/metrics.h"
@@ -39,6 +40,9 @@ namespace {
 struct EvalContext {
   EvalCache* cache = nullptr;
   exec::ThreadPool* pool = nullptr;
+  // Route memoized analyses through the SCC-partitioned engine. Bit-identical
+  // either way; see ExplorerOptions::partitioned_eval.
+  bool partitioned = true;
   // Fingerprint of the Pareto sets (constant across a run); folded into the
   // selection-solver memo keys because system_fingerprint excludes areas.
   std::uint64_t impl_fp = 0;
@@ -63,16 +67,27 @@ struct EvalContext {
   }
 };
 
+// Memoized analysis of one candidate system, through the SCC-partitioned
+// engine (adds per-component reuse under the same whole-report memo) or the
+// plain report memo. The two are bit-identical and share cache entries.
+PerformanceReport analyze_memo(const SystemModel& sys, EvalContext& ctx) {
+  // No pool: this runs inside evaluation workers, and exec::ThreadPool
+  // rejects nested parallelism.
+  if (ctx.partitioned) return comp::analyze_cached(sys, *ctx.cache);
+  return ctx.cache->analyze(sys);
+}
+
 // Reorders `sys` in place (when asked) and analyzes it through the memo.
 // The whole reorder+analyze tail is memoized under the fingerprint of the
 // *pre-reorder* system: Algorithm 1 is deterministic, so a repeat candidate
 // (another sweep point, a warm re-run) skips both the ordering pass and
 // Howard and only replays the stored orders onto the copy.
 PerformanceReport reorder_and_analyze(SystemModel& sys, bool reorder,
-                                      EvalCache& cache) {
+                                      EvalContext& ctx) {
+  EvalCache& cache = *ctx.cache;
   if (!reorder) {
     obs::ObsSpan analyze_span("dse.analyze", "dse");
-    return cache.analyze(sys);
+    return analyze_memo(sys, ctx);
   }
   const std::uint64_t pre_fp = analysis::system_fingerprint(sys);
   analysis::OrderedEval memo;
@@ -89,7 +104,7 @@ PerformanceReport reorder_and_analyze(SystemModel& sys, bool reorder,
   }
   {
     obs::ObsSpan analyze_span("dse.analyze", "dse");
-    memo.report = cache.analyze(sys);
+    memo.report = analyze_memo(sys, ctx);
   }
   memo.input_orders.reserve(sys.num_processes());
   memo.output_orders.reserve(sys.num_processes());
@@ -106,11 +121,10 @@ PerformanceReport reorder_and_analyze(SystemModel& sys, bool reorder,
 PerformanceReport evaluate_candidate(const SystemModel& sys,
                                      const SelectionVector& selection,
                                      bool reorder, SystemModel* out,
-                                     EvalCache& cache) {
+                                     EvalContext& ctx) {
   SystemModel candidate = sys;
   apply_selection(candidate, selection);
-  const PerformanceReport report =
-      reorder_and_analyze(candidate, reorder, cache);
+  const PerformanceReport report = reorder_and_analyze(candidate, reorder, ctx);
   obs::count("dse.candidates_evaluated");
   if (out != nullptr) *out = std::move(candidate);
   return report;
@@ -130,8 +144,8 @@ std::vector<Evaluated> evaluate_candidates(
     bool reorder, EvalContext& ctx) {
   std::vector<Evaluated> out(selections.size());
   const auto eval_one = [&](std::size_t i) {
-    out[i].report = evaluate_candidate(sys, selections[i], reorder,
-                                       &out[i].system, *ctx.cache);
+    out[i].report =
+        evaluate_candidate(sys, selections[i], reorder, &out[i].system, ctx);
   };
   if (ctx.pool != nullptr && selections.size() > 1) {
     ctx.pool->parallel_for(selections.size(), eval_one, /*grain=*/1);
@@ -304,6 +318,7 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
   ExplorationResult result;
   std::set<SelectionVector> visited;
   EvalContext ctx(options.jobs, options.cache, options.pool);
+  ctx.partitioned = options.partitioned_eval;
   ctx.impl_fp = analysis::implementation_fingerprint(sys);
 
   // Best state seen so far: a target-meeting state with minimal area beats
@@ -343,7 +358,7 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
   PerformanceReport report;
   {
     obs::ObsSpan init_span("dse.iteration", "dse");
-    report = reorder_and_analyze(sys, options.reorder_channels, *ctx.cache);
+    report = reorder_and_analyze(sys, options.reorder_channels, ctx);
   }
   record(0, Action::kInit, report);
   visited.insert(current_selection(sys));
@@ -388,9 +403,8 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
       if (ar.feasible && ar.selection != current_selection(sys)) {
         next = ar.selection;
         action = Action::kAreaRecovery;
-        accepted_report =
-            evaluate_candidate(sys, next, options.reorder_channels,
-                               &accepted_system, *ctx.cache);
+        accepted_report = evaluate_candidate(
+            sys, next, options.reorder_channels, &accepted_system, ctx);
         accepted = accepted_report.live;
       }
     } else {
@@ -488,6 +502,7 @@ ExplorationResult explore_area_constrained(
   ExplorationResult result;
   std::set<SelectionVector> visited;
   EvalContext ctx(options.jobs, options.cache, options.pool);
+  ctx.partitioned = options.partitioned_eval;
   ctx.impl_fp = analysis::implementation_fingerprint(sys);
 
   auto record = [&](int iteration, Action action,
@@ -505,7 +520,7 @@ ExplorationResult explore_area_constrained(
   };
 
   PerformanceReport report =
-      reorder_and_analyze(sys, options.reorder_channels, *ctx.cache);
+      reorder_and_analyze(sys, options.reorder_channels, ctx);
   record(0, Action::kInit, report);
   visited.insert(current_selection(sys));
 

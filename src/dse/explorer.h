@@ -58,6 +58,12 @@ struct ExplorerOptions {
   analysis::EvalCache* cache = nullptr;
   /// Worker pool to evaluate on. nullptr = a per-run pool when jobs > 1.
   exec::ThreadPool* pool = nullptr;
+  /// Route candidate analyses through the SCC-partitioned engine
+  /// (comp::analyze_cached): per-component memoization on top of the
+  /// whole-report memo, so a candidate that only perturbs one component of a
+  /// decoupled system re-solves only that component. Bit-identical to the
+  /// monolithic path at every setting.
+  bool partitioned_eval = true;
   /// Cooperative cancellation, polled between iterations. Returning true
   /// stops the run after the last completed iteration with
   /// ExplorationResult::cancelled set; the partial history stays valid and
@@ -91,6 +97,7 @@ struct DualExplorerOptions {
   int jobs = 1;
   analysis::EvalCache* cache = nullptr;
   exec::ThreadPool* pool = nullptr;
+  bool partitioned_eval = true;
   std::function<bool()> should_stop;
 };
 

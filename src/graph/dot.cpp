@@ -1,6 +1,8 @@
 #include "graph/dot.h"
 
+#include <map>
 #include <sstream>
+#include <vector>
 
 namespace ermes::graph {
 
@@ -16,18 +18,61 @@ std::string escape(const std::string& text) {
   return out;
 }
 
+void emit_node(std::ostringstream& out, const Digraph& g,
+               const DotOptions& options, NodeId n,
+               const std::string& indent) {
+  out << indent << "v" << n << " [label=\"" << escape(g.name(n)) << "\"";
+  if (options.node_attrs) {
+    const std::string attrs = options.node_attrs(n);
+    if (!attrs.empty()) out << ", " << attrs;
+  }
+  out << "];\n";
+}
+
+// Trie of cluster paths; nodes hang off the path segment they belong to.
+struct Cluster {
+  std::map<std::string, Cluster> children;
+  std::vector<NodeId> nodes;
+};
+
+void emit_cluster(std::ostringstream& out, const Digraph& g,
+                  const DotOptions& options, const Cluster& cluster,
+                  const std::string& path, const std::string& indent) {
+  for (const NodeId n : cluster.nodes) emit_node(out, g, options, n, indent);
+  for (const auto& [segment, child] : cluster.children) {
+    const std::string child_path =
+        path.empty() ? segment : path + "." + segment;
+    out << indent << "subgraph \"cluster_" << escape(child_path) << "\" {\n";
+    out << indent << "  label=\"" << escape(segment) << "\";\n";
+    emit_cluster(out, g, options, child, child_path, indent + "  ");
+    out << indent << "}\n";
+  }
+}
+
 }  // namespace
 
 std::string to_dot(const Digraph& g, const DotOptions& options) {
   std::ostringstream out;
   out << "digraph \"" << escape(options.graph_name) << "\" {\n";
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
-    out << "  v" << n << " [label=\"" << escape(g.name(n)) << "\"";
-    if (options.node_attrs) {
-      const std::string attrs = options.node_attrs(n);
-      if (!attrs.empty()) out << ", " << attrs;
+  if (!options.node_cluster) {
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      emit_node(out, g, options, n, "  ");
     }
-    out << "];\n";
+  } else {
+    Cluster root;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      const std::string path = options.node_cluster(n);
+      Cluster* at = &root;
+      std::size_t start = 0;
+      while (start < path.size()) {
+        std::size_t dot = path.find('.', start);
+        if (dot == std::string::npos) dot = path.size();
+        at = &at->children[path.substr(start, dot - start)];
+        start = dot + 1;
+      }
+      at->nodes.push_back(n);
+    }
+    emit_cluster(out, g, options, root, "", "  ");
   }
   for (ArcId a = 0; a < g.num_arcs(); ++a) {
     out << "  v" << g.tail(a) << " -> v" << g.head(a);
@@ -38,6 +83,17 @@ std::string to_dot(const Digraph& g, const DotOptions& options) {
   }
   out << "}\n";
   return out.str();
+}
+
+std::string scc_palette(std::int32_t index) {
+  // ColorBrewer Set3 (qualitative, print-friendly), cycled.
+  static const char* const kPalette[] = {
+      "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+      "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f"};
+  constexpr std::int32_t kCount =
+      static_cast<std::int32_t>(sizeof(kPalette) / sizeof(kPalette[0]));
+  if (index < 0) return "white";
+  return kPalette[index % kCount];
 }
 
 }  // namespace ermes::graph

@@ -1,6 +1,7 @@
 #pragma once
 // Graphviz DOT export for debugging and documentation figures.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -14,8 +15,17 @@ struct DotOptions {
   std::function<std::string(ArcId)> arc_label;
   /// Optional per-node extra attributes (e.g. shape=box).
   std::function<std::string(NodeId)> node_attrs;
+  /// Optional per-node cluster path ('.'-separated, e.g. "dec.vld"); nodes
+  /// sharing a path prefix are nested into Graphviz cluster subgraphs, so a
+  /// flattened hierarchical model renders with its instance tree visible.
+  /// Empty string = top level.
+  std::function<std::string(NodeId)> node_cluster;
 };
 
 std::string to_dot(const Digraph& g, const DotOptions& options = {});
+
+/// A small qualitative color palette (cycled) for tinting strongly
+/// connected components; index -1 (or any negative) maps to white.
+std::string scc_palette(std::int32_t index);
 
 }  // namespace ermes::graph

@@ -124,7 +124,9 @@ struct Parser {
     chans[t[1]] = c;
     if (t.size() >= 9 && t[7] == "capacity") {
       std::int64_t capacity = 0;
-      if (!parse_i64(t[8], capacity) || capacity < 0) {
+      if (t[8] == "unbounded") {
+        capacity = sysmodel::kUnboundedCapacity;
+      } else if (!parse_i64(t[8], capacity) || capacity < 0) {
         return fail("bad capacity");
       }
       if (t.size() != 9) return fail("unexpected trailing tokens");
@@ -303,7 +305,9 @@ std::string write_soc(const SystemModel& sys, const std::string& system_name) {
         << sys.process_name(sys.channel_source(c)) << " -> "
         << sys.process_name(sys.channel_target(c)) << " latency "
         << sys.channel_latency(c);
-    if (sys.channel_capacity(c) > 0) {
+    if (sys.channel_capacity(c) == sysmodel::kUnboundedCapacity) {
+      out << " capacity unbounded";
+    } else if (sys.channel_capacity(c) > 0) {
       out << " capacity " << sys.channel_capacity(c);
     }
     out << "\n";

@@ -1,6 +1,7 @@
 #include "sim/system_sim.h"
 
 #include <cassert>
+#include <limits>
 
 #include "obs/metrics.h"
 
@@ -57,10 +58,16 @@ Kernel build_kernel(const SystemModel& sys,
     assert(sp == p);
   }
   for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    // An unbounded channel simulates as a FIFO whose slot check never fails;
+    // the deque only ever holds actually-buffered items.
+    std::int64_t capacity = sys.channel_capacity(c);
+    if (capacity == sysmodel::kUnboundedCapacity) {
+      capacity = std::numeric_limits<std::int64_t>::max();
+    }
     [[maybe_unused]] const SimChannelId sc =
         kernel.add_channel(sys.channel_name(c), sys.channel_source(c),
                            sys.channel_target(c), sys.channel_latency(c),
-                           sys.channel_capacity(c));
+                           capacity);
     assert(sc == c);
   }
   return kernel;

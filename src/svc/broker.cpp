@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <exception>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "analysis/performance.h"
+#include "comp/incremental.h"
+#include "comp/partition.h"
 #include "dse/explorer.h"
 #include "io/soc_format.h"
+#include "io/soc_hier.h"
 #include "obs/metrics.h"
 #include "ordering/channel_ordering.h"
 #include "svc/render.h"
@@ -23,6 +27,12 @@ std::size_t effective_workers(std::size_t workers) {
   return workers == 0 ? exec::hardware_jobs() : workers;
 }
 
+// Model text of a request, through the grammar its `hier` flag selects.
+io::ParseResult parse_model(const Request& request) {
+  return request.hier ? io::parse_soc_flattened(request.soc)
+                      : io::parse_soc(request.soc);
+}
+
 // Upper bound on any deadline (24 h). `now() + milliseconds(deadline_ms)`
 // converts to steady_clock's nanosecond period, so an unclamped
 // client-supplied value near INT64_MAX would signed-overflow (UB) and in
@@ -30,6 +40,17 @@ std::size_t effective_workers(std::size_t workers) {
 constexpr std::int64_t kMaxDeadlineMs = 86'400'000;
 
 }  // namespace
+
+// One open incremental session: an analyzer plus the mutex serializing the
+// requests that touch it (patches mutate derived state in place).
+struct Broker::Session {
+  std::mutex mu;
+  comp::IncrementalAnalyzer analyzer;
+
+  Session(sysmodel::SystemModel sys,
+          const comp::IncrementalAnalyzer::Options& options)
+      : analyzer(std::move(sys), options) {}
+};
 
 // The pool gets `workers` dedicated threads (ThreadPool counts the caller,
 // and the broker's callers — connection threads — never execute tasks).
@@ -90,6 +111,10 @@ Broker::Stats Broker::stats() const {
   s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
   s.waiting = waiting_.load(std::memory_order_relaxed);
   s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    s.sessions = static_cast<std::int64_t>(sessions_.size());
+  }
   return s;
 }
 
@@ -98,11 +123,12 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
   if (!parsed.ok) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.requests.bad_request");
-    done(encode_error(parsed.request.id, ErrorCode::kBadRequest,
-                      parsed.error));
+    done(encode_error(parsed.request.id, ErrorCode::kBadRequest, parsed.error,
+                      parsed.request.version));
     return;
   }
   const JsonValue id = parsed.request.id;
+  const int version = parsed.request.version;
 
   // Count the request in-flight *before* checking draining(); both sides
   // are seq_cst, so either begin_drain() happens-before our load (we roll
@@ -114,7 +140,8 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
     release_in_flight();
     rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.requests.rejected_shutting_down");
-    done(encode_error(id, ErrorCode::kShuttingDown, "server is draining"));
+    done(encode_error(id, ErrorCode::kShuttingDown, "server is draining",
+                      version));
     return;
   }
 
@@ -130,7 +157,8 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
     obs::count("svc.requests.rejected_overloaded");
     done(encode_error(id, ErrorCode::kOverloaded,
                       "admission queue full (depth " +
-                          std::to_string(options_.queue_depth) + ")"));
+                          std::to_string(options_.queue_depth) + ")",
+                      version));
     return;
   }
   obs::gauge_set("svc.queue.waiting", waiting);
@@ -194,9 +222,12 @@ void Broker::execute(const Request& request, bool has_deadline,
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       obs::count("svc.requests.deadline_exceeded");
       response = encode_error(request.id, ErrorCode::kDeadlineExceeded,
-                              "deadline expired before execution started");
+                              "deadline expired before execution started",
+                              request.version);
     } else {
       std::string soc_error;
+      std::string session_error;
+      ErrorCode session_code = ErrorCode::kBadRequest;
       bool cancelled = false;
       JsonValue result;
       switch (request.op) {
@@ -219,31 +250,52 @@ void Broker::execute(const Request& request, bool has_deadline,
           result = JsonValue::object();
           result.set("draining", JsonValue::boolean(true));
           break;
+        case Op::kOpenSession:
+          result = run_open_session(request, &session_error, &session_code);
+          break;
+        case Op::kPatch:
+          result = run_patch(request, &session_error, &session_code);
+          break;
+        case Op::kCloseSession:
+          result = run_close_session(request, &session_error, &session_code);
+          break;
       }
       if (!soc_error.empty()) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
         obs::count("svc.requests.bad_request");
         response = encode_error(request.id, ErrorCode::kBadRequest,
-                                "soc: " + soc_error);
+                                "soc: " + soc_error, request.version);
+      } else if (!session_error.empty()) {
+        if (session_code == ErrorCode::kOverloaded) {
+          rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
+          obs::count("svc.requests.rejected_overloaded");
+        } else {
+          bad_requests_.fetch_add(1, std::memory_order_relaxed);
+          obs::count("svc.requests.bad_request");
+        }
+        response = encode_error(request.id, session_code, session_error,
+                                request.version);
       } else if (cancelled) {
         deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
         obs::count("svc.requests.deadline_exceeded");
         response = encode_error(request.id, ErrorCode::kDeadlineExceeded,
-                                "deadline exceeded during exploration");
+                                "deadline exceeded during exploration",
+                                request.version);
       } else {
-        response = encode_ok(request.id, std::move(result));
+        response = encode_ok(request.id, std::move(result), request.version);
       }
     }
   } catch (const std::exception& e) {
     internal_errors_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.requests.internal_error");
     ERMES_LOG(kError) << "svc: request handler threw: " << e.what();
-    response = encode_error(request.id, ErrorCode::kInternal, e.what());
+    response = encode_error(request.id, ErrorCode::kInternal, e.what(),
+                            request.version);
   } catch (...) {
     internal_errors_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.requests.internal_error");
     response = encode_error(request.id, ErrorCode::kInternal,
-                            "unexpected exception");
+                            "unexpected exception", request.version);
   }
 
   obs::observe("svc.request_ns", sw.elapsed_ns());
@@ -258,12 +310,13 @@ void Broker::execute(const Request& request, bool has_deadline,
 }
 
 JsonValue Broker::run_analyze(const Request& request, std::string* soc_error) {
-  const io::ParseResult parsed = io::parse_soc(request.soc);
+  const io::ParseResult parsed = parse_model(request);
   if (!parsed.ok) {
     *soc_error = parsed.error;
     return JsonValue::null();
   }
-  const analysis::PerformanceReport report = cache_.analyze(parsed.system);
+  const analysis::PerformanceReport report =
+      comp::analyze_cached(parsed.system, cache_);
   JsonValue result = JsonValue::object();
   result.set("live", JsonValue::boolean(report.live));
   result.set("cycle_time", JsonValue::number(report.cycle_time));
@@ -280,15 +333,17 @@ JsonValue Broker::run_analyze(const Request& request, std::string* soc_error) {
 }
 
 JsonValue Broker::run_order(const Request& request, std::string* soc_error) {
-  const io::ParseResult parsed = io::parse_soc(request.soc);
+  const io::ParseResult parsed = parse_model(request);
   if (!parsed.ok) {
     *soc_error = parsed.error;
     return JsonValue::null();
   }
-  const analysis::PerformanceReport before = cache_.analyze(parsed.system);
+  const analysis::PerformanceReport before =
+      comp::analyze_cached(parsed.system, cache_);
   const sysmodel::SystemModel ordered =
       ordering::with_optimal_ordering(parsed.system);
-  const analysis::PerformanceReport after = cache_.analyze(ordered);
+  const analysis::PerformanceReport after =
+      comp::analyze_cached(ordered, cache_);
   JsonValue result = JsonValue::object();
   if (before.live) {
     result.set("cycle_time_before", JsonValue::number(before.cycle_time));
@@ -327,7 +382,7 @@ JsonValue history_json(const dse::ExplorationResult& result) {
 JsonValue Broker::run_explore(const Request& request,
                               const std::function<bool()>& should_stop,
                               std::string* soc_error, bool* cancelled) {
-  const io::ParseResult parsed = io::parse_soc(request.soc);
+  const io::ParseResult parsed = parse_model(request);
   if (!parsed.ok) {
     *soc_error = parsed.error;
     return JsonValue::null();
@@ -360,7 +415,7 @@ JsonValue Broker::run_explore(const Request& request,
 JsonValue Broker::run_sweep(const Request& request,
                             const std::function<bool()>& should_stop,
                             std::string* soc_error, bool* cancelled) {
-  const io::ParseResult parsed = io::parse_soc(request.soc);
+  const io::ParseResult parsed = parse_model(request);
   if (!parsed.ok) {
     *soc_error = parsed.error;
     return JsonValue::null();
@@ -418,6 +473,201 @@ JsonValue Broker::run_sweep(const Request& request,
   return out;
 }
 
+namespace {
+
+// Result body shared by open_session and patch: the full report plus the
+// per-component provenance of the partitioned engine.
+JsonValue session_report_json(const comp::PartitionedReport& part,
+                              const sysmodel::SystemModel& sys) {
+  JsonValue result = JsonValue::object();
+  result.set("live", JsonValue::boolean(part.report.live));
+  result.set("cycle_time", JsonValue::number(part.report.cycle_time));
+  result.set("ct_num", JsonValue::integer(part.report.ct_num));
+  result.set("ct_den", JsonValue::integer(part.report.ct_den));
+  result.set("throughput", JsonValue::number(part.report.throughput));
+  JsonValue critical = JsonValue::array();
+  for (const sysmodel::ProcessId p : part.report.critical_processes) {
+    critical.push_back(JsonValue::string(sys.process_name(p)));
+  }
+  result.set("critical_processes", std::move(critical));
+  result.set("sccs",
+             JsonValue::integer(static_cast<std::int64_t>(part.sccs.size())));
+  result.set("critical_scc", JsonValue::integer(part.critical_scc));
+  result.set("sccs_solved", JsonValue::integer(part.solved));
+  result.set("sccs_reused", JsonValue::integer(part.reused));
+  return result;
+}
+
+}  // namespace
+
+JsonValue Broker::run_open_session(const Request& request, std::string* error,
+                                   ErrorCode* code) {
+  io::ParseResult parsed = parse_model(request);
+  if (!parsed.ok) {
+    *code = ErrorCode::kBadRequest;
+    *error = "soc: " + parsed.error;
+    return JsonValue::null();
+  }
+  comp::IncrementalAnalyzer::Options options;
+  options.cache = &cache_;  // no pool: requests are the unit of parallelism
+  auto session =
+      std::make_shared<Session>(std::move(parsed.system), options);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.count(request.session) != 0) {
+      *code = ErrorCode::kBadRequest;
+      *error = "session '" + request.session + "' is already open";
+      return JsonValue::null();
+    }
+    if (sessions_.size() >= options_.max_sessions) {
+      *code = ErrorCode::kOverloaded;
+      *error = "session table full (max " +
+               std::to_string(options_.max_sessions) + ")";
+      return JsonValue::null();
+    }
+    sessions_.emplace(request.session, session);
+  }
+  obs::count("svc.sessions.opened");
+  std::lock_guard<std::mutex> lock(session->mu);
+  const comp::PartitionedReport& part = session->analyzer.analyze();
+  JsonValue result = session_report_json(part, session->analyzer.system());
+  result.set("session", JsonValue::string(request.session));
+  return result;
+}
+
+JsonValue Broker::run_patch(const Request& request, std::string* error,
+                            ErrorCode* code) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(request.session);
+    if (it != sessions_.end()) session = it->second;
+  }
+  if (session == nullptr) {
+    *code = ErrorCode::kBadRequest;
+    *error = "unknown session '" + request.session + "'";
+    return JsonValue::null();
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  comp::IncrementalAnalyzer& analyzer = session->analyzer;
+  const sysmodel::SystemModel& sys = analyzer.system();
+
+  // Atomic batch: every patch is validated against the current model before
+  // any is applied, so a bad batch leaves the session untouched.
+  struct Resolved {
+    sysmodel::ProcessId process = sysmodel::kInvalidProcess;
+    sysmodel::ChannelId channel = sysmodel::kInvalidChannel;
+  };
+  std::vector<Resolved> resolved(request.patches.size());
+  for (std::size_t i = 0; i < request.patches.size(); ++i) {
+    const PatchOp& patch = request.patches[i];
+    Resolved& ids = resolved[i];
+    const std::string where = "patch " + std::to_string(i) + ": ";
+    switch (patch.kind) {
+      case PatchOp::Kind::kSelect: {
+        ids.process = sys.find_process(patch.process);
+        if (ids.process == sysmodel::kInvalidProcess) {
+          *error = where + "unknown process '" + patch.process + "'";
+          return JsonValue::null();
+        }
+        if (!sys.has_implementations(ids.process) ||
+            static_cast<std::size_t>(patch.value) >=
+                sys.implementations(ids.process).size()) {
+          *error = where + "process '" + patch.process +
+                   "' has no implementation " + std::to_string(patch.value);
+          return JsonValue::null();
+        }
+        break;
+      }
+      case PatchOp::Kind::kProcessLatency: {
+        ids.process = sys.find_process(patch.process);
+        if (ids.process == sysmodel::kInvalidProcess) {
+          *error = where + "unknown process '" + patch.process + "'";
+          return JsonValue::null();
+        }
+        break;
+      }
+      case PatchOp::Kind::kChannelLatency: {
+        ids.channel = sys.find_channel(patch.channel);
+        if (ids.channel == sysmodel::kInvalidChannel) {
+          *error = where + "unknown channel '" + patch.channel + "'";
+          return JsonValue::null();
+        }
+        break;
+      }
+      case PatchOp::Kind::kRetarget: {
+        ids.channel = sys.find_channel(patch.channel);
+        if (ids.channel == sysmodel::kInvalidChannel) {
+          *error = where + "unknown channel '" + patch.channel + "'";
+          return JsonValue::null();
+        }
+        ids.process = sys.find_process(patch.target);
+        if (ids.process == sysmodel::kInvalidProcess) {
+          *error = where + "unknown process '" + patch.target + "'";
+          return JsonValue::null();
+        }
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < request.patches.size(); ++i) {
+    const PatchOp& patch = request.patches[i];
+    std::string apply_error;
+    bool ok = false;
+    switch (patch.kind) {
+      case PatchOp::Kind::kSelect:
+        ok = analyzer.select_implementation(
+            resolved[i].process, static_cast<std::size_t>(patch.value),
+            &apply_error);
+        break;
+      case PatchOp::Kind::kProcessLatency:
+        ok = analyzer.set_latency(resolved[i].process, patch.value,
+                                  &apply_error);
+        break;
+      case PatchOp::Kind::kChannelLatency:
+        ok = analyzer.set_channel_latency(resolved[i].channel, patch.value,
+                                          &apply_error);
+        break;
+      case PatchOp::Kind::kRetarget:
+        ok = analyzer.retarget_channel(resolved[i].channel,
+                                       resolved[i].process, &apply_error);
+        break;
+    }
+    // Pre-validation mirrors the analyzer's own checks, so a failure here
+    // means the two fell out of sync — surface it loudly instead of
+    // answering from a half-patched session.
+    if (!ok) {
+      throw std::runtime_error("patch " + std::to_string(i) +
+                               " failed after validation: " + apply_error);
+    }
+  }
+  obs::count("svc.sessions.patches",
+             static_cast<std::int64_t>(request.patches.size()));
+  const comp::PartitionedReport& part = analyzer.analyze();
+  JsonValue result = session_report_json(part, analyzer.system());
+  result.set("session", JsonValue::string(request.session));
+  result.set("patched", JsonValue::integer(
+                            static_cast<std::int64_t>(request.patches.size())));
+  return result;
+}
+
+JsonValue Broker::run_close_session(const Request& request, std::string* error,
+                                    ErrorCode* code) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const auto it = sessions_.find(request.session);
+  if (it == sessions_.end()) {
+    *code = ErrorCode::kBadRequest;
+    *error = "unknown session '" + request.session + "'";
+    return JsonValue::null();
+  }
+  sessions_.erase(it);
+  obs::count("svc.sessions.closed");
+  JsonValue result = JsonValue::object();
+  result.set("session", JsonValue::string(request.session));
+  result.set("closed", JsonValue::boolean(true));
+  return result;
+}
+
 JsonValue Broker::run_stats() {
   const Stats s = stats();
   JsonValue broker = JsonValue::object();
@@ -432,6 +682,7 @@ JsonValue Broker::run_stats() {
   broker.set("internal_errors", JsonValue::integer(s.internal_errors));
   broker.set("waiting", JsonValue::integer(s.waiting));
   broker.set("in_flight", JsonValue::integer(s.in_flight));
+  broker.set("sessions", JsonValue::integer(s.sessions));
   broker.set("queue_depth",
              JsonValue::integer(
                  static_cast<std::int64_t>(options_.queue_depth)));

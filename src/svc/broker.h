@@ -24,6 +24,13 @@
 //   * Drain: begin_drain() atomically flips admission off (subsequent
 //     requests get `shutting_down`); drain() blocks until the in-flight set
 //     is empty. The `shutdown` op responds, then begins the drain.
+//   * Incremental sessions (protocol v2): `open_session` parses a model
+//     (optionally hierarchical) into a named comp::IncrementalAnalyzer that
+//     stays warm across requests; `patch` applies a batch of component
+//     patches atomically and re-analyzes only the dirtied SCCs. The session
+//     table is bounded (`max_sessions`, `overloaded` beyond) and each
+//     session is serialized by its own mutex, so patches to one session
+//     never block requests against another.
 //
 // Metrics are mirrored into the obs registry (svc.requests.*,
 // svc.queue.waiting, svc.request_ns); the `stats` op snapshots them.
@@ -33,6 +40,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -49,6 +58,9 @@ struct BrokerOptions {
   std::size_t queue_depth = 64;
   /// Default deadline applied when a request does not carry one. 0 = none.
   std::int64_t default_deadline_ms = 0;
+  /// Maximum concurrently open incremental sessions; `open_session` beyond
+  /// this is rejected with `overloaded`.
+  std::size_t max_sessions = 64;
   /// Test hook: sleep this long inside every DSE iteration's cancellation
   /// poll, making `explore` deliberately slow so the deadline and overload
   /// paths are exercised deterministically (tests/bench only).
@@ -99,6 +111,7 @@ class Broker {
     std::int64_t internal_errors = 0;
     std::int64_t waiting = 0;    // admitted, not yet executing
     std::int64_t in_flight = 0;  // admitted, not yet responded
+    std::int64_t sessions = 0;   // open incremental sessions
   };
   Stats stats() const;
 
@@ -120,6 +133,15 @@ class Broker {
                       const std::function<bool()>& should_stop,
                       std::string* soc_error, bool* cancelled);
   JsonValue run_stats();
+  // Session ops: on failure they set *error and *code (bad_request for
+  // unknown/duplicate sessions and model errors, overloaded for a full
+  // session table) and return null.
+  JsonValue run_open_session(const Request& request, std::string* error,
+                             ErrorCode* code);
+  JsonValue run_patch(const Request& request, std::string* error,
+                      ErrorCode* code);
+  JsonValue run_close_session(const Request& request, std::string* error,
+                              ErrorCode* code);
 
   void finish_one();
   /// Decrements in_flight_ and wakes drain() at zero (rollback on
@@ -129,6 +151,13 @@ class Broker {
   BrokerOptions options_;
   analysis::EvalCache cache_;
   exec::ThreadPool pool_;
+
+  // One open incremental-analysis session (defined in broker.cpp). The map
+  // holds shared_ptrs so a `close_session` racing an in-flight `patch` only
+  // unlinks the session; the patch finishes against its own reference.
+  struct Session;
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
 
   std::atomic<bool> draining_{false};
   std::atomic<std::int64_t> waiting_{0};

@@ -21,15 +21,24 @@ const char* to_string(Op op) {
     case Op::kSweep: return "sweep";
     case Op::kStats: return "stats";
     case Op::kShutdown: return "shutdown";
+    case Op::kOpenSession: return "open_session";
+    case Op::kPatch: return "patch";
+    case Op::kCloseSession: return "close_session";
   }
   return "?";
 }
 
 bool parse_op(std::string_view name, Op* out) {
   const struct { std::string_view name; Op op; } kOps[] = {
-      {"analyze", Op::kAnalyze}, {"order", Op::kOrder},
-      {"explore", Op::kExplore}, {"sweep", Op::kSweep},
-      {"stats", Op::kStats},     {"shutdown", Op::kShutdown},
+      {"analyze", Op::kAnalyze},
+      {"order", Op::kOrder},
+      {"explore", Op::kExplore},
+      {"sweep", Op::kSweep},
+      {"stats", Op::kStats},
+      {"shutdown", Op::kShutdown},
+      {"open_session", Op::kOpenSession},
+      {"patch", Op::kPatch},
+      {"close_session", Op::kCloseSession},
   };
   for (const auto& entry : kOps) {
     if (entry.name == name) {
@@ -40,11 +49,16 @@ bool parse_op(std::string_view name, Op* out) {
   return false;
 }
 
+bool is_session_op(Op op) {
+  return op == Op::kOpenSession || op == Op::kPatch ||
+         op == Op::kCloseSession;
+}
+
 namespace {
 
 bool needs_soc(Op op) {
   return op == Op::kAnalyze || op == Op::kOrder || op == Op::kExplore ||
-         op == Op::kSweep;
+         op == Op::kSweep || op == Op::kOpenSession;
 }
 
 // Validates an optional non-negative integer member into *out.
@@ -58,6 +72,69 @@ bool read_i64(const JsonValue& obj, std::string_view key, std::int64_t* out,
   }
   *out = v->as_int();
   return true;
+}
+
+// One entry of a `patches` array: an object with exactly two members
+// matching one of the four documented shapes. Anything looser would let a
+// typoed patch ("latancy") silently apply as a different kind.
+bool parse_patch_op(const JsonValue& item, PatchOp* out, std::string* error) {
+  if (!item.is_object() || item.members().size() != 2) {
+    *error = "each patch must be an object with exactly two members";
+    return false;
+  }
+  const auto name_member = [&](std::string_view key,
+                               std::string* dst) -> bool {
+    const JsonValue* v = item.find(key);
+    if (v == nullptr) return false;
+    if (!v->is_string() || v->as_string().empty()) {
+      *error = std::string("patch member '") + std::string(key) +
+               "' must be a non-empty string";
+      return false;
+    }
+    *dst = v->as_string();
+    return true;
+  };
+  const auto int_member = [&](std::string_view key,
+                              std::int64_t* dst) -> bool {
+    const JsonValue* v = item.find(key);
+    if (v == nullptr) return false;
+    if (!v->is_integer() || v->as_int() < 0) {
+      *error = std::string("patch member '") + std::string(key) +
+               "' must be a non-negative integer";
+      return false;
+    }
+    *dst = v->as_int();
+    return true;
+  };
+
+  if (item.find("process") != nullptr) {
+    if (!name_member("process", &out->process)) return false;
+    if (item.find("select") != nullptr) {
+      out->kind = PatchOp::Kind::kSelect;
+      return int_member("select", &out->value);
+    }
+    if (item.find("latency") != nullptr) {
+      out->kind = PatchOp::Kind::kProcessLatency;
+      return int_member("latency", &out->value);
+    }
+    *error = "a 'process' patch needs 'select' or 'latency'";
+    return false;
+  }
+  if (item.find("channel") != nullptr) {
+    if (!name_member("channel", &out->channel)) return false;
+    if (item.find("latency") != nullptr) {
+      out->kind = PatchOp::Kind::kChannelLatency;
+      return int_member("latency", &out->value);
+    }
+    if (item.find("retarget") != nullptr) {
+      out->kind = PatchOp::Kind::kRetarget;
+      return name_member("retarget", &out->target);
+    }
+    *error = "a 'channel' patch needs 'latency' or 'retarget'";
+    return false;
+  }
+  *error = "each patch must name a 'process' or a 'channel'";
+  return false;
 }
 
 }  // namespace
@@ -84,13 +161,19 @@ RequestParse parse_request(std::string_view line) {
     out.request.id = *id;
   }
 
+  // Recover the version next: even schema failures answer in the client's
+  // dialect.
   if (const JsonValue* v = obj.find("v")) {
-    if (!v->is_integer() || v->as_int() != kProtocolVersion) {
+    if (!v->is_integer() || v->as_int() < kMinProtocolVersion ||
+        v->as_int() > kProtocolVersion) {
       out.error = "unsupported protocol version (this server speaks v" +
+                  std::to_string(kMinProtocolVersion) + "..v" +
                   std::to_string(kProtocolVersion) + ")";
       return out;
     }
+    out.request.version = static_cast<int>(v->as_int());
   }
+  const bool v2 = out.request.version >= 2;
 
   const JsonValue* op = obj.find("op");
   if (op == nullptr || !op->is_string()) {
@@ -101,8 +184,14 @@ RequestParse parse_request(std::string_view line) {
     out.error = "unknown op '" + op->as_string() + "'";
     return out;
   }
+  if (is_session_op(out.request.op) && !v2) {
+    out.error = "op '" + std::string(to_string(out.request.op)) +
+                "' requires protocol v2 (send \"v\":2)";
+    return out;
+  }
 
-  // Strict v1 schema: every member must be known and apply to the op.
+  // Strict schema: every member must be known, apply to the op, and — for
+  // the v2 members — be backed by a "v":2 declaration.
   for (const auto& [key, value] : obj.members()) {
     (void)value;
     const bool known =
@@ -110,7 +199,10 @@ RequestParse parse_request(std::string_view line) {
         (key == "soc" && needs_soc(out.request.op)) ||
         (key == "tct" && out.request.op == Op::kExplore) ||
         ((key == "lo" || key == "hi" || key == "step") &&
-         out.request.op == Op::kSweep);
+         out.request.op == Op::kSweep) ||
+        (v2 && key == "hier" && needs_soc(out.request.op)) ||
+        (v2 && key == "session" && is_session_op(out.request.op)) ||
+        (v2 && key == "patches" && out.request.op == Op::kPatch);
     if (!known) {
       out.error = "unexpected member '" + key + "' for op '" +
                   std::string(to_string(out.request.op)) + "'";
@@ -162,34 +254,78 @@ RequestParse parse_request(std::string_view line) {
     }
   }
 
+  if (const JsonValue* hier = obj.find("hier")) {
+    if (!hier->is_bool()) {
+      out.error = "hier must be a boolean";
+      return out;
+    }
+    out.request.hier = hier->as_bool();
+  }
+
+  if (is_session_op(out.request.op)) {
+    const JsonValue* session = obj.find("session");
+    if (session == nullptr || !session->is_string() ||
+        session->as_string().empty()) {
+      out.error = "op '" + std::string(to_string(out.request.op)) +
+                  "' requires a non-empty string member 'session'";
+      return out;
+    }
+    if (session->as_string().size() > kMaxSessionIdLen) {
+      out.error = "session id longer than " +
+                  std::to_string(kMaxSessionIdLen) + " bytes";
+      return out;
+    }
+    out.request.session = session->as_string();
+  }
+
+  if (out.request.op == Op::kPatch) {
+    const JsonValue* patches = obj.find("patches");
+    if (patches == nullptr || !patches->is_array() ||
+        patches->items().empty()) {
+      out.error = "op 'patch' requires a non-empty array member 'patches'";
+      return out;
+    }
+    if (patches->items().size() > kMaxPatchOps) {
+      out.error = "more than " + std::to_string(kMaxPatchOps) +
+                  " patches in one request";
+      return out;
+    }
+    out.request.patches.reserve(patches->items().size());
+    for (const JsonValue& item : patches->items()) {
+      PatchOp patch;
+      if (!parse_patch_op(item, &patch, &out.error)) return out;
+      out.request.patches.push_back(std::move(patch));
+    }
+  }
+
   out.ok = true;
   return out;
 }
 
 namespace {
 
-JsonValue envelope(const JsonValue& id) {
+JsonValue envelope(const JsonValue& id, int version) {
   JsonValue response = JsonValue::object();
-  response.set("v", JsonValue::integer(kProtocolVersion));
+  response.set("v", JsonValue::integer(version));
   response.set("id", id);
   return response;
 }
 
 }  // namespace
 
-std::string encode_ok(const JsonValue& id, JsonValue result) {
-  JsonValue response = envelope(id);
+std::string encode_ok(const JsonValue& id, JsonValue result, int version) {
+  JsonValue response = envelope(id, version);
   response.set("ok", JsonValue::boolean(true));
   response.set("result", std::move(result));
   return response.to_string();
 }
 
 std::string encode_error(const JsonValue& id, ErrorCode code,
-                         std::string_view message) {
+                         std::string_view message, int version) {
   JsonValue error = JsonValue::object();
   error.set("code", JsonValue::string(to_string(code)));
   error.set("message", JsonValue::string(message));
-  JsonValue response = envelope(id);
+  JsonValue response = envelope(id, version);
   response.set("ok", JsonValue::boolean(false));
   response.set("error", std::move(error));
   return response.to_string();

@@ -37,7 +37,7 @@ SystemStats compute_stats(const SystemModel& sys) {
   }
 
   for (ChannelId c = 0; c < sys.num_channels(); ++c) {
-    if (sys.channel_capacity(c) > 0) ++stats.fifo_channels;
+    if (sys.channel_capacity(c) != 0) ++stats.fifo_channels;
     if (c == 0 || sys.channel_latency(c) < stats.min_channel_latency) {
       stats.min_channel_latency = sys.channel_latency(c);
     }

@@ -77,8 +77,21 @@ void SystemModel::set_channel_latency(ChannelId c, std::int64_t latency) {
 }
 
 void SystemModel::set_channel_capacity(ChannelId c, std::int64_t capacity) {
-  assert(valid_channel(c) && capacity >= 0);
+  assert(valid_channel(c) &&
+         (capacity >= 0 || capacity == kUnboundedCapacity));
   chans_[static_cast<std::size_t>(c)].capacity = capacity;
+}
+
+void SystemModel::retarget_channel(ChannelId c, ProcessId new_target) {
+  assert(valid_channel(c) && valid_process(new_target));
+  ChanRec& rec = chans_[static_cast<std::size_t>(c)];
+  if (rec.to == new_target) return;
+  std::vector<ChannelId>& old_inputs =
+      procs_[static_cast<std::size_t>(rec.to)].inputs;
+  old_inputs.erase(std::remove(old_inputs.begin(), old_inputs.end(), c),
+                   old_inputs.end());
+  rec.to = new_target;
+  procs_[static_cast<std::size_t>(new_target)].inputs.push_back(c);
 }
 
 ChannelId SystemModel::find_channel(const std::string& name) const {

@@ -27,6 +27,15 @@ using ChannelId = std::int32_t;
 inline constexpr ProcessId kInvalidProcess = -1;
 inline constexpr ChannelId kInvalidChannel = -1;
 
+/// Channel capacity sentinel: a FIFO that never back-pressures its producer.
+/// In the TMG elaboration an unbounded channel contributes a data place but
+/// no space place, so it never closes a cycle from consumer back to producer
+/// — it *decouples* the two sides. This is the conservative "sufficiently
+/// large buffer" abstraction behind compositional analysis: feed-forward
+/// unbounded channels split the system into independently-analyzable
+/// strongly connected components.
+inline constexpr std::int64_t kUnboundedCapacity = -1;
+
 class SystemModel {
  public:
   /// Adds a process with the given computation latency (cycles).
@@ -100,10 +109,18 @@ class SystemModel {
   /// with k slots: a put completes (after the channel latency) whenever a
   /// slot is free, a get completes as soon as data is buffered — the
   /// "non-blocking protocols" of the paper's footnote 1 / tech report [6].
+  /// kUnboundedCapacity = FIFO that never back-pressures (see the sentinel's
+  /// comment; it decouples producer from consumer in the TMG).
   std::int64_t channel_capacity(ChannelId c) const {
     return chans_[static_cast<std::size_t>(c)].capacity;
   }
   void set_channel_capacity(ChannelId c, std::int64_t capacity);
+
+  /// Re-points an existing channel at a new consumer: the channel is removed
+  /// from the old target's get order and appended to the new target's. The
+  /// producer side, latency, and capacity are unchanged. Retargeting to the
+  /// current consumer is a no-op.
+  void retarget_channel(ChannelId c, ProcessId new_target);
 
   /// Channel id by name; kInvalidChannel if absent.
   ChannelId find_channel(const std::string& name) const;

@@ -245,6 +245,65 @@ class SccSolver {
   std::int64_t best_t_ = 1;
 };
 
+// Finds a zero-token cycle that lies entirely inside one SCC (iterative DFS
+// over the members, traversing only token-free internal arcs). The global
+// entry point screens the whole graph with find_zero_token_cycle first, so
+// there this never fires; it makes the per-SCC entry self-contained for the
+// partitioned engine, which may analyze one component in isolation.
+bool find_zero_token_cycle_in_scc(const RatioGraph& rg,
+                                  const std::vector<std::int32_t>& comp_of,
+                                  std::int32_t comp_id,
+                                  const std::vector<NodeId>& members,
+                                  std::vector<ArcId>* cycle) {
+  const auto n = static_cast<std::size_t>(rg.g.num_nodes());
+  std::vector<char> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<ArcId> via(n, graph::kInvalidArc);  // arc that discovered node
+  struct Frame {
+    NodeId node;
+    std::size_t next_arc;
+  };
+  std::vector<Frame> stack;
+  for (const NodeId start : members) {
+    if (color[static_cast<std::size_t>(start)] != 0) continue;
+    stack.push_back({start, 0});
+    color[static_cast<std::size_t>(start)] = 1;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& arcs = rg.g.out_arcs(frame.node);
+      if (frame.next_arc >= arcs.size()) {
+        color[static_cast<std::size_t>(frame.node)] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const ArcId a = arcs[frame.next_arc++];
+      if (rg.arc_tokens(a) != 0) continue;
+      const NodeId next = rg.g.head(a);
+      if (comp_of[static_cast<std::size_t>(next)] != comp_id) continue;
+      const auto ni = static_cast<std::size_t>(next);
+      if (color[ni] == 1) {
+        // Back arc: the gray-stack suffix starting at `next`, plus `a`,
+        // closes a token-free cycle.
+        if (cycle != nullptr) {
+          cycle->clear();
+          std::size_t pos = stack.size();
+          while (pos > 0 && stack[pos - 1].node != next) --pos;
+          for (std::size_t i = pos; i < stack.size(); ++i) {
+            cycle->push_back(via[static_cast<std::size_t>(stack[i].node)]);
+          }
+          cycle->push_back(a);
+        }
+        return true;
+      }
+      if (color[ni] == 0) {
+        color[ni] = 1;
+        via[ni] = a;
+        stack.push_back({next, 0});
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 namespace {
@@ -266,12 +325,70 @@ void publish_howard_metrics(int iterations) {
 
 }  // namespace
 
+CycleRatioResult max_cycle_ratio_howard_scc(
+    const RatioGraph& rg, const std::vector<std::int32_t>& component,
+    std::int32_t comp_id, const std::vector<graph::NodeId>& members,
+    int* iterations) {
+  if (iterations != nullptr) *iterations = 0;
+  CycleRatioResult result;
+  // Zero-token cycles are invisible to policy improvement (their lambda never
+  // materializes unless a policy lands on them), so screen structurally
+  // first. The global entry screens the whole graph instead; this local pass
+  // keeps one component's solve self-contained for the partitioned engine.
+  std::vector<ArcId> zero_cycle;
+  if (find_zero_token_cycle_in_scc(rg, component, comp_id, members,
+                                   &zero_cycle)) {
+    result.has_cycle = true;
+    result.ratio = std::numeric_limits<double>::infinity();
+    result.ratio_den = 0;
+    for (ArcId a : zero_cycle) result.ratio_num += rg.arc_weight(a);
+    result.critical_cycle = std::move(zero_cycle);
+    return result;
+  }
+  if (members.size() == 1) {
+    // Trivial SCC: the only possible cycles are self-loops (all with tokens
+    // by now). Exact max, first-wins on ties.
+    const NodeId u = members.front();
+    for (const ArcId a : rg.g.out_arcs(u)) {
+      if (rg.g.head(a) != u) continue;
+      const std::int64_t w = rg.arc_weight(a);
+      const std::int64_t t = rg.arc_tokens(a);
+      if (!result.has_cycle ||
+          compare_ratios(w, t, result.ratio_num, result.ratio_den) > 0) {
+        result.has_cycle = true;
+        result.ratio_num = w;
+        result.ratio_den = t;
+        result.ratio = static_cast<double>(w) / static_cast<double>(t);
+        result.critical_cycle.assign(1, a);
+      }
+    }
+    return result;
+  }
+  SccSolver solver(rg, component, comp_id, members);
+  if (solver.solve(result) && iterations != nullptr) {
+    *iterations = solver.iterations();
+  }
+  return result;
+}
+
+void fold_cycle_ratio(const CycleRatioResult& scc, CycleRatioResult* out) {
+  if (!scc.has_cycle) return;
+  if (out->is_infinite()) return;  // an earlier deadlock dominates
+  if (!out->has_cycle || scc.is_infinite() ||
+      compare_ratios(scc.ratio_num, scc.ratio_den, out->ratio_num,
+                     out->ratio_den) > 0) {
+    *out = scc;
+  }
+}
+
 CycleRatioResult max_cycle_ratio_howard(const RatioGraph& rg) {
   obs::ObsSpan span("howard.solve", "tmg");
   CycleRatioResult result;
   // Zero-token cycles make the ratio infinite but are invisible to policy
   // improvement (their lambda never materializes unless a policy lands on
-  // them), so detect them structurally first.
+  // them), so detect them structurally first. Keeping this screen global
+  // (rather than relying on the per-SCC screens) preserves the witness the
+  // liveness diagnostics expect.
   std::vector<graph::ArcId> zero_cycle;
   if (find_zero_token_cycle(rg, &zero_cycle)) {
     result.has_cycle = true;
@@ -288,9 +405,12 @@ CycleRatioResult max_cycle_ratio_howard(const RatioGraph& rg) {
   const graph::SccResult sccs = graph::strongly_connected_components(rg.g);
   int total_iterations = 0;
   for (std::int32_t c = 0; c < sccs.num_components; ++c) {
-    SccSolver solver(rg, sccs.component, c,
-                     sccs.members[static_cast<std::size_t>(c)]);
-    if (solver.solve(result)) total_iterations += solver.iterations();
+    int iters = 0;
+    const CycleRatioResult scc = max_cycle_ratio_howard_scc(
+        rg, sccs.component, c, sccs.members[static_cast<std::size_t>(c)],
+        &iters);
+    total_iterations += iters;
+    fold_cycle_ratio(scc, &result);
     if (result.is_infinite()) break;  // deadlock dominates
   }
   if (obs::enabled()) publish_howard_metrics(total_iterations);

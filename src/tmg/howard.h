@@ -12,11 +12,44 @@
 // Runs in O(V+E) per policy iteration; the number of iterations is small in
 // practice (near-linear total), which is what makes the methodology scale to
 // the 10,000-process synthetic benchmarks of Section 6.
+//
+// Cycles never cross strongly connected components, so the global maximum is
+// the fold of independent per-SCC maxima. max_cycle_ratio_howard_scc exposes
+// one component's solve (the unit the SCC-partitioned engine in src/comp
+// memoizes and parallelizes) and fold_cycle_ratio the exact combination rule;
+// max_cycle_ratio_howard(rg) is the fold over all components.
 
+#include <vector>
+
+#include "graph/digraph.h"
 #include "tmg/cycle_ratio.h"
 
 namespace ermes::tmg {
 
 CycleRatioResult max_cycle_ratio_howard(const RatioGraph& rg);
+
+/// Maximum cycle ratio restricted to one strongly connected component of
+/// `rg`: the members of component `comp_id` per `component` (as produced by
+/// graph::strongly_connected_components on rg.g). Only arcs internal to the
+/// component are considered. Zero-token cycles inside the component yield an
+/// infinite ratio. Trivial components (a single node) take a closed-form
+/// fast path: no self-loop means no cycle; self-loops are compared exactly,
+/// first-wins on ties — the same outcome policy iteration reaches, without
+/// running it. (The fast path compares ratios exactly while the iterative
+/// path tolerates 1e-9; with the integer weights/tokens of real models the
+/// two never disagree.) `iterations`, when non-null, receives the number of
+/// policy-improvement rounds (0 on the fast path).
+CycleRatioResult max_cycle_ratio_howard_scc(
+    const RatioGraph& rg, const std::vector<std::int32_t>& component,
+    std::int32_t comp_id, const std::vector<graph::NodeId>& members,
+    int* iterations = nullptr);
+
+/// Folds one component's result into an accumulated whole-graph result using
+/// the exact rule of the global pass: an infinite ratio dominates and is
+/// never overwritten; otherwise the incoming result replaces the accumulator
+/// iff it is strictly larger (ties keep the earlier component). Folding the
+/// per-SCC results in ascending component index reproduces
+/// max_cycle_ratio_howard bit for bit.
+void fold_cycle_ratio(const CycleRatioResult& scc, CycleRatioResult* out);
 
 }  // namespace ermes::tmg

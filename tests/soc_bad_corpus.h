@@ -80,6 +80,96 @@ inline const std::vector<BadSoc>& bad_soc_corpus() {
   return corpus;
 }
 
+/// Hostile-input corpus for the *hierarchical* grammar (io::parse_soc_hier +
+/// comp::flatten, i.e. the io::parse_soc_flattened entry the CLI and the
+/// daemon's `hier` requests use). Same contract as bad_soc_corpus: every
+/// entry must come back ok == false with a non-empty error, no crash/throw/
+/// hang. Exercised by tests/test_comp.cpp directly and by tests/test_svc.cpp
+/// through `open_session` requests.
+inline const std::vector<BadSoc>& bad_hier_corpus() {
+  static const std::vector<BadSoc> corpus = {
+      {"subsystem without name", "subsystem\nend\n"},
+      {"subsystem with extra tokens", "subsystem a b\nend\n"},
+      {"subsystem never closed", "subsystem a\nprocess p latency 1\n"},
+      {"end without subsystem", "process p latency 1\nend\n"},
+      {"textually nested subsystem",
+       "subsystem a\nsubsystem b\nend\nend\n"},
+      {"duplicate subsystem definition",
+       "subsystem a\nprocess p latency 1\nend\n"
+       "subsystem a\nprocess q latency 1\nend\n"},
+      {"port outside subsystem", "port in x = p\nprocess p latency 1\n"},
+      {"port bad direction",
+       "subsystem a\nport sideways x = p\nprocess p latency 1\nend\n"},
+      {"port missing equals",
+       "subsystem a\nport in x p\nprocess p latency 1\nend\n"},
+      {"duplicate port",
+       "subsystem a\nprocess p latency 1\n"
+       "port in x = p\nport out x = p\nend\n"},
+      {"port bound to unknown process",
+       "subsystem a\nport in x = ghost\nend\ninstance u a\n"},
+      {"endpoint with two dots",
+       "subsystem a\nprocess p latency 1\nport in x = p\nend\n"
+       "instance u a\ninstance v a\nprocess s latency 1\n"
+       "channel c s -> u.v.x latency 0\n"},
+      {"instance without subsystem name", "instance u\n"},
+      {"instance of unknown subsystem", "instance u ghost\n"},
+      {"duplicate instance",
+       "subsystem a\nprocess p latency 1\nend\n"
+       "instance u a\ninstance u a\n"},
+      {"instance shadowing a process",
+       "subsystem a\nprocess p latency 1\nend\n"
+       "process u latency 1\ninstance u a\n"},
+      {"self-instantiation cycle",
+       "subsystem a\ninstance u a\nend\ninstance top a\n"},
+      {"two-definition instantiation cycle",
+       "subsystem a\ninstance x b\nend\n"
+       "subsystem b\ninstance y a\nend\n"
+       "instance top a\n"},
+      {"channel to unknown instance port",
+       "subsystem a\nprocess p latency 1\nport in x = p\nend\n"
+       "instance u a\nprocess s latency 1\n"
+       "channel c s -> u.ghost latency 0\n"},
+      {"channel into an out port",
+       "subsystem a\nprocess p latency 1\nport out x = p\nend\n"
+       "instance u a\nprocess s latency 1\n"
+       "channel c s -> u.x latency 0\n"},
+      {"channel from an in port",
+       "subsystem a\nprocess p latency 1\nport in x = p\nend\n"
+       "instance u a\nprocess s latency 1\n"
+       "channel c u.x -> s latency 0\n"},
+      {"unused definition with unbound channel endpoint",
+       "subsystem a\nprocess p latency 1\n"
+       "channel c p -> ghost latency 0\nend\n"
+       "instance u a\n"},
+      {"order names a port channel",
+       // `link` reaches p through the enclosing scope, so p's incident
+       // channels are not all local to the definition — gets cannot bind.
+       "subsystem a\nprocess p latency 1\nport in x = p\n"
+       "gets p link\nend\n"
+       "instance u a\nprocess s latency 1\n"
+       "channel link s -> u.x latency 0\n"},
+  };
+  return corpus;
+}
+
+/// An instantiation chain `depth` levels deep (d0 instantiates d1
+/// instantiates d2 ...). Legal below comp::kMaxHierDepth; past it flatten
+/// must reject with a depth error instead of recursing unboundedly.
+inline std::string deep_hier_soc(int depth) {
+  std::string soc = "system deep\n";
+  for (int d = 0; d < depth; ++d) {
+    soc += "subsystem d" + std::to_string(d) + "\n";
+    if (d + 1 < depth) {
+      soc += "instance next d" + std::to_string(d + 1) + "\n";
+    } else {
+      soc += "process leaf latency 1\n";
+    }
+    soc += "end\n";
+  }
+  soc += "instance top d0\n";
+  return soc;
+}
+
 /// A deeply nested / pathological oversized document: a single token of
 /// `size` bytes. Must be rejected (or cleanly parsed) without crashing.
 inline std::string huge_token_soc(std::size_t size) {

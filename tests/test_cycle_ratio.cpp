@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "graph/scc.h"
 #include "tmg/brute_force.h"
 #include "tmg/howard.h"
 #include "tmg/karp.h"
@@ -288,6 +290,172 @@ TEST_P(SimulationAgreementTest, AsapPeriodEqualsHowardRatio) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimulationAgreementTest,
                          ::testing::Range<std::uint64_t>(1, 16));
+
+// ---- per-SCC solves and the fold (the partitioned engine's primitives) -----
+
+TEST(HowardSccTest, TrivialComponentWithoutSelfLoopHasNoCycle) {
+  RatioGraph rg;
+  rg.g.add_nodes(2);
+  rg.g.add_arc(0, 1);
+  rg.weight = {3};
+  rg.tokens = {1};
+  const auto sccs = graph::strongly_connected_components(rg.g);
+  ASSERT_EQ(sccs.num_components, 2);
+  for (std::int32_t c = 0; c < 2; ++c) {
+    int iterations = -1;
+    const CycleRatioResult r = max_cycle_ratio_howard_scc(
+        rg, sccs.component, c, sccs.members[static_cast<std::size_t>(c)],
+        &iterations);
+    EXPECT_FALSE(r.has_cycle);
+    EXPECT_EQ(iterations, 0) << "fast path must not run policy iteration";
+  }
+}
+
+TEST(HowardSccTest, TrivialSelfLoopFastPathMatchesTheGeneralSolver) {
+  // One node, several self-loops: the closed-form fast path must pick the
+  // same ratio AND the same critical arc as whole-graph Howard (which takes
+  // the iterative path) — including first-wins on an exact tie.
+  RatioGraph rg;
+  rg.g.add_nodes(1);
+  rg.g.add_arc(0, 0);
+  rg.g.add_arc(0, 0);
+  rg.g.add_arc(0, 0);
+  rg.weight = {6, 9, 12};   // ratios 3, 9, 6
+  rg.tokens = {2, 1, 2};
+  const auto sccs = graph::strongly_connected_components(rg.g);
+  ASSERT_EQ(sccs.num_components, 1);
+  int iterations = -1;
+  const CycleRatioResult fast = max_cycle_ratio_howard_scc(
+      rg, sccs.component, 0, sccs.members[0], &iterations);
+  EXPECT_EQ(iterations, 0);
+  const CycleRatioResult full = max_cycle_ratio_howard(rg);
+  EXPECT_EQ(fast.has_cycle, full.has_cycle);
+  EXPECT_EQ(fast.ratio_num, full.ratio_num);
+  EXPECT_EQ(fast.ratio_den, full.ratio_den);
+  EXPECT_EQ(fast.ratio, full.ratio);
+  EXPECT_EQ(fast.critical_cycle, full.critical_cycle);
+  EXPECT_EQ(fast.ratio, 9.0);
+
+  // Exact tie between two self-loops: the earlier arc wins on both paths.
+  RatioGraph tie;
+  tie.g.add_nodes(1);
+  tie.g.add_arc(0, 0);
+  tie.g.add_arc(0, 0);
+  tie.weight = {4, 8};  // both ratio 4
+  tie.tokens = {1, 2};
+  const auto tie_sccs = graph::strongly_connected_components(tie.g);
+  const CycleRatioResult tie_fast = max_cycle_ratio_howard_scc(
+      tie, tie_sccs.component, 0, tie_sccs.members[0]);
+  const CycleRatioResult tie_full = max_cycle_ratio_howard(tie);
+  ASSERT_EQ(tie_fast.critical_cycle.size(), 1u);
+  EXPECT_EQ(tie_fast.critical_cycle, tie_full.critical_cycle);
+  EXPECT_EQ(tie_fast.critical_cycle[0], 0);
+}
+
+TEST(HowardSccTest, TrivialZeroTokenSelfLoopIsInfinite) {
+  RatioGraph rg;
+  rg.g.add_nodes(1);
+  rg.g.add_arc(0, 0);
+  rg.weight = {5};
+  rg.tokens = {0};
+  const auto sccs = graph::strongly_connected_components(rg.g);
+  const CycleRatioResult r =
+      max_cycle_ratio_howard_scc(rg, sccs.component, 0, sccs.members[0]);
+  EXPECT_TRUE(r.is_infinite());
+}
+
+TEST(HowardSccTest, FoldPrefersLargerAndKeepsInfiniteSticky) {
+  CycleRatioResult acc;  // empty accumulator
+  CycleRatioResult small;
+  small.has_cycle = true;
+  small.ratio_num = 3;
+  small.ratio_den = 2;
+  small.ratio = 1.5;
+  small.critical_cycle = {7};
+  fold_cycle_ratio(small, &acc);
+  EXPECT_EQ(acc.ratio_num, 3);
+
+  CycleRatioResult tie = small;  // equal ratio: earlier result sticks
+  tie.critical_cycle = {9};
+  fold_cycle_ratio(tie, &acc);
+  EXPECT_EQ(acc.critical_cycle, std::vector<graph::ArcId>{7});
+
+  CycleRatioResult bigger;
+  bigger.has_cycle = true;
+  bigger.ratio_num = 4;
+  bigger.ratio_den = 2;
+  bigger.ratio = 2.0;
+  bigger.critical_cycle = {1};
+  fold_cycle_ratio(bigger, &acc);
+  EXPECT_EQ(acc.ratio_num, 4);
+
+  CycleRatioResult infinite;
+  infinite.has_cycle = true;
+  infinite.ratio_num = 1;
+  infinite.ratio_den = 0;
+  infinite.ratio = std::numeric_limits<double>::infinity();
+  infinite.critical_cycle = {2};
+  fold_cycle_ratio(infinite, &acc);
+  EXPECT_TRUE(acc.is_infinite());
+  fold_cycle_ratio(bigger, &acc);  // finite never displaces infinite
+  EXPECT_TRUE(acc.is_infinite());
+  EXPECT_EQ(acc.critical_cycle, std::vector<graph::ArcId>{2});
+
+  CycleRatioResult no_cycle;  // trivial components never displace anything
+  CycleRatioResult acc2 = small;
+  fold_cycle_ratio(no_cycle, &acc2);
+  EXPECT_EQ(acc2.ratio_num, 3);
+}
+
+TEST(HowardSccPropertyTest, FoldOfPerSccSolvesReproducesGlobalHoward) {
+  // The exact contract the partitioned engine is built on: solving each
+  // component independently and folding in ascending component index is
+  // bit-identical to whole-graph Howard — including the critical cycle.
+  for (std::uint64_t iter = 0; iter < 40; ++iter) {
+    util::Rng rng = util::Rng::for_shard(0xf01d, iter);
+    RatioGraph rg;
+    const auto n = static_cast<std::int32_t>(rng.uniform_int(1, 12));
+    rg.g.add_nodes(n);
+    const auto arcs = rng.uniform_int(0, 3 * n);
+    for (std::int64_t a = 0; a < arcs; ++a) {
+      const auto u =
+          static_cast<graph::NodeId>(rng.index(static_cast<std::size_t>(n)));
+      const auto v =
+          static_cast<graph::NodeId>(rng.index(static_cast<std::size_t>(n)));
+      rg.g.add_arc(u, v);
+      rg.weight.push_back(rng.uniform_int(0, 9));
+      // Mostly positive tokens; occasional zeros make some components
+      // infinite so the sticky-infinite fold rule is exercised too.
+      rg.tokens.push_back(rng.flip(0.15) ? 0 : rng.uniform_int(1, 2));
+    }
+    const CycleRatioResult global = max_cycle_ratio_howard(rg);
+    const auto sccs = graph::strongly_connected_components(rg.g);
+    CycleRatioResult folded;
+    for (std::int32_t c = 0; c < sccs.num_components; ++c) {
+      fold_cycle_ratio(
+          max_cycle_ratio_howard_scc(rg, sccs.component, c,
+                                     sccs.members[static_cast<std::size_t>(c)]),
+          &folded);
+    }
+    EXPECT_EQ(folded.has_cycle, global.has_cycle) << "iter " << iter;
+    EXPECT_EQ(folded.is_infinite(), global.is_infinite()) << "iter " << iter;
+    if (global.is_infinite()) {
+      // Both must report deadlock, but the witness cycle may differ: the
+      // global entry screens the whole graph while the fold surfaces the
+      // first infinite component. Each witness must still be token-free.
+      for (const graph::ArcId a : folded.critical_cycle) {
+        EXPECT_EQ(rg.arc_tokens(a), 0) << "iter " << iter;
+      }
+      continue;
+    }
+    // Finite results are bit-identical, critical cycle included.
+    EXPECT_EQ(folded.ratio_num, global.ratio_num) << "iter " << iter;
+    EXPECT_EQ(folded.ratio_den, global.ratio_den) << "iter " << iter;
+    EXPECT_EQ(folded.ratio, global.ratio) << "iter " << iter;
+    EXPECT_EQ(folded.critical_cycle, global.critical_cycle)
+        << "iter " << iter;
+  }
+}
 
 }  // namespace
 }  // namespace ermes::tmg

@@ -249,6 +249,99 @@ TEST(SccTest, LargeChainDoesNotOverflowStack) {
   EXPECT_TRUE(is_strongly_connected(g));
 }
 
+TEST(SccTest, SelfLoopStaysASingletonComponent) {
+  // A self-loop makes the node cyclic but must not merge it with anything.
+  Digraph g;
+  g.add_nodes(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 1);
+  g.add_arc(1, 2);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 3);
+  for (std::int32_t c = 0; c < scc.num_components; ++c) {
+    EXPECT_EQ(scc.members[static_cast<std::size_t>(c)].size(), 1u);
+  }
+}
+
+TEST(SccTest, IsolatedNodesEachGetAComponent) {
+  Digraph g;
+  g.add_nodes(5);          // no arcs at all
+  g.add_arc(1, 3);         // one lonely bridge
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 5);
+  // Every node is accounted for exactly once across members.
+  std::size_t total = 0;
+  for (const auto& members : scc.members) total += members.size();
+  EXPECT_EQ(total, 5u);
+  // The bridge still orders the two endpoints.
+  EXPECT_LT(scc.component[3], scc.component[1]);
+}
+
+TEST(SccTest, DuplicateParallelArcsDoNotChangeThePartition) {
+  Digraph plain = two_cycles();
+  Digraph doubled = two_cycles();
+  doubled.add_arc(0, 1);  // duplicates of existing arcs
+  doubled.add_arc(2, 3);
+  doubled.add_arc(2, 3);
+  const auto a = strongly_connected_components(plain);
+  const auto b = strongly_connected_components(doubled);
+  EXPECT_EQ(a.num_components, b.num_components);
+  EXPECT_EQ(a.component, b.component);
+}
+
+TEST(SccPropertyTest, PartitionIsStableUnderNodeRelabeling) {
+  // Relabeling the nodes of a random digraph must permute the partition,
+  // never change it: u ~ v iff perm(u) ~ perm(v). Component indices must
+  // also stay reverse-topological (no arc points from a lower to a higher
+  // component).
+  for (std::uint64_t iter = 0; iter < 30; ++iter) {
+    util::Rng rng = util::Rng::for_shard(0x5cc57ab, iter);
+    const std::int32_t n =
+        static_cast<std::int32_t>(rng.uniform_int(2, 24));
+    const std::int32_t arcs =
+        static_cast<std::int32_t>(rng.uniform_int(0, 3 * n));
+    Digraph g;
+    g.add_nodes(n);
+    std::vector<std::pair<NodeId, NodeId>> arc_list;
+    for (std::int32_t a = 0; a < arcs; ++a) {
+      const auto u = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+      const auto v = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+      g.add_arc(u, v);  // self-loops and duplicates welcome
+      arc_list.emplace_back(u, v);
+    }
+    const auto base = strongly_connected_components(g);
+
+    const std::vector<std::size_t> perm =
+        rng.permutation(static_cast<std::size_t>(n));
+    Digraph relabeled;
+    relabeled.add_nodes(n);
+    for (const auto& [u, v] : arc_list) {
+      relabeled.add_arc(static_cast<NodeId>(perm[static_cast<std::size_t>(u)]),
+                        static_cast<NodeId>(perm[static_cast<std::size_t>(v)]));
+    }
+    const auto mapped = strongly_connected_components(relabeled);
+    EXPECT_EQ(base.num_components, mapped.num_components) << "iter " << iter;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        const bool together =
+            base.component[static_cast<std::size_t>(u)] ==
+            base.component[static_cast<std::size_t>(v)];
+        const bool mapped_together =
+            mapped.component[perm[static_cast<std::size_t>(u)]] ==
+            mapped.component[perm[static_cast<std::size_t>(v)]];
+        EXPECT_EQ(together, mapped_together)
+            << "iter " << iter << " nodes " << u << "," << v;
+      }
+    }
+    // Reverse topological indexing on both graphs.
+    for (const auto& [u, v] : arc_list) {
+      EXPECT_GE(base.component[static_cast<std::size_t>(u)],
+                base.component[static_cast<std::size_t>(v)])
+          << "iter " << iter;
+    }
+  }
+}
+
 // ---- cycles ----------------------------------------------------------------
 
 TEST(CyclesTest, DagHasNoCycles) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "io/soc_format.h"
+#include "io/soc_hier.h"
 #include "soc_bad_corpus.h"
 #include "svc/broker.h"
 #include "svc/client.h"
@@ -186,7 +187,8 @@ TEST(Protocol, RejectsBadRequests) {
   const char* kBad[] = {
       "not json at all",
       "[]",                                     // not an object
-      R"({"v":2,"op":"stats"})",                // wrong version
+      R"({"v":3,"op":"stats"})",                // unsupported version
+      R"({"v":0,"op":"stats"})",                // below the minimum
       R"({"v":"1","op":"stats"})",              // version wrong type
       R"({"op":"frobnicate"})",                 // unknown op
       R"({"soc":"x"})",                         // missing op
@@ -209,6 +211,122 @@ TEST(Protocol, RejectsBadRequests) {
     EXPECT_FALSE(parsed.ok) << "line: " << line;
     EXPECT_FALSE(parsed.error.empty()) << "line: " << line;
   }
+}
+
+TEST(Protocol, V2MembersAreRejectedOutsideProtocolV2) {
+  // Session ops and v2-only members require an explicit "v":2 — a v1 client
+  // can never trip over them by accident, and a v1 server rejects them with
+  // a message naming the fix.
+  const char* kBad[] = {
+      R"({"op":"open_session","session":"s","soc":"x"})",   // no v:2
+      R"({"v":1,"op":"open_session","session":"s","soc":"x"})",
+      R"({"v":1,"op":"patch","session":"s","patches":[{"process":"p","latency":1}]})",
+      R"({"v":1,"op":"close_session","session":"s"})",
+      R"({"v":1,"op":"analyze","soc":"x","hier":true})",    // hier is v2-only
+      R"({"v":1,"op":"analyze","soc":"x","session":"s"})",  // session op only
+  };
+  for (const char* line : kBad) {
+    const RequestParse parsed = parse_request(line);
+    EXPECT_FALSE(parsed.ok) << "line: " << line;
+    EXPECT_FALSE(parsed.error.empty()) << "line: " << line;
+  }
+}
+
+TEST(Protocol, RejectsBadV2Requests) {
+  const std::string long_session(kMaxSessionIdLen + 1, 's');
+  std::string too_many_patches =
+      R"({"v":2,"op":"patch","session":"s","patches":[)";
+  for (std::size_t i = 0; i <= kMaxPatchOps; ++i) {
+    if (i > 0) too_many_patches += ',';
+    too_many_patches += R"({"process":"p","latency":1})";
+  }
+  too_many_patches += "]}";
+  const std::string kBad[] = {
+      R"({"v":2,"op":"open_session","soc":"x"})",          // missing session
+      R"({"v":2,"op":"open_session","session":"","soc":"x"})",  // empty
+      R"({"v":2,"op":"open_session","session":")" + long_session +
+          R"(","soc":"x"})",                               // session too long
+      R"({"v":2,"op":"open_session","session":"s"})",      // missing soc
+      R"({"v":2,"op":"close_session"})",                   // missing session
+      R"({"v":2,"op":"patch","session":"s"})",             // missing patches
+      R"({"v":2,"op":"patch","session":"s","patches":[]})",   // empty batch
+      R"({"v":2,"op":"patch","session":"s","patches":"x"})",  // not an array
+      R"({"v":2,"op":"patch","session":"s","patches":[1]})",  // not an object
+      // Patch ops must be exactly one of the four two-member shapes.
+      R"({"v":2,"op":"patch","session":"s","patches":[{}]})",
+      R"({"v":2,"op":"patch","session":"s","patches":[{"process":"p"}]})",
+      R"({"v":2,"op":"patch","session":"s","patches":[{"process":"p","latency":1,"select":0}]})",
+      R"({"v":2,"op":"patch","session":"s","patches":[{"process":"p","bogus":1}]})",
+      R"({"v":2,"op":"patch","session":"s","patches":[{"channel":"c","select":0}]})",
+      R"({"v":2,"op":"patch","session":"s","patches":[{"process":"","latency":1}]})",
+      R"({"v":2,"op":"patch","session":"s","patches":[{"process":"p","latency":-1}]})",
+      R"({"v":2,"op":"patch","session":"s","patches":[{"process":"p","select":-2}]})",
+      R"({"v":2,"op":"patch","session":"s","patches":[{"process":"p","latency":1.5}]})",
+      R"({"v":2,"op":"patch","session":"s","patches":[{"channel":"c","retarget":""}]})",
+      too_many_patches,
+      // hier must be boolean and only on soc-carrying ops.
+      R"({"v":2,"op":"analyze","soc":"x","hier":1})",
+      R"({"v":2,"op":"stats","hier":true})",
+      R"({"v":2,"op":"close_session","session":"s","hier":true})",
+      // patches only belong to the patch op.
+      R"({"v":2,"op":"analyze","soc":"x","patches":[{"process":"p","latency":1}]})",
+  };
+  for (const std::string& line : kBad) {
+    const RequestParse parsed = parse_request(line);
+    EXPECT_FALSE(parsed.ok) << "line: " << line;
+    EXPECT_FALSE(parsed.error.empty()) << "line: " << line;
+  }
+}
+
+TEST(Protocol, ParsesSessionRequests) {
+  const RequestParse open = parse_request(
+      R"({"v":2,"id":"o1","op":"open_session","session":"dec","soc":"x","hier":true})");
+  ASSERT_TRUE(open.ok) << open.error;
+  EXPECT_EQ(open.request.version, 2);
+  EXPECT_EQ(open.request.op, Op::kOpenSession);
+  EXPECT_EQ(open.request.session, "dec");
+  EXPECT_TRUE(open.request.hier);
+  EXPECT_EQ(open.request.soc, "x");
+
+  const RequestParse patch = parse_request(
+      R"({"v":2,"op":"patch","session":"dec","patches":[)"
+      R"({"process":"p","select":2},)"
+      R"({"process":"p","latency":7},)"
+      R"({"channel":"c","latency":0},)"
+      R"({"channel":"c","retarget":"q"}]})");
+  ASSERT_TRUE(patch.ok) << patch.error;
+  ASSERT_EQ(patch.request.patches.size(), 4u);
+  EXPECT_EQ(patch.request.patches[0].kind, PatchOp::Kind::kSelect);
+  EXPECT_EQ(patch.request.patches[0].process, "p");
+  EXPECT_EQ(patch.request.patches[0].value, 2);
+  EXPECT_EQ(patch.request.patches[1].kind, PatchOp::Kind::kProcessLatency);
+  EXPECT_EQ(patch.request.patches[1].value, 7);
+  EXPECT_EQ(patch.request.patches[2].kind, PatchOp::Kind::kChannelLatency);
+  EXPECT_EQ(patch.request.patches[2].channel, "c");
+  EXPECT_EQ(patch.request.patches[2].value, 0);
+  EXPECT_EQ(patch.request.patches[3].kind, PatchOp::Kind::kRetarget);
+  EXPECT_EQ(patch.request.patches[3].target, "q");
+
+  const RequestParse close = parse_request(
+      R"({"v":2,"op":"close_session","session":"dec"})");
+  ASSERT_TRUE(close.ok) << close.error;
+  EXPECT_EQ(close.request.op, Op::kCloseSession);
+
+  // v2 is also a plain superset for the v1 ops.
+  const RequestParse analyze =
+      parse_request(R"({"v":2,"op":"analyze","soc":"x"})");
+  ASSERT_TRUE(analyze.ok) << analyze.error;
+  EXPECT_EQ(analyze.request.version, 2);
+  EXPECT_FALSE(analyze.request.hier);
+}
+
+TEST(Protocol, ResponsesEchoTheRequestVersion) {
+  const std::string v1 =
+      encode_ok(JsonValue::string("a"), JsonValue::object(), 1);
+  EXPECT_NE(v1.find("\"v\":1"), std::string::npos) << v1;
+  const std::string v2 = encode_error(JsonValue::string("b"),
+                                      ErrorCode::kBadRequest, "nope", 2);
+  EXPECT_NE(v2.find("\"v\":2"), std::string::npos) << v2;
 }
 
 TEST(Protocol, EncodeRequestRoundTrips) {
@@ -424,6 +542,244 @@ TEST(Broker, StatsReportsCounters) {
   EXPECT_GE(broker_stats->find("accepted")->as_int(), 2);
   ASSERT_NE(stats.result.find("cache"), nullptr);
   ASSERT_NE(stats.result.find("metrics"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Broker: incremental sessions (protocol v2)
+
+// Builds a v2 request line with properly escaped members. `patches` is a
+// JSON array literal (validated here so tests fail loudly on typos).
+std::string v2_line(const std::string& op, const std::string& session,
+                    const std::string& soc = "", bool hier = false,
+                    const std::string& patches = "") {
+  JsonValue req = JsonValue::object();
+  req.set("v", JsonValue::integer(2));
+  req.set("op", JsonValue::string(op));
+  if (!session.empty()) req.set("session", JsonValue::string(session));
+  if (!soc.empty()) req.set("soc", JsonValue::string(soc));
+  if (hier) req.set("hier", JsonValue::boolean(true));
+  if (!patches.empty()) {
+    const JsonParseResult parsed = json_parse(patches);
+    EXPECT_TRUE(parsed.ok) << patches << ": " << parsed.error;
+    req.set("patches", parsed.value);
+  }
+  return req.to_string();
+}
+
+std::string hier_pipeline_soc() {
+  return "subsystem stage\n"
+         "  port in din = head\n"
+         "  port out dout = tail\n"
+         "  process head latency 4\n"
+         "  process tail latency 6\n"
+         "  channel link head -> tail latency 1 capacity 2\n"
+         "end\n"
+         "process src latency 2\n"
+         "process snk latency 1\n"
+         "instance front stage\n"
+         "instance mid stage\n"
+         "instance back stage\n"
+         "channel feed src -> front.din latency 1 capacity unbounded\n"
+         "channel fm front.dout -> mid.din latency 1 capacity unbounded\n"
+         "channel mb mid.dout -> back.din latency 1 capacity unbounded\n"
+         "channel out back.dout -> snk latency 1 capacity unbounded\n";
+}
+
+TEST(BrokerSession, RoundTripMatchesColdAnalysisBitForBit) {
+  Broker broker({.workers = 2});
+  const sysmodel::SystemModel base = sysmodel::make_dac14_motivating_example();
+
+  const ResponseView open = parse_response(
+      broker.handle_line_sync(v2_line("open_session", "s1", demo_soc())));
+  ASSERT_TRUE(open.ok) << open.parse_error;
+  ASSERT_TRUE(open.success) << open.error_message;
+  const analysis::PerformanceReport cold = analysis::analyze_system(base);
+  EXPECT_EQ(open.result.find("session")->as_string(), "s1");
+  EXPECT_EQ(open.result.find("ct_num")->as_int(), cold.ct_num);
+  EXPECT_EQ(open.result.find("ct_den")->as_int(), cold.ct_den);
+  EXPECT_EQ(open.result.find("cycle_time")->as_double(), cold.cycle_time);
+  EXPECT_GE(open.result.find("sccs")->as_int(), 1);
+  EXPECT_EQ(broker.stats().sessions, 1);
+
+  // Patch one process latency; the session's re-analysis must equal a cold
+  // analysis of the same mutation.
+  sysmodel::SystemModel patched = base;
+  const std::string pname = patched.process_name(0);
+  patched.set_latency(0, 40);
+  const analysis::PerformanceReport expected =
+      analysis::analyze_system(patched);
+  const ResponseView pr = parse_response(broker.handle_line_sync(v2_line(
+      "patch", "s1", "", false,
+      R"([{"process":")" + pname + R"(","latency":40}])")));
+  ASSERT_TRUE(pr.success) << pr.error_message;
+  EXPECT_EQ(pr.result.find("patched")->as_int(), 1);
+  EXPECT_EQ(pr.result.find("ct_num")->as_int(), expected.ct_num);
+  EXPECT_EQ(pr.result.find("ct_den")->as_int(), expected.ct_den);
+  EXPECT_EQ(pr.result.find("cycle_time")->as_double(), expected.cycle_time);
+
+  const ResponseView close =
+      parse_response(broker.handle_line_sync(v2_line("close_session", "s1")));
+  ASSERT_TRUE(close.success) << close.error_message;
+  EXPECT_TRUE(close.result.find("closed")->as_bool());
+  EXPECT_EQ(broker.stats().sessions, 0);
+
+  // The session is really gone.
+  const ResponseView after = parse_response(broker.handle_line_sync(v2_line(
+      "patch", "s1", "", false,
+      R"([{"process":")" + pname + R"(","latency":7}])")));
+  EXPECT_FALSE(after.success);
+  EXPECT_EQ(after.error_code, "bad_request");
+  EXPECT_NE(after.error_message.find("unknown session"), std::string::npos);
+}
+
+TEST(BrokerSession, PatchBatchesAreAtomic) {
+  Broker broker({.workers = 1});
+  const sysmodel::SystemModel base = sysmodel::make_dac14_motivating_example();
+  const analysis::PerformanceReport cold = analysis::analyze_system(base);
+  ASSERT_TRUE(parse_response(broker.handle_line_sync(
+                  v2_line("open_session", "s", demo_soc())))
+                  .success);
+
+  // First op is valid, second is not: nothing may be applied.
+  const std::string pname = base.process_name(0);
+  const ResponseView bad = parse_response(broker.handle_line_sync(v2_line(
+      "patch", "s", "", false,
+      R"([{"process":")" + pname + R"(","latency":40},)" +
+          R"({"process":"no_such_process","latency":1}])")));
+  ASSERT_FALSE(bad.success);
+  EXPECT_EQ(bad.error_code, "bad_request");
+  EXPECT_NE(bad.error_message.find("patch 1"), std::string::npos)
+      << bad.error_message;
+
+  // A no-op patch re-analyzes: the report matches the *unpatched* model,
+  // proving the valid first op of the failed batch was rolled... never
+  // applied in the first place.
+  const ResponseView still = parse_response(broker.handle_line_sync(v2_line(
+      "patch", "s", "", false,
+      R"([{"process":")" + pname + R"(","latency":)" +
+          std::to_string(base.latency(0)) + "}]")));
+  ASSERT_TRUE(still.success) << still.error_message;
+  EXPECT_EQ(still.result.find("ct_num")->as_int(), cold.ct_num);
+  EXPECT_EQ(still.result.find("ct_den")->as_int(), cold.ct_den);
+}
+
+TEST(BrokerSession, HierModelsOpenAndPatchThroughTheFlattenedPath) {
+  Broker broker({.workers = 1});
+  const io::ParseResult flat = io::parse_soc_flattened(hier_pipeline_soc());
+  ASSERT_TRUE(flat.ok) << flat.error;
+
+  // hier:true also applies to plain analyze.
+  const std::string analyze_line = [&] {
+    JsonValue req = JsonValue::object();
+    req.set("v", JsonValue::integer(2));
+    req.set("op", JsonValue::string("analyze"));
+    req.set("soc", JsonValue::string(hier_pipeline_soc()));
+    req.set("hier", JsonValue::boolean(true));
+    return req.to_string();
+  }();
+  const ResponseView analyzed =
+      parse_response(broker.handle_line_sync(analyze_line));
+  ASSERT_TRUE(analyzed.success) << analyzed.error_message;
+  const analysis::PerformanceReport cold =
+      analysis::analyze_system(flat.system);
+  EXPECT_EQ(analyzed.result.find("ct_num")->as_int(), cold.ct_num);
+
+  // Without hier, the flat parser rejects the subsystem grammar.
+  const ResponseView rejected = parse_response(broker.handle_line_sync(
+      encode_request(Op::kAnalyze, JsonValue::null(), hier_pipeline_soc())));
+  EXPECT_FALSE(rejected.success);
+  EXPECT_EQ(rejected.error_code, "bad_request");
+
+  // Hier session: patch a flattened (dotted) process by name.
+  const ResponseView open = parse_response(broker.handle_line_sync(
+      v2_line("open_session", "h", hier_pipeline_soc(), /*hier=*/true)));
+  ASSERT_TRUE(open.success) << open.error_message;
+  EXPECT_EQ(open.result.find("sccs")->as_int(), 5);
+  sysmodel::SystemModel patched = flat.system;
+  patched.set_latency(patched.find_process("back.head"), 20);
+  const analysis::PerformanceReport expected =
+      analysis::analyze_system(patched);
+  const ResponseView pr = parse_response(broker.handle_line_sync(v2_line(
+      "patch", "h", "", false,
+      R"([{"process":"back.head","latency":20}])")));
+  ASSERT_TRUE(pr.success) << pr.error_message;
+  EXPECT_EQ(pr.result.find("ct_num")->as_int(), expected.ct_num);
+  EXPECT_EQ(pr.result.find("ct_den")->as_int(), expected.ct_den);
+  // Only the patched stage's component re-solved; the rest stayed clean.
+  EXPECT_LT(pr.result.find("sccs_solved")->as_int() +
+                pr.result.find("sccs_reused")->as_int(),
+            pr.result.find("sccs")->as_int());
+}
+
+TEST(BrokerSession, TableIsBoundedAndDuplicatesRejected) {
+  Broker broker({.workers = 1, .max_sessions = 2});
+  ASSERT_TRUE(parse_response(broker.handle_line_sync(
+                  v2_line("open_session", "a", demo_soc())))
+                  .success);
+  const ResponseView dup = parse_response(
+      broker.handle_line_sync(v2_line("open_session", "a", demo_soc())));
+  EXPECT_FALSE(dup.success);
+  EXPECT_EQ(dup.error_code, "bad_request");
+  EXPECT_NE(dup.error_message.find("already open"), std::string::npos);
+
+  ASSERT_TRUE(parse_response(broker.handle_line_sync(
+                  v2_line("open_session", "b", demo_soc())))
+                  .success);
+  const ResponseView full = parse_response(
+      broker.handle_line_sync(v2_line("open_session", "c", demo_soc())));
+  EXPECT_FALSE(full.success);
+  EXPECT_EQ(full.error_code, "overloaded");
+
+  // Closing a session frees a slot.
+  ASSERT_TRUE(parse_response(
+                  broker.handle_line_sync(v2_line("close_session", "a")))
+                  .success);
+  EXPECT_TRUE(parse_response(broker.handle_line_sync(
+                  v2_line("open_session", "c", demo_soc())))
+                  .success);
+  EXPECT_EQ(broker.stats().sessions, 2);
+}
+
+TEST(BrokerSession, ResponsesEchoTheRequestVersion) {
+  Broker broker({.workers = 1});
+  // A version-less (v1) request gets a v1 envelope; session ops on v1 are
+  // rejected — v1 clients observe exactly the pre-v2 behaviour.
+  JsonValue v1 = JsonValue::object();
+  v1.set("op", JsonValue::string("analyze"));
+  v1.set("soc", JsonValue::string(demo_soc()));
+  const std::string v1_response = broker.handle_line_sync(v1.to_string());
+  EXPECT_NE(v1_response.find("\"v\":1"), std::string::npos) << v1_response;
+  ASSERT_TRUE(parse_response(v1_response).success);
+
+  const std::string v2_response =
+      broker.handle_line_sync(v2_line("open_session", "s", demo_soc()));
+  EXPECT_NE(v2_response.find("\"v\":2"), std::string::npos) << v2_response;
+  ASSERT_TRUE(parse_response(v2_response).success);
+
+  const std::string v1_session = broker.handle_line_sync(
+      R"({"v":1,"op":"close_session","session":"s"})");
+  const ResponseView view = parse_response(v1_session);
+  EXPECT_FALSE(view.success);
+  EXPECT_EQ(view.error_code, "bad_request");
+  EXPECT_NE(view.error_message.find("v2"), std::string::npos)
+      << view.error_message;
+  EXPECT_NE(v1_session.find("\"v\":1"), std::string::npos) << v1_session;
+}
+
+TEST(BrokerSession, HostileHierCorpusComesBackAsBadRequest) {
+  Broker broker({.workers = 1});
+  for (const ermes::testing::BadSoc& bad : ermes::testing::bad_hier_corpus()) {
+    const ResponseView view = parse_response(broker.handle_line_sync(
+        v2_line("open_session", "x", bad.text, /*hier=*/true)));
+    ASSERT_TRUE(view.ok) << bad.label << ": " << view.parse_error;
+    EXPECT_FALSE(view.success) << bad.label;
+    EXPECT_EQ(view.error_code, "bad_request") << bad.label;
+  }
+  EXPECT_EQ(broker.stats().sessions, 0);
+  // Still healthy afterwards.
+  EXPECT_TRUE(parse_response(broker.handle_line_sync(
+                  v2_line("open_session", "x", demo_soc())))
+                  .success);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,10 @@
 // ermes — command-line driver for the whole methodology.
 //
 //   ermes analyze  <file.soc>              performance report + deadlock diagnosis
+//   ermes compose  <file.soc> [-o out.soc] [--dot] [--report]
+//                                          flatten a hierarchical model; emit the
+//                                          flat .soc, an SCC-colored/clustered TMG
+//                                          dot, or a per-component analysis
 //   ermes order    <file.soc> [-o out.soc] channel ordering (Algorithm 1 + safety nets)
 //   ermes simulate <file.soc> [items]      cycle-accurate rendezvous simulation
 //   ermes dse      <file.soc> <tct>        ERMES exploration toward a target cycle time
@@ -20,6 +24,8 @@
 //   --trace <out.json>     enable telemetry, write a Chrome trace (Perfetto)
 //   --log <level>          trace|debug|info|warn|error|off (default warn)
 //   --jobs <N>             parallelism for dse/sweep/sens (default 1; 0 = all cores)
+//   --hier                 parse .soc inputs through the hierarchical grammar
+//                          (subsystem/instance/port) and flatten before use
 //
 // Exit codes: 0 success, 1 I/O or internal failure, 2 usage error, 3 model
 // parse error, 4 analysis-domain failure (deadlock, target not met). Every
@@ -39,10 +45,13 @@
 #include "analysis/sensitivity.h"
 #include "analysis/tmg_builder.h"
 #include "analysis/performance.h"
+#include "comp/flatten.h"
+#include "comp/partition.h"
 #include "dse/explorer.h"
 #include "exec/thread_pool.h"
 #include "graph/dot.h"
 #include "io/soc_format.h"
+#include "io/soc_hier.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/span.h"
@@ -76,11 +85,13 @@ int usage() {
   std::fprintf(stderr, "error: invalid usage\n");
   std::fprintf(stderr,
                "usage: ermes "
-               "<analyze|order|simulate|dse|sweep|size|stats|sens|dot|tmgdot|"
-               "profile|demo|serve|request> "
+               "<analyze|compose|order|simulate|dse|sweep|size|stats|sens|dot|"
+               "tmgdot|profile|demo|serve|request> "
                "<file.soc> [args]\n"
                "       global flags: [--metrics out.json] [--trace out.json] "
-               "[--log trace|debug|info|warn|error|off] [--jobs N]\n"
+               "[--log trace|debug|info|warn|error|off] [--jobs N] [--hier]\n"
+               "       compose: ermes compose <file.soc> [-o out.soc] [--dot] "
+               "[--report]\n"
                "       serve:   ermes serve [--socket path | --port N] "
                "[--workers N] [--queue N] [--deadline-ms N]\n"
                "       request: ermes request (--socket path | --port N) "
@@ -110,7 +121,12 @@ struct GlobalOptions {
   std::string metrics_path;
   std::string trace_path;
   int jobs = 1;  // evaluation parallelism; 0 = all cores
+  bool hier = false;  // parse model inputs through the hierarchical grammar
 };
+
+// `--hier` routing for every command's model loads (load() below has many
+// callers that don't see GlobalOptions; the flag is process-global anyway).
+bool g_hier_input = false;
 
 // Effective parallelism from --jobs (0 = all cores).
 std::size_t effective_jobs(const GlobalOptions& options) {
@@ -140,6 +156,11 @@ bool extract_global_flags(int argc, char** argv, GlobalOptions& options,
                           std::vector<char*>& positional) {
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
+    if (std::strcmp(arg, "--hier") == 0) {
+      options.hier = true;
+      g_hier_input = true;
+      continue;
+    }
     if (std::strcmp(arg, "--metrics") == 0 ||
         std::strcmp(arg, "--trace") == 0 || std::strcmp(arg, "--log") == 0 ||
         std::strcmp(arg, "--jobs") == 0) {
@@ -201,7 +222,7 @@ bool flush_telemetry(const GlobalOptions& options) {
 }
 
 bool load(const char* path, io::ParseResult& parsed) {
-  parsed = io::load_soc(path);
+  parsed = g_hier_input ? io::load_soc_flattened(path) : io::load_soc(path);
   if (!parsed.ok) {
     std::fprintf(stderr, "error: %s: %s\n", path, parsed.error.c_str());
     return false;
@@ -219,6 +240,106 @@ int cmd_analyze(const char* path) {
   if (!report.live) {
     std::fprintf(stderr, "error: system deadlocks\n");
     return kExitAnalysis;
+  }
+  return kExitOk;
+}
+
+// `ermes compose`: parse a hierarchical model, flatten it deterministically,
+// and emit the flat .soc (default / -o), an SCC-colored + instance-clustered
+// TMG rendering (--dot), or the partitioned per-component analysis
+// (--report).
+int cmd_compose(int argc, char** argv) {
+  const char* path = nullptr;
+  const char* out_path = nullptr;
+  bool dot = false;
+  bool report = false;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-o") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: -o needs a value\n");
+        return kExitUsage;
+      }
+      out_path = argv[++i];
+    } else if (std::strcmp(arg, "--dot") == 0) {
+      dot = true;
+    } else if (std::strcmp(arg, "--report") == 0) {
+      report = true;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
+      return kExitUsage;
+    } else if (path == nullptr) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+
+  const io::HierParseResult hier = io::load_soc_hier(path);
+  if (!hier.ok) {
+    std::fprintf(stderr, "error: %s: %s\n", path, hier.error.c_str());
+    return kExitParse;
+  }
+  comp::FlattenResult flat = comp::flatten(hier.hier);
+  if (!flat.ok) {
+    std::fprintf(stderr, "error: %s: %s\n", path, flat.error.c_str());
+    return kExitParse;
+  }
+  const sysmodel::SystemModel& sys = flat.system;
+  // Status goes to stderr: stdout carries the machine-readable artifact
+  // (the flat .soc, or the dot graph) and must stay pipeable.
+  std::fprintf(stderr, "flattened %s: %lld processes, %lld channels\n",
+               hier.system_name.c_str(),
+               static_cast<long long>(sys.num_processes()),
+               static_cast<long long>(sys.num_channels()));
+
+  if (out_path != nullptr) {
+    if (!io::save_soc(sys, out_path, hier.system_name)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path);
+      return kExitFailure;
+    }
+    std::fprintf(stderr, "wrote %s\n", out_path);
+  }
+
+  if (dot) {
+    const analysis::SystemTmg stmg = analysis::build_tmg(sys);
+    tmg::TmgDotOptions options;
+    options.graph_name = hier.system_name;
+    options.color_sccs = true;
+    // Cluster path of a transition = the instance path of the process or
+    // channel it elaborates ("dec.vld.parse" -> "dec.vld"; undotted names
+    // stay at top level).
+    options.transition_cluster = [&stmg, &sys](tmg::TransitionId t) {
+      const analysis::TransitionOrigin& origin =
+          stmg.transition_origin[static_cast<std::size_t>(t)];
+      const std::string& name =
+          origin.kind == analysis::TransitionOrigin::Kind::kCompute
+              ? sys.process_name(origin.process)
+              : sys.channel_name(origin.channel);
+      const std::size_t last_dot = name.rfind('.');
+      return last_dot == std::string::npos ? std::string()
+                                           : name.substr(0, last_dot);
+    };
+    std::printf("%s", tmg::to_dot(stmg.graph, options).c_str());
+    return kExitOk;
+  }
+
+  if (report) {
+    const comp::PartitionedReport part = comp::analyze_partitioned(sys);
+    std::printf("%s\n", comp::summarize_partitioned(part, sys).c_str());
+    if (!part.report.live) {
+      std::fprintf(stderr, "error: system deadlocks\n");
+      return kExitAnalysis;
+    }
+    std::printf("cycle time %s, throughput %s\n",
+                util::format_double(part.report.cycle_time).c_str(),
+                util::format_double(part.report.throughput, 6).c_str());
+    return kExitOk;
+  }
+
+  if (out_path == nullptr) {
+    std::printf("%s", io::write_soc(sys, hier.system_name).c_str());
   }
   return kExitOk;
 }
@@ -671,6 +792,7 @@ int dispatch(int argc, char** argv, const GlobalOptions& global) {
   }
   if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "request") return cmd_request(argc, argv);
+  if (cmd == "compose") return cmd_compose(argc, argv);
   if (argc < 3) return usage();
   // Positional integers parse strictly: `ermes dse f.soc ten` is a usage
   // error, not a silent tct=0.
