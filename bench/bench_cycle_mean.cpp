@@ -1,19 +1,32 @@
 // A3 — Microbenchmarks of the cycle-time engines: Howard's policy iteration
 // (production) vs Lawler's binary search vs Karp vs brute-force enumeration,
-// and the end-to-end analysis pipeline. Quantifies why the paper picked
-// Howard's algorithm.
+// the warm CSR solver core, and the end-to-end analysis pipeline. Quantifies
+// why the paper picked Howard's algorithm.
+//
+// Besides the google-benchmark suite, every run first emits a compact
+// cold-vs-warm summary to BENCH_cycle_mean.json (override with --out);
+// --json-only stops after that, which is what the bench-smoke CTest entry
+// runs. All other flags pass through to google-benchmark.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "analysis/performance.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "ordering/channel_ordering.h"
+#include "svc/json.h"
 #include "synth/generator.h"
 #include "tmg/brute_force.h"
+#include "tmg/csr.h"
 #include "tmg/howard.h"
 #include "tmg/karp.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 using namespace ermes;
 
@@ -54,6 +67,24 @@ void BM_Howard(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Howard)->Arg(32)->Arg(256)->Arg(2048)->Arg(16384);
+
+// The CSR solver core on the same workload, warm: the structure is compiled
+// once and each iteration is a weight refresh + canonical-start solve —
+// bit-identical results without ratio-graph construction, Tarjan, or
+// scratch allocation (see tmg/csr.h).
+void BM_HowardWarmCsr(benchmark::State& state) {
+  tmg::RatioGraph rg =
+      random_ratio_graph(static_cast<std::int32_t>(state.range(0)), 11);
+  tmg::CycleMeanSolver solver;
+  solver.prepare(rg);
+  util::Rng rng(23);
+  for (auto _ : state) {
+    rg.weight[rng.index(rg.weight.size())] = rng.uniform_int(1, 100);
+    solver.prepare(rg);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_HowardWarmCsr)->Arg(32)->Arg(256)->Arg(2048)->Arg(16384);
 
 // Same workload with telemetry collection on: quantifies the overhead
 // contract (must stay within a few percent of BM_Howard). The span ring is
@@ -117,6 +148,105 @@ void BM_ChannelOrdering(benchmark::State& state) {
 }
 BENCHMARK(BM_ChannelOrdering)->Arg(100)->Arg(1000)->Arg(10000);
 
+// Compact cold-vs-warm summary for the CI artifact: one random strongly
+// connected ratio graph, a deterministic weight-mutation loop, per-step
+// bit-identity. cold = monolithic max_cycle_ratio_howard per step; warm =
+// CycleMeanSolver weight refresh + solve (compile outside the loop).
+bool write_summary_json(const std::string& out_path) {
+  const std::int32_t n = 2048;
+  const int steps = 48;
+  tmg::RatioGraph rg = random_ratio_graph(n, 11);
+  const auto arcs = static_cast<std::int64_t>(rg.weight.size());
+
+  util::Rng rng(29);
+  std::vector<std::size_t> arc_of(static_cast<std::size_t>(steps));
+  std::vector<std::int64_t> weight_of(static_cast<std::size_t>(steps));
+  for (int s = 0; s < steps; ++s) {
+    arc_of[static_cast<std::size_t>(s)] = rng.index(rg.weight.size());
+    weight_of[static_cast<std::size_t>(s)] = rng.uniform_int(1, 100);
+  }
+
+  std::vector<tmg::CycleRatioResult> cold(static_cast<std::size_t>(steps));
+  util::Stopwatch sw;
+  for (int s = 0; s < steps; ++s) {
+    rg.weight[arc_of[static_cast<std::size_t>(s)]] =
+        weight_of[static_cast<std::size_t>(s)];
+    cold[static_cast<std::size_t>(s)] = tmg::max_cycle_ratio_howard(rg);
+  }
+  const double cold_ms = sw.elapsed_ms();
+
+  tmg::RatioGraph warm_rg = random_ratio_graph(n, 11);
+  tmg::CycleMeanSolver solver;
+  solver.prepare(warm_rg);
+  bool identical = true;
+  sw.reset();
+  for (int s = 0; s < steps; ++s) {
+    warm_rg.weight[arc_of[static_cast<std::size_t>(s)]] =
+        weight_of[static_cast<std::size_t>(s)];
+    solver.prepare(warm_rg);
+    const tmg::CycleRatioResult r = solver.solve();
+    const tmg::CycleRatioResult& c = cold[static_cast<std::size_t>(s)];
+    identical = identical && r.has_cycle == c.has_cycle &&
+                r.ratio_num == c.ratio_num && r.ratio_den == c.ratio_den &&
+                r.critical_cycle == c.critical_cycle;
+  }
+  const double warm_ms = sw.elapsed_ms();
+
+  const double cold_ns = cold_ms * 1e6 / steps;
+  const double warm_ns = warm_ms * 1e6 / steps;
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+
+  svc::JsonValue report = svc::JsonValue::object();
+  report.set("name", svc::JsonValue::string("cycle_mean"));
+  report.set("n", svc::JsonValue::integer(n));
+  report.set("arcs", svc::JsonValue::integer(arcs));
+  report.set("steps", svc::JsonValue::integer(steps));
+  report.set("cold_ns", svc::JsonValue::number(cold_ns));
+  report.set("warm_ns", svc::JsonValue::number(warm_ns));
+  report.set("speedup", svc::JsonValue::number(speedup));
+  report.set("bit_identical", svc::JsonValue::boolean(identical));
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return false;
+  }
+  const std::string json = report.to_string();
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("cycle_mean summary: cold %.1f us, warm %.1f us, speedup "
+              "%.2fx, bit_identical=%d -> %s\n",
+              cold_ns / 1e3, warm_ns / 1e3, speedup, identical ? 1 : 0,
+              out_path.c_str());
+  return identical;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json_only = false;
+  std::string out_path = "BENCH_cycle_mean.json";
+  // Strip our own flags before handing the rest to google-benchmark.
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  if (!write_summary_json(out_path)) return 1;
+  if (json_only) return 0;
+
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -174,7 +174,8 @@ void EvalCache::insert_aux(std::uint64_t key,
   shard.map.emplace(key, payload);
 }
 
-PerformanceReport EvalCache::analyze(const sysmodel::SystemModel& sys) {
+PerformanceReport EvalCache::analyze(const sysmodel::SystemModel& sys,
+                                     tmg::CycleMeanSolver* solver) {
   const std::uint64_t fingerprint = system_fingerprint(sys);
   PerformanceReport report;
   if (lookup(fingerprint, &report)) {
@@ -189,7 +190,17 @@ PerformanceReport EvalCache::analyze(const sysmodel::SystemModel& sys) {
 #endif
     return report;
   }
-  report = analyze_system(sys);
+  report = solver != nullptr ? analyze_system(sys, *solver)
+                             : analyze_system(sys);
+#ifndef NDEBUG
+  // The solver path promises bit-identity with the sequential path; sample it
+  // with the same cadence as hits.
+  if (solver != nullptr &&
+      verify_tick_.fetch_add(1, std::memory_order_relaxed) % 16 == 0) {
+    assert(reports_bit_identical(report, analyze_system(sys)) &&
+           "EvalCache: CSR solver report diverges from sequential analysis");
+  }
+#endif
   insert(fingerprint, report);
   return report;
 }

@@ -71,7 +71,13 @@ class EvalCache {
   /// Memoized analysis::analyze_system: returns the cached report when the
   /// fingerprint of `sys` was seen before, computes and stores it otherwise.
   /// Thread-safe; results are bit-identical to the uncached path.
-  PerformanceReport analyze(const sysmodel::SystemModel& sys);
+  ///
+  /// When `solver` is non-null, cache misses are computed through it (see
+  /// tmg/csr.h) so repeated same-topology misses reuse the compiled CSR and
+  /// workspaces. The solver is NOT internally synchronized: concurrent
+  /// callers must pass distinct solvers (e.g. one per pool worker).
+  PerformanceReport analyze(const sysmodel::SystemModel& sys,
+                            tmg::CycleMeanSolver* solver = nullptr);
 
   /// Direct probe (no computation). Returns true and fills *out on a hit.
   /// Counts toward the hit/miss statistics.

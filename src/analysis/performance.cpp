@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "tmg/csr.h"
 #include "tmg/howard.h"
 #include "tmg/liveness.h"
 #include "util/table.h"
@@ -26,6 +27,23 @@ PerformanceReport analyze(const SystemTmg& stmg) {
 
   const tmg::RatioGraph rg = tmg::to_ratio_graph(stmg.graph);
   return report_from_ratio(stmg, tmg::max_cycle_ratio_howard(rg));
+}
+
+PerformanceReport analyze(const SystemTmg& stmg, tmg::CycleMeanSolver& solver) {
+  obs::ObsSpan span("analysis.analyze", "analysis");
+  obs::count("analysis.analyses");
+  PerformanceReport report;
+
+  const tmg::LivenessResult liveness = tmg::check_liveness(stmg.graph);
+  if (!liveness.live) {
+    report.live = false;
+    report.dead_cycle = liveness.dead_cycle;
+    return report;
+  }
+  report.live = true;
+
+  solver.prepare(stmg.graph);
+  return report_from_ratio(stmg, solver.solve());
 }
 
 PerformanceReport report_from_ratio(const SystemTmg& stmg,
@@ -66,6 +84,11 @@ PerformanceReport report_from_ratio(const SystemTmg& stmg,
 
 PerformanceReport analyze_system(const sysmodel::SystemModel& sys) {
   return analyze(build_tmg(sys));
+}
+
+PerformanceReport analyze_system(const sysmodel::SystemModel& sys,
+                                 tmg::CycleMeanSolver& solver) {
+  return analyze(build_tmg(sys), solver);
 }
 
 std::string summarize(const PerformanceReport& report,

@@ -14,6 +14,10 @@
 #include "sysmodel/system.h"
 #include "tmg/cycle_ratio.h"
 
+namespace ermes::tmg {
+class CycleMeanSolver;
+}  // namespace ermes::tmg
+
 namespace ermes::analysis {
 
 struct PerformanceReport {
@@ -42,6 +46,12 @@ struct PerformanceReport {
 /// Analyzes a pre-built TMG.
 PerformanceReport analyze(const SystemTmg& stmg);
 
+/// Same analysis through a caller-owned CSR solver (see tmg/csr.h): the
+/// solver's compiled structure and workspaces are reused across calls, so
+/// repeated analyses of the same topology with different latencies skip
+/// graph construction entirely. Results are bit-identical to analyze().
+PerformanceReport analyze(const SystemTmg& stmg, tmg::CycleMeanSolver& solver);
+
 /// Builds a live report from an already-computed max cycle ratio of
 /// `stmg`'s ratio graph: maps the critical cycle back to processes and
 /// channels exactly as analyze() does. The SCC-partitioned engine in
@@ -51,6 +61,10 @@ PerformanceReport report_from_ratio(const SystemTmg& stmg,
 
 /// Builds the TMG of `sys` and analyzes it.
 PerformanceReport analyze_system(const sysmodel::SystemModel& sys);
+
+/// Builds the TMG of `sys` and analyzes it through a caller-owned solver.
+PerformanceReport analyze_system(const sysmodel::SystemModel& sys,
+                                 tmg::CycleMeanSolver& solver);
 
 /// Human-readable one-paragraph summary (for logs and examples).
 std::string summarize(const PerformanceReport& report,

@@ -16,6 +16,27 @@ SystemTmg build_tmg(const SystemModel& sys) {
   obs::count("analysis.tmg_builds");
   SystemTmg out;
 
+  // Exact transition/place counts are known up front, so reserve once and
+  // never reallocate during elaboration: one transition per channel plus a
+  // read transition for FIFOs, one per process; one place per ring element
+  // plus the FIFO data/space couplings.
+  std::int32_t transitions = sys.num_processes() + sys.num_channels();
+  std::int64_t places = 0;
+  for (ChannelId c = 0; c < sys.num_channels(); ++c) {
+    const std::int64_t capacity = sys.channel_capacity(c);
+    if (capacity != 0) {
+      ++transitions;
+      places += capacity > 0 ? 2 : 1;
+    }
+  }
+  for (ProcessId p = 0; p < sys.num_processes(); ++p) {
+    places += static_cast<std::int64_t>(sys.input_order(p).size() +
+                                        sys.output_order(p).size() + 1);
+  }
+  out.graph.reserve(transitions, static_cast<std::int32_t>(places));
+  out.transition_origin.reserve(static_cast<std::size_t>(transitions));
+  out.place_role.reserve(static_cast<std::size_t>(places));
+
   // Transitions. A rendezvous channel is one shared transition; a FIFO
   // channel splits into a write transition (delay = channel latency, in the
   // producer's ring) and a zero-delay read transition (consumer's ring),

@@ -338,9 +338,40 @@ struct Flattener {
     return true;
   }
 
+  // Counts the flattened process/channel totals (same traversal shape as
+  // expand(), minus validation) so the system model reserves exactly once.
+  // Bails at the depth cap and on unknown subsystems — expand() reports
+  // those as errors; an undercount here only costs a reallocation.
+  void reserve_system() {
+    struct Frame {
+      const SubsystemDef* def;
+      std::size_t next;
+    };
+    std::vector<Frame> stack;
+    std::size_t processes = 0;
+    std::size_t channels = 0;
+    stack.push_back({&hier.top, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next == 0) {
+        processes += frame.def->processes.size();
+        channels += frame.def->channels.size();
+      }
+      if (frame.next >= frame.def->instances.size() ||
+          stack.size() > static_cast<std::size_t>(kMaxHierDepth) + 1) {
+        stack.pop_back();
+        continue;
+      }
+      const auto dit = defs.find(frame.def->instances[frame.next++].subsystem);
+      if (dit != defs.end()) stack.push_back({dit->second, 0});
+    }
+    result.system.reserve(processes, channels);
+  }
+
   FlattenResult run() {
     result.ok = true;
     if (!index_defs() || !check_cycles()) return std::move(result);
+    reserve_system();
     Scope top;
     if (!expand(hier.top, "", 0, top)) return std::move(result);
     finalize_impls();

@@ -56,6 +56,10 @@ void IncrementalAnalyzer::rebuild() {
   live_ = liveness.live;
   dead_cycle_ = liveness.dead_cycle;
   sccs_ = graph::strongly_connected_components(rg_.g);
+  // Warm when only weights changed since the last rebuild (e.g. a channel
+  // retargeted and retargeted back); recompiles otherwise.
+  solver_.prepare(rg_,
+                  options_.pool != nullptr ? options_.pool->jobs() : 1);
   const auto n = static_cast<std::size_t>(sccs_.num_components);
   res_.assign(n, tmg::CycleRatioResult{});
   dirty_.assign(n, 1);
@@ -72,6 +76,7 @@ void IncrementalAnalyzer::apply_delay(tmg::TransitionId t,
   const std::int32_t comp = sccs_.component[static_cast<std::size_t>(t)];
   for (const graph::ArcId a : rg_.g.out_arcs(t)) {
     rg_.weight[static_cast<std::size_t>(a)] = delay;
+    solver_.set_arc_weight(a, delay);  // keep the CSR mirror in lockstep
     // Only arcs internal to t's component can lie on a cycle through t.
     const std::int32_t head_comp =
         sccs_.component[static_cast<std::size_t>(rg_.g.head(a))];
@@ -172,7 +177,7 @@ const PartitionedReport& IncrementalAnalyzer::analyze() {
   const auto solve_one = [&](std::size_t i) {
     bool from = false;
     const auto c = static_cast<std::int32_t>(todo[i]);
-    res_[todo[i]] = solve_scc(rg_, sccs_, c, options_.cache, &from);
+    res_[todo[i]] = solve_scc(solver_, c, options_.cache, &from);
     hit[i] = from ? 1 : 0;
   };
   if (options_.pool != nullptr && todo.size() > 1) {

@@ -30,6 +30,7 @@
 #include "exec/thread_pool.h"
 #include "graph/scc.h"
 #include "sysmodel/system.h"
+#include "tmg/csr.h"
 #include "tmg/cycle_ratio.h"
 #include "tmg/liveness.h"
 
@@ -84,6 +85,12 @@ class IncrementalAnalyzer {
 
   const Stats& stats() const { return stats_; }
 
+  /// Counters of the embedded CSR solver (compiles vs warm weight
+  /// refreshes, component solves); surfaced in service session reports.
+  const tmg::CycleMeanSolver::Stats& solver_stats() const {
+    return solver_.stats();
+  }
+
  private:
   void rebuild();
   /// Rewrites transition `t`'s delay in the TMG and ratio graph, dirtying
@@ -98,6 +105,10 @@ class IncrementalAnalyzer {
   analysis::SystemTmg stmg_;
   tmg::RatioGraph rg_;
   graph::SccResult sccs_;
+  /// CSR mirror of rg_: compiled on rebuild, weight-patched in lockstep by
+  /// apply_delay, and the engine behind every per-component solve. Its SCC
+  /// partition is identical to sccs_ by construction.
+  tmg::CycleMeanSolver solver_;
   bool live_ = false;
   std::vector<tmg::PlaceId> dead_cycle_;
   std::vector<tmg::CycleRatioResult> res_;  // per component

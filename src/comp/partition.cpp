@@ -83,6 +83,37 @@ std::uint64_t scc_fingerprint(const tmg::RatioGraph& rg,
   return h;
 }
 
+std::uint64_t scc_fingerprint(const tmg::CsrGraph& csr,
+                              const std::vector<std::int32_t>& component,
+                              std::int32_t comp_id,
+                              const std::vector<NodeId>& members) {
+  // Must hash the exact word sequence of the RatioGraph overload above so
+  // memo entries are interchangeable between the two paths. CSR slots
+  // preserve out_arcs order, so walking [row_ptr[n], row_ptr[n+1]) visits
+  // the same arcs in the same order.
+  std::uint64_t h = analysis::fingerprint_mix(0xcbf29ce484222325ULL, 0x5cc);
+  h = analysis::fingerprint_mix(h, members.size());
+  for (const NodeId n : members) {
+    h = analysis::fingerprint_mix(h, static_cast<std::uint64_t>(n));
+    const auto begin = static_cast<std::size_t>(
+        csr.row_ptr[static_cast<std::size_t>(n)]);
+    const auto end = static_cast<std::size_t>(
+        csr.row_ptr[static_cast<std::size_t>(n) + 1]);
+    for (std::size_t s = begin; s < end; ++s) {
+      const NodeId head = csr.slot_head[s];
+      if (component[static_cast<std::size_t>(head)] != comp_id) continue;
+      h = analysis::fingerprint_mix(
+          h, static_cast<std::uint64_t>(csr.slot_arc[s]));
+      h = analysis::fingerprint_mix(h, static_cast<std::uint64_t>(head));
+      h = analysis::fingerprint_mix(
+          h, static_cast<std::uint64_t>(csr.slot_weight[s]));
+      h = analysis::fingerprint_mix(
+          h, static_cast<std::uint64_t>(csr.slot_tokens[s]));
+    }
+  }
+  return h;
+}
+
 std::vector<std::int64_t> encode_scc_result(const tmg::CycleRatioResult& r) {
   std::vector<std::int64_t> payload;
   payload.reserve(3 + r.critical_cycle.size());
@@ -148,6 +179,45 @@ tmg::CycleRatioResult solve_scc(const tmg::RatioGraph& rg,
   }
   tmg::CycleRatioResult result =
       tmg::max_cycle_ratio_howard_scc(rg, sccs.component, comp_id, members);
+  if (cache != nullptr) cache->insert_aux(key, encode_scc_result(result));
+  return result;
+}
+
+tmg::CycleRatioResult solve_scc(const tmg::CycleMeanSolver& solver,
+                                std::int32_t comp_id,
+                                analysis::EvalCache* cache, bool* from_cache) {
+  if (from_cache != nullptr) *from_cache = false;
+  const graph::SccResult& sccs = solver.sccs();
+  const std::vector<NodeId>& members =
+      sccs.members[static_cast<std::size_t>(comp_id)];
+  // Pool-driven solves index one workspace per worker (the bank was sized to
+  // the pool in prepare()). A solver used serially from inside some *other*
+  // pool's worker (e.g. a service session: one analyzer per request task,
+  // bank of 1) sees an arbitrary worker slot — clamp to 0, which is safe
+  // precisely because such a solver has a single caller at a time.
+  std::size_t slot = exec::current_worker_slot();
+  if (slot >= solver.num_workspaces()) slot = 0;
+  tmg::HowardWorkspace& ws = solver.workspace(slot);
+  std::uint64_t key = 0;
+  if (cache != nullptr) {
+    key = scc_fingerprint(solver.csr(), sccs.component, comp_id, members);
+    std::vector<std::int64_t> payload;
+    if (cache->lookup_aux(key, &payload)) {
+      tmg::CycleRatioResult out;
+      if (decode_scc_result(payload, &out)) {
+#ifndef NDEBUG
+        if (g_verify_tick.fetch_add(1, std::memory_order_relaxed) % 16 == 0) {
+          assert(results_bit_identical(out,
+                                       solver.solve_component(comp_id, ws)) &&
+                 "stale or colliding per-SCC memo entry");
+        }
+#endif
+        if (from_cache != nullptr) *from_cache = true;
+        return out;
+      }
+    }
+  }
+  tmg::CycleRatioResult result = solver.solve_component(comp_id, ws);
   if (cache != nullptr) cache->insert_aux(key, encode_scc_result(result));
   return result;
 }
@@ -224,24 +294,57 @@ PartitionedReport analyze_partitioned(const SystemTmg& stmg,
     return part;
   }
 
-  const tmg::RatioGraph rg = tmg::to_ratio_graph(stmg.graph);
-  const graph::SccResult sccs = graph::strongly_connected_components(rg.g);
-  const auto n = static_cast<std::size_t>(sccs.num_components);
-  std::vector<tmg::CycleRatioResult> per(n);
-  std::vector<char> hit(n, 0);
-  const auto solve_one = [&](std::size_t i) {
-    bool from = false;
-    per[i] = solve_scc(rg, sccs, static_cast<std::int32_t>(i), options.cache,
-                       &from);
-    hit[i] = from ? 1 : 0;
-  };
-  if (options.pool != nullptr && n > 1) {
-    options.pool->parallel_for(n, solve_one, /*grain=*/1);
+  std::vector<tmg::CycleRatioResult> per;
+  std::vector<char> hit;
+  tmg::RatioGraph rg;          // legacy path only
+  graph::SccResult owned_sccs;  // legacy path only
+  const graph::SccResult* sccs = nullptr;
+
+  if (options.solver != nullptr) {
+    // CSR path: compile once per structure, re-read weights on warm calls,
+    // solve components on per-worker workspaces. Bit-identical (asserted
+    // below on a sampled subset).
+    tmg::CycleMeanSolver& solver = *options.solver;
+    const std::size_t jobs =
+        options.pool != nullptr ? options.pool->jobs() : 1;
+    solver.prepare(stmg.graph, jobs);
+    sccs = &solver.sccs();
+    const auto n = static_cast<std::size_t>(sccs->num_components);
+    per.resize(n);
+    hit.assign(n, 0);
+    const auto solve_one = [&](std::size_t i) {
+      bool from = false;
+      per[i] = solve_scc(solver, static_cast<std::int32_t>(i), options.cache,
+                         &from);
+      hit[i] = from ? 1 : 0;
+    };
+    if (options.pool != nullptr && n > 1) {
+      options.pool->parallel_for(n, solve_one, /*grain=*/1);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) solve_one(i);
+    }
   } else {
-    for (std::size_t i = 0; i < n; ++i) solve_one(i);
+    rg = tmg::to_ratio_graph(stmg.graph);
+    owned_sccs = graph::strongly_connected_components(rg.g);
+    sccs = &owned_sccs;
+    const auto n = static_cast<std::size_t>(sccs->num_components);
+    per.resize(n);
+    hit.assign(n, 0);
+    const auto solve_one = [&](std::size_t i) {
+      bool from = false;
+      per[i] = solve_scc(rg, *sccs, static_cast<std::int32_t>(i),
+                         options.cache, &from);
+      hit[i] = from ? 1 : 0;
+    };
+    if (options.pool != nullptr && n > 1) {
+      options.pool->parallel_for(n, solve_one, /*grain=*/1);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) solve_one(i);
+    }
   }
 
-  part = assemble_partitioned(stmg, sccs, per);
+  const auto n = per.size();
+  part = assemble_partitioned(stmg, *sccs, per);
   for (std::size_t i = 0; i < n; ++i) {
     part.sccs[i].from_cache = hit[i] != 0;
     if (hit[i] != 0) {
@@ -269,7 +372,8 @@ PartitionedReport analyze_partitioned(const sysmodel::SystemModel& sys,
 }
 
 PerformanceReport analyze_cached(const sysmodel::SystemModel& sys,
-                                 analysis::EvalCache& cache) {
+                                 analysis::EvalCache& cache,
+                                 tmg::CycleMeanSolver* solver) {
   const std::uint64_t fp = analysis::system_fingerprint(sys);
   PerformanceReport report;
   if (cache.lookup(fp, &report)) {
@@ -283,6 +387,7 @@ PerformanceReport analyze_cached(const sysmodel::SystemModel& sys,
   }
   PartitionOptions options;
   options.cache = &cache;
+  options.solver = solver;
   PartitionedReport part = analyze_partitioned(sys, options);
   cache.insert(fp, part.report);
   return std::move(part.report);

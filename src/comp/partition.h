@@ -27,6 +27,7 @@
 #include "exec/thread_pool.h"
 #include "graph/scc.h"
 #include "sysmodel/system.h"
+#include "tmg/csr.h"
 #include "tmg/cycle_ratio.h"
 
 namespace ermes::comp {
@@ -78,6 +79,15 @@ struct PartitionOptions {
   exec::ThreadPool* pool = nullptr;
   /// Memoize per-component solves through the aux memo when non-null.
   analysis::EvalCache* cache = nullptr;
+  /// Route per-component solves through a caller-owned CSR solver (see
+  /// tmg/csr.h) when non-null: the compiled structure, SCC partition, and
+  /// per-worker workspaces persist across calls, so repeated analyses of the
+  /// same topology skip ratio-graph construction and Tarjan entirely.
+  /// Results stay bit-identical. The solver must not be shared with a
+  /// concurrent analysis; its workspace bank is sized to the pool. When
+  /// `pool` is also set, call from a thread that is not a worker of some
+  /// other pool — the calling thread claims workspace slot 0.
+  tmg::CycleMeanSolver* solver = nullptr;
 };
 
 /// Analyzes a pre-built TMG through the partitioned path.
@@ -92,14 +102,26 @@ PartitionedReport analyze_partitioned(const sysmodel::SystemModel& sys,
 /// whole-report memo first (same key as EvalCache::analyze), then per-SCC
 /// memos on a miss. Results are bit-identical to cache.analyze(sys) — the
 /// two share report entries freely. Thread-safe.
+/// When `solver` is non-null, per-SCC misses solve through it (CSR path,
+/// same memo keys, bit-identical); see PartitionOptions::solver for the
+/// ownership and threading rules.
 analysis::PerformanceReport analyze_cached(const sysmodel::SystemModel& sys,
-                                           analysis::EvalCache& cache);
+                                           analysis::EvalCache& cache,
+                                           tmg::CycleMeanSolver* solver = nullptr);
 
 /// Fingerprint of one component's solve inputs: member nodes and every
 /// internal arc's id, head, weight, and tokens (tag-separated from the other
 /// memo families). Two components with equal fingerprints have equal solves
 /// — including the critical-cycle arc ids, which are absolute.
 std::uint64_t scc_fingerprint(const tmg::RatioGraph& rg,
+                              const std::vector<std::int32_t>& component,
+                              std::int32_t comp_id,
+                              const std::vector<graph::NodeId>& members);
+
+/// CSR twin of scc_fingerprint: hashes the identical word sequence (CSR
+/// slots preserve out_arcs order), so memo entries written through either
+/// representation are interchangeable.
+std::uint64_t scc_fingerprint(const tmg::CsrGraph& csr,
                               const std::vector<std::int32_t>& component,
                               std::int32_t comp_id,
                               const std::vector<graph::NodeId>& members);
@@ -115,6 +137,15 @@ bool decode_scc_result(const std::vector<std::int64_t>& payload,
 /// `cache` is non-null. `*from_cache` (optional) reports a memo hit.
 tmg::CycleRatioResult solve_scc(const tmg::RatioGraph& rg,
                                 const graph::SccResult& sccs,
+                                std::int32_t comp_id,
+                                analysis::EvalCache* cache,
+                                bool* from_cache = nullptr);
+
+/// CSR-path twin of solve_scc: solves through the prepared solver using the
+/// calling thread's workspace slot (exec::current_worker_slot), sharing the
+/// same aux-memo keys. Safe to call concurrently for different components
+/// from distinct worker slots.
+tmg::CycleRatioResult solve_scc(const tmg::CycleMeanSolver& solver,
                                 std::int32_t comp_id,
                                 analysis::EvalCache* cache,
                                 bool* from_cache = nullptr);

@@ -48,6 +48,12 @@ struct EvalContext {
   std::uint64_t impl_fp = 0;
   std::unique_ptr<EvalCache> owned_cache;
   std::unique_ptr<exec::ThreadPool> owned_pool;
+  // One CSR solver per worker slot (slot 0 = the caller thread). Candidate
+  // systems share one topology — only latencies and orders vary — so each
+  // worker's solver compiles once and then re-solves warm for the rest of
+  // the run. Solvers are per-slot (not shared): CycleMeanSolver is not
+  // internally synchronized.
+  std::vector<std::unique_ptr<tmg::CycleMeanSolver>> solvers;
 
   EvalContext(int jobs, EvalCache* shared_cache, exec::ThreadPool* shared_pool) {
     if (shared_cache != nullptr) {
@@ -64,6 +70,21 @@ struct EvalContext {
       owned_pool = std::make_unique<exec::ThreadPool>(want);
       pool = owned_pool.get();
     }
+    const std::size_t slots = pool != nullptr ? pool->jobs() : 1;
+    solvers.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      solvers.push_back(std::make_unique<tmg::CycleMeanSolver>());
+    }
+  }
+
+  // The calling thread's solver. Inside evaluation workers the slot is the
+  // worker's dense pool id; any other thread (including a worker of a
+  // foreign pool, e.g. a service request task running a nested exploration
+  // with jobs=1) falls back to slot 0, which is then the only user.
+  tmg::CycleMeanSolver& solver() const {
+    std::size_t slot = exec::current_worker_slot();
+    if (slot >= solvers.size()) slot = 0;
+    return *solvers[slot];
   }
 };
 
@@ -72,9 +93,13 @@ struct EvalContext {
 // plain report memo. The two are bit-identical and share cache entries.
 PerformanceReport analyze_memo(const SystemModel& sys, EvalContext& ctx) {
   // No pool: this runs inside evaluation workers, and exec::ThreadPool
-  // rejects nested parallelism.
-  if (ctx.partitioned) return comp::analyze_cached(sys, *ctx.cache);
-  return ctx.cache->analyze(sys);
+  // rejects nested parallelism. Cache misses solve through the calling
+  // worker's CSR solver, which stays warm across candidates (same topology,
+  // different latencies).
+  if (ctx.partitioned) {
+    return comp::analyze_cached(sys, *ctx.cache, &ctx.solver());
+  }
+  return ctx.cache->analyze(sys, &ctx.solver());
 }
 
 // Reorders `sys` in place (when asked) and analyzes it through the memo.

@@ -19,7 +19,13 @@ std::atomic<std::size_t> g_default_jobs{0};
 // caller thread, which helps run chunks — regardless of worker count.
 thread_local ThreadPool* t_running_pool = nullptr;
 
+// Dense per-pool worker id: 0 on non-worker threads, i+1 on the pool's i-th
+// worker. Set once at worker startup, constant thereafter.
+thread_local std::size_t t_worker_slot = 0;
+
 }  // namespace
+
+std::size_t current_worker_slot() { return t_worker_slot; }
 
 std::size_t hardware_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -53,7 +59,10 @@ ThreadPool::ThreadPool(std::size_t jobs) {
   const std::size_t threads = jobs > 1 ? jobs - 1 : 0;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      t_worker_slot = i + 1;  // slot 0 is every pool's caller thread
+      worker_loop();
+    });
   }
 }
 

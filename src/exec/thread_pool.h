@@ -45,6 +45,14 @@ namespace ermes::exec {
 /// std::thread::hardware_concurrency with a floor of 1.
 std::size_t hardware_jobs();
 
+/// Dense id of the calling thread within its owning pool: 0 for any thread
+/// that is not a pool worker (including every pool's caller thread), i in
+/// [1, jobs()) for a pool's i-th worker. Stable for the worker's lifetime,
+/// which lets parallel bodies index per-worker state (e.g. one solver
+/// workspace per worker) without locks: within one parallel_for, each slot
+/// in [0, jobs()) is used by at most one thread.
+std::size_t current_worker_slot();
+
 /// Process-wide default parallelism used by ThreadPool::shared() (the CLI
 /// --jobs flag lands here). 0 = hardware_jobs(). Must be set before the
 /// first shared() call to affect it.

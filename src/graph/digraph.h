@@ -22,6 +22,14 @@ class Digraph {
  public:
   Digraph() = default;
 
+  /// Pre-allocates storage for `nodes` nodes and `arcs` arcs so bulk
+  /// construction (TMG elaboration, hierarchy flattening) does not
+  /// reallocate the node/arc tables while growing.
+  void reserve(std::int32_t nodes, std::int32_t arcs) {
+    nodes_.reserve(static_cast<std::size_t>(nodes));
+    arcs_.reserve(static_cast<std::size_t>(arcs));
+  }
+
   /// Creates `count` fresh nodes, returning the id of the first one. Ids are
   /// contiguous.
   NodeId add_nodes(std::int32_t count = 1);

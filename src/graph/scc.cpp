@@ -6,10 +6,38 @@ namespace ermes::graph {
 
 namespace {
 
+// Adapters giving TarjanState one successor interface over either graph
+// representation. Both enumerate heads in the same order (CSR slots preserve
+// out_arcs order), so the two overloads produce identical SccResults.
+struct DigraphAdj {
+  const Digraph& g;
+  std::int32_t num_nodes() const { return g.num_nodes(); }
+  std::size_t degree(NodeId v) const { return g.out_arcs(v).size(); }
+  NodeId head(NodeId v, std::size_t i) const {
+    return g.head(g.out_arcs(v)[i]);
+  }
+};
+
+struct CsrAdj {
+  std::int32_t n;
+  const std::vector<std::int32_t>& row_ptr;
+  const std::vector<NodeId>& heads;
+  std::int32_t num_nodes() const { return n; }
+  std::size_t degree(NodeId v) const {
+    const auto vi = static_cast<std::size_t>(v);
+    return static_cast<std::size_t>(row_ptr[vi + 1] - row_ptr[vi]);
+  }
+  NodeId head(NodeId v, std::size_t i) const {
+    return heads[static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(v)]) +
+                 i];
+  }
+};
+
 // Iterative Tarjan; recursion would overflow on the 10k-process synthetic
 // benchmarks.
+template <typename Adj>
 struct TarjanState {
-  const Digraph& g;
+  const Adj& g;
   std::vector<std::int32_t> index;
   std::vector<std::int32_t> lowlink;
   std::vector<bool> on_stack;
@@ -17,7 +45,7 @@ struct TarjanState {
   std::int32_t next_index = 0;
   SccResult result;
 
-  explicit TarjanState(const Digraph& graph)
+  explicit TarjanState(const Adj& graph)
       : g(graph),
         index(static_cast<std::size_t>(graph.num_nodes()), -1),
         lowlink(static_cast<std::size_t>(graph.num_nodes()), -1),
@@ -40,9 +68,8 @@ struct TarjanState {
     while (!frames.empty()) {
       Frame& frame = frames.back();
       const NodeId v = frame.node;
-      const auto& outs = g.out_arcs(v);
-      if (frame.next_arc < outs.size()) {
-        const NodeId w = g.head(outs[frame.next_arc++]);
+      if (frame.next_arc < g.degree(v)) {
+        const NodeId w = g.head(v, frame.next_arc++);
         const auto wi = static_cast<std::size_t>(w);
         if (index[wi] == -1) {
           index[wi] = next_index;
@@ -83,14 +110,25 @@ struct TarjanState {
   }
 };
 
-}  // namespace
-
-SccResult strongly_connected_components(const Digraph& g) {
-  TarjanState state(g);
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+template <typename Adj>
+SccResult run_tarjan(const Adj& adj) {
+  TarjanState<Adj> state(adj);
+  for (NodeId n = 0; n < adj.num_nodes(); ++n) {
     if (state.index[static_cast<std::size_t>(n)] == -1) state.run(n);
   }
   return std::move(state.result);
+}
+
+}  // namespace
+
+SccResult strongly_connected_components(const Digraph& g) {
+  return run_tarjan(DigraphAdj{g});
+}
+
+SccResult strongly_connected_components(
+    std::int32_t num_nodes, const std::vector<std::int32_t>& row_ptr,
+    const std::vector<NodeId>& heads) {
+  return run_tarjan(CsrAdj{num_nodes, row_ptr, heads});
 }
 
 bool is_strongly_connected(const Digraph& g) {

@@ -391,6 +391,10 @@ RunResult Kernel::run(SimChannelId observe, std::int64_t target_transfers,
   observe_ = observe;
   if (!started_) {
     started_ = true;
+    // At most one pending wake per process plus one in-flight transfer per
+    // channel; reserving up front keeps the event heap allocation-free for
+    // the whole run.
+    heap_.reserve(procs_.size() + chans_.size());
     for (ProcessState& proc : procs_) {
       if (proc.behavior) proc.behavior->on_reset();
     }

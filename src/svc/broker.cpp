@@ -478,7 +478,8 @@ namespace {
 // Result body shared by open_session and patch: the full report plus the
 // per-component provenance of the partitioned engine.
 JsonValue session_report_json(const comp::PartitionedReport& part,
-                              const sysmodel::SystemModel& sys) {
+                              const comp::IncrementalAnalyzer& analyzer) {
+  const sysmodel::SystemModel& sys = analyzer.system();
   JsonValue result = JsonValue::object();
   result.set("live", JsonValue::boolean(part.report.live));
   result.set("cycle_time", JsonValue::number(part.report.cycle_time));
@@ -495,6 +496,12 @@ JsonValue session_report_json(const comp::PartitionedReport& part,
   result.set("critical_scc", JsonValue::integer(part.critical_scc));
   result.set("sccs_solved", JsonValue::integer(part.solved));
   result.set("sccs_reused", JsonValue::integer(part.reused));
+  // Embedded CSR solver counters: weight_refreshes / compiles is the warm
+  // ratio — how often a patch re-solved without rebuilding the snapshot.
+  const tmg::CycleMeanSolver::Stats& solver = analyzer.solver_stats();
+  result.set("solver_compiles", JsonValue::integer(solver.compiles));
+  result.set("solver_weight_refreshes",
+             JsonValue::integer(solver.weight_refreshes));
   return result;
 }
 
@@ -530,7 +537,7 @@ JsonValue Broker::run_open_session(const Request& request, std::string* error,
   obs::count("svc.sessions.opened");
   std::lock_guard<std::mutex> lock(session->mu);
   const comp::PartitionedReport& part = session->analyzer.analyze();
-  JsonValue result = session_report_json(part, session->analyzer.system());
+  JsonValue result = session_report_json(part, session->analyzer);
   result.set("session", JsonValue::string(request.session));
   return result;
 }
@@ -644,7 +651,7 @@ JsonValue Broker::run_patch(const Request& request, std::string* error,
   obs::count("svc.sessions.patches",
              static_cast<std::int64_t>(request.patches.size()));
   const comp::PartitionedReport& part = analyzer.analyze();
-  JsonValue result = session_report_json(part, analyzer.system());
+  JsonValue result = session_report_json(part, analyzer);
   result.set("session", JsonValue::string(request.session));
   result.set("patched", JsonValue::integer(
                             static_cast<std::int64_t>(request.patches.size())));

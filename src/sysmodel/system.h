@@ -38,6 +38,13 @@ inline constexpr std::int64_t kUnboundedCapacity = -1;
 
 class SystemModel {
  public:
+  /// Pre-allocates storage for `processes` processes and `channels` channels
+  /// (bulk builders like comp::flatten know the totals up front).
+  void reserve(std::size_t processes, std::size_t channels) {
+    procs_.reserve(processes);
+    chans_.reserve(channels);
+  }
+
   /// Adds a process with the given computation latency (cycles).
   ProcessId add_process(std::string name, std::int64_t latency = 0,
                         double area = 0.0);

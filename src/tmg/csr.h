@@ -1,0 +1,217 @@
+#pragma once
+// Flat CSR solver core for the analysis hot path.
+//
+// Every throughput query in the methodology loop bottoms out in a maximum
+// cycle ratio solve, and the DSE/sweep/serve/incremental layers issue
+// thousands of them on graphs that differ only in arc weights. The legacy
+// path rebuilds a pointer-chasing Digraph (vector-of-vectors adjacency,
+// string names) and re-initializes all solver scratch per solve. This header
+// splits that cost by change frequency:
+//
+//  * CsrGraph — a flat, string-free snapshot of a RatioGraph: SoA arrays for
+//    arc tails/heads/tokens plus offset-indexed adjacency (row_ptr + slot
+//    arrays). Compiled once per *structure*; the weight array is separately
+//    swappable, so weight-only re-solves skip graph construction entirely.
+//  * CycleMeanSolver — a reusable batch solver owning the CSR snapshot, a
+//    structure-derived solve plan (SCC partition, zero-token witnesses,
+//    trivial-SCC self-loops, canonical initial policy), caller-growable
+//    HowardWorkspaces (one per pool worker), and the last optimal policy for
+//    warm-started re-solves.
+//
+// Determinism contract: `solve()` and `solve_component()` are bit-identical
+// to tmg::max_cycle_ratio_howard / max_cycle_ratio_howard_scc — same
+// ratio_num/ratio_den, same critical cycle under the existing tie-break, and
+// the same double `ratio` value. This holds because (a) CSR slots preserve
+// Digraph::out_arcs order exactly, (b) the canonical initial policy (first
+// internal out-arc per node) is structure-only, so warm solves start from
+// the same policy the cold path would, and (c) every floating-point
+// expression is evaluated in the same order with the same 1e-9 epsilon.
+// `solve_seeded()` trades the witness guarantee for speed: it seeds policy
+// iteration from the previous optimal policy, which converges to the *exact
+// same maximum ratio* (compare_ratios == 0) but may report a different
+// co-optimal critical cycle. The differential harness enforces both
+// contracts (tests/test_differential.cpp).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/scc.h"
+#include "tmg/cycle_ratio.h"
+#include "tmg/workspace.h"
+
+namespace ermes::tmg {
+
+class MarkedGraph;
+
+/// Flat CSR snapshot of a ratio graph. Arc ids equal the source graph's arc
+/// ids (== PlaceIds when compiled from a MarkedGraph); "slots" are positions
+/// in the packed adjacency, with node u's out-arcs occupying
+/// [row_ptr[u], row_ptr[u+1]) in exactly Digraph::out_arcs order.
+struct CsrGraph {
+  std::int32_t num_nodes = 0;
+  std::int32_t num_arcs = 0;
+
+  // Arc-indexed structure mirror (used by matches() and arc-addressed
+  // weight updates; the solver itself walks slots only).
+  std::vector<graph::NodeId> arc_tail;
+  std::vector<graph::NodeId> arc_head;
+  std::vector<std::int64_t> arc_tokens;
+  std::vector<std::int32_t> arc_slot;  // arc id -> adjacency slot
+
+  // Slot-indexed adjacency (the hot arrays).
+  std::vector<std::int32_t> row_ptr;  // num_nodes + 1 offsets
+  std::vector<graph::ArcId> slot_arc;
+  std::vector<graph::NodeId> slot_head;
+  std::vector<std::int64_t> slot_weight;  // the swappable weight vector
+  std::vector<std::int64_t> slot_tokens;
+
+  void compile(const RatioGraph& rg);
+  void compile(const MarkedGraph& g);
+
+  /// True iff this snapshot's structure (nodes, arcs, tails, heads, tokens)
+  /// matches the source — i.e. a weight-only refresh is sound.
+  bool matches(const RatioGraph& rg) const;
+  bool matches(const MarkedGraph& g) const;
+
+  /// Re-reads only the weights from the source (structure must match).
+  void refresh_weights(const RatioGraph& rg);
+  void refresh_weights(const MarkedGraph& g);
+
+  void set_arc_weight(graph::ArcId a, std::int64_t weight) {
+    slot_weight[static_cast<std::size_t>(
+        arc_slot[static_cast<std::size_t>(a)])] = weight;
+  }
+  std::int64_t arc_weight(graph::ArcId a) const {
+    return slot_weight[static_cast<std::size_t>(
+        arc_slot[static_cast<std::size_t>(a)])];
+  }
+};
+
+/// Reusable batch solver for repeated maximum-cycle-ratio queries.
+///
+/// Usage:
+///   CycleMeanSolver solver;
+///   solver.prepare(rg);        // compiles the CSR (cold) ...
+///   auto r0 = solver.solve();  // ... bit-identical to the legacy path
+///   solver.set_arc_weight(a, w);
+///   auto r1 = solver.solve();  // weight-only re-solve: no construction
+///
+/// prepare() on an unchanged structure is a warm weight refresh; on a
+/// changed structure it recompiles. Workspaces are owned by the solver, one
+/// per worker slot (see exec::current_worker_slot), so comp::partition can
+/// run solve_component() from pool workers without locks. Not thread-safe
+/// for concurrent prepare/solve; concurrent *const* solve_component calls
+/// with distinct workspaces are safe.
+class CycleMeanSolver {
+ public:
+  struct Stats {
+    std::int64_t compiles = 0;          // structure (re)compilations
+    std::int64_t weight_refreshes = 0;  // warm prepares (structure reused)
+    std::int64_t solves = 0;            // canonical full-graph solves
+    std::int64_t seeded_solves = 0;     // warm-policy full-graph solves
+    std::int64_t iterations = 0;        // policy-improvement rounds, total
+    std::int64_t cap_hits = 0;          // solves that exhausted the cap
+  };
+
+  CycleMeanSolver() = default;
+  CycleMeanSolver(CycleMeanSolver&&) = default;
+  CycleMeanSolver& operator=(CycleMeanSolver&&) = default;
+  CycleMeanSolver(const CycleMeanSolver&) = delete;
+  CycleMeanSolver& operator=(const CycleMeanSolver&) = delete;
+
+  /// Snapshots `rg` (or re-reads its weights when the structure is
+  /// unchanged). Returns true on a warm (weight-only) prepare, false when
+  /// the structure was (re)compiled. `workers` sizes the workspace bank
+  /// (never shrinks it).
+  bool prepare(const RatioGraph& rg, std::size_t workers = 1);
+  bool prepare(const MarkedGraph& g, std::size_t workers = 1);
+
+  /// Whole-graph solve from the canonical initial policy; bit-identical to
+  /// max_cycle_ratio_howard on the prepared graph. Requires prepared().
+  CycleRatioResult solve();
+
+  /// prepare + solve in one call.
+  CycleRatioResult solve(const RatioGraph& rg);
+  CycleRatioResult solve(const MarkedGraph& g);
+
+  /// Whole-graph solve seeded from the previous solve's optimal policy
+  /// (falls back to the canonical policy where no previous policy exists).
+  /// Converges to the exact same maximum ratio as solve() — compare_ratios
+  /// of the two results is always 0 — but may report a different co-optimal
+  /// critical cycle, so it is opt-in rather than the default.
+  CycleRatioResult solve_seeded();
+
+  /// One component's solve on caller-provided scratch; bit-identical to
+  /// max_cycle_ratio_howard_scc. Safe to call concurrently for different
+  /// (comp_id, ws) pairs. `capped`, when non-null, reports whether the
+  /// defensive iteration cap was exhausted (result then reflects the last
+  /// evaluated policy and may be suboptimal).
+  CycleRatioResult solve_component(std::int32_t comp_id, HowardWorkspace& ws,
+                                   int* iterations = nullptr,
+                                   bool* capped = nullptr) const;
+
+  /// Patches one arc's weight in place (structure untouched, stays warm).
+  void set_arc_weight(graph::ArcId a, std::int64_t weight) {
+    csr_.set_arc_weight(a, weight);
+  }
+
+  bool prepared() const { return prepared_; }
+  const CsrGraph& csr() const { return csr_; }
+  /// SCC partition of the prepared graph; identical to
+  /// graph::strongly_connected_components on the source Digraph.
+  const graph::SccResult& sccs() const { return sccs_; }
+
+  /// Grows the workspace bank to `count` slots (never shrinks). Must not be
+  /// called concurrently with solve_component.
+  void ensure_workspaces(std::size_t count);
+  std::size_t num_workspaces() const { return workspaces_.size(); }
+  /// Workspace for one worker slot; index with exec::current_worker_slot()
+  /// inside pool workers. Each slot is owned by one thread at a time.
+  HowardWorkspace& workspace(std::size_t slot) const {
+    return *workspaces_[slot];
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class SccKind : unsigned char {
+    kTrivial,    // single node: self-loop scan (possibly none -> no cycle)
+    kZeroToken,  // token-free internal cycle: infinite ratio, cached witness
+    kHoward,     // multi-node: policy iteration
+  };
+  struct SccPlan {
+    SccKind kind = SccKind::kTrivial;
+    std::int32_t begin = 0;  // into plan_slots_ (trivial) / plan_arcs_ (zero)
+    std::int32_t end = 0;
+  };
+
+  void compile_plan();
+  CycleRatioResult run(bool seeded);
+  CycleRatioResult solve_component_impl(std::int32_t comp_id,
+                                        HowardWorkspace& ws, int* iterations,
+                                        bool* capped, bool seeded) const;
+
+  CsrGraph csr_;
+  graph::SccResult sccs_;
+  bool prepared_ = false;
+
+  // Structure-derived solve plan, compiled once per structure.
+  std::vector<std::int32_t> init_slot_;  // canonical first internal out-slot
+  std::vector<graph::ArcId> zero_witness_;  // global zero-token cycle
+  bool has_zero_witness_ = false;
+  std::vector<SccPlan> plans_;
+  std::vector<std::int32_t> plan_slots_;  // self-loop slots of trivial SCCs
+  std::vector<graph::ArcId> plan_arcs_;   // per-SCC zero-token witnesses
+
+  // Previous optimal policy (slot per node, -1 where unknown) for
+  // solve_seeded(); invalidated by every recompile.
+  std::vector<std::int32_t> last_policy_;
+  bool have_last_policy_ = false;
+
+  std::vector<std::unique_ptr<HowardWorkspace>> workspaces_;
+  Stats stats_;
+};
+
+}  // namespace ermes::tmg

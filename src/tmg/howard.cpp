@@ -1,5 +1,6 @@
 #include "tmg/howard.h"
 
+#include <atomic>
 #include <cassert>
 #include <limits>
 #include <vector>
@@ -40,12 +41,17 @@ class SccSolver {
   // (trivial SCC without self-loop).
   /// Policy-improvement rounds performed by the last solve() call.
   int iterations() const { return iterations_; }
+  /// True iff the last solve() exhausted the iteration cap before
+  /// convergence (result reflects the last evaluated policy).
+  bool capped() const { return !converged_; }
 
   bool solve(CycleRatioResult& out) {
     if (!init_policy()) return false;
     // Howard terminates after finitely many improvements; the cap is a
-    // defensive bound (never hit in our test corpus).
-    const int max_iters = 64 + 2 * static_cast<int>(members_.size());
+    // defensive bound (never hit in our test corpus outside the injected
+    // test override).
+    const int max_iters = detail::howard_iteration_cap(members_.size());
+    converged_ = false;
     for (int iter = 0; iter < max_iters; ++iter) {
       iterations_ = iter + 1;
       if (!evaluate()) {
@@ -55,13 +61,16 @@ class SccSolver {
         out.ratio_num = best_w_;
         out.ratio_den = 0;
         out.critical_cycle = best_cycle_;
+        converged_ = true;
         return true;
       }
-      if (!improve()) break;
-      if (iter + 1 == max_iters) {
-        ERMES_LOG(kWarn) << "Howard: iteration cap reached on SCC of "
-                         << members_.size() << " nodes";
+      if (!improve()) {
+        converged_ = true;
+        break;
       }
+    }
+    if (!converged_) {
+      detail::note_iteration_cap_exhausted(iterations_, members_.size());
     }
     if (out.ratio_den == 0 && out.has_cycle) return true;  // already infinite
     if (!out.has_cycle ||
@@ -238,6 +247,7 @@ class SccSolver {
   std::int32_t stamp_ = 0;
   std::vector<NodeId> walk_;
   int iterations_ = 0;
+  bool converged_ = true;
 
   bool best_of_eval_set_ = false;
   std::vector<ArcId> best_cycle_;
@@ -304,9 +314,22 @@ bool find_zero_token_cycle_in_scc(const RatioGraph& rg,
   return false;
 }
 
+std::atomic<int> g_iteration_cap_override{0};
+
 }  // namespace
 
-namespace {
+void set_howard_iteration_cap_for_testing(int cap) {
+  g_iteration_cap_override.store(cap, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+int howard_iteration_cap(std::size_t members) {
+  const int override_cap =
+      g_iteration_cap_override.load(std::memory_order_relaxed);
+  if (override_cap > 0) return override_cap;
+  return 64 + 2 * static_cast<int>(members);
+}
 
 // Publishes one solve's worth of telemetry in a single batch; the statics
 // cache the registry lookups (registrations are never erased, so the
@@ -323,13 +346,21 @@ void publish_howard_metrics(int iterations) {
   per_solve.observe(iterations);
 }
 
-}  // namespace
+void note_iteration_cap_exhausted(int iterations, std::size_t members) {
+  ERMES_LOG(kWarn) << "Howard: iteration cap exhausted after " << iterations
+                   << " iterations on SCC of " << members
+                   << " nodes; result may be suboptimal";
+  if (obs::enabled()) obs::count("howard.cap_hits");
+}
+
+}  // namespace detail
 
 CycleRatioResult max_cycle_ratio_howard_scc(
     const RatioGraph& rg, const std::vector<std::int32_t>& component,
     std::int32_t comp_id, const std::vector<graph::NodeId>& members,
-    int* iterations) {
+    int* iterations, bool* capped) {
   if (iterations != nullptr) *iterations = 0;
+  if (capped != nullptr) *capped = false;
   CycleRatioResult result;
   // Zero-token cycles are invisible to policy improvement (their lambda never
   // materializes unless a policy lands on them), so screen structurally
@@ -365,8 +396,9 @@ CycleRatioResult max_cycle_ratio_howard_scc(
     return result;
   }
   SccSolver solver(rg, component, comp_id, members);
-  if (solver.solve(result) && iterations != nullptr) {
-    *iterations = solver.iterations();
+  if (solver.solve(result)) {
+    if (iterations != nullptr) *iterations = solver.iterations();
+    if (capped != nullptr) *capped = solver.capped();
   }
   return result;
 }
@@ -399,7 +431,7 @@ CycleRatioResult max_cycle_ratio_howard(const RatioGraph& rg) {
     ERMES_LOG(kDebug) << "howard: zero-token cycle of "
                       << result.critical_cycle.size()
                       << " arcs, ratio infinite";
-    if (obs::enabled()) publish_howard_metrics(0);
+    if (obs::enabled()) detail::publish_howard_metrics(0);
     return result;
   }
   const graph::SccResult sccs = graph::strongly_connected_components(rg.g);
@@ -413,7 +445,7 @@ CycleRatioResult max_cycle_ratio_howard(const RatioGraph& rg) {
     fold_cycle_ratio(scc, &result);
     if (result.is_infinite()) break;  // deadlock dominates
   }
-  if (obs::enabled()) publish_howard_metrics(total_iterations);
+  if (obs::enabled()) detail::publish_howard_metrics(total_iterations);
   ERMES_LOG(kDebug) << "howard: converged after " << total_iterations
                     << " policy iterations over " << sccs.num_components
                     << " SCCs";

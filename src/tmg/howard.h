@@ -39,10 +39,14 @@ CycleRatioResult max_cycle_ratio_howard(const RatioGraph& rg);
 /// path tolerates 1e-9; with the integer weights/tokens of real models the
 /// two never disagree.) `iterations`, when non-null, receives the number of
 /// policy-improvement rounds (0 on the fast path).
+/// `capped`, when non-null, receives true iff the defensive iteration cap
+/// was exhausted before policy iteration converged (the result then reflects
+/// the last evaluated policy and may be suboptimal; a warning is logged and
+/// the howard.cap_hits counter bumped).
 CycleRatioResult max_cycle_ratio_howard_scc(
     const RatioGraph& rg, const std::vector<std::int32_t>& component,
     std::int32_t comp_id, const std::vector<graph::NodeId>& members,
-    int* iterations = nullptr);
+    int* iterations = nullptr, bool* capped = nullptr);
 
 /// Folds one component's result into an accumulated whole-graph result using
 /// the exact rule of the global pass: an infinite ratio dominates and is
@@ -51,5 +55,22 @@ CycleRatioResult max_cycle_ratio_howard_scc(
 /// per-SCC results in ascending component index reproduces
 /// max_cycle_ratio_howard bit for bit.
 void fold_cycle_ratio(const CycleRatioResult& scc, CycleRatioResult* out);
+
+/// Test-only override of the defensive policy-iteration cap. `cap` > 0
+/// replaces the default 64 + 2*|SCC| bound for every subsequent solve; 0
+/// restores the default. Applies to both the legacy solver here and the CSR
+/// solver (tmg::CycleMeanSolver), so the two stay bit-identical even when
+/// capped.
+void set_howard_iteration_cap_for_testing(int cap);
+
+namespace detail {
+/// Effective cap for an SCC of `members` nodes (honors the test override).
+int howard_iteration_cap(std::size_t members);
+/// Publishes one solve's telemetry batch (howard.solves / iterations /
+/// iterations_per_solve). Shared by the legacy and CSR entry points.
+void publish_howard_metrics(int iterations);
+/// Logs the cap-exhaustion warning and bumps howard.cap_hits.
+void note_iteration_cap_exhausted(int iterations, std::size_t members);
+}  // namespace detail
 
 }  // namespace ermes::tmg

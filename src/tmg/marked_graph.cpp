@@ -57,6 +57,7 @@ std::vector<std::int64_t> MarkedGraph::initial_marking() const {
 
 graph::Digraph MarkedGraph::transition_graph() const {
   graph::Digraph g;
+  g.reserve(num_transitions(), num_places());
   g.add_nodes(num_transitions());
   for (TransitionId t = 0; t < num_transitions(); ++t) {
     g.set_name(t, transition_name(t));

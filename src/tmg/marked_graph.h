@@ -23,6 +23,13 @@ inline constexpr PlaceId kInvalidPlace = -1;
 
 class MarkedGraph {
  public:
+  /// Pre-allocates storage for `transitions` transitions and `places` places
+  /// (bulk elaboration in analysis::build_tmg knows both counts up front).
+  void reserve(std::int32_t transitions, std::int32_t places) {
+    transitions_.reserve(static_cast<std::size_t>(transitions));
+    places_.reserve(static_cast<std::size_t>(places));
+  }
+
   /// Adds a transition with firing delay `delay` (>= 0).
   TransitionId add_transition(std::string name, std::int64_t delay);
 

@@ -36,6 +36,7 @@
 #include "soc_bad_corpus.h"
 #include "sysmodel/builder.h"
 #include "sysmodel/system.h"
+#include "tmg/csr.h"
 #include "tmg/dot.h"
 #include "util/rng.h"
 
@@ -470,6 +471,55 @@ TEST(Partitioned, BitIdenticalToMonolithicAtEverySetting) {
     EXPECT_EQ(warm.solved, 0) << what;
     EXPECT_EQ(warm.reused, static_cast<int>(warm.sccs.size())) << what;
   }
+}
+
+TEST(Partitioned, CsrSolverBitIdenticalAcrossPoolAndCache) {
+  // The CSR solver branch of analyze_partitioned: per-worker workspaces on
+  // the pool path (this test runs under TSan in CI), warm re-prepares on
+  // repeated solves, and memo interchangeability with the legacy branch
+  // through a shared EvalCache.
+  std::vector<SystemModel> systems;
+  systems.push_back(sysmodel::make_dac14_motivating_example());
+  systems.push_back(pipeline_flat());
+  for (int iter = 0; iter < 6; ++iter) {
+    util::Rng rng = util::Rng::for_shard(0xc5a, static_cast<std::uint64_t>(iter));
+    systems.push_back(random_hierarchy(rng).flat);
+  }
+  exec::ThreadPool pool(4);
+  tmg::CycleMeanSolver solver;
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const SystemModel& sys = systems[i];
+    const PerformanceReport mono = analysis::analyze_system(sys);
+    const std::string what = "system " + std::to_string(i);
+    expect_report_eq(analyze_partitioned(sys, {.solver = &solver}).report,
+                     mono, what + " +solver");
+    expect_report_eq(
+        analyze_partitioned(sys, {.pool = &pool, .solver = &solver}).report,
+        mono, what + " +pool+solver");
+    // Same structure again: the solver must stay warm (weight refresh, no
+    // recompile) and still reproduce the report bit for bit.
+    const std::int64_t compiles = solver.stats().compiles;
+    expect_report_eq(
+        analyze_partitioned(sys, {.pool = &pool, .solver = &solver}).report,
+        mono, what + " +pool+solver warm");
+    EXPECT_EQ(solver.stats().compiles, compiles) << what;
+  }
+  EXPECT_GT(solver.stats().weight_refreshes, 0);
+
+  // Memo entries written by the legacy branch are replayed by the solver
+  // branch (and vice versa): the CSR fingerprint hashes the identical word
+  // sequence, so a shared cache sees one key space.
+  analysis::EvalCache cache;
+  const SystemModel& sys = systems[0];
+  const PerformanceReport mono = analysis::analyze_system(sys);
+  const PartitionedReport legacy_cold =
+      analyze_partitioned(sys, {.cache = &cache});
+  expect_report_eq(legacy_cold.report, mono, "legacy cold");
+  const PartitionedReport solver_warm =
+      analyze_partitioned(sys, {.cache = &cache, .solver = &solver});
+  expect_report_eq(solver_warm.report, mono, "solver replay");
+  EXPECT_EQ(solver_warm.solved, 0);
+  EXPECT_EQ(solver_warm.reused, static_cast<int>(solver_warm.sccs.size()));
 }
 
 TEST(Partitioned, ProvenanceOnTheDecoupledPipeline) {

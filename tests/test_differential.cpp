@@ -14,6 +14,14 @@
 //  D4. The structural liveness check (token-free cycle search) agrees with
 //      actually playing the token game: a strongly connected TMG with a dead
 //      cycle deadlocks after finitely many firings, a live one never does.
+//  D5. The CSR solver core (tmg/csr.h) is bit-identical to the legacy
+//      Howard path — same rationals, same critical cycle, same double bits —
+//      whether prepared from the RatioGraph or the MarkedGraph, cold or
+//      after any sequence of warm weight-only re-prepares.
+//  D6. One CycleMeanSolver reused across differently-shaped graphs (its
+//      workspaces only ever grow) never contaminates a later solve.
+//  D7. solve_seeded() reaches the exact same maximum ratio as the canonical
+//      solve (compare_ratios == 0) and its witness reproduces that ratio.
 //
 // Failures shrink the offending instance (dropping extra arcs, zeroing
 // delays, trimming tokens) while the disagreement persists, then print the
@@ -24,12 +32,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "tmg/brute_force.h"
+#include "tmg/csr.h"
 #include "tmg/cycle_ratio.h"
 #include "tmg/howard.h"
 #include "tmg/karp.h"
@@ -293,6 +303,159 @@ TEST(DifferentialLiveness, StructuralCheckAgreesWithTokenGame) {
     if (liveness_disagrees_with_token_game(spec)) {
       report_failure(shard, spec, liveness_disagrees_with_token_game,
                      "liveness check disagrees with the token game");
+      return;
+    }
+  }
+}
+
+// --- D5 (CSR solver core, cold + warm) ---------------------------------------
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+// Stricter than results_agree: the determinism contract of tmg/csr.h
+// promises the same rationals, the same critical cycle, and the same raw
+// double — not just agreement up to ties and epsilon.
+bool results_bit_identical(const CycleRatioResult& a,
+                           const CycleRatioResult& b) {
+  return a.has_cycle == b.has_cycle && bits_equal(a.ratio, b.ratio) &&
+         a.ratio_num == b.ratio_num && a.ratio_den == b.ratio_den &&
+         a.critical_cycle == b.critical_cycle;
+}
+
+bool csr_cold_diverges(const TmgSpec& spec) {
+  const MarkedGraph g = spec.build();
+  const RatioGraph rg = to_ratio_graph(g);
+  const CycleRatioResult legacy = max_cycle_ratio_howard(rg);
+  CycleMeanSolver from_rg;
+  from_rg.prepare(rg);
+  if (!results_bit_identical(from_rg.solve(), legacy)) return true;
+  // The MarkedGraph compile must mirror to_ratio_graph exactly.
+  CycleMeanSolver from_tmg;
+  from_tmg.prepare(g);
+  if (!results_bit_identical(from_tmg.solve(), legacy)) return true;
+  // Re-solving on the already-used workspaces must not drift.
+  return !results_bit_identical(from_tmg.solve(), legacy);
+}
+
+TEST(DifferentialCsrSolver, ColdSolveBitIdenticalToHoward) {
+  for (std::uint64_t shard = 0; shard < 120; ++shard) {
+    util::Rng rng = util::Rng::for_shard(kBaseSeed ^ 0xc5cULL, shard);
+    const TmgSpec spec = random_spec(rng, /*unit_tokens=*/shard % 2 == 0);
+    if (csr_cold_diverges(spec)) {
+      report_failure(shard, spec, csr_cold_diverges,
+                     "CSR solve is not bit-identical to legacy Howard");
+      return;
+    }
+  }
+}
+
+bool csr_warm_mutations_diverge(const TmgSpec& spec) {
+  MarkedGraph g = spec.build();
+  CycleMeanSolver solver;
+  solver.prepare(g);
+  // Deterministic per spec shape, so the shrinker can replay it.
+  util::Rng rng(kBaseSeed ^ 0x3a7bULL ^
+                (static_cast<std::uint64_t>(spec.delays.size()) * 131));
+  for (int s = 0; s < 24; ++s) {
+    const auto t =
+        static_cast<TransitionId>(rng.index(spec.delays.size()));
+    g.set_delay(t, rng.uniform_int(0, 20));
+    if (!solver.prepare(g)) return true;  // must stay warm: weights only
+    const CycleRatioResult legacy = max_cycle_ratio_howard(to_ratio_graph(g));
+    if (!results_bit_identical(solver.solve(), legacy)) return true;
+  }
+  return false;
+}
+
+TEST(DifferentialCsrSolver, WarmWeightMutationsStayBitIdentical) {
+  for (std::uint64_t shard = 0; shard < 60; ++shard) {
+    util::Rng rng = util::Rng::for_shard(kBaseSeed ^ 0x3a7bULL, shard);
+    const TmgSpec spec = random_spec(rng, /*unit_tokens=*/shard % 2 == 0);
+    if (csr_warm_mutations_diverge(spec)) {
+      report_failure(shard, spec, csr_warm_mutations_diverge,
+                     "warm CSR re-solve diverged from cold legacy Howard");
+      return;
+    }
+  }
+}
+
+// --- D6 (one solver across differently-sized graphs) -------------------------
+
+TEST(DifferentialCsrSolver, SolverReusedAcrossGraphsStaysBitIdentical) {
+  // One solver absorbs a stream of unrelated graphs; its workspaces only
+  // grow, so a large graph followed by a small one exercises stale tails.
+  CycleMeanSolver solver;
+  for (std::uint64_t shard = 0; shard < 60; ++shard) {
+    util::Rng rng = util::Rng::for_shard(kBaseSeed ^ 0x5eedULL, shard);
+    const TmgSpec spec = random_spec(rng, /*unit_tokens=*/shard % 2 == 0);
+    const MarkedGraph g = spec.build();
+    const CycleRatioResult legacy =
+        max_cycle_ratio_howard(to_ratio_graph(g));
+    solver.prepare(g);
+    if (!results_bit_identical(solver.solve(), legacy)) {
+      const auto fails = [&](const TmgSpec& cand) {
+        // Re-create the cross-graph state: a fresh solver first sized by the
+        // *previous* shard's graph, then fed the candidate.
+        CycleMeanSolver s2;
+        if (shard > 0) {
+          util::Rng prev_rng = util::Rng::for_shard(kBaseSeed ^ 0x5eedULL,
+                                                    shard - 1);
+          s2.solve(random_spec(prev_rng, (shard - 1) % 2 == 0).build());
+        }
+        const MarkedGraph cg = cand.build();
+        return !results_bit_identical(
+            s2.solve(cg), max_cycle_ratio_howard(to_ratio_graph(cg)));
+      };
+      report_failure(shard, spec, fails,
+                     "reused solver diverged after a differently-sized graph");
+      return;
+    }
+  }
+}
+
+// --- D7 (seeded warm start: exact ratio, self-consistent witness) ------------
+
+bool csr_seeded_diverges(const TmgSpec& spec) {
+  MarkedGraph g = spec.build();
+  CycleMeanSolver solver;
+  solver.prepare(g);
+  solver.solve();  // establish a previous optimal policy
+  util::Rng rng(kBaseSeed ^ 0x5eedeULL ^
+                (static_cast<std::uint64_t>(spec.delays.size()) * 137));
+  for (int s = 0; s < 16; ++s) {
+    const auto t =
+        static_cast<TransitionId>(rng.index(spec.delays.size()));
+    g.set_delay(t, rng.uniform_int(0, 20));
+    solver.prepare(g);
+    const CycleRatioResult seeded = solver.solve_seeded();
+    const RatioGraph rg = to_ratio_graph(g);
+    const CycleRatioResult legacy = max_cycle_ratio_howard(rg);
+    if (seeded.has_cycle != legacy.has_cycle) return true;
+    if (!seeded.has_cycle) continue;
+    if (seeded.is_infinite() != legacy.is_infinite()) return true;
+    if (seeded.is_infinite()) continue;
+    // Exact same maximum ratio, and a witness that actually attains it.
+    if (compare_ratios(seeded.ratio_num, seeded.ratio_den, legacy.ratio_num,
+                       legacy.ratio_den) != 0) {
+      return true;
+    }
+    if (!critical_cycle_consistent(rg, seeded)) return true;
+  }
+  return false;
+}
+
+TEST(DifferentialCsrSolver, SeededSolveReachesExactRatio) {
+  for (std::uint64_t shard = 0; shard < 60; ++shard) {
+    util::Rng rng = util::Rng::for_shard(kBaseSeed ^ 0x5eedeULL, shard);
+    const TmgSpec spec = random_spec(rng, /*unit_tokens=*/shard % 2 == 0);
+    if (csr_seeded_diverges(spec)) {
+      report_failure(shard, spec, csr_seeded_diverges,
+                     "seeded CSR solve missed the exact maximum ratio");
       return;
     }
   }

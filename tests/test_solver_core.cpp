@@ -1,0 +1,323 @@
+// Unit tests of the flat CSR solver core (tmg/csr.h, tmg/workspace.h):
+// compile/refresh/matches mechanics, workspace reuse across differently
+// sized graphs, the canonical-start determinism contract on edge shapes
+// (empty graphs, self-loops, zero-token cycles), per-component solves on
+// caller scratch, and the Howard iteration-cap exhaustion path.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "graph/scc.h"
+#include "tmg/csr.h"
+#include "tmg/cycle_ratio.h"
+#include "tmg/howard.h"
+#include "tmg/marked_graph.h"
+#include "tmg/workspace.h"
+
+namespace ermes::tmg {
+namespace {
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+void expect_bit_identical(const CycleRatioResult& got,
+                          const CycleRatioResult& want) {
+  EXPECT_EQ(got.has_cycle, want.has_cycle);
+  EXPECT_EQ(got.ratio_num, want.ratio_num);
+  EXPECT_EQ(got.ratio_den, want.ratio_den);
+  EXPECT_TRUE(bits_equal(got.ratio, want.ratio));
+  EXPECT_EQ(got.critical_cycle, want.critical_cycle);
+}
+
+// ring + one heavy self-loop + a cross chord: two nontrivial co-existing
+// cycles, so policy iteration actually iterates.
+RatioGraph sample_graph() {
+  RatioGraph rg;
+  rg.g.add_nodes(4);
+  const auto arc = [&rg](graph::NodeId u, graph::NodeId v, std::int64_t w,
+                         std::int64_t t) {
+    rg.g.add_arc(u, v);
+    rg.weight.push_back(w);
+    rg.tokens.push_back(t);
+  };
+  arc(0, 1, 3, 1);
+  arc(1, 2, 4, 0);
+  arc(2, 3, 5, 1);
+  arc(3, 0, 2, 0);
+  arc(2, 2, 9, 1);   // heavy self-loop inside the SCC
+  arc(1, 0, 1, 1);   // chord: short cycle 0->1->0
+  return rg;
+}
+
+// --- HowardWorkspace ---------------------------------------------------------
+
+TEST(HowardWorkspace, EnsureGrowsAndNeverShrinks) {
+  HowardWorkspace ws;
+  ws.ensure(4);
+  EXPECT_EQ(ws.policy.size(), 4u);
+  EXPECT_EQ(ws.seen.size(), 4u);
+  ws.ensure(16);
+  EXPECT_EQ(ws.lambda.size(), 16u);
+  ws.ensure(2);  // no shrink
+  EXPECT_EQ(ws.policy.size(), 16u);
+}
+
+TEST(HowardWorkspace, StampsAreFreshAcrossEnsureGrowth) {
+  HowardWorkspace ws;
+  ws.ensure(2);
+  const std::int32_t s1 = ws.next_stamp();
+  ws.seen[0] = s1;
+  ws.ensure(8);  // new entries must not alias the current stamp
+  for (std::size_t i = 2; i < 8; ++i) {
+    EXPECT_NE(ws.seen[i], s1) << "stale stamp at " << i;
+  }
+  EXPECT_GT(ws.next_stamp(), s1);
+}
+
+// --- CsrGraph mechanics ------------------------------------------------------
+
+TEST(CsrGraph, CompileMatchesAndRefreshesWeights) {
+  RatioGraph rg = sample_graph();
+  CsrGraph csr;
+  csr.compile(rg);
+  EXPECT_EQ(csr.num_nodes, 4);
+  EXPECT_EQ(csr.num_arcs, 6);
+  EXPECT_TRUE(csr.matches(rg));
+  // Slots preserve out_arcs order, and arc ids round-trip through arc_slot.
+  for (graph::ArcId a = 0; a < csr.num_arcs; ++a) {
+    EXPECT_EQ(csr.arc_weight(a), rg.arc_weight(a));
+    EXPECT_EQ(csr.slot_arc[static_cast<std::size_t>(
+                  csr.arc_slot[static_cast<std::size_t>(a)])],
+              a);
+  }
+  rg.weight[2] = 42;
+  EXPECT_TRUE(csr.matches(rg));  // weights are not structure
+  csr.refresh_weights(rg);
+  EXPECT_EQ(csr.arc_weight(2), 42);
+}
+
+TEST(CsrGraph, StructureChangesAreDetected) {
+  const RatioGraph rg = sample_graph();
+  CsrGraph csr;
+  csr.compile(rg);
+
+  RatioGraph more = rg;
+  more.g.add_arc(3, 1);
+  more.weight.push_back(1);
+  more.tokens.push_back(1);
+  EXPECT_FALSE(csr.matches(more));
+
+  RatioGraph retok = rg;
+  retok.tokens[1] = 2;  // tokens are structure (they gate the solve plan)
+  EXPECT_FALSE(csr.matches(retok));
+}
+
+TEST(CsrGraph, MarkedGraphCompileMirrorsToRatioGraph) {
+  MarkedGraph g;
+  for (int t = 0; t < 3; ++t) {
+    g.add_transition("t" + std::to_string(t), 2 + 3 * t);
+  }
+  g.add_place(0, 1, 1);
+  g.add_place(1, 2, 0);
+  g.add_place(2, 0, 1);
+  g.add_place(1, 1, 1);  // self-loop place
+
+  const RatioGraph rg = to_ratio_graph(g);
+  CsrGraph from_rg, from_tmg;
+  from_rg.compile(rg);
+  from_tmg.compile(g);
+  EXPECT_EQ(from_tmg.row_ptr, from_rg.row_ptr);
+  EXPECT_EQ(from_tmg.slot_arc, from_rg.slot_arc);
+  EXPECT_EQ(from_tmg.slot_head, from_rg.slot_head);
+  EXPECT_EQ(from_tmg.slot_weight, from_rg.slot_weight);
+  EXPECT_EQ(from_tmg.slot_tokens, from_rg.slot_tokens);
+  EXPECT_TRUE(from_tmg.matches(rg));
+  EXPECT_TRUE(from_rg.matches(g));
+}
+
+// --- CycleMeanSolver: prepare/warm/solve -------------------------------------
+
+TEST(CycleMeanSolver, PrepareReportsWarmOnlyForUnchangedStructure) {
+  RatioGraph rg = sample_graph();
+  CycleMeanSolver solver;
+  EXPECT_FALSE(solver.prepare(rg));  // cold: first compile
+  EXPECT_TRUE(solver.prepare(rg));   // warm: nothing changed
+  rg.weight[0] = 77;
+  EXPECT_TRUE(solver.prepare(rg));   // warm: weight-only
+  rg.g.add_arc(0, 2);
+  rg.weight.push_back(1);
+  rg.tokens.push_back(1);
+  EXPECT_FALSE(solver.prepare(rg));  // cold: structure changed
+  EXPECT_EQ(solver.stats().compiles, 2);
+  EXPECT_EQ(solver.stats().weight_refreshes, 2);
+}
+
+TEST(CycleMeanSolver, SolveMatchesLegacyOnSample) {
+  const RatioGraph rg = sample_graph();
+  CycleMeanSolver solver;
+  expect_bit_identical(solver.solve(rg), max_cycle_ratio_howard(rg));
+}
+
+TEST(CycleMeanSolver, SetArcWeightPatchesStayBitIdentical) {
+  RatioGraph rg = sample_graph();
+  CycleMeanSolver solver;
+  solver.prepare(rg);
+  for (int step = 0; step < 8; ++step) {
+    const auto a = static_cast<graph::ArcId>(step % 6);
+    const std::int64_t w = 1 + (step * 5) % 11;
+    rg.weight[static_cast<std::size_t>(a)] = w;
+    solver.set_arc_weight(a, w);  // patch in place of a full prepare
+    expect_bit_identical(solver.solve(), max_cycle_ratio_howard(rg));
+  }
+}
+
+TEST(CycleMeanSolver, EmptyAndAcyclicGraphs) {
+  RatioGraph empty;
+  CycleMeanSolver solver;
+  const CycleRatioResult r = solver.solve(empty);
+  EXPECT_FALSE(r.has_cycle);
+
+  RatioGraph dag;
+  dag.g.add_nodes(3);
+  dag.g.add_arc(0, 1);
+  dag.g.add_arc(1, 2);
+  dag.weight = {5, 7};
+  dag.tokens = {1, 1};
+  expect_bit_identical(solver.solve(dag), max_cycle_ratio_howard(dag));
+  EXPECT_FALSE(solver.solve(dag).has_cycle);
+}
+
+TEST(CycleMeanSolver, SelfLoopTieBreakMatchesLegacy) {
+  // Two self-loops with the equal ratio 4/2 == 2/1: the legacy trivial-SCC
+  // scan keeps the *first* (exact compare, first wins) — the CSR plan must
+  // report the same arc.
+  RatioGraph rg;
+  rg.g.add_nodes(1);
+  rg.g.add_arc(0, 0);
+  rg.g.add_arc(0, 0);
+  rg.weight = {4, 2};
+  rg.tokens = {2, 1};
+  CycleMeanSolver solver;
+  expect_bit_identical(solver.solve(rg), max_cycle_ratio_howard(rg));
+}
+
+TEST(CycleMeanSolver, ZeroTokenCycleIsInfiniteWithSameWitness) {
+  RatioGraph rg;
+  rg.g.add_nodes(3);
+  rg.g.add_arc(0, 1);
+  rg.g.add_arc(1, 0);  // zero-token 2-cycle
+  rg.g.add_arc(1, 2);
+  rg.g.add_arc(2, 1);
+  rg.weight = {1, 1, 1, 1};
+  rg.tokens = {0, 0, 1, 1};
+  CycleMeanSolver solver;
+  const CycleRatioResult r = solver.solve(rg);
+  EXPECT_TRUE(r.is_infinite());
+  expect_bit_identical(r, max_cycle_ratio_howard(rg));
+}
+
+// --- per-component solves on caller scratch ----------------------------------
+
+TEST(CycleMeanSolver, SolveComponentMatchesLegacyPerScc) {
+  // Two decoupled rings (no cross arcs back), so two nontrivial SCCs.
+  RatioGraph rg;
+  rg.g.add_nodes(5);
+  const auto arc = [&rg](graph::NodeId u, graph::NodeId v, std::int64_t w,
+                         std::int64_t t) {
+    rg.g.add_arc(u, v);
+    rg.weight.push_back(w);
+    rg.tokens.push_back(t);
+  };
+  arc(0, 1, 3, 1);
+  arc(1, 0, 2, 1);
+  arc(1, 2, 1, 1);  // feed-forward into the second ring
+  arc(2, 3, 6, 1);
+  arc(3, 4, 4, 0);
+  arc(4, 2, 5, 1);
+
+  CycleMeanSolver solver;
+  solver.prepare(rg);
+  const graph::SccResult& sccs = solver.sccs();
+  const graph::SccResult legacy_sccs =
+      graph::strongly_connected_components(rg.g);
+  ASSERT_EQ(sccs.num_components, legacy_sccs.num_components);
+  EXPECT_EQ(sccs.component, legacy_sccs.component);
+  EXPECT_EQ(sccs.members, legacy_sccs.members);
+
+  HowardWorkspace ws;
+  for (std::int32_t c = 0; c < sccs.num_components; ++c) {
+    expect_bit_identical(
+        solver.solve_component(c, ws),
+        max_cycle_ratio_howard_scc(rg, sccs.component, c,
+                                   sccs.members[static_cast<std::size_t>(c)]));
+  }
+}
+
+TEST(CycleMeanSolver, WorkspaceBankGrowsAndIsIndexable) {
+  CycleMeanSolver solver;
+  solver.prepare(sample_graph(), /*workers=*/3);
+  EXPECT_GE(solver.num_workspaces(), 3u);
+  solver.ensure_workspaces(5);
+  EXPECT_EQ(solver.num_workspaces(), 5u);
+  solver.ensure_workspaces(2);  // never shrinks
+  EXPECT_EQ(solver.num_workspaces(), 5u);
+  // Distinct slots are distinct objects (one per worker, no sharing).
+  EXPECT_NE(&solver.workspace(0), &solver.workspace(4));
+}
+
+// --- iteration-cap exhaustion ------------------------------------------------
+
+TEST(HowardCap, ExhaustionIsReportedAndPathsAgree) {
+  // The canonical initial policy picks each node's first out-arc: the 1-1
+  // ring (ratio 2/2). The heavy self-loop 9/1 is only reachable through
+  // policy improvement, so cap=1 stops after evaluating the initial policy.
+  RatioGraph rg;
+  rg.g.add_nodes(2);
+  rg.g.add_arc(0, 1);
+  rg.g.add_arc(1, 0);
+  rg.g.add_arc(1, 1);
+  rg.weight = {1, 1, 9};
+  rg.tokens = {1, 1, 1};
+  const graph::SccResult sccs = graph::strongly_connected_components(rg.g);
+  ASSERT_EQ(sccs.num_components, 1);
+
+  set_howard_iteration_cap_for_testing(1);
+  int iterations = 0;
+  bool capped = false;
+  const CycleRatioResult legacy = max_cycle_ratio_howard_scc(
+      rg, sccs.component, 0, sccs.members[0], &iterations, &capped);
+  EXPECT_TRUE(capped) << "cap=1 must be exhausted on this graph";
+  EXPECT_EQ(iterations, 1);
+  EXPECT_EQ(legacy.ratio_num, 2);  // the initial policy's cycle, suboptimal
+  EXPECT_EQ(legacy.ratio_den, 2);
+
+  // The CSR path shares the cap plumbing and must cap identically.
+  CycleMeanSolver solver;
+  solver.prepare(rg);
+  HowardWorkspace ws;
+  int csr_iterations = 0;
+  bool csr_capped = false;
+  expect_bit_identical(
+      solver.solve_component(0, ws, &csr_iterations, &csr_capped), legacy);
+  EXPECT_TRUE(csr_capped);
+  EXPECT_EQ(csr_iterations, iterations);
+
+  // Back to the default cap: both converge to the self-loop optimum.
+  set_howard_iteration_cap_for_testing(0);
+  capped = true;
+  const CycleRatioResult full = max_cycle_ratio_howard_scc(
+      rg, sccs.component, 0, sccs.members[0], &iterations, &capped);
+  EXPECT_FALSE(capped);
+  EXPECT_EQ(full.ratio_num, 9);
+  EXPECT_EQ(full.ratio_den, 1);
+  expect_bit_identical(solver.solve(), full);
+}
+
+}  // namespace
+}  // namespace ermes::tmg
