@@ -36,6 +36,7 @@
 #include "apps/mpeg2/characterization.h"
 #include "dse/explorer.h"
 #include "io/soc_format.h"
+#include "obs/metrics.h"
 #include "svc/client.h"
 #include "svc/json.h"
 #include "svc/protocol.h"
@@ -85,6 +86,11 @@ struct LoadResult {
   double throughput_rps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  // Server-side latency, read back from the daemon's own svc.request_ns
+  // quantile instrument (queue wait + execute, no socket round-trip).
+  std::int64_t server_samples = 0;
+  double server_p50_ms = 0.0;
+  double server_p99_ms = 0.0;
   double cache_hit_rate = 0.0;
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
@@ -96,6 +102,11 @@ struct LoadResult {
 LoadResult run_load(const Config& config, const sysmodel::SystemModel& sys,
                     const std::string& soc,
                     const std::vector<std::int64_t>& targets) {
+  // Telemetry on: the daemon records its own latency distribution, which the
+  // report cross-checks against the client-observed one.
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+
   svc::ServerOptions options;
   options.socket_path = temp_socket_path("load");
   options.broker.workers = 0;  // all cores
@@ -166,6 +177,13 @@ LoadResult run_load(const Config& config, const sysmodel::SystemModel& sys,
   load.cache_hits = server.broker().cache().hits();
   load.cache_misses = server.broker().cache().misses();
   load.cache_hit_rate = server.broker().cache().hit_rate();
+  const obs::QuantileSnapshot server_latency =
+      obs::Registry::global().quantile("svc.request_ns").snapshot();
+  load.server_samples = server_latency.count;
+  load.server_p50_ms =
+      static_cast<double>(server_latency.quantile(0.50)) / 1e6;
+  load.server_p99_ms =
+      static_cast<double>(server_latency.quantile(0.99)) / 1e6;
   server.request_stop();
   server_thread.join();
 
@@ -272,6 +290,9 @@ int main(int argc, char** argv) {
   const LoadResult load = run_load(config, sys, soc, targets);
   std::printf("  load: %.2f s, %.1f req/s, p50 %.2f ms, p99 %.2f ms\n",
               load.elapsed_s, load.throughput_rps, load.p50_ms, load.p99_ms);
+  std::printf("  server histogram: %lld samples, p50 %.2f ms, p99 %.2f ms\n",
+              static_cast<long long>(load.server_samples), load.server_p50_ms,
+              load.server_p99_ms);
   std::printf("  cache: %lld hits / %lld misses (%.1f%% hit rate)\n",
               static_cast<long long>(load.cache_hits),
               static_cast<long long>(load.cache_misses),
@@ -287,6 +308,14 @@ int main(int argc, char** argv) {
   const bool identical = load.mismatches == 0 && load.transport_errors == 0;
   const bool warm = load.cache_hit_rate > 0.90;
   const bool backpressure = overload.overloaded > 0;
+  // The daemon's own svc.request_ns instrument must have seen every request
+  // the clients completed, with a sane p99 (server p99 <= client p99 — the
+  // client number adds the socket round-trip).
+  const bool telemetry =
+      load.server_samples ==
+          static_cast<std::int64_t>(load.total_requests) -
+              load.transport_errors &&
+      load.server_p99_ms > 0.0;
 
   svc::JsonValue report = svc::JsonValue::object();
   report.set("bench", svc::JsonValue::string("serve"));
@@ -301,6 +330,9 @@ int main(int argc, char** argv) {
   report.set("throughput_rps", svc::JsonValue::number(load.throughput_rps));
   report.set("p50_ms", svc::JsonValue::number(load.p50_ms));
   report.set("p99_ms", svc::JsonValue::number(load.p99_ms));
+  report.set("server_samples", svc::JsonValue::integer(load.server_samples));
+  report.set("server_p50_ms", svc::JsonValue::number(load.server_p50_ms));
+  report.set("server_p99_ms", svc::JsonValue::number(load.server_p99_ms));
   report.set("cache_hits", svc::JsonValue::integer(load.cache_hits));
   report.set("cache_misses", svc::JsonValue::integer(load.cache_misses));
   report.set("cache_hit_rate", svc::JsonValue::number(load.cache_hit_rate));
@@ -312,6 +344,7 @@ int main(int argc, char** argv) {
   report.set("overload_served", svc::JsonValue::integer(overload.served));
   report.set("overload_rejects_instead_of_blocking",
              svc::JsonValue::boolean(backpressure));
+  report.set("server_histogram_complete", svc::JsonValue::boolean(telemetry));
 
   std::FILE* out = std::fopen(config.out_path.c_str(), "w");
   if (out == nullptr) {
@@ -324,10 +357,11 @@ int main(int argc, char** argv) {
   std::fclose(out);
   std::printf("  report written to %s\n", config.out_path.c_str());
 
-  if (!identical || !warm || !backpressure) {
+  if (!identical || !warm || !backpressure || !telemetry) {
     std::fprintf(stderr,
-                 "bench_serve FAILED: identical=%d warm=%d backpressure=%d\n",
-                 identical, warm, backpressure);
+                 "bench_serve FAILED: identical=%d warm=%d backpressure=%d "
+                 "telemetry=%d\n",
+                 identical, warm, backpressure, telemetry);
     return 1;
   }
   std::printf("bench_serve PASSED\n");

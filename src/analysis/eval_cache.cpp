@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "util/rng.h"
 
 namespace ermes::analysis {
@@ -101,19 +102,28 @@ EvalCache::EvalCache(std::size_t num_shards) {
 
 bool EvalCache::lookup(std::uint64_t fingerprint,
                        PerformanceReport* out) const {
+  obs::StageTimer probe_timer(obs::Stage::kCacheProbe);
   Shard<PerformanceReport>& shard = shard_of(shards_, fingerprint);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.map.find(fingerprint);
     if (it != shard.map.end()) {
       if (out != nullptr) *out = it->second;
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       hits_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::enabled()) obs::count("analysis.eval_cache.hits");
+      if (obs::enabled()) {
+        window_hits_.record();
+        obs::count("analysis.eval_cache.hits");
+      }
       return true;
     }
   }
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   misses_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::enabled()) obs::count("analysis.eval_cache.misses");
+  if (obs::enabled()) {
+    window_misses_.record();
+    obs::count("analysis.eval_cache.misses");
+  }
   return false;
 }
 
@@ -126,19 +136,28 @@ void EvalCache::insert(std::uint64_t fingerprint,
 
 bool EvalCache::lookup_eval(std::uint64_t pre_reorder_fingerprint,
                             OrderedEval* out) const {
+  obs::StageTimer probe_timer(obs::Stage::kCacheProbe);
   Shard<OrderedEval>& shard = shard_of(eval_shards_, pre_reorder_fingerprint);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.map.find(pre_reorder_fingerprint);
     if (it != shard.map.end()) {
       if (out != nullptr) *out = it->second;
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       hits_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::enabled()) obs::count("analysis.eval_cache.eval_hits");
+      if (obs::enabled()) {
+        window_hits_.record();
+        obs::count("analysis.eval_cache.eval_hits");
+      }
       return true;
     }
   }
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   misses_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::enabled()) obs::count("analysis.eval_cache.eval_misses");
+  if (obs::enabled()) {
+    window_misses_.record();
+    obs::count("analysis.eval_cache.eval_misses");
+  }
   return false;
 }
 
@@ -151,19 +170,28 @@ void EvalCache::insert_eval(std::uint64_t pre_reorder_fingerprint,
 
 bool EvalCache::lookup_aux(std::uint64_t key,
                            std::vector<std::int64_t>* out) const {
+  obs::StageTimer probe_timer(obs::Stage::kCacheProbe);
   Shard<std::vector<std::int64_t>>& shard = shard_of(aux_shards_, key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       if (out != nullptr) *out = it->second;
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       hits_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::enabled()) obs::count("analysis.eval_cache.aux_hits");
+      if (obs::enabled()) {
+        window_hits_.record();
+        obs::count("analysis.eval_cache.aux_hits");
+      }
       return true;
     }
   }
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   misses_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::enabled()) obs::count("analysis.eval_cache.aux_misses");
+  if (obs::enabled()) {
+    window_misses_.record();
+    obs::count("analysis.eval_cache.aux_misses");
+  }
   return false;
 }
 
@@ -240,6 +268,31 @@ std::size_t EvalCache::size() const {
 double EvalCache::hit_rate() const {
   const double h = static_cast<double>(hits());
   const double m = static_cast<double>(misses());
+  return h + m > 0.0 ? h / (h + m) : 0.0;
+}
+
+std::vector<EvalCache::ShardStats> EvalCache::shard_stats() const {
+  std::vector<ShardStats> out(shards_.size());
+  const auto fold = [&out](const auto& family) {
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      {
+        std::lock_guard<std::mutex> lock(family[i]->mu);
+        out[i].entries += family[i]->map.size();
+      }
+      out[i].hits += family[i]->hits.load(std::memory_order_relaxed);
+      out[i].misses += family[i]->misses.load(std::memory_order_relaxed);
+    }
+  };
+  fold(shards_);
+  fold(eval_shards_);
+  fold(aux_shards_);
+  return out;
+}
+
+double EvalCache::window_hit_rate() const {
+  const std::int64_t now_s = obs::steady_seconds();
+  const double h = static_cast<double>(window_hits_.sum_at(now_s));
+  const double m = static_cast<double>(window_misses_.sum_at(now_s));
   return h + m > 0.0 ? h / (h + m) : 0.0;
 }
 

@@ -18,8 +18,12 @@
 //
 // EvalCache is sharded: lookups take one shard mutex, so concurrent workers
 // evaluating different candidates rarely contend. Hit/miss counts are kept
-// per cache and mirrored into the obs registry (analysis.eval_cache.hits /
-// .misses) when telemetry is enabled.
+// per shard (shard_stats() exposes occupancy and traffic per shard, so skew
+// — a hot shard serializing lookups — is observable) and in aggregate, and
+// are mirrored into the obs registry (analysis.eval_cache.hits / .misses)
+// when telemetry is enabled. A sliding-window hit rate (window_hit_rate())
+// tracks the last ~10 seconds for the serving stats plane, where the
+// cumulative rate is dominated by history.
 
 #include <atomic>
 #include <cstdint>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "analysis/performance.h"
+#include "obs/quantile.h"
 #include "sysmodel/system.h"
 
 namespace ermes::analysis {
@@ -115,11 +120,27 @@ class EvalCache {
   /// hits / (hits + misses); 0 when empty.
   double hit_rate() const;
 
+  /// Per-shard occupancy and traffic, folded across the three memo families
+  /// (report, ordered-eval, aux) that share the shard index.
+  struct ShardStats {
+    std::size_t entries = 0;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+  };
+  std::size_t num_shards() const { return shards_.size(); }
+  std::vector<ShardStats> shard_stats() const;
+
+  /// Hit rate over roughly the last 10 seconds (hits and misses recorded
+  /// into sliding windows, see obs::WindowRate); 0 when the window is empty.
+  double window_hit_rate() const;
+
  private:
   template <typename V>
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<std::uint64_t, V> map;
+    mutable std::atomic<std::int64_t> hits{0};
+    mutable std::atomic<std::int64_t> misses{0};
   };
 
   template <typename V>
@@ -134,6 +155,8 @@ class EvalCache {
   std::vector<std::unique_ptr<Shard<std::vector<std::int64_t>>>> aux_shards_;
   mutable std::atomic<std::int64_t> hits_{0};
   mutable std::atomic<std::int64_t> misses_{0};
+  mutable obs::WindowRate window_hits_;
+  mutable obs::WindowRate window_misses_;
   std::atomic<std::uint64_t> verify_tick_{0};  // debug-only sampling cursor
 };
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/span.h"
 #include "tmg/csr.h"
 #include "tmg/howard.h"
@@ -26,6 +27,7 @@ PerformanceReport analyze(const SystemTmg& stmg) {
   report.live = true;
 
   const tmg::RatioGraph rg = tmg::to_ratio_graph(stmg.graph);
+  obs::StageTimer solve_timer(obs::Stage::kSolve);
   return report_from_ratio(stmg, tmg::max_cycle_ratio_howard(rg));
 }
 
@@ -43,6 +45,7 @@ PerformanceReport analyze(const SystemTmg& stmg, tmg::CycleMeanSolver& solver) {
   report.live = true;
 
   solver.prepare(stmg.graph);
+  obs::StageTimer solve_timer(obs::Stage::kSolve);
   return report_from_ratio(stmg, solver.solve());
 }
 

@@ -65,6 +65,7 @@ void IncrementalAnalyzer::rebuild() {
   dirty_.assign(n, 1);
   structure_dirty_ = false;
   ++stats_.structure_rebuilds;
+  if (obs::enabled()) obs::count("comp.incremental.structure_rebuilds");
 }
 
 void IncrementalAnalyzer::apply_delay(tmg::TransitionId t,
@@ -100,6 +101,7 @@ bool IncrementalAnalyzer::select_implementation(ProcessId p, std::size_t index,
   }
   sys_.select_implementation(p, index);
   ++stats_.patches;
+  if (obs::enabled()) obs::count("comp.incremental.patches");
   apply_delay(stmg_.compute_transition.empty()
                   ? tmg::kInvalidTransition
                   : stmg_.compute_transition[static_cast<std::size_t>(p)],
@@ -115,6 +117,7 @@ bool IncrementalAnalyzer::set_latency(ProcessId p, std::int64_t latency,
   if (latency < 0) return set_error(error, "negative latency");
   sys_.set_latency(p, latency);
   ++stats_.patches;
+  if (obs::enabled()) obs::count("comp.incremental.patches");
   apply_delay(stmg_.compute_transition.empty()
                   ? tmg::kInvalidTransition
                   : stmg_.compute_transition[static_cast<std::size_t>(p)],
@@ -131,6 +134,7 @@ bool IncrementalAnalyzer::set_channel_latency(ChannelId c,
   if (latency < 0) return set_error(error, "negative latency");
   sys_.set_channel_latency(c, latency);
   ++stats_.patches;
+  if (obs::enabled()) obs::count("comp.incremental.patches");
   // The write-side transition carries the channel latency (the read side of
   // a FIFO is zero-delay).
   apply_delay(stmg_.channel_transition.empty()
@@ -151,6 +155,7 @@ bool IncrementalAnalyzer::retarget_channel(ChannelId c, ProcessId new_target,
   }
   sys_.retarget_channel(c, new_target);
   ++stats_.patches;
+  if (obs::enabled()) obs::count("comp.incremental.patches");
   structure_dirty_ = true;  // elaboration changed: full rebuild next analyze
   return true;
 }
@@ -172,6 +177,10 @@ const PartitionedReport& IncrementalAnalyzer::analyze() {
   }
   stats_.sccs_clean +=
       static_cast<std::int64_t>(dirty_.size() - todo.size());
+  if (obs::enabled()) {
+    obs::count("comp.incremental.sccs_clean",
+               static_cast<std::int64_t>(dirty_.size() - todo.size()));
+  }
 
   std::vector<char> hit(todo.size(), 0);
   const auto solve_one = [&](std::size_t i) {

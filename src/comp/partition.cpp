@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/span.h"
 #include "tmg/howard.h"
 #include "tmg/liveness.h"
@@ -177,6 +178,7 @@ tmg::CycleRatioResult solve_scc(const tmg::RatioGraph& rg,
       }
     }
   }
+  obs::StageTimer solve_timer(obs::Stage::kSolve);
   tmg::CycleRatioResult result =
       tmg::max_cycle_ratio_howard_scc(rg, sccs.component, comp_id, members);
   if (cache != nullptr) cache->insert_aux(key, encode_scc_result(result));
@@ -217,6 +219,7 @@ tmg::CycleRatioResult solve_scc(const tmg::CycleMeanSolver& solver,
       }
     }
   }
+  obs::StageTimer solve_timer(obs::Stage::kSolve);
   tmg::CycleRatioResult result = solver.solve_component(comp_id, ws);
   if (cache != nullptr) cache->insert_aux(key, encode_scc_result(result));
   return result;

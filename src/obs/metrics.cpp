@@ -178,17 +178,24 @@ Histogram& Registry::histogram(std::string_view name) {
   return find_or_create(histograms_, name);
 }
 
+QuantileHistogram& Registry::quantile(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(quantiles_, name);
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
+  for (auto& [name, quantile] : quantiles_) quantile->reset();
 }
 
 std::vector<Registry::Entry> Registry::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Entry> out;
-  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
+              quantiles_.size());
   for (const auto& [name, counter] : counters_) {
     Entry entry;
     entry.name = name;
@@ -209,6 +216,14 @@ std::vector<Registry::Entry> Registry::entries() const {
     entry.kind = Entry::Kind::kHistogram;
     entry.hist = histogram->snapshot();
     entry.value = entry.hist.count;
+    out.push_back(std::move(entry));
+  }
+  for (const auto& [name, quantile] : quantiles_) {
+    Entry entry;
+    entry.name = name;
+    entry.kind = Entry::Kind::kQuantile;
+    entry.qhist = quantile->snapshot();
+    entry.value = entry.qhist.count;
     out.push_back(std::move(entry));
   }
   return out;
@@ -253,6 +268,21 @@ std::string Registry::to_json() const {
     out << "]}";
     first = false;
   }
+  out << "},\"quantiles\":{";
+  first = true;
+  for (const Entry& entry : all) {
+    if (entry.kind != Entry::Kind::kQuantile) continue;
+    const QuantileSnapshot& q = entry.qhist;
+    out << (first ? "" : ",") << '"' << json_escape(entry.name) << "\":{"
+        << "\"count\":" << q.count << ",\"sum\":" << q.sum
+        << ",\"min\":" << (q.count ? q.min : 0)
+        << ",\"max\":" << (q.count ? q.max : 0)
+        << ",\"mean\":" << json_number(q.mean())
+        << ",\"p50\":" << q.quantile(0.50) << ",\"p90\":" << q.quantile(0.90)
+        << ",\"p99\":" << q.quantile(0.99)
+        << ",\"p999\":" << q.quantile(0.999) << '}';
+    first = false;
+  }
   out << "}}";
   return out.str();
 }
@@ -282,6 +312,11 @@ void gauge_set(std::string_view name, std::int64_t value) {
 void observe(std::string_view name, std::int64_t value) {
   if (!enabled()) return;
   Registry::global().histogram(name).observe(value);
+}
+
+void observe_quantile(std::string_view name, std::int64_t value) {
+  if (!enabled()) return;
+  Registry::global().quantile(name).observe(value);
 }
 
 }  // namespace ermes::obs

@@ -9,6 +9,10 @@
 //   * Histogram — value distribution over fixed log2 buckets (durations,
 //                 wait times); tracks count/sum/min/max exactly, the
 //                 distribution shape at power-of-two resolution.
+//   * Quantile  — HDR-style histogram (obs/quantile.h) for latency SLOs:
+//                 p50/p90/p99/p999 within ~1% relative error. Heavier than
+//                 Histogram (~57 KiB per instrument); register one per
+//                 request class, not per entity.
 //
 // Cost contract: every instrumentation site must check obs::enabled() (a
 // single relaxed atomic load) before touching any instrument, so a build
@@ -32,6 +36,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/quantile.h"
 
 namespace ermes::obs {
 
@@ -151,6 +157,7 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  QuantileHistogram& quantile(std::string_view name);
 
   /// Zeroes every instrument, keeping all registrations (and therefore all
   /// outstanding references) intact. Call between runs for a fresh snapshot.
@@ -158,18 +165,20 @@ class Registry {
 
   /// One snapshot entry, used by the table renderer and tests.
   struct Entry {
-    enum class Kind { kCounter, kGauge, kHistogram };
+    enum class Kind { kCounter, kGauge, kHistogram, kQuantile };
     std::string name;
     Kind kind = Kind::kCounter;
     std::int64_t value = 0;  // counter/gauge value; histogram count
     HistogramData hist;      // filled for histograms
+    QuantileSnapshot qhist;  // filled for quantile histograms
   };
   /// All instruments, sorted by (kind, name).
   std::vector<Entry> entries() const;
 
-  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
-  /// Histograms serialize count/sum/min/max/mean and the non-empty buckets
-  /// as [upper_bound, count] pairs.
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "quantiles":{...}}. Histograms serialize count/sum/min/max/mean and the
+  /// non-empty buckets as [upper_bound, count] pairs; quantile instruments
+  /// additionally carry precomputed p50/p90/p99/p999.
   std::string to_json() const;
 
   /// Convenience: serializes to_json() to a file. Returns false on I/O error.
@@ -180,6 +189,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileHistogram>, std::less<>>
+      quantiles_;
 };
 
 // ---- convenience free functions --------------------------------------------
@@ -192,5 +203,6 @@ class Registry {
 void count(std::string_view name, std::int64_t delta = 1);
 void gauge_set(std::string_view name, std::int64_t value);
 void observe(std::string_view name, std::int64_t value);
+void observe_quantile(std::string_view name, std::int64_t value);
 
 }  // namespace ermes::obs

@@ -1,0 +1,103 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/quantile.h"
+
+namespace ermes::obs {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "ermes_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus floats: plain integers render without a decimal point, which is
+// valid; `le` bounds render as integers too (the format accepts any float
+// literal).
+void emit_type(std::ostringstream& out, const std::string& name,
+               const char* type) {
+  out << "# TYPE " << name << ' ' << type << '\n';
+}
+
+template <typename Buckets>
+void emit_histogram(std::ostringstream& out, const std::string& name,
+                    std::int64_t count, std::int64_t sum,
+                    const Buckets& buckets, std::size_t num_buckets,
+                    std::int64_t (*upper)(int)) {
+  emit_type(out, name, "histogram");
+  std::int64_t cumulative = 0;
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    const std::int64_t n = buckets[b];
+    if (n == 0) continue;
+    cumulative += n;
+    out << name << "_bucket{le=\"" << upper(static_cast<int>(b)) << "\"} "
+        << cumulative << '\n';
+  }
+  out << name << "_bucket{le=\"+Inf\"} " << count << '\n';
+  out << name << "_sum " << sum << '\n';
+  out << name << "_count " << count << '\n';
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry& registry) {
+  const std::vector<Registry::Entry> all = registry.entries();
+  std::ostringstream out;
+  for (const Registry::Entry& entry : all) {
+    const std::string name = prometheus_name(entry.name);
+    switch (entry.kind) {
+      case Registry::Entry::Kind::kCounter:
+        emit_type(out, name, "counter");
+        out << name << "_total " << entry.value << '\n';
+        break;
+      case Registry::Entry::Kind::kGauge:
+        emit_type(out, name, "gauge");
+        out << name << ' ' << entry.value << '\n';
+        break;
+      case Registry::Entry::Kind::kHistogram:
+        emit_histogram(out, name, entry.hist.count, entry.hist.sum,
+                       entry.hist.buckets, entry.hist.buckets.size(),
+                       &bucket_upper_bound);
+        break;
+      case Registry::Entry::Kind::kQuantile: {
+        const QuantileSnapshot& q = entry.qhist;
+        if (q.buckets.empty()) {
+          // Never observed: render an empty histogram.
+          emit_type(out, name, "histogram");
+          out << name << "_bucket{le=\"+Inf\"} 0\n";
+          out << name << "_sum 0\n";
+          out << name << "_count 0\n";
+        } else {
+          emit_histogram(out, name, q.count, q.sum, q.buckets,
+                         q.buckets.size(), &quantile_bucket_upper);
+        }
+        // Precomputed quantiles as a companion gauge family for dashboards
+        // that don't run histogram_quantile().
+        emit_type(out, name + "_q", "gauge");
+        static constexpr struct {
+          double p;
+          const char* label;
+        } kQuantiles[] = {
+            {0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"}};
+        for (const auto& [p, label] : kQuantiles) {
+          out << name << "_q{quantile=\"" << label << "\"} " << q.quantile(p)
+              << '\n';
+        }
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ermes::obs

@@ -1,0 +1,37 @@
+#pragma once
+// Prometheus text exposition (format version 0.0.4) of a metrics registry.
+//
+// The second interchange format next to Registry::to_json: where the JSON
+// snapshot is ERMES's own tooling ("ermes --metrics out.json", the `stats`
+// op), this renderer speaks the format every metrics scraper already
+// understands, so a running daemon plugs into a Prometheus/Grafana stack
+// with zero glue — `ermes request metrics --prom` is a scrape.
+//
+// Mapping:
+//   * Counter     -> `# TYPE <name> counter`, sample `<name>_total`
+//   * Gauge       -> `# TYPE <name> gauge`
+//   * Histogram   -> `# TYPE <name> histogram`: cumulative `_bucket{le=...}`
+//     rows over the non-empty buckets (plus the mandatory `le="+Inf"`),
+//     `_sum`, `_count` — both the log2 histograms and the HDR quantile
+//     histograms render this way, the latter additionally as precomputed
+//     `{quantile="..."}` gauge rows under `<name>_q` for dashboards that
+//     don't compute histogram_quantile.
+//
+// Dotted instrument names become underscore metric names under an `ermes_`
+// namespace ("svc.request_ns" -> "ermes_svc_request_ns"); any character
+// outside [a-zA-Z0-9_] maps to '_'.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ermes::obs {
+
+/// Prometheus metric name of an instrument ("ermes_" + sanitized name).
+std::string prometheus_name(const std::string& name);
+
+/// Renders the whole registry as Prometheus text-format exposition. Every
+/// line is terminated by '\n'; the result is a complete scrape body.
+std::string render_prometheus(const Registry& registry = Registry::global());
+
+}  // namespace ermes::obs

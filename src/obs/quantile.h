@@ -1,0 +1,147 @@
+#pragma once
+// Streaming quantile estimation and sliding-window rates for the serving
+// stack.
+//
+// QuantileHistogram is a fixed-bucket HDR-style histogram: values below
+// kQuantileExactLimit get one bucket each (exact), larger values land in
+// log-linear buckets — each power-of-two range is split into
+// 2^kQuantilePrecisionBits equal sub-buckets, so the reported quantile is
+// within 2^-kQuantilePrecisionBits (< 1%) relative error of the true value
+// anywhere in the int64 range. Unlike the log2 obs::Histogram (shape at
+// power-of-two resolution, cheap enough for sim inner loops), this is the
+// instrument for latency SLOs: p50/p90/p99/p999 of request, queue-wait, and
+// solve times, where "p99 is 2x p50" must be a measurement, not a bucket
+// artifact. Memory: ~7300 buckets, 57 KiB per instrument — registered once
+// per op, not per request.
+//
+// WindowRate answers "how many events in the last W seconds" with a ring of
+// per-second epoch counters: record() bumps the slot of the current second
+// (lazily re-zeroed when the ring wraps onto a stale second), sum()/
+// rate_per_sec() fold the slots whose epoch is still inside the window.
+// Rates therefore decay to zero within W seconds of traffic stopping — the
+// property cumulative counters cannot offer — at a cost of one atomic add
+// per event and zero allocation. Both types follow the obs cost contract:
+// callers gate on obs::enabled(), updates are lock-free atomics.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace ermes::obs {
+
+// ---- bucket geometry --------------------------------------------------------
+
+/// Sub-bucket resolution: each power-of-two range splits into 2^7 = 128
+/// linear sub-buckets, bounding relative error by 2^-7 ≈ 0.8%.
+inline constexpr int kQuantilePrecisionBits = 7;
+
+/// Values in [0, 256) are exact (one bucket per value); negative values
+/// clamp into bucket 0.
+inline constexpr std::int64_t kQuantileExactLimit =
+    std::int64_t{1} << (kQuantilePrecisionBits + 1);
+
+/// 256 exact buckets + 128 sub-buckets for each exponent 8..62.
+inline constexpr int kQuantileBuckets =
+    static_cast<int>(kQuantileExactLimit) +
+    (62 - (kQuantilePrecisionBits + 1) + 1) * (1 << kQuantilePrecisionBits);
+
+/// Bucket index of a value (clamped to [0, kQuantileBuckets)).
+int quantile_bucket_index(std::int64_t value);
+
+/// Inclusive upper bound of a bucket's value range.
+std::int64_t quantile_bucket_upper(int bucket);
+
+// ---- snapshot ---------------------------------------------------------------
+
+/// Plain (non-atomic) accumulator and interchange form: what
+/// QuantileHistogram::snapshot returns, what merges across shards or
+/// processes, and what quantile queries run against.
+struct QuantileSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // meaningful only when count > 0
+  std::int64_t max = 0;
+  std::vector<std::int64_t> buckets;  // kQuantileBuckets, lazily sized
+
+  void observe(std::int64_t value);
+  void merge(const QuantileSnapshot& other);
+
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th observation, clamped into [min, max] so p0/p100
+  /// are exact. Monotone in q; 0 when empty. Exact for values below
+  /// kQuantileExactLimit, within 2^-kQuantilePrecisionBits relative error
+  /// above.
+  std::int64_t quantile(double q) const;
+};
+
+// ---- atomic histogram -------------------------------------------------------
+
+/// Thread-safe quantile histogram (the registry instrument). observe() is
+/// three relaxed atomic RMWs plus two conditional min/max updates.
+class QuantileHistogram {
+ public:
+  QuantileHistogram();
+  QuantileHistogram(const QuantileHistogram&) = delete;
+  QuantileHistogram& operator=(const QuantileHistogram&) = delete;
+
+  void observe(std::int64_t value);
+  QuantileSnapshot snapshot() const;
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+  std::vector<std::atomic<std::int64_t>> buckets_;  // kQuantileBuckets
+};
+
+// ---- sliding-window rates ---------------------------------------------------
+
+/// Steady-clock seconds since the process-wide obs epoch (monotone,
+/// process-local; the time base every WindowRate shares).
+std::int64_t steady_seconds();
+
+/// Ring of per-second epoch counters; answers "events in the last
+/// `window_seconds` seconds" including the current (partial) second.
+class WindowRate {
+ public:
+  explicit WindowRate(int window_seconds = 10);
+  WindowRate(const WindowRate&) = delete;
+  WindowRate& operator=(const WindowRate&) = delete;
+
+  void record(std::int64_t n = 1) { record_at(steady_seconds(), n); }
+  std::int64_t sum() const { return sum_at(steady_seconds()); }
+  /// sum() averaged over the window length.
+  double rate_per_sec() const { return rate_per_sec_at(steady_seconds()); }
+
+  int window_seconds() const { return window_seconds_; }
+
+  /// Deterministic entry points for tests (`now_s` is any monotone second
+  /// counter; production uses steady_seconds()).
+  void record_at(std::int64_t now_s, std::int64_t n);
+  std::int64_t sum_at(std::int64_t now_s) const;
+  double rate_per_sec_at(std::int64_t now_s) const {
+    return static_cast<double>(sum_at(now_s)) /
+           static_cast<double>(window_seconds_);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> epoch{-1};
+    std::atomic<std::int64_t> count{0};
+  };
+
+  int window_seconds_;
+  std::vector<Slot> slots_;  // window_seconds_ + 1: current second + window
+};
+
+}  // namespace ermes::obs

@@ -1,0 +1,48 @@
+#include "obs/request_context.h"
+
+#include <chrono>
+
+namespace ermes::obs {
+
+namespace {
+
+thread_local RequestContext* t_current_request = nullptr;
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kParse: return "parse";
+    case Stage::kCacheProbe: return "cache_probe";
+    case Stage::kSolve: return "solve";
+    case Stage::kRender: return "render";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+RequestContext* current_request() { return t_current_request; }
+
+RequestScope::RequestScope(RequestContext* ctx) : prev_(t_current_request) {
+  t_current_request = ctx;
+}
+
+RequestScope::~RequestScope() { t_current_request = prev_; }
+
+StageTimer::StageTimer(Stage stage)
+    : ctx_(t_current_request), stage_(stage) {
+  if (ctx_ != nullptr) start_ns_ = steady_ns();
+}
+
+StageTimer::~StageTimer() {
+  if (ctx_ != nullptr) ctx_->add(stage_, steady_ns() - start_ns_);
+}
+
+}  // namespace ermes::obs

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "obs/json.h"
+#include "obs/request_context.h"
 
 namespace ermes::obs {
 
@@ -138,6 +139,11 @@ bool SpanRecorder::write_chrome_json(const std::string& path) const {
 ObsSpan::ObsSpan(std::string_view name, const char* category)
     : category_(category) {
   if (!enabled()) return;
+  // Span sampling: inside a request scope, only traced requests pay for span
+  // recording (the broker marks every Nth request traced); counters and
+  // histograms stay exact for all requests.
+  const RequestContext* ctx = current_request();
+  if (ctx != nullptr && !ctx->traced) return;
   name_ = name;  // copied only on the enabled path
   start_ns_ = SpanRecorder::global().now_ns();
 }

@@ -7,13 +7,18 @@
 #include <utility>
 #include <vector>
 
+#include <cstdio>
+
 #include "analysis/performance.h"
 #include "comp/incremental.h"
 #include "comp/partition.h"
 #include "dse/explorer.h"
 #include "io/soc_format.h"
 #include "io/soc_hier.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/request_context.h"
 #include "ordering/channel_ordering.h"
 #include "svc/render.h"
 #include "util/log.h"
@@ -28,7 +33,9 @@ std::size_t effective_workers(std::size_t workers) {
 }
 
 // Model text of a request, through the grammar its `hier` flag selects.
+// Parse time is the request's `parse` stage.
 io::ParseResult parse_model(const Request& request) {
+  obs::StageTimer parse_timer(obs::Stage::kParse);
   return request.hier ? io::parse_soc_flattened(request.soc)
                       : io::parse_soc(request.soc);
 }
@@ -174,12 +181,17 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(has_deadline ? deadline_ms : 0);
 
+  const Clock::time_point admitted = Clock::now();
   pool_.submit([this, request = std::move(parsed.request), has_deadline,
-                deadline, done = std::move(done)] {
+                deadline, admitted, done = std::move(done)] {
     const std::int64_t now_waiting =
         waiting_.fetch_sub(1, std::memory_order_acq_rel) - 1;
     obs::gauge_set("svc.queue.waiting", now_waiting);
-    execute(request, has_deadline, deadline, done);
+    const std::int64_t queue_wait_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             admitted)
+            .count();
+    execute(request, has_deadline, deadline, queue_wait_ns, done);
     finish_one();
   });
 }
@@ -203,8 +215,29 @@ std::string Broker::handle_line_sync(const std::string& line) {
 }
 
 void Broker::execute(const Request& request, bool has_deadline,
-                     Clock::time_point deadline, const DoneFn& done) {
+                     Clock::time_point deadline, std::int64_t queue_wait_ns,
+                     const DoneFn& done) {
   util::Stopwatch sw;
+
+  // Request-scoped telemetry: everything below (parse, cache probes, solves,
+  // rendering) attributes its time to this context through thread-local
+  // StageTimers — requests execute serially on this worker (run_* ops use
+  // jobs=1 internally), so the scope covers the whole call tree. `traced`
+  // implements span sampling: with trace_sample N, only every Nth request
+  // records ObsSpans.
+  obs::RequestContext ctx;
+  ctx.id = request.id.to_string();
+  ctx.op = to_string(request.op);
+  ctx.traced =
+      options_.trace_sample <= 1 ||
+      trace_tick_.fetch_add(1, std::memory_order_relaxed) %
+              options_.trace_sample ==
+          0;
+  ctx.add(obs::Stage::kQueueWait, queue_wait_ns);
+  obs::RequestScope scope(&ctx);
+  if (obs::enabled() && ctx.traced && options_.trace_sample > 1) {
+    obs::count("svc.requests.traced");
+  }
   // Cooperative cancellation poll, shared by the DSE loop and the sweep's
   // per-target boundary. The test hook's sleep lives here so a deliberately
   // slow exploration still spends its time inside the cancellable region.
@@ -244,7 +277,10 @@ void Broker::execute(const Request& request, bool has_deadline,
           result = run_sweep(request, should_stop, &soc_error, &cancelled);
           break;
         case Op::kStats:
-          result = run_stats();
+          result = run_stats(request.version);
+          break;
+        case Op::kMetrics:
+          result = run_metrics();
           break;
         case Op::kShutdown:
           result = JsonValue::object();
@@ -282,6 +318,7 @@ void Broker::execute(const Request& request, bool has_deadline,
                                 "deadline exceeded during exploration",
                                 request.version);
       } else {
+        obs::StageTimer render_timer(obs::Stage::kRender);
         response = encode_ok(request.id, std::move(result), request.version);
       }
     }
@@ -298,7 +335,42 @@ void Broker::execute(const Request& request, bool has_deadline,
                             "unexpected exception", request.version);
   }
 
-  obs::observe("svc.request_ns", sw.elapsed_ns());
+  const std::int64_t elapsed_ns = sw.elapsed_ns();
+  obs::observe("svc.request_ns", elapsed_ns);
+  if (obs::enabled()) {
+    obs::Registry& registry = obs::Registry::global();
+    registry.quantile("svc.request_ns").observe(elapsed_ns);
+    registry.quantile("svc.queue_wait_ns").observe(queue_wait_ns);
+    registry.quantile(std::string("svc.op_ns.") + to_string(request.op))
+        .observe(elapsed_ns);
+    window_requests_.record();
+  }
+
+  // Slow-request log: one self-contained NDJSON line answering "why was
+  // THIS request slow" — originating wire id, op, and the stage breakdown
+  // the RequestContext accumulated (times not covered by a stage show up as
+  // the gap between stages_ns and elapsed_ns).
+  if (options_.slow_request_ms > 0 &&
+      elapsed_ns >= options_.slow_request_ms * 1'000'000) {
+    std::string line = "{\"slow_request\":true,\"id\":" + ctx.id +
+                       ",\"op\":\"" + ctx.op + "\",\"elapsed_ms\":" +
+                       obs::json_number(static_cast<double>(elapsed_ns) / 1e6) +
+                       ",\"stages_ns\":{";
+    for (int s = 0; s < obs::kNumStages; ++s) {
+      const auto stage = static_cast<obs::Stage>(s);
+      line += (s == 0 ? "\"" : ",\"");
+      line += obs::to_string(stage);
+      line += "\":" + std::to_string(ctx.stage(stage));
+    }
+    line += "},\"traced\":";
+    line += ctx.traced ? "true}" : "false}";
+    if (obs::enabled()) obs::count("svc.requests.slow");
+    if (options_.slow_log_sink) {
+      options_.slow_log_sink(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
 
   // A shutdown request flips the drain switch before its own response goes
   // out, so any request observed after the response is deterministically
@@ -675,7 +747,24 @@ JsonValue Broker::run_close_session(const Request& request, std::string* error,
   return result;
 }
 
-JsonValue Broker::run_stats() {
+namespace {
+
+// Stats-plane view of one HDR quantile instrument (nanosecond values).
+JsonValue quantile_json(const obs::QuantileSnapshot& q) {
+  JsonValue v = JsonValue::object();
+  v.set("count", JsonValue::integer(q.count));
+  v.set("mean_ns", JsonValue::number(q.mean()));
+  v.set("p50_ns", JsonValue::integer(q.quantile(0.50)));
+  v.set("p90_ns", JsonValue::integer(q.quantile(0.90)));
+  v.set("p99_ns", JsonValue::integer(q.quantile(0.99)));
+  v.set("p999_ns", JsonValue::integer(q.quantile(0.999)));
+  v.set("max_ns", JsonValue::integer(q.count > 0 ? q.max : 0));
+  return v;
+}
+
+}  // namespace
+
+JsonValue Broker::run_stats(int version) {
   const Stats s = stats();
   JsonValue broker = JsonValue::object();
   broker.set("accepted", JsonValue::integer(s.accepted));
@@ -703,12 +792,110 @@ JsonValue Broker::run_stats() {
   cache.set("entries",
             JsonValue::integer(static_cast<std::int64_t>(cache_.size())));
 
+  // v2 additions. The v1 response keeps exactly the original shape — old
+  // clients that snapshot or diff the stats body never see a new member —
+  // while a v2 `stats` adds per-shard cache counters, request-latency
+  // percentiles (overall and per op), sliding-window rates, and the
+  // process-wide solver counters.
+  if (version >= 2) {
+    JsonValue shards = JsonValue::array();
+    for (const analysis::EvalCache::ShardStats& shard : cache_.shard_stats()) {
+      JsonValue row = JsonValue::object();
+      row.set("entries",
+              JsonValue::integer(static_cast<std::int64_t>(shard.entries)));
+      row.set("hits", JsonValue::integer(shard.hits));
+      row.set("misses", JsonValue::integer(shard.misses));
+      shards.push_back(std::move(row));
+    }
+    cache.set("shards", std::move(shards));
+    cache.set("window_hit_rate", JsonValue::number(cache_.window_hit_rate()));
+  }
+
   JsonValue out = JsonValue::object();
   out.set("protocol_version", JsonValue::integer(kProtocolVersion));
   out.set("broker", std::move(broker));
   out.set("cache", std::move(cache));
+
+  if (version >= 2) {
+    obs::Registry& registry = obs::Registry::global();
+    out.set("latency",
+            quantile_json(registry.quantile("svc.request_ns").snapshot()));
+    out.set("queue_wait",
+            quantile_json(registry.quantile("svc.queue_wait_ns").snapshot()));
+
+    // Per-op latency percentiles: every svc.op_ns.<op> instrument observed
+    // so far (ops never requested are absent, not zero).
+    JsonValue ops = JsonValue::object();
+    constexpr std::string_view kOpPrefix = "svc.op_ns.";
+    for (const obs::Registry::Entry& entry : registry.entries()) {
+      if (entry.kind != obs::Registry::Entry::Kind::kQuantile) continue;
+      if (entry.name.rfind(kOpPrefix, 0) != 0) continue;
+      ops.set(entry.name.substr(kOpPrefix.size()), quantile_json(entry.qhist));
+    }
+    out.set("ops", std::move(ops));
+
+    JsonValue window = JsonValue::object();
+    window.set("seconds",
+               JsonValue::integer(window_requests_.window_seconds()));
+    window.set("requests", JsonValue::integer(window_requests_.sum()));
+    window.set("rps", JsonValue::number(window_requests_.rate_per_sec()));
+    window.set("cache_hit_rate", JsonValue::number(cache_.window_hit_rate()));
+    out.set("window", std::move(window));
+
+    // Process-wide CSR solver counters (the registry mirror of
+    // tmg::CycleMeanSolver::Stats, aggregated across every solver).
+    JsonValue solver = JsonValue::object();
+    for (const char* key :
+         {"compiles", "weight_refreshes", "solves", "seeded_solves",
+          "iterations", "cap_hits"}) {
+      solver.set(key, JsonValue::integer(
+                          registry.counter(std::string("tmg.solver.") + key)
+                              .value()));
+    }
+    out.set("solver", std::move(solver));
+  }
+
   // The obs registry snapshot is already JSON; splice it in verbatim.
   out.set("metrics", JsonValue::raw(obs::Registry::global().to_json()));
+  return out;
+}
+
+JsonValue Broker::run_metrics() {
+  // The full registry in Prometheus text exposition, plus the labeled series
+  // a flat name registry cannot express: per-shard cache counters and the
+  // sliding-window rates.
+  std::string body = obs::render_prometheus();
+  const std::vector<analysis::EvalCache::ShardStats> shards =
+      cache_.shard_stats();
+  body += "# TYPE ermes_cache_shard_entries gauge\n";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    body += "ermes_cache_shard_entries{shard=\"" + std::to_string(i) +
+            "\"} " + std::to_string(shards[i].entries) + "\n";
+  }
+  body += "# TYPE ermes_cache_shard_hits counter\n";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    body += "ermes_cache_shard_hits_total{shard=\"" + std::to_string(i) +
+            "\"} " + std::to_string(shards[i].hits) + "\n";
+  }
+  body += "# TYPE ermes_cache_shard_misses counter\n";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    body += "ermes_cache_shard_misses_total{shard=\"" + std::to_string(i) +
+            "\"} " + std::to_string(shards[i].misses) + "\n";
+  }
+  body += "# TYPE ermes_svc_window_rps gauge\n";
+  body += "ermes_svc_window_rps " +
+          obs::json_number(window_requests_.rate_per_sec()) + "\n";
+  body += "# TYPE ermes_cache_window_hit_rate gauge\n";
+  body += "ermes_cache_window_hit_rate " +
+          obs::json_number(cache_.window_hit_rate()) + "\n";
+
+  JsonValue out = JsonValue::object();
+  out.set("content_type",
+          JsonValue::string("text/plain; version=0.0.4; charset=utf-8"));
+  out.set("body", JsonValue::string(body));
+  // `text` is the member `ermes request --text` prints raw, so a scrape is
+  // just `ermes request <endpoint> metrics --text`.
+  out.set("text", JsonValue::string(body));
   return out;
 }
 

@@ -34,6 +34,17 @@
 //
 // Metrics are mirrored into the obs registry (svc.requests.*,
 // svc.queue.waiting, svc.request_ns); the `stats` op snapshots them.
+//
+// Telemetry (when obs is enabled): each admitted request runs under an
+// obs::RequestContext carrying its wire id, so queue-wait, parse,
+// cache-probe, solve, and render time are attributed per request. Latency
+// lands in HDR quantile instruments (svc.request_ns, svc.queue_wait_ns, and
+// per-op svc.op_ns.<op>), request traffic in a 10-second sliding window
+// (rps). Requests slower than `slow_request_ms` emit one NDJSON line with
+// the per-stage breakdown to `slow_log_sink`; `trace_sample` > 1 records
+// ObsSpans for only every Nth request so tracing stays affordable under
+// load. The `stats` op (v2) and the `metrics` op (Prometheus text) expose
+// all of it without an open session.
 
 #include <atomic>
 #include <chrono>
@@ -47,6 +58,7 @@
 
 #include "analysis/eval_cache.h"
 #include "exec/thread_pool.h"
+#include "obs/quantile.h"
 #include "svc/protocol.h"
 
 namespace ermes::svc {
@@ -65,6 +77,16 @@ struct BrokerOptions {
   /// poll, making `explore` deliberately slow so the deadline and overload
   /// paths are exercised deterministically (tests/bench only).
   std::int64_t test_iter_delay_ms = 0;
+  /// Requests slower than this (wall time, end of execute) emit one NDJSON
+  /// line with their id, op, and per-stage time breakdown. 0 = disabled.
+  std::int64_t slow_request_ms = 0;
+  /// Span-sampling period: every Nth admitted request records ObsSpans;
+  /// the rest suppress them (counters/histograms stay exact for all).
+  /// <= 1 traces every request.
+  std::int64_t trace_sample = 1;
+  /// Sink for slow-request NDJSON lines (one complete JSON object, no
+  /// trailing newline). Unset = stderr. Injectable so tests capture lines.
+  std::function<void(const std::string&)> slow_log_sink = {};
 };
 
 class Broker {
@@ -121,8 +143,11 @@ class Broker {
   using Clock = std::chrono::steady_clock;
 
   /// Executes an admitted request (worker thread) and emits the response.
+  /// `queue_wait_ns` is the admission -> execution-start delay, attributed
+  /// to the request's queue_wait stage.
   void execute(const Request& request, bool has_deadline,
-               Clock::time_point deadline, const DoneFn& done);
+               Clock::time_point deadline, std::int64_t queue_wait_ns,
+               const DoneFn& done);
   JsonValue run_analyze(const Request& request, std::string* soc_error);
   JsonValue run_order(const Request& request, std::string* soc_error);
   /// Returns ok=false with kDeadlineExceeded semantics via *cancelled.
@@ -132,7 +157,8 @@ class Broker {
   JsonValue run_sweep(const Request& request,
                       const std::function<bool()>& should_stop,
                       std::string* soc_error, bool* cancelled);
-  JsonValue run_stats();
+  JsonValue run_stats(int version);
+  JsonValue run_metrics();
   // Session ops: on failure they set *error and *code (bad_request for
   // unknown/duplicate sessions and model errors, overloaded for a full
   // session table) and return null.
@@ -169,6 +195,8 @@ class Broker {
   std::atomic<std::int64_t> rejected_shutting_down_{0};
   std::atomic<std::int64_t> deadline_exceeded_{0};
   std::atomic<std::int64_t> internal_errors_{0};
+  std::atomic<std::int64_t> trace_tick_{0};  // span-sampling cursor
+  obs::WindowRate window_requests_;  // completed requests, last ~10 s
 
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;

@@ -20,6 +20,7 @@ const char* to_string(Op op) {
     case Op::kExplore: return "explore";
     case Op::kSweep: return "sweep";
     case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
     case Op::kShutdown: return "shutdown";
     case Op::kOpenSession: return "open_session";
     case Op::kPatch: return "patch";
@@ -35,6 +36,7 @@ bool parse_op(std::string_view name, Op* out) {
       {"explore", Op::kExplore},
       {"sweep", Op::kSweep},
       {"stats", Op::kStats},
+      {"metrics", Op::kMetrics},
       {"shutdown", Op::kShutdown},
       {"open_session", Op::kOpenSession},
       {"patch", Op::kPatch},

@@ -14,7 +14,7 @@
 //   v            optional int, 1 or 2 (absent = 1); responses echo it back
 //   id           optional string or integer, echoed verbatim (null if absent)
 //   op           required: analyze | order | explore | sweep | stats |
-//                shutdown | open_session | patch | close_session
+//                metrics | shutdown | open_session | patch | close_session
 //   soc          model text (required for analyze/order/explore/sweep/
 //                open_session)
 //   tct          required positive integer for explore
@@ -41,6 +41,13 @@
 // model and runs the first full analysis, `patch` applies a batch of
 // component patches atomically (all validated before any is applied) and
 // re-analyzes only the dirtied components, `close_session` releases it.
+//
+// Two observability ops take no extra members: `stats` returns the broker/
+// cache/metrics snapshot (v2 requests additionally get per-op latency
+// percentiles, sliding-window rates, solver counters, and per-shard cache
+// stats — the v1 response shape never changes); `metrics` returns the same
+// registry rendered as Prometheus text exposition in result.body (a new op
+// is additive, so it is accepted at every protocol version).
 //
 // Error codes, in the order a request can die: `bad_request` (framing,
 // schema, or .soc parse failure), `overloaded` (admission queue full),
@@ -87,6 +94,7 @@ enum class Op {
   kExplore,
   kSweep,
   kStats,
+  kMetrics,
   kShutdown,
   // v2 session ops.
   kOpenSession,

@@ -19,6 +19,31 @@ constexpr double kEps = 1e-9;
 using graph::ArcId;
 using graph::NodeId;
 
+// Registry mirror of CycleMeanSolver::Stats. Per-solver Stats live and die
+// with their solver (and broker sessions); the tmg.solver.* counters
+// aggregate across all solvers in the process so the stats plane can show
+// solver traffic without an open session. References are cached once — the
+// registry keeps registrations alive for the process lifetime.
+struct SolverCounters {
+  obs::Counter& compiles;
+  obs::Counter& weight_refreshes;
+  obs::Counter& solves;
+  obs::Counter& seeded_solves;
+  obs::Counter& iterations;
+  obs::Counter& cap_hits;
+
+  static SolverCounters& get() {
+    static SolverCounters counters{
+        obs::Registry::global().counter("tmg.solver.compiles"),
+        obs::Registry::global().counter("tmg.solver.weight_refreshes"),
+        obs::Registry::global().counter("tmg.solver.solves"),
+        obs::Registry::global().counter("tmg.solver.seeded_solves"),
+        obs::Registry::global().counter("tmg.solver.iterations"),
+        obs::Registry::global().counter("tmg.solver.cap_hits")};
+    return counters;
+  }
+};
+
 // Howard policy iteration on one strongly connected component of the CSR
 // view. A line-for-line port of howard.cpp's SccSolver: same member
 // iteration order, same slot (== out_arcs) order, same floating-point
@@ -562,12 +587,14 @@ bool CycleMeanSolver::prepare(const RatioGraph& rg, std::size_t workers) {
   if (prepared_ && csr_.matches(rg)) {
     csr_.refresh_weights(rg);
     ++stats_.weight_refreshes;
+    if (obs::enabled()) SolverCounters::get().weight_refreshes.add();
     return true;
   }
   csr_.compile(rg);
   compile_plan();
   prepared_ = true;
   ++stats_.compiles;
+  if (obs::enabled()) SolverCounters::get().compiles.add();
   ensure_workspaces(workspaces_.size());  // grow workspaces to the new n
   return false;
 }
@@ -577,12 +604,14 @@ bool CycleMeanSolver::prepare(const MarkedGraph& g, std::size_t workers) {
   if (prepared_ && csr_.matches(g)) {
     csr_.refresh_weights(g);
     ++stats_.weight_refreshes;
+    if (obs::enabled()) SolverCounters::get().weight_refreshes.add();
     return true;
   }
   csr_.compile(g);
   compile_plan();
   prepared_ = true;
   ++stats_.compiles;
+  if (obs::enabled()) SolverCounters::get().compiles.add();
   ensure_workspaces(workspaces_.size());
   return false;
 }
@@ -664,8 +693,10 @@ CycleRatioResult CycleMeanSolver::run(bool seeded) {
   obs::ObsSpan span("howard.solve", "tmg");
   if (seeded) {
     ++stats_.seeded_solves;
+    if (obs::enabled()) SolverCounters::get().seeded_solves.add();
   } else {
     ++stats_.solves;
+    if (obs::enabled()) SolverCounters::get().solves.add();
   }
   CycleRatioResult result;
   if (has_zero_witness_) {
@@ -691,7 +722,10 @@ CycleRatioResult CycleMeanSolver::run(bool seeded) {
     const CycleRatioResult scc =
         solve_component_impl(c, ws, &iters, &capped, seeded);
     total_iterations += iters;
-    if (capped) ++stats_.cap_hits;
+    if (capped) {
+      ++stats_.cap_hits;
+      if (obs::enabled()) SolverCounters::get().cap_hits.add();
+    }
     // Remember this component's final policy as the seed for the next
     // warm-started solve (only Howard components run policy iteration).
     if (plans_[static_cast<std::size_t>(c)].kind == SccKind::kHoward) {
@@ -705,7 +739,10 @@ CycleRatioResult CycleMeanSolver::run(bool seeded) {
   }
   have_last_policy_ = true;
   stats_.iterations += total_iterations;
-  if (obs::enabled()) detail::publish_howard_metrics(total_iterations);
+  if (obs::enabled()) {
+    SolverCounters::get().iterations.add(total_iterations);
+    detail::publish_howard_metrics(total_iterations);
+  }
   ERMES_LOG(kDebug) << "howard(csr): converged after " << total_iterations
                     << " policy iterations over " << sccs_.num_components
                     << " SCCs";

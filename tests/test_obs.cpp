@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -16,7 +17,10 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/quantile.h"
 #include "obs/report.h"
+#include "obs/request_context.h"
 #include "obs/span.h"
 #include "sim/kernel.h"
 #include "sim/stall_report.h"
@@ -557,6 +561,276 @@ TEST(StallAccountingTest, PublishMetricsFillsSimPrefix) {
   EXPECT_EQ(reg.counter("simtest.process.p.compute_cycles").value(), 6);
   EXPECT_EQ(reg.counter("simtest.process.c.waiting_cycles").value(), 3);
   EXPECT_EQ(reg.histogram("simtest.channel.a.put_wait").count(), 2);
+}
+
+// ---- quantile histogram ------------------------------------------------------
+
+TEST(QuantileTest, BucketIndexRoundTripsExactRange) {
+  // Below kQuantileExactLimit every value owns its bucket: index == value
+  // and the bucket upper bound is the value itself.
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{37},
+                         kQuantileExactLimit - 1}) {
+    const int b = quantile_bucket_index(v);
+    EXPECT_EQ(b, static_cast<int>(v));
+    EXPECT_EQ(quantile_bucket_upper(b), v);
+  }
+  EXPECT_EQ(quantile_bucket_index(-5), 0);  // negatives clamp to bucket 0
+}
+
+TEST(QuantileTest, BucketUpperBoundsBracketLargeValues) {
+  // Above the exact range: value <= upper(bucket(value)) and the bucket
+  // width bounds relative error by 2^-kQuantilePrecisionBits.
+  for (std::int64_t v :
+       {std::int64_t{256}, std::int64_t{1000}, std::int64_t{123456789},
+        std::int64_t{1} << 40, std::numeric_limits<std::int64_t>::max()}) {
+    const int b = quantile_bucket_index(v);
+    const std::int64_t upper = quantile_bucket_upper(b);
+    ASSERT_GE(upper, v);
+    const double rel = static_cast<double>(upper - v) / static_cast<double>(v);
+    EXPECT_LE(rel, 1.0 / (1 << kQuantilePrecisionBits))
+        << "value " << v << " bucket " << b;
+  }
+}
+
+TEST(QuantileTest, ExactBelowLimitNearestRankAboveIt) {
+  QuantileSnapshot q;
+  for (std::int64_t v = 1; v <= 100; ++v) q.observe(v);
+  // Values < 256 are exact: the nearest-rank quantile is the value itself.
+  EXPECT_EQ(q.quantile(0.50), 50);
+  EXPECT_EQ(q.quantile(0.90), 90);
+  EXPECT_EQ(q.quantile(0.99), 99);
+  EXPECT_EQ(q.quantile(0.0), 1);    // clamped to min
+  EXPECT_EQ(q.quantile(1.0), 100);  // clamped to max
+  EXPECT_EQ(q.count, 100);
+  EXPECT_EQ(q.sum, 5050);
+  EXPECT_DOUBLE_EQ(q.mean(), 50.5);
+}
+
+TEST(QuantileTest, RelativeErrorBoundHoldsAboveExactRange) {
+  QuantileSnapshot q;
+  for (std::int64_t v = 1; v <= 10'000; ++v) q.observe(v * 1000);
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact =
+        1000.0 * std::ceil(p * 10'000.0);  // nearest-rank ground truth
+    const double got = static_cast<double>(q.quantile(p));
+    EXPECT_GE(got, exact);  // bucket upper bound never under-reports
+    EXPECT_LE((got - exact) / exact, 1.0 / (1 << kQuantilePrecisionBits))
+        << "p=" << p;
+  }
+}
+
+TEST(QuantileTest, QuantilesAreMonotoneInQ) {
+  QuantileSnapshot q;
+  std::int64_t seed = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    seed = (seed * 6364136223846793005LL + 1442695040888963407LL);
+    q.observe((seed >> 33) & ((std::int64_t{1} << 28) - 1));
+  }
+  std::int64_t prev = q.quantile(0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const std::int64_t cur = q.quantile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(QuantileTest, MergeMatchesSequentialObserve) {
+  QuantileSnapshot a, b, all;
+  for (std::int64_t v = 1; v <= 400; ++v) {
+    ((v % 2 == 0) ? a : b).observe(v * 7);
+    all.observe(v * 7);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count, all.count);
+  EXPECT_EQ(a.sum, all.sum);
+  EXPECT_EQ(a.min, all.min);
+  EXPECT_EQ(a.max, all.max);
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.quantile(p), all.quantile(p)) << "p=" << p;
+  }
+}
+
+TEST(QuantileTest, EmptySnapshotIsAllZero) {
+  const QuantileSnapshot q;
+  EXPECT_EQ(q.count, 0);
+  EXPECT_EQ(q.quantile(0.5), 0);
+  EXPECT_EQ(q.quantile(0.99), 0);
+  EXPECT_DOUBLE_EQ(q.mean(), 0.0);
+  // Merging an empty snapshot is a no-op in both directions.
+  QuantileSnapshot other;
+  other.observe(42);
+  QuantileSnapshot merged = other;
+  merged.merge(q);
+  EXPECT_EQ(merged.count, 1);
+  QuantileSnapshot empty;
+  empty.merge(other);
+  EXPECT_EQ(empty.quantile(0.5), 42);
+}
+
+TEST(QuantileTest, AtomicHistogramMirrorsSnapshot) {
+  QuantileHistogram h;
+  for (std::int64_t v = 1; v <= 300; ++v) h.observe(v);
+  EXPECT_EQ(h.count(), 300);
+  const QuantileSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 300);
+  EXPECT_EQ(snap.quantile(0.5), 150);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.snapshot().quantile(0.5), 0);
+}
+
+TEST(QuantileTest, RegistryObserveQuantileGatesOnEnabled) {
+  Registry::global().reset();
+  set_enabled(false);
+  observe_quantile("q.test.gate", 10);
+  EXPECT_EQ(Registry::global().quantile("q.test.gate").count(), 0);
+  {
+    EnabledGuard guard(true);
+    observe_quantile("q.test.gate", 10);
+  }
+  EXPECT_EQ(Registry::global().quantile("q.test.gate").count(), 1);
+  Registry::global().reset();
+}
+
+// ---- sliding-window rates ----------------------------------------------------
+
+TEST(WindowRateTest, SumCoversOnlyTheWindow) {
+  WindowRate rate(10);
+  EXPECT_EQ(rate.window_seconds(), 10);
+  for (std::int64_t s = 100; s < 110; ++s) rate.record_at(s, 2);
+  EXPECT_EQ(rate.sum_at(109), 20);  // all ten seconds inside the window
+  // Five seconds later, the first five seconds have aged out.
+  EXPECT_EQ(rate.sum_at(114), 10);
+  // A full window later, everything has aged out.
+  EXPECT_EQ(rate.sum_at(120), 0);
+  EXPECT_DOUBLE_EQ(rate.rate_per_sec_at(109), 2.0);
+}
+
+TEST(WindowRateTest, RolloverRepurposesStaleSlots) {
+  WindowRate rate(3);
+  rate.record_at(5, 100);
+  // Second 9 maps onto second 5's ring slot (ring size 4); the stale count
+  // must not leak into the new epoch.
+  rate.record_at(9, 1);
+  EXPECT_EQ(rate.sum_at(9), 1);
+  rate.record_at(9, 1);
+  EXPECT_EQ(rate.sum_at(9), 2);
+  // Going quiet decays to zero; old epochs never resurface.
+  EXPECT_EQ(rate.sum_at(13), 0);
+}
+
+// ---- Prometheus exposition ---------------------------------------------------
+
+TEST(PrometheusTest, NameSanitization) {
+  EXPECT_EQ(prometheus_name("svc.request_ns"), "ermes_svc_request_ns");
+  EXPECT_EQ(prometheus_name("svc.op_ns.open_session"),
+            "ermes_svc_op_ns_open_session");
+  EXPECT_EQ(prometheus_name("weird-name 1"), "ermes_weird_name_1");
+}
+
+TEST(PrometheusTest, RendersEveryInstrumentKind) {
+  Registry registry;
+  registry.counter("svc.requests.accepted").add(7);
+  registry.gauge("svc.queue.waiting").set(3);
+  registry.histogram("solve.ns").observe(12);
+  for (std::int64_t v = 1; v <= 100; ++v) {
+    registry.quantile("svc.request_ns").observe(v);
+  }
+  const std::string text = render_prometheus(registry);
+
+  EXPECT_NE(text.find("# TYPE ermes_svc_requests_accepted counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ermes_svc_requests_accepted_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ermes_svc_queue_waiting gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ermes_svc_queue_waiting 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ermes_solve_ns histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ermes_solve_ns_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ermes_solve_ns_count 1\n"), std::string::npos);
+  // The quantile instrument renders as a histogram plus precomputed
+  // quantile gauges.
+  EXPECT_NE(text.find("# TYPE ermes_svc_request_ns histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ermes_svc_request_ns_count 100\n"), std::string::npos);
+  EXPECT_NE(text.find("ermes_svc_request_ns_sum 5050\n"), std::string::npos);
+  EXPECT_NE(text.find("ermes_svc_request_ns_q{quantile=\"0.5\"} 50\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ermes_svc_request_ns_q{quantile=\"0.99\"} 99\n"),
+            std::string::npos);
+  // Cumulative bucket counts are monotone and end at the total count.
+  const std::string bucket_prefix = "ermes_solve_ns_bucket{le=";
+  EXPECT_NE(text.find(bucket_prefix), std::string::npos);
+  // Every line the renderer emits is newline-terminated.
+  EXPECT_EQ(text.back(), '\n');
+}
+
+// ---- request context ---------------------------------------------------------
+
+TEST(RequestContextTest, ScopeInstallsAndRestores) {
+  EXPECT_EQ(current_request(), nullptr);
+  RequestContext outer;
+  outer.id = "\"r1\"";
+  {
+    RequestScope scope(&outer);
+    EXPECT_EQ(current_request(), &outer);
+    RequestContext inner;
+    {
+      RequestScope nested(&inner);
+      EXPECT_EQ(current_request(), &inner);
+    }
+    EXPECT_EQ(current_request(), &outer);
+  }
+  EXPECT_EQ(current_request(), nullptr);
+}
+
+TEST(RequestContextTest, StageTimerAccumulatesIntoCurrentContext) {
+  RequestContext ctx;
+  {
+    RequestScope scope(&ctx);
+    { StageTimer t(Stage::kSolve); }
+    { StageTimer t(Stage::kSolve); }
+    { StageTimer t(Stage::kParse); }
+  }
+  EXPECT_GE(ctx.stage(Stage::kSolve), 0);
+  EXPECT_GE(ctx.stage(Stage::kParse), 0);
+  EXPECT_EQ(ctx.stage(Stage::kQueueWait), 0);
+  ctx.add(Stage::kQueueWait, 1234);
+  EXPECT_EQ(ctx.stage(Stage::kQueueWait), 1234);
+  // Outside a scope a StageTimer is inert.
+  { StageTimer t(Stage::kRender); }
+  EXPECT_EQ(ctx.stage(Stage::kRender), 0);
+}
+
+TEST(RequestContextTest, StageNamesAreStable) {
+  EXPECT_STREQ(to_string(Stage::kQueueWait), "queue_wait");
+  EXPECT_STREQ(to_string(Stage::kParse), "parse");
+  EXPECT_STREQ(to_string(Stage::kCacheProbe), "cache_probe");
+  EXPECT_STREQ(to_string(Stage::kSolve), "solve");
+  EXPECT_STREQ(to_string(Stage::kRender), "render");
+}
+
+TEST(RequestContextTest, UntracedContextSuppressesSpans) {
+  EnabledGuard guard(true);
+  SpanRecorder::global().clear();
+  RequestContext ctx;
+  ctx.traced = false;
+  {
+    RequestScope scope(&ctx);
+    ObsSpan span("suppressed");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(SpanRecorder::global().size(), 0u);
+  ctx.traced = true;
+  {
+    RequestScope scope(&ctx);
+    ObsSpan span("recorded");
+    EXPECT_TRUE(span.active());
+  }
+  EXPECT_EQ(SpanRecorder::global().size(), 1u);
+  SpanRecorder::global().clear();
 }
 
 }  // namespace

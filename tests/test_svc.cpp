@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -19,6 +20,8 @@
 
 #include "io/soc_format.h"
 #include "io/soc_hier.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "soc_bad_corpus.h"
 #include "svc/broker.h"
 #include "svc/client.h"
@@ -542,6 +545,187 @@ TEST(Broker, StatsReportsCounters) {
   EXPECT_GE(broker_stats->find("accepted")->as_int(), 2);
   ASSERT_NE(stats.result.find("cache"), nullptr);
   ASSERT_NE(stats.result.find("metrics"), nullptr);
+}
+
+// RAII telemetry switch for the stats/metrics/tracing tests (obs is off by
+// default so the rest of the suite measures the untelemetered paths).
+struct TelemetryGuard {
+  TelemetryGuard() { obs::set_enabled(true); }
+  ~TelemetryGuard() { obs::set_enabled(false); }
+};
+
+// Builds a stats/metrics request at an explicit protocol version (the
+// encode_request helper always speaks the latest).
+std::string versioned_line(const std::string& op, int version) {
+  JsonValue req = JsonValue::object();
+  if (version > 1) req.set("v", JsonValue::integer(version));
+  req.set("id", JsonValue::string("t"));
+  req.set("op", JsonValue::string(op));
+  return req.to_string();
+}
+
+TEST(Broker, StatsV2IsAdditiveOverV1) {
+  TelemetryGuard telemetry;
+  obs::Registry::global().reset();
+  Broker broker({.workers = 1});
+  ASSERT_TRUE(parse_response(broker.handle_line_sync(
+                  encode_request(Op::kAnalyze, JsonValue::null(), demo_soc())))
+                  .success);
+  // The session path drives the CSR CycleMeanSolver, so the v2 `solver`
+  // counters have something to show (plain analyze solves via Howard).
+  JsonValue open = JsonValue::object();
+  open.set("v", JsonValue::integer(2));
+  open.set("op", JsonValue::string("open_session"));
+  open.set("session", JsonValue::string("stats-v2"));
+  open.set("soc", JsonValue::string(demo_soc()));
+  ASSERT_TRUE(parse_response(broker.handle_line_sync(open.to_string()))
+                  .success);
+
+  // A v1 `stats` keeps exactly the pre-telemetry shape: none of the v2
+  // members may appear (old clients that diff the body must never see them).
+  const ResponseView v1 =
+      parse_response(broker.handle_line_sync(versioned_line("stats", 1)));
+  ASSERT_TRUE(v1.success) << v1.error_message;
+  for (const char* member : {"latency", "queue_wait", "ops", "window",
+                             "solver"}) {
+    EXPECT_EQ(v1.result.find(member), nullptr) << member;
+  }
+  const JsonValue* v1_cache = v1.result.find("cache");
+  ASSERT_NE(v1_cache, nullptr);
+  EXPECT_EQ(v1_cache->find("shards"), nullptr);
+  EXPECT_EQ(v1_cache->find("window_hit_rate"), nullptr);
+
+  // The same request at v2 carries the whole telemetry plane.
+  const ResponseView v2 =
+      parse_response(broker.handle_line_sync(versioned_line("stats", 2)));
+  ASSERT_TRUE(v2.success) << v2.error_message;
+  const JsonValue* latency = v2.result.find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->find("count")->as_int(), 1);
+  EXPECT_GT(latency->find("p99_ns")->as_int(), 0);
+  EXPECT_GE(latency->find("p99_ns")->as_int(),
+            latency->find("p50_ns")->as_int());
+  const JsonValue* ops = v2.result.find("ops");
+  ASSERT_NE(ops, nullptr);
+  const JsonValue* analyze_ns = ops->find("analyze");
+  ASSERT_NE(analyze_ns, nullptr) << "per-op instrument for analyze";
+  EXPECT_GE(analyze_ns->find("count")->as_int(), 1);
+  const JsonValue* window = v2.result.find("window");
+  ASSERT_NE(window, nullptr);
+  EXPECT_GE(window->find("requests")->as_int(), 1);
+  EXPECT_GT(window->find("rps")->as_double(), 0.0);
+  ASSERT_NE(v2.result.find("queue_wait"), nullptr);
+  const JsonValue* solver = v2.result.find("solver");
+  ASSERT_NE(solver, nullptr);
+  // The session's first analysis compiled a CSR solver; `solves` counts
+  // only canonical full-graph runs, so it may legitimately still be zero.
+  EXPECT_GE(solver->find("compiles")->as_int(), 1);
+  EXPECT_GE(solver->find("solves")->as_int(), 0);
+  const JsonValue* cache = v2.result.find("cache");
+  ASSERT_NE(cache, nullptr);
+  const JsonValue* shards = cache->find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_GT(shards->items().size(), 0u);
+  std::int64_t shard_misses = 0;
+  for (const JsonValue& shard : shards->items()) {
+    shard_misses += shard.find("misses")->as_int();
+  }
+  // Per-shard counters fold up to the cache-wide totals.
+  EXPECT_EQ(shard_misses, cache->find("misses")->as_int());
+}
+
+TEST(Broker, MetricsOpServesPrometheusTextAtEveryVersion) {
+  TelemetryGuard telemetry;
+  obs::Registry::global().reset();
+  Broker broker({.workers = 1});
+  ASSERT_TRUE(parse_response(broker.handle_line_sync(
+                  encode_request(Op::kAnalyze, JsonValue::null(), demo_soc())))
+                  .success);
+
+  for (int version : {1, 2}) {
+    const ResponseView view = parse_response(
+        broker.handle_line_sync(versioned_line("metrics", version)));
+    ASSERT_TRUE(view.success) << "v" << version << ": " << view.error_message;
+    const JsonValue* content_type = view.result.find("content_type");
+    ASSERT_NE(content_type, nullptr);
+    EXPECT_NE(content_type->as_string().find("version=0.0.4"),
+              std::string::npos);
+    const JsonValue* body = view.result.find("body");
+    ASSERT_NE(body, nullptr);
+    const std::string& text = body->as_string();
+    EXPECT_NE(text.find("# TYPE ermes_svc_request_ns histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("ermes_svc_request_ns_q{quantile=\"0.99\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("ermes_cache_shard_hits_total{shard=\"0\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE ermes_svc_window_rps gauge\n"),
+              std::string::npos);
+    // `text` mirrors `body` so --text prints a raw scrape.
+    const JsonValue* text_member = view.result.find("text");
+    ASSERT_NE(text_member, nullptr);
+    EXPECT_EQ(text_member->as_string(), text);
+  }
+}
+
+TEST(Broker, SlowRequestLogCarriesIdAndStageBreakdown) {
+  std::mutex lines_mu;
+  std::vector<std::string> lines;
+  BrokerOptions options;
+  options.workers = 1;
+  options.slow_request_ms = 1;        // everything qualifies...
+  options.test_iter_delay_ms = 5;     // ...because explore sleeps per iter
+  options.slow_log_sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(lines_mu);
+    lines.push_back(line);
+  };
+  Broker broker(options);
+  const ResponseView view = parse_response(broker.handle_line_sync(
+      encode_request(Op::kExplore, JsonValue::string("slow-1"), demo_soc(),
+                     /*tct=*/1)));
+  ASSERT_TRUE(view.success) << view.error_message;
+
+  std::lock_guard<std::mutex> lock(lines_mu);
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonParseResult parsed = json_parse(lines[0]);
+  ASSERT_TRUE(parsed.ok) << lines[0] << ": " << parsed.error;
+  const JsonValue& entry = parsed.value;
+  EXPECT_TRUE(entry.find("slow_request")->as_bool());
+  // The line carries the originating wire id verbatim.
+  EXPECT_EQ(entry.find("id")->as_string(), "slow-1");
+  EXPECT_EQ(entry.find("op")->as_string(), "explore");
+  EXPECT_GE(entry.find("elapsed_ms")->as_double(), 1.0);
+  const JsonValue* stages = entry.find("stages_ns");
+  ASSERT_NE(stages, nullptr);
+  for (const char* stage : {"queue_wait", "parse", "cache_probe", "solve",
+                            "render"}) {
+    ASSERT_NE(stages->find(stage), nullptr) << stage;
+    EXPECT_GE(stages->find(stage)->as_int(), 0) << stage;
+  }
+  // The stages actually exercised by an explore carry real time.
+  EXPECT_GT(stages->find("solve")->as_int(), 0);
+  EXPECT_GT(stages->find("parse")->as_int(), 0);
+  ASSERT_NE(entry.find("traced"), nullptr);
+}
+
+TEST(Broker, TraceSampleSuppressesSpansButNotCounters) {
+  TelemetryGuard telemetry;
+  obs::Registry::global().reset();
+  obs::SpanRecorder::global().clear();
+  BrokerOptions options;
+  options.workers = 1;
+  options.trace_sample = 1000;  // only request 0 of each 1000 is traced
+  Broker broker(options);
+  const std::string line =
+      encode_request(Op::kAnalyze, JsonValue::null(), demo_soc());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(parse_response(broker.handle_line_sync(line)).success);
+  }
+  // Exactly one request recorded spans; all four hit the histogram.
+  EXPECT_EQ(obs::Registry::global().counter("svc.requests.traced").value(), 1);
+  EXPECT_GT(obs::SpanRecorder::global().size(), 0u);
+  EXPECT_EQ(obs::Registry::global().quantile("svc.request_ns").count(), 4);
+  obs::SpanRecorder::global().clear();
 }
 
 // ---------------------------------------------------------------------------

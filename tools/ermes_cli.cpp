@@ -18,6 +18,7 @@
 //   ermes demo                             write the DAC'14 motivating example to stdout
 //   ermes serve    [--socket p|--port n]   long-lived analysis daemon (NDJSON protocol)
 //   ermes request  (--socket p|--port n) <op> [args]  one request against a daemon
+//   ermes top      (--socket p|--port n)   live daemon stats (rps, p99, hit rate)
 //
 // Global flags (any command):
 //   --metrics <out.json>   enable telemetry, write a metrics snapshot on exit
@@ -32,11 +33,13 @@
 // failure path prints a one-line `error: ...` to stderr.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/buffer_sizing.h"
@@ -86,17 +89,20 @@ int usage() {
   std::fprintf(stderr,
                "usage: ermes "
                "<analyze|compose|order|simulate|dse|sweep|size|stats|sens|dot|"
-               "tmgdot|profile|demo|serve|request> "
+               "tmgdot|profile|demo|serve|request|top> "
                "<file.soc> [args]\n"
                "       global flags: [--metrics out.json] [--trace out.json] "
                "[--log trace|debug|info|warn|error|off] [--jobs N] [--hier]\n"
                "       compose: ermes compose <file.soc> [-o out.soc] [--dot] "
                "[--report]\n"
                "       serve:   ermes serve [--socket path | --port N] "
-               "[--workers N] [--queue N] [--deadline-ms N]\n"
+               "[--workers N] [--queue N] [--deadline-ms N] [--slow-ms N] "
+               "[--trace-sample N]\n"
                "       request: ermes request (--socket path | --port N) "
-               "<analyze|order|explore|sweep|stats|shutdown> [file.soc] "
-               "[args] [--deadline-ms N] [--text]\n");
+               "<analyze|order|explore|sweep|stats|metrics|shutdown> "
+               "[file.soc] [args] [--deadline-ms N] [--text] [--prom]\n"
+               "       top:     ermes top (--socket path | --port N) "
+               "[--interval-ms N] [--count N]\n");
   return kExitUsage;
 }
 
@@ -609,7 +615,12 @@ struct EndpointOptions {
   std::int64_t queue = 64;
   std::int64_t deadline_ms = 0;
   std::int64_t test_iter_delay_ms = 0;  // undocumented: CI/test determinism
+  std::int64_t slow_ms = 0;             // serve: slow-request log threshold
+  std::int64_t trace_sample = 1;        // serve: span-sample every Nth request
+  std::int64_t interval_ms = 1000;      // top: poll period
+  std::int64_t count = 0;               // top: iterations (0 = until ^C)
   bool text = false;                    // request: print result.text, not JSON
+  bool prom = false;                    // request metrics: print result.body
   std::vector<const char*> positional;
 };
 
@@ -622,7 +633,11 @@ bool parse_endpoint_flags(int argc, char** argv, int first,
         std::strcmp(arg, "--workers") == 0 ||
         std::strcmp(arg, "--queue") == 0 ||
         std::strcmp(arg, "--deadline-ms") == 0 ||
-        std::strcmp(arg, "--test-iter-delay-ms") == 0;
+        std::strcmp(arg, "--test-iter-delay-ms") == 0 ||
+        std::strcmp(arg, "--slow-ms") == 0 ||
+        std::strcmp(arg, "--trace-sample") == 0 ||
+        std::strcmp(arg, "--interval-ms") == 0 ||
+        std::strcmp(arg, "--count") == 0;
     if (takes_value) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s needs a value\n", arg);
@@ -643,11 +658,20 @@ bool parse_endpoint_flags(int argc, char** argv, int first,
       else if (std::strcmp(arg, "--workers") == 0) out.workers = number;
       else if (std::strcmp(arg, "--queue") == 0) out.queue = number;
       else if (std::strcmp(arg, "--deadline-ms") == 0) out.deadline_ms = number;
+      else if (std::strcmp(arg, "--slow-ms") == 0) out.slow_ms = number;
+      else if (std::strcmp(arg, "--trace-sample") == 0)
+        out.trace_sample = number;
+      else if (std::strcmp(arg, "--interval-ms") == 0) out.interval_ms = number;
+      else if (std::strcmp(arg, "--count") == 0) out.count = number;
       else out.test_iter_delay_ms = number;
       continue;
     }
     if (std::strcmp(arg, "--text") == 0) {
       out.text = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--prom") == 0) {
+      out.prom = true;
       continue;
     }
     if (std::strncmp(arg, "--", 2) == 0) {
@@ -679,6 +703,8 @@ int cmd_serve(int argc, char** argv) {
       static_cast<std::size_t>(std::max<std::int64_t>(1, ep.queue));
   options.broker.default_deadline_ms = ep.deadline_ms;
   options.broker.test_iter_delay_ms = ep.test_iter_delay_ms;
+  options.broker.slow_request_ms = ep.slow_ms;
+  options.broker.trace_sample = std::max<std::int64_t>(1, ep.trace_sample);
   options.install_signal_handlers = true;
 
   svc::Server server(std::move(options));
@@ -770,11 +796,87 @@ int cmd_request(int argc, char** argv) {
     // map it to the CLI's parse class, everything else to analysis-domain.
     return response.error_code == "bad_request" ? kExitParse : kExitAnalysis;
   }
-  if (ep.text) {
+  if (ep.prom) {
+    // Raw Prometheus scrape body (the `metrics` op), suitable for piping
+    // straight into promtool or a file_sd-fed scraper.
+    const svc::JsonValue* body = response.result.find("body");
+    std::printf("%s", body != nullptr ? body->as_string().c_str() : "");
+  } else if (ep.text) {
     const svc::JsonValue* text = response.result.find("text");
     std::printf("%s", text != nullptr ? text->as_string().c_str() : "");
   } else {
     std::printf("%s\n", response.result.to_string().c_str());
+  }
+  return kExitOk;
+}
+
+// `ermes top`: poll a daemon's `stats` op and render a refreshing one-line
+// table of the live rates — rps over the sliding window, request p50/p99,
+// cache hit rate, and queue depth. --count N stops after N polls (0 = until
+// the connection drops or ^C).
+int cmd_top(int argc, char** argv) {
+  EndpointOptions ep;
+  if (!parse_endpoint_flags(argc, argv, 2, ep)) return kExitUsage;
+  if (ep.socket_path.empty() && ep.port < 0) {
+    std::fprintf(stderr, "error: top needs --socket <path> or --port <N>\n");
+    return kExitUsage;
+  }
+  if (!ep.positional.empty()) return usage();
+
+  std::string error;
+  std::unique_ptr<svc::Client> client =
+      ep.socket_path.empty()
+          ? svc::Client::connect_tcp("127.0.0.1", static_cast<int>(ep.port),
+                                     &error)
+          : svc::Client::connect_unix(ep.socket_path, &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitFailure;
+  }
+
+  const std::string line =
+      svc::encode_request(svc::Op::kStats, svc::JsonValue::string("top"), "");
+  auto number_at = [](const svc::JsonValue& root, const char* outer,
+                      const char* inner) -> double {
+    const svc::JsonValue* group = root.find(outer);
+    const svc::JsonValue* value =
+        group != nullptr ? group->find(inner) : nullptr;
+    return value != nullptr && value->is_number() ? value->as_double() : 0.0;
+  };
+  for (std::int64_t tick = 0; ep.count <= 0 || tick < ep.count; ++tick) {
+    if (tick > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max<std::int64_t>(1, ep.interval_ms)));
+    }
+    const svc::ResponseView response = client->call(line);
+    if (!response.ok) {
+      std::fprintf(stderr, "error: %s\n", response.parse_error.c_str());
+      return kExitFailure;
+    }
+    if (!response.success) {
+      std::fprintf(stderr, "error: %s: %s\n", response.error_code.c_str(),
+                   response.error_message.c_str());
+      return kExitFailure;
+    }
+    const svc::JsonValue& r = response.result;
+    if (tick > 0) std::printf("\x1b[4A");  // redraw over the previous frame
+    std::printf("\x1b[Kermes top — window %.0fs\n",
+                number_at(r, "window", "seconds"));
+    std::printf(
+        "\x1b[K%10s %10s %10s %10s %10s %10s\n", "rps", "p50_ms", "p99_ms",
+        "hit_rate", "waiting", "in_flight");
+    std::printf("\x1b[K%10.1f %10.2f %10.2f %10.3f %10.0f %10.0f\n",
+                number_at(r, "window", "rps"),
+                number_at(r, "latency", "p50_ns") / 1e6,
+                number_at(r, "latency", "p99_ns") / 1e6,
+                number_at(r, "window", "cache_hit_rate"),
+                number_at(r, "broker", "waiting"),
+                number_at(r, "broker", "in_flight"));
+    std::printf(
+        "\x1b[Krequests %.0f  completed %.0f  sessions %.0f  cache %.0f\n",
+        number_at(r, "broker", "accepted"), number_at(r, "broker", "completed"),
+        number_at(r, "broker", "sessions"), number_at(r, "cache", "entries"));
+    std::fflush(stdout);
   }
   return kExitOk;
 }
@@ -792,6 +894,7 @@ int dispatch(int argc, char** argv, const GlobalOptions& global) {
   }
   if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "request") return cmd_request(argc, argv);
+  if (cmd == "top") return cmd_top(argc, argv);
   if (cmd == "compose") return cmd_compose(argc, argv);
   if (argc < 3) return usage();
   // Positional integers parse strictly: `ermes dse f.soc ten` is a usage
