@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -83,6 +84,19 @@ class EvalCache {
   /// callers must pass distinct solvers (e.g. one per pool worker).
   PerformanceReport analyze(const sysmodel::SystemModel& sys,
                             tmg::CycleMeanSolver* solver = nullptr);
+
+  /// Batched memoized analysis: one report per system, bit-identical to
+  /// calling analyze(sys, solver) on each in order. Hits are served from the
+  /// memo; misses are elaborated, grouped into runs that share one TMG
+  /// structure, and solved through one CycleMeanSolver::solve_batch sweep
+  /// per run — so a sensitivity or DSE sweep's k same-topology candidates
+  /// cost one structure prepare plus one batched solve instead of k full
+  /// prepare+solve round trips. Duplicate systems within the batch are
+  /// computed once and served to the remainder as memo hits, exactly as the
+  /// serial loop would. A null solver falls back to serial analyze() calls.
+  std::vector<PerformanceReport> analyze_batch(
+      std::span<const sysmodel::SystemModel* const> systems,
+      tmg::CycleMeanSolver* solver);
 
   /// Direct probe (no computation). Returns true and fills *out on a hit.
   /// Counts toward the hit/miss statistics.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <span>
 
 #include "analysis/eval_cache.h"
 #include "analysis/performance.h"
@@ -14,11 +15,20 @@ using sysmodel::SystemModel;
 SensitivityReport latency_sensitivity(const SystemModel& sys,
                                       std::int64_t step,
                                       exec::ThreadPool* pool,
-                                      EvalCache* cache) {
+                                      EvalCache* cache,
+                                      tmg::CycleMeanSolver* solver) {
   SensitivityReport report;
+  const bool parallel = pool != nullptr && pool->jobs() > 1 &&
+                        sys.num_processes() > 1;
+  // The solver is not synchronized, so only the serial path may touch it.
   const auto analyze = [&](const SystemModel& candidate) {
-    return cache != nullptr ? cache->analyze(candidate)
-                            : analyze_system(candidate);
+    if (cache != nullptr) {
+      return cache->analyze(candidate, parallel ? nullptr : solver);
+    }
+    if (!parallel && solver != nullptr) {
+      return analyze_system(candidate, *solver);
+    }
+    return analyze_system(candidate);
   };
   const PerformanceReport base = analyze(sys);
   if (!base.live) return report;
@@ -50,7 +60,7 @@ SensitivityReport latency_sensitivity(const SystemModel& sys,
     report.processes[i] = entry;
   };
 
-  if (pool != nullptr && pool->jobs() > 1 && n > 1) {
+  if (parallel) {
     // Thread-local scratch copies: parallel_for chunks are contiguous, so a
     // per-chunk copy would also work, but one copy per task keeps the body
     // trivially data-race-free at any grain.
@@ -58,6 +68,47 @@ SensitivityReport latency_sensitivity(const SystemModel& sys,
       SystemModel scratch = sys;
       perturb(i, scratch);
     });
+  } else if (cache != nullptr && solver != nullptr) {
+    // Batched serial path: stage every real perturbation as its own
+    // candidate and sweep them through one analyze_batch call. Orders are
+    // held fixed, so all candidates share the base topology and the misses
+    // collapse into one prepared structure + one solve_batch sweep. Entry
+    // values are computed exactly as perturb() would, from reports that
+    // analyze_batch guarantees bit-identical to the serial loop's.
+    std::vector<SystemModel> candidates;
+    std::vector<std::size_t> candidate_slot;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto p = static_cast<ProcessId>(i);
+      ProcessSensitivity entry;
+      entry.process = p;
+      entry.on_critical_cycle = critical.count(p) != 0;
+      const std::int64_t original = sys.latency(p);
+      const std::int64_t reduced = std::max<std::int64_t>(0, original - step);
+      if (reduced == original) {
+        entry.ct_after_step = base.cycle_time;
+      } else {
+        candidates.emplace_back(sys).set_latency(p, reduced);
+        candidate_slot.push_back(i);
+      }
+      report.processes[i] = entry;
+    }
+    std::vector<const SystemModel*> pointers;
+    pointers.reserve(candidates.size());
+    for (const SystemModel& candidate : candidates) {
+      pointers.push_back(&candidate);
+    }
+    const std::vector<PerformanceReport> analyzed = cache->analyze_batch(
+        std::span<const SystemModel* const>(pointers), solver);
+    for (std::size_t j = 0; j < candidate_slot.size(); ++j) {
+      const std::size_t i = candidate_slot[j];
+      ProcessSensitivity& entry = report.processes[i];
+      const auto p = static_cast<ProcessId>(i);
+      const std::int64_t original = sys.latency(p);
+      const std::int64_t reduced = std::max<std::int64_t>(0, original - step);
+      entry.ct_after_step = analyzed[j].cycle_time;
+      entry.ct_gain_per_cycle = (base.cycle_time - entry.ct_after_step) /
+                                static_cast<double>(original - reduced);
+    }
   } else {
     SystemModel scratch = sys;
     for (std::size_t i = 0; i < n; ++i) perturb(i, scratch);

@@ -16,6 +16,10 @@
 #include "exec/thread_pool.h"
 #include "sysmodel/system.h"
 
+namespace ermes::tmg {
+class CycleMeanSolver;
+}  // namespace ermes::tmg
+
 namespace ermes::analysis {
 
 class EvalCache;
@@ -42,9 +46,17 @@ struct SensitivityReport {
 /// across `pool` when given and memoize through `cache` when given, with a
 /// report identical to the serial uncached one (entries are slotted by
 /// process, then stably sorted).
+///
+/// `solver`, when given, warms the analyses through one caller-owned CSR
+/// solver; with a cache it upgrades the serial path to a single
+/// EvalCache::analyze_batch sweep (orders are held fixed, so every
+/// perturbation shares the base topology and the misses collapse into one
+/// prepared structure + one solve_batch call). The solver is not used from
+/// pool workers — it is only read on the serial path.
 SensitivityReport latency_sensitivity(const sysmodel::SystemModel& sys,
                                       std::int64_t step = 1,
                                       exec::ThreadPool* pool = nullptr,
-                                      EvalCache* cache = nullptr);
+                                      EvalCache* cache = nullptr,
+                                      tmg::CycleMeanSolver* solver = nullptr);
 
 }  // namespace ermes::analysis

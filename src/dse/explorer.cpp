@@ -52,10 +52,13 @@ struct EvalContext {
   // systems share one topology — only latencies and orders vary — so each
   // worker's solver compiles once and then re-solves warm for the rest of
   // the run. Solvers are per-slot (not shared): CycleMeanSolver is not
-  // internally synchronized.
-  std::vector<std::unique_ptr<tmg::CycleMeanSolver>> solvers;
+  // internally synchronized. Slot 0 can be supplied externally
+  // (ExplorerOptions::solver) so a sweep driver keeps it warm across runs.
+  std::vector<tmg::CycleMeanSolver*> solvers;
+  std::vector<std::unique_ptr<tmg::CycleMeanSolver>> owned_solvers;
 
-  EvalContext(int jobs, EvalCache* shared_cache, exec::ThreadPool* shared_pool) {
+  EvalContext(int jobs, EvalCache* shared_cache, exec::ThreadPool* shared_pool,
+              tmg::CycleMeanSolver* shared_solver = nullptr) {
     if (shared_cache != nullptr) {
       cache = shared_cache;
     } else {
@@ -73,7 +76,12 @@ struct EvalContext {
     const std::size_t slots = pool != nullptr ? pool->jobs() : 1;
     solvers.reserve(slots);
     for (std::size_t i = 0; i < slots; ++i) {
-      solvers.push_back(std::make_unique<tmg::CycleMeanSolver>());
+      if (i == 0 && shared_solver != nullptr) {
+        solvers.push_back(shared_solver);
+      } else {
+        owned_solvers.push_back(std::make_unique<tmg::CycleMeanSolver>());
+        solvers.push_back(owned_solvers.back().get());
+      }
     }
   }
 
@@ -160,6 +168,72 @@ struct Evaluated {
   PerformanceReport report;
 };
 
+// Serial multi-candidate evaluation with a batched analyze stage:
+// per-candidate apply + ordered-eval memo probe + reorder stay sequential
+// (they are cheap and order-dependent), then every candidate still needing
+// analysis is swept through one EvalCache::analyze_batch call. Reordering
+// changes the TMG *structure*, so analyze_batch regroups internally; when
+// orders repeat across candidates (the common case — Algorithm 1 is
+// deterministic over near-identical latencies) the misses collapse into one
+// prepared structure + one solve_batch sweep. Reports are bit-identical to
+// the per-candidate path (analyze_batch's contract).
+void evaluate_candidates_batched(const SystemModel& sys,
+                                 const std::vector<SelectionVector>& selections,
+                                 bool reorder, EvalContext& ctx,
+                                 std::vector<Evaluated>& out) {
+  const std::size_t k = selections.size();
+  std::vector<std::uint64_t> pre_fps(k, 0);
+  std::vector<std::size_t> pending;
+  pending.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out[i].system = sys;
+    apply_selection(out[i].system, selections[i]);
+    obs::count("dse.candidates_evaluated");
+    if (!reorder) {
+      pending.push_back(i);
+      continue;
+    }
+    pre_fps[i] = analysis::system_fingerprint(out[i].system);
+    analysis::OrderedEval memo;
+    if (ctx.cache->lookup_eval(pre_fps[i], &memo)) {
+      for (sysmodel::ProcessId p = 0; p < out[i].system.num_processes(); ++p) {
+        out[i].system.set_input_order(p, memo.input_orders[p]);
+        out[i].system.set_output_order(p, memo.output_orders[p]);
+      }
+      out[i].report = memo.report;
+      continue;
+    }
+    obs::ObsSpan reorder_span("dse.reorder", "dse");
+    ordering::apply_ordering(out[i].system,
+                             ordering::channel_ordering(out[i].system));
+    pending.push_back(i);
+  }
+  if (!pending.empty()) {
+    obs::ObsSpan analyze_span("dse.analyze", "dse");
+    std::vector<const SystemModel*> pointers;
+    pointers.reserve(pending.size());
+    for (const std::size_t i : pending) pointers.push_back(&out[i].system);
+    const std::vector<PerformanceReport> reports = ctx.cache->analyze_batch(
+        std::span<const SystemModel* const>(pointers), &ctx.solver());
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      out[pending[j]].report = reports[j];
+    }
+  }
+  if (reorder) {
+    for (const std::size_t i : pending) {
+      analysis::OrderedEval memo;
+      memo.report = out[i].report;
+      memo.input_orders.reserve(out[i].system.num_processes());
+      memo.output_orders.reserve(out[i].system.num_processes());
+      for (sysmodel::ProcessId p = 0; p < out[i].system.num_processes(); ++p) {
+        memo.input_orders.push_back(out[i].system.input_order(p));
+        memo.output_orders.push_back(out[i].system.output_order(p));
+      }
+      ctx.cache->insert_eval(pre_fps[i], memo);
+    }
+  }
+}
+
 // Evaluates every candidate selection of an iteration, fanning across the
 // pool when one is available. Result slot i always corresponds to
 // selection i, and each evaluation is a pure function of (sys, selection),
@@ -174,6 +248,8 @@ std::vector<Evaluated> evaluate_candidates(
   };
   if (ctx.pool != nullptr && selections.size() > 1) {
     ctx.pool->parallel_for(selections.size(), eval_one, /*grain=*/1);
+  } else if (selections.size() > 1) {
+    evaluate_candidates_batched(sys, selections, reorder, ctx, out);
   } else {
     for (std::size_t i = 0; i < selections.size(); ++i) eval_one(i);
   }
@@ -342,7 +418,8 @@ ExplorationResult explore(SystemModel sys, const ExplorerOptions& options) {
   obs::ObsSpan explore_span("dse.explore", "dse");
   ExplorationResult result;
   std::set<SelectionVector> visited;
-  EvalContext ctx(options.jobs, options.cache, options.pool);
+  EvalContext ctx(options.jobs, options.cache, options.pool,
+                  options.solver);
   ctx.partitioned = options.partitioned_eval;
   ctx.impl_fp = analysis::implementation_fingerprint(sys);
 
@@ -526,7 +603,8 @@ ExplorationResult explore_area_constrained(
   obs::ObsSpan explore_span("dse.explore_area_constrained", "dse");
   ExplorationResult result;
   std::set<SelectionVector> visited;
-  EvalContext ctx(options.jobs, options.cache, options.pool);
+  EvalContext ctx(options.jobs, options.cache, options.pool,
+                  options.solver);
   ctx.partitioned = options.partitioned_eval;
   ctx.impl_fp = analysis::implementation_fingerprint(sys);
 

@@ -64,6 +64,13 @@ struct ExplorerOptions {
   /// decoupled system re-solves only that component. Bit-identical to the
   /// monolithic path at every setting.
   bool partitioned_eval = true;
+  /// External CSR solver for the calling thread's evaluation slot (slot 0).
+  /// nullptr = a per-run solver. A sweep driver passes one solver per worker
+  /// slot so adjacent targets executed on that slot share a warm compiled
+  /// structure (and its batch staging) across the sweep's serial
+  /// explorations. Not internally synchronized — the caller must ensure one
+  /// thread at a time, which per-slot ownership gives for free.
+  tmg::CycleMeanSolver* solver = nullptr;
   /// Cooperative cancellation, polled between iterations. Returning true
   /// stops the run after the last completed iteration with
   /// ExplorationResult::cancelled set; the partial history stays valid and
@@ -98,6 +105,7 @@ struct DualExplorerOptions {
   analysis::EvalCache* cache = nullptr;
   exec::ThreadPool* pool = nullptr;
   bool partitioned_eval = true;
+  tmg::CycleMeanSolver* solver = nullptr;
   std::function<bool()> should_stop;
 };
 

@@ -21,6 +21,7 @@
 #include "obs/request_context.h"
 #include "ordering/channel_ordering.h"
 #include "svc/render.h"
+#include "tmg/csr.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 
@@ -62,7 +63,12 @@ struct Broker::Session {
 // The pool gets `workers` dedicated threads (ThreadPool counts the caller,
 // and the broker's callers — connection threads — never execute tasks).
 Broker::Broker(BrokerOptions options)
-    : options_(options), pool_(effective_workers(options.workers) + 1) {}
+    : options_(options), pool_(effective_workers(options.workers) + 1) {
+  sweep_solvers_.resize(pool_.jobs());
+  for (auto& solver : sweep_solvers_) {
+    solver = std::make_unique<tmg::CycleMeanSolver>();
+  }
+}
 
 Broker::~Broker() {
   begin_drain();
@@ -507,8 +513,13 @@ JsonValue Broker::run_sweep(const Request& request,
     tct += step;
   }
   // Serial within the request (requests are the unit of parallelism); the
-  // shared warm cache still makes later targets mostly memo replays. The
-  // deadline is polled between targets and inside each exploration.
+  // shared warm cache still makes later targets mostly memo replays, and
+  // the slot's warm solver batches each exploration's candidate analyses
+  // (adjacent targets reuse its compiled structure). Requests execute on
+  // pool workers, so the slot solver is single-threaded by construction.
+  // The deadline is polled between targets and inside each exploration.
+  std::size_t slot = exec::current_worker_slot();
+  if (slot >= sweep_solvers_.size()) slot = 0;
   std::vector<dse::ExplorationResult> results;
   results.reserve(targets.size());
   for (const std::int64_t tct : targets) {
@@ -516,6 +527,7 @@ JsonValue Broker::run_sweep(const Request& request,
     options.target_cycle_time = tct;
     options.jobs = 1;
     options.cache = &cache_;
+    options.solver = sweep_solvers_[slot].get();
     options.should_stop = should_stop;
     results.push_back(dse::explore(parsed.system, options));
     if (results.back().cancelled) {
@@ -847,7 +859,8 @@ JsonValue Broker::run_stats(int version) {
     JsonValue solver = JsonValue::object();
     for (const char* key :
          {"compiles", "weight_refreshes", "solves", "seeded_solves",
-          "iterations", "cap_hits"}) {
+          "iterations", "cap_hits", "batch_solves", "batch_scenarios",
+          "batch_scc_solves", "batch_scc_reuses"}) {
       solver.set(key, JsonValue::integer(
                           registry.counter(std::string("tmg.solver.") + key)
                               .value()));

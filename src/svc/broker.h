@@ -55,11 +55,16 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "analysis/eval_cache.h"
 #include "exec/thread_pool.h"
 #include "obs/quantile.h"
 #include "svc/protocol.h"
+
+namespace ermes::tmg {
+class CycleMeanSolver;
+}  // namespace ermes::tmg
 
 namespace ermes::svc {
 
@@ -177,6 +182,14 @@ class Broker {
   BrokerOptions options_;
   analysis::EvalCache cache_;
   exec::ThreadPool pool_;
+
+  // One warm CSR solver per pool slot. Sweep requests always execute on a
+  // pool worker (slots [1, jobs())); each target explored on that worker
+  // passes its slot's solver to dse::explore, so adjacent targets of a
+  // sweep — and sweeps across requests landing on the same worker — reuse a
+  // compiled structure and its batch staging. Slot ownership means no two
+  // threads ever share a solver, so none of them need locks.
+  std::vector<std::unique_ptr<tmg::CycleMeanSolver>> sweep_solvers_;
 
   // One open incremental-analysis session (defined in broker.cpp). The map
   // holds shared_ptrs so a `close_session` racing an in-flight `patch` only

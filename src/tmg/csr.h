@@ -31,9 +31,24 @@
 // same maximum ratio* (compare_ratios == 0) but may report a different
 // co-optimal critical cycle. The differential harness enforces both
 // contracts (tests/test_differential.cpp).
+//
+// solve_batch() sweeps k weight scenarios over the prepared structure in one
+// pass and is bit-identical to k serial install+solve() calls. Each scenario
+// replays the canonical-start trajectory (seeded starts could report a
+// different co-optimal witness, which would break bit-identity), so the
+// batch's speed comes from everything *around* policy iteration. The
+// scenario span is already an SoA scenario-major weight block; one flat
+// SIMD-friendly diff pass against the previous scenario stamps the SCCs
+// whose internal arc weights actually moved. Because an SCC's solve is a
+// pure function of the weights on its internal slots, every clean SCC
+// replays its current result with no per-slot work, and dirty slices probe
+// a per-batch hash memo before re-iterating — only a genuinely new slice
+// installs its slots and runs Howard (DSE sweeps mutate a few processes per
+// scenario, so most components stay clean).
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -89,6 +104,30 @@ struct CsrGraph {
   }
 };
 
+/// One scenario's arc-indexed weight valuation for solve_batch. Index is the
+/// ArcId of the prepared graph (== PlaceId when compiled from a
+/// MarkedGraph); size must equal csr().num_arcs.
+using WeightVector = std::vector<std::int64_t>;
+
+/// Per-scenario outcome of CycleMeanSolver::solve_batch. `result` is
+/// bit-identical to what install-weights + solve() would have returned at
+/// the same point of the sweep.
+struct BatchSolveReport {
+  CycleRatioResult result;
+  /// Policy-improvement rounds this scenario was charged. Replayed SCC
+  /// results charge the rounds their original solve ran, mirroring what the
+  /// serial path would have spent.
+  int iterations = 0;
+  /// True iff some SCC solve feeding this scenario (original or replayed)
+  /// exhausted the defensive iteration cap; the result then reflects the
+  /// last evaluated policy, exactly like the serial path.
+  bool cap_hit = false;
+  /// True iff every SCC result was replayed from an earlier scenario of the
+  /// same batch (always false for the first scenario and for graphs with a
+  /// zero-token witness, where no per-SCC solves run at all).
+  bool reused = false;
+};
+
 /// Reusable batch solver for repeated maximum-cycle-ratio queries.
 ///
 /// Usage:
@@ -106,13 +145,23 @@ struct CsrGraph {
 /// with distinct workspaces are safe.
 class CycleMeanSolver {
  public:
+  /// Lifetime totals. Every field accumulates for the life of the solver —
+  /// prepare() never resets them, including on a structure recompile (a
+  /// recompile invalidates the *plan*, not the traffic history; callers
+  /// wanting per-phase deltas snapshot and subtract). Pinned by the
+  /// StatsAreLifetimeTotals regression test.
   struct Stats {
     std::int64_t compiles = 0;          // structure (re)compilations
     std::int64_t weight_refreshes = 0;  // warm prepares (structure reused)
     std::int64_t solves = 0;            // canonical full-graph solves
     std::int64_t seeded_solves = 0;     // warm-policy full-graph solves
     std::int64_t iterations = 0;        // policy-improvement rounds, total
-    std::int64_t cap_hits = 0;          // solves that exhausted the cap
+                                        // (solve/solve_seeded/solve_batch)
+    std::int64_t cap_hits = 0;          // SCC solves that exhausted the cap
+    std::int64_t batch_solves = 0;      // non-empty solve_batch calls
+    std::int64_t batch_scenarios = 0;   // scenarios swept by solve_batch
+    std::int64_t batch_scc_solves = 0;  // scenario-SCC solves actually run
+    std::int64_t batch_scc_reuses = 0;  // scenario-SCC results replayed
   };
 
   CycleMeanSolver() = default;
@@ -135,6 +184,22 @@ class CycleMeanSolver {
   /// prepare + solve in one call.
   CycleRatioResult solve(const RatioGraph& rg);
   CycleRatioResult solve(const MarkedGraph& g);
+
+  /// Sweeps weights.size() scenarios over the prepared structure in one
+  /// pass, writing one report per scenario into `out` (which must be at
+  /// least as large). Bit-identical to installing each WeightVector and
+  /// calling solve() in order: same ratio_num/ratio_den, same double bits,
+  /// same critical cycle. Requires prepared(); every WeightVector must hold
+  /// exactly csr().num_arcs entries, indexed by arc id. After the call the
+  /// solver holds the last scenario's weights (as the serial loop would),
+  /// and last_policy_ reflects the most recently *executed* SCC solves — a
+  /// valid solve_seeded() seed, though not necessarily the serial
+  /// end-state policy when slices were replayed. An empty batch is a no-op.
+  void solve_batch(std::span<const WeightVector> weights,
+                   std::span<BatchSolveReport> out);
+  /// Convenience overload returning the reports.
+  std::vector<BatchSolveReport> solve_batch(
+      std::span<const WeightVector> weights);
 
   /// Whole-graph solve seeded from the previous solve's optimal policy
   /// (falls back to the canonical policy where no previous policy exists).
@@ -204,6 +269,19 @@ class CycleMeanSolver {
   std::vector<SccPlan> plans_;
   std::vector<std::int32_t> plan_slots_;  // self-loop slots of trivial SCCs
   std::vector<graph::ArcId> plan_arcs_;   // per-SCC zero-token witnesses
+
+  // Internal slots (tail and head in the SCC) grouped per component, in
+  // member-row order: SCC c's slice is scc_slots_[scc_slot_ptr_[c] ..
+  // scc_slot_ptr_[c+1]). An SCC solve reads exactly these weights, so two
+  // scenarios agreeing on a slice produce bit-identical SCC results —
+  // the foundation of solve_batch's replay.
+  std::vector<std::int32_t> scc_slot_ptr_;
+  std::vector<std::int32_t> scc_slots_;
+  std::vector<graph::ArcId> scc_arcs_;  // slot_arc[scc_slots_[i]], precomputed
+  // Arc -> owning SCC, -1 for inter-SCC arcs (whose weights no solve ever
+  // reads): solve_batch's scenario-diff pass maps changed arcs to the SCCs
+  // they dirty through this.
+  std::vector<std::int32_t> arc_scc_;
 
   // Previous optimal policy (slot per node, -1 where unknown) for
   // solve_seeded(); invalidated by every recompile.

@@ -63,6 +63,7 @@
 #include "sim/system_sim.h"
 #include "svc/client.h"
 #include "svc/protocol.h"
+#include "tmg/csr.h"
 #include "svc/render.h"
 #include "svc/server.h"
 #include "sysmodel/builder.h"
@@ -435,6 +436,14 @@ int cmd_sweep(const char* path, std::int64_t lo, std::int64_t hi,
 
   analysis::EvalCache cache;
   exec::ThreadPool pool(effective_jobs(global));
+  // One warm CSR solver per worker slot (0 = caller, i+1 = worker i): every
+  // exploration a slot executes reuses that slot's compiled structure, and
+  // each exploration's candidate analyses sweep through its batched solve
+  // path. A slot is driven by one thread at a time, so no locking is needed.
+  std::vector<std::unique_ptr<tmg::CycleMeanSolver>> solvers;
+  for (std::size_t i = 0; i < pool.jobs() + 1; ++i) {
+    solvers.push_back(std::make_unique<tmg::CycleMeanSolver>());
+  }
   util::Stopwatch sw;
   const std::vector<dse::ExplorationResult> results =
       pool.parallel_map<dse::ExplorationResult>(
@@ -444,6 +453,9 @@ int cmd_sweep(const char* path, std::int64_t lo, std::int64_t hi,
             options.target_cycle_time = targets[i];
             options.jobs = 1;  // parallel across sweep points, serial within
             options.cache = &cache;
+            std::size_t slot = exec::current_worker_slot();
+            if (slot >= solvers.size()) slot = 0;
+            options.solver = solvers[slot].get();
             return dse::explore(parsed.system, options);
           },
           /*grain=*/1);
@@ -462,6 +474,20 @@ int cmd_sweep(const char* path, std::int64_t lo, std::int64_t hi,
               pool.jobs(), static_cast<long long>(cache.hits()),
               static_cast<long long>(cache.misses()), cache.hit_rate() * 100.0,
               cache.size());
+  tmg::CycleMeanSolver::Stats solver_stats;
+  for (const auto& solver : solvers) {
+    const tmg::CycleMeanSolver::Stats& s = solver->stats();
+    solver_stats.batch_solves += s.batch_solves;
+    solver_stats.batch_scenarios += s.batch_scenarios;
+    solver_stats.batch_scc_solves += s.batch_scc_solves;
+    solver_stats.batch_scc_reuses += s.batch_scc_reuses;
+  }
+  std::printf("solver: %lld batched sweeps over %lld scenarios (%lld scc "
+              "solves, %lld replayed)\n",
+              static_cast<long long>(solver_stats.batch_solves),
+              static_cast<long long>(solver_stats.batch_scenarios),
+              static_cast<long long>(solver_stats.batch_scc_solves),
+              static_cast<long long>(solver_stats.batch_scc_reuses));
   if (!all_met) {
     std::fprintf(stderr, "error: at least one sweep target not met\n");
     return kExitAnalysis;
@@ -564,8 +590,11 @@ int cmd_sensitivity(const char* path, const GlobalOptions& global) {
   if (!load(path, parsed)) return kExitParse;
   exec::ThreadPool pool(effective_jobs(global));
   analysis::EvalCache cache;
+  // Used only on the serial path (jobs=1): the perturbations then sweep
+  // through one batched solve instead of per-candidate round trips.
+  tmg::CycleMeanSolver solver;
   const analysis::SensitivityReport report =
-      analysis::latency_sensitivity(parsed.system, 1, &pool, &cache);
+      analysis::latency_sensitivity(parsed.system, 1, &pool, &cache, &solver);
   if (report.processes.empty()) {
     std::printf("system is deadlocked; no sensitivity available\n");
     std::fprintf(stderr, "error: system deadlocks\n");
