@@ -3,16 +3,132 @@
 #include <cassert>
 #include <cstring>
 
+#include "cache/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/request_context.h"
 #include "obs/span.h"
 #include "tmg/csr.h"
 #include "tmg/liveness.h"
+#include "util/build_info.h"
 #include "util/rng.h"
 
 namespace ermes::analysis {
 
 namespace {
+
+// Deterministic payload byte estimates for budget accounting. They use
+// size() rather than capacity() so a save/restore round trip reproduces the
+// same tracked bytes (capacity is an allocator artifact).
+template <typename T>
+std::int64_t vec_cost(const std::vector<T>& v) {
+  return static_cast<std::int64_t>(sizeof(v) + v.size() * sizeof(T));
+}
+
+std::int64_t report_cost(const PerformanceReport& r) {
+  return static_cast<std::int64_t>(sizeof(PerformanceReport)) +
+         static_cast<std::int64_t>(
+             (r.dead_cycle.size() + r.critical_processes.size() +
+              r.critical_channels.size() + r.critical_places.size()) *
+             sizeof(std::int32_t));
+}
+
+std::int64_t eval_cost(const OrderedEval& e) {
+  std::int64_t orders = 0;
+  for (const auto& v : e.input_orders) orders += vec_cost(v);
+  for (const auto& v : e.output_orders) orders += vec_cost(v);
+  return static_cast<std::int64_t>(sizeof(OrderedEval) -
+                                   sizeof(PerformanceReport)) +
+         orders + report_cost(e.report);
+}
+
+std::int64_t aux_cost(const std::vector<std::int64_t>& v) {
+  return vec_cost(v);
+}
+
+// Snapshot payload codecs. Section ids and the per-record encodings below
+// ARE the on-disk contract for kSnapshotFormatVersion = 1; any change to
+// them must bump cache::kSnapshotFormatVersion so old files are rejected
+// instead of misread.
+constexpr std::uint32_t kSectionReports = 1;
+constexpr std::uint32_t kSectionEvals = 2;
+constexpr std::uint32_t kSectionAux = 3;
+
+template <typename T>
+void encode_i32_vec(cache::Encoder* e, const std::vector<T>& v) {
+  static_assert(sizeof(T) == sizeof(std::int32_t));
+  e->u32(static_cast<std::uint32_t>(v.size()));
+  for (const T x : v) e->i32(static_cast<std::int32_t>(x));
+}
+
+template <typename T>
+bool decode_i32_vec(cache::Decoder* d, std::vector<T>* v) {
+  const std::uint32_t n = d->u32();
+  if (static_cast<std::size_t>(n) * 4 > d->remaining()) return false;
+  v->resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) (*v)[i] = static_cast<T>(d->i32());
+  return d->ok();
+}
+
+void encode_report(cache::Encoder* e, const PerformanceReport& r) {
+  e->u8(r.live ? 1 : 0);
+  encode_i32_vec(e, r.dead_cycle);
+  e->f64(r.cycle_time);
+  e->i64(r.ct_num);
+  e->i64(r.ct_den);
+  e->f64(r.throughput);
+  encode_i32_vec(e, r.critical_processes);
+  encode_i32_vec(e, r.critical_channels);
+  encode_i32_vec(e, r.critical_places);
+}
+
+bool decode_report(cache::Decoder* d, PerformanceReport* r) {
+  r->live = d->u8() != 0;
+  if (!decode_i32_vec(d, &r->dead_cycle)) return false;
+  r->cycle_time = d->f64();
+  r->ct_num = d->i64();
+  r->ct_den = d->i64();
+  r->throughput = d->f64();
+  return decode_i32_vec(d, &r->critical_processes) &&
+         decode_i32_vec(d, &r->critical_channels) &&
+         decode_i32_vec(d, &r->critical_places) && d->ok();
+}
+
+void encode_eval(cache::Encoder* e, const OrderedEval& eval) {
+  e->u32(static_cast<std::uint32_t>(eval.input_orders.size()));
+  for (const auto& v : eval.input_orders) encode_i32_vec(e, v);
+  e->u32(static_cast<std::uint32_t>(eval.output_orders.size()));
+  for (const auto& v : eval.output_orders) encode_i32_vec(e, v);
+  encode_report(e, eval.report);
+}
+
+bool decode_eval(cache::Decoder* d, OrderedEval* eval) {
+  std::uint32_t n = d->u32();
+  if (static_cast<std::size_t>(n) * 4 > d->remaining()) return false;
+  eval->input_orders.resize(n);
+  for (auto& v : eval->input_orders) {
+    if (!decode_i32_vec(d, &v)) return false;
+  }
+  n = d->u32();
+  if (static_cast<std::size_t>(n) * 4 > d->remaining()) return false;
+  eval->output_orders.resize(n);
+  for (auto& v : eval->output_orders) {
+    if (!decode_i32_vec(d, &v)) return false;
+  }
+  return decode_report(d, &eval->report);
+}
+
+void encode_aux(cache::Encoder* e, const std::vector<std::int64_t>& v) {
+  e->u32(static_cast<std::uint32_t>(v.size()));
+  for (const std::int64_t x : v) e->i64(x);
+}
+
+bool decode_aux(cache::Decoder* d, std::vector<std::int64_t>* v) {
+  const std::uint32_t n = d->u32();
+  if (static_cast<std::size_t>(n) * 8 > d->remaining()) return false;
+  v->resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) (*v)[i] = d->i64();
+  return d->ok();
+}
 
 // FNV-1a offset/prime over splitmix64-diffused words: FNV alone mixes low
 // bytes poorly for small integers (latencies are tiny), so each word is
@@ -91,118 +207,93 @@ std::uint64_t fingerprint_mix(std::uint64_t h, std::uint64_t word) {
   return (h ^ util::splitmix64(word)) * 0x100000001b3ULL;
 }
 
-EvalCache::EvalCache(std::size_t num_shards) {
-  if (num_shards == 0) num_shards = 1;
-  shards_.reserve(num_shards);
-  eval_shards_.reserve(num_shards);
-  aux_shards_.reserve(num_shards);
-  for (std::size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard<PerformanceReport>>());
-    eval_shards_.push_back(std::make_unique<Shard<OrderedEval>>());
-    aux_shards_.push_back(std::make_unique<Shard<std::vector<std::int64_t>>>());
+// The budget is statically partitioned across the three memo families:
+// reports (one per analyzed labeling, small but by far the most numerous
+// under serving traffic) get half, ordered evals (bulky: per-process orders
+// plus a report) three-eighths, ILP aux payloads the rest. A static split
+// keeps every family's admission decision local to one ClockCache shard —
+// no cross-family coordination — while the family budgets sum to at most
+// the configured total, so the combined-bytes invariant holds trivially.
+EvalCache::EvalCache(std::size_t num_shards, std::int64_t byte_budget)
+    : byte_budget_(byte_budget < 0 ? 0 : byte_budget),
+      reports_(num_shards, byte_budget_ / 2, report_cost),
+      evals_(num_shards, byte_budget_ * 3 / 8, eval_cost),
+      aux_(num_shards, byte_budget_ - byte_budget_ / 2 - byte_budget_ * 3 / 8,
+           aux_cost) {}
+
+void EvalCache::record_hit(const char* counter) const {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    window_hits_.record();
+    obs::count(counter);
+  }
+}
+
+void EvalCache::record_miss(const char* counter) const {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    window_misses_.record();
+    obs::count(counter);
+  }
+}
+
+void EvalCache::record_insert(const cache::InsertResult& result) const {
+  if (!obs::enabled()) return;
+  if (result.evicted > 0) {
+    obs::count("analysis.eval_cache.evictions", result.evicted);
+  }
+  if (result.rejected) obs::count("analysis.eval_cache.admit_rejects");
+  if (result.inserted || result.evicted > 0) {
+    obs::gauge_set("analysis.eval_cache.bytes", bytes());
   }
 }
 
 bool EvalCache::lookup(std::uint64_t fingerprint,
                        PerformanceReport* out) const {
   obs::StageTimer probe_timer(obs::Stage::kCacheProbe);
-  Shard<PerformanceReport>& shard = shard_of(shards_, fingerprint);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(fingerprint);
-    if (it != shard.map.end()) {
-      if (out != nullptr) *out = it->second;
-      shard.hits.fetch_add(1, std::memory_order_relaxed);
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::enabled()) {
-        window_hits_.record();
-        obs::count("analysis.eval_cache.hits");
-      }
-      return true;
-    }
+  if (reports_.lookup(fingerprint, out)) {
+    record_hit("analysis.eval_cache.hits");
+    return true;
   }
-  shard.misses.fetch_add(1, std::memory_order_relaxed);
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::enabled()) {
-    window_misses_.record();
-    obs::count("analysis.eval_cache.misses");
-  }
+  record_miss("analysis.eval_cache.misses");
   return false;
 }
 
 void EvalCache::insert(std::uint64_t fingerprint,
                        const PerformanceReport& report) {
-  Shard<PerformanceReport>& shard = shard_of(shards_, fingerprint);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map.emplace(fingerprint, report);
+  record_insert(reports_.insert(fingerprint, report));
 }
 
 bool EvalCache::lookup_eval(std::uint64_t pre_reorder_fingerprint,
                             OrderedEval* out) const {
   obs::StageTimer probe_timer(obs::Stage::kCacheProbe);
-  Shard<OrderedEval>& shard = shard_of(eval_shards_, pre_reorder_fingerprint);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(pre_reorder_fingerprint);
-    if (it != shard.map.end()) {
-      if (out != nullptr) *out = it->second;
-      shard.hits.fetch_add(1, std::memory_order_relaxed);
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::enabled()) {
-        window_hits_.record();
-        obs::count("analysis.eval_cache.eval_hits");
-      }
-      return true;
-    }
+  if (evals_.lookup(pre_reorder_fingerprint, out)) {
+    record_hit("analysis.eval_cache.eval_hits");
+    return true;
   }
-  shard.misses.fetch_add(1, std::memory_order_relaxed);
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::enabled()) {
-    window_misses_.record();
-    obs::count("analysis.eval_cache.eval_misses");
-  }
+  record_miss("analysis.eval_cache.eval_misses");
   return false;
 }
 
 void EvalCache::insert_eval(std::uint64_t pre_reorder_fingerprint,
                             const OrderedEval& eval) {
-  Shard<OrderedEval>& shard = shard_of(eval_shards_, pre_reorder_fingerprint);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map.emplace(pre_reorder_fingerprint, eval);
+  record_insert(evals_.insert(pre_reorder_fingerprint, eval));
 }
 
 bool EvalCache::lookup_aux(std::uint64_t key,
                            std::vector<std::int64_t>* out) const {
   obs::StageTimer probe_timer(obs::Stage::kCacheProbe);
-  Shard<std::vector<std::int64_t>>& shard = shard_of(aux_shards_, key);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      if (out != nullptr) *out = it->second;
-      shard.hits.fetch_add(1, std::memory_order_relaxed);
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::enabled()) {
-        window_hits_.record();
-        obs::count("analysis.eval_cache.aux_hits");
-      }
-      return true;
-    }
+  if (aux_.lookup(key, out)) {
+    record_hit("analysis.eval_cache.aux_hits");
+    return true;
   }
-  shard.misses.fetch_add(1, std::memory_order_relaxed);
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::enabled()) {
-    window_misses_.record();
-    obs::count("analysis.eval_cache.aux_misses");
-  }
+  record_miss("analysis.eval_cache.aux_misses");
   return false;
 }
 
 void EvalCache::insert_aux(std::uint64_t key,
                            const std::vector<std::int64_t>& payload) {
-  Shard<std::vector<std::int64_t>>& shard = shard_of(aux_shards_, key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map.emplace(key, payload);
+  record_insert(aux_.insert(key, payload));
 }
 
 PerformanceReport EvalCache::analyze(const sysmodel::SystemModel& sys,
@@ -345,35 +436,13 @@ std::vector<PerformanceReport> EvalCache::analyze_batch(
 }
 
 void EvalCache::clear() {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->map.clear();
-  }
-  for (const auto& shard : eval_shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->map.clear();
-  }
-  for (const auto& shard : aux_shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->map.clear();
-  }
+  reports_.clear();
+  evals_.clear();
+  aux_.clear();
 }
 
 std::size_t EvalCache::size() const {
-  std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->map.size();
-  }
-  for (const auto& shard : eval_shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->map.size();
-  }
-  for (const auto& shard : aux_shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->map.size();
-  }
-  return total;
+  return reports_.size() + evals_.size() + aux_.size();
 }
 
 double EvalCache::hit_rate() const {
@@ -382,22 +451,127 @@ double EvalCache::hit_rate() const {
   return h + m > 0.0 ? h / (h + m) : 0.0;
 }
 
+std::int64_t EvalCache::bytes() const {
+  return reports_.bytes() + evals_.bytes() + aux_.bytes();
+}
+
+std::int64_t EvalCache::evictions() const {
+  return reports_.evictions() + evals_.evictions() + aux_.evictions();
+}
+
+std::int64_t EvalCache::admission_rejects() const {
+  return reports_.admission_rejects() + evals_.admission_rejects() +
+         aux_.admission_rejects();
+}
+
 std::vector<EvalCache::ShardStats> EvalCache::shard_stats() const {
-  std::vector<ShardStats> out(shards_.size());
+  std::vector<ShardStats> out(num_shards());
   const auto fold = [&out](const auto& family) {
-    for (std::size_t i = 0; i < family.size(); ++i) {
-      {
-        std::lock_guard<std::mutex> lock(family[i]->mu);
-        out[i].entries += family[i]->map.size();
-      }
-      out[i].hits += family[i]->hits.load(std::memory_order_relaxed);
-      out[i].misses += family[i]->misses.load(std::memory_order_relaxed);
+    const auto stats = family.shard_stats();
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      out[i].entries += stats[i].entries;
+      out[i].hits += stats[i].hits;
+      out[i].misses += stats[i].misses;
+      out[i].bytes += stats[i].bytes;
     }
   };
-  fold(shards_);
-  fold(eval_shards_);
-  fold(aux_shards_);
+  fold(reports_);
+  fold(evals_);
+  fold(aux_);
   return out;
+}
+
+bool EvalCache::save_snapshot(const std::string& path,
+                              std::string* error) const {
+  cache::Snapshot snapshot;
+  snapshot.build = util::build_info();
+  snapshot.sections.resize(3);
+  snapshot.sections[0].id = kSectionReports;
+  reports_.for_each([&](std::uint64_t key, const PerformanceReport& r) {
+    cache::Encoder e;
+    encode_report(&e, r);
+    snapshot.sections[0].records.push_back({key, e.take()});
+  });
+  snapshot.sections[1].id = kSectionEvals;
+  evals_.for_each([&](std::uint64_t key, const OrderedEval& v) {
+    cache::Encoder e;
+    encode_eval(&e, v);
+    snapshot.sections[1].records.push_back({key, e.take()});
+  });
+  snapshot.sections[2].id = kSectionAux;
+  aux_.for_each([&](std::uint64_t key, const std::vector<std::int64_t>& v) {
+    cache::Encoder e;
+    encode_aux(&e, v);
+    snapshot.sections[2].records.push_back({key, e.take()});
+  });
+  return cache::write_snapshot_file(path, snapshot, error);
+}
+
+bool EvalCache::load_snapshot(const std::string& path, std::string* error,
+                              std::size_t* restored) {
+  if (restored != nullptr) *restored = 0;
+  cache::Snapshot snapshot;
+  if (!cache::read_snapshot_file(path, &snapshot, error)) return false;
+
+  // Decode every payload before touching the cache: a snapshot that fails
+  // halfway must leave the cache exactly as it was (cold, if starting up).
+  std::vector<std::pair<std::uint64_t, PerformanceReport>> reports;
+  std::vector<std::pair<std::uint64_t, OrderedEval>> evals;
+  std::vector<std::pair<std::uint64_t, std::vector<std::int64_t>>> aux;
+  for (const cache::SnapshotSection& section : snapshot.sections) {
+    for (const cache::SnapshotRecord& record : section.records) {
+      cache::Decoder d(record.payload);
+      bool ok = false;
+      switch (section.id) {
+        case kSectionReports: {
+          PerformanceReport r;
+          ok = decode_report(&d, &r) && d.at_end();
+          if (ok) reports.emplace_back(record.key, std::move(r));
+          break;
+        }
+        case kSectionEvals: {
+          OrderedEval v;
+          ok = decode_eval(&d, &v) && d.at_end();
+          if (ok) evals.emplace_back(record.key, std::move(v));
+          break;
+        }
+        case kSectionAux: {
+          std::vector<std::int64_t> v;
+          ok = decode_aux(&d, &v) && d.at_end();
+          if (ok) aux.emplace_back(record.key, std::move(v));
+          break;
+        }
+        default:
+          // Unknown section within a known format version: malformed file
+          // (new sections require a format bump), reject it whole.
+          ok = false;
+          break;
+      }
+      if (!ok) {
+        if (error != nullptr) {
+          *error = "cache snapshot record malformed (section " +
+                   std::to_string(section.id) + ")";
+        }
+        return false;
+      }
+    }
+  }
+
+  // Admission goes through the normal insert path, so a snapshot larger
+  // than the budget restores only what fits (clock eviction applies).
+  std::size_t admitted = 0;
+  for (const auto& [key, value] : reports) {
+    if (reports_.insert(key, value).inserted) ++admitted;
+  }
+  for (const auto& [key, value] : evals) {
+    if (evals_.insert(key, value).inserted) ++admitted;
+  }
+  for (const auto& [key, value] : aux) {
+    if (aux_.insert(key, value).inserted) ++admitted;
+  }
+  if (restored != nullptr) *restored = admitted;
+  if (obs::enabled()) obs::gauge_set("analysis.eval_cache.bytes", bytes());
+  return true;
 }
 
 double EvalCache::window_hit_rate() const {

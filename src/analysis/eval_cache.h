@@ -24,16 +24,30 @@
 // when telemetry is enabled. A sliding-window hit rate (window_hit_rate())
 // tracks the last ~10 seconds for the serving stats plane, where the
 // cumulative rate is dominated by history.
+//
+// Storage sits on cache::ClockCache (src/cache), which adds two properties
+// an unbounded memo lacks:
+//
+//   * A byte budget. Each of the three memo families (report, ordered-eval,
+//     aux) charges a deterministic per-entry cost estimate against one
+//     shared budget; when full, clock/second-chance eviction drops the
+//     coldest entries first. Eviction is *safe by purity*: every cached
+//     value is a pure function of its fingerprint, so losing an entry can
+//     only cost a recomputation, never change a result — analyze() stays
+//     bit-identical to the uncached path at any budget.
+//   * Snapshot/restore. save_snapshot() serializes all three families into
+//     the versioned, checksummed cache::Snapshot container so a restarted
+//     daemon comes back warm; load_snapshot() refuses corrupt or
+//     incompatible files cleanly (the cache simply starts cold).
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <span>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "analysis/performance.h"
+#include "cache/clock_cache.h"
 #include "obs/quantile.h"
 #include "sysmodel/system.h"
 
@@ -70,7 +84,13 @@ struct OrderedEval {
 
 class EvalCache {
  public:
-  explicit EvalCache(std::size_t num_shards = 16);
+  /// `byte_budget` bounds the tracked bytes of all three memo families
+  /// combined; 0 (the default, and the CLI default) keeps the historical
+  /// unbounded behaviour. The budget is enforced by clock eviction — see
+  /// cache::ClockCache — and holds as an invariant: bytes() <= byte_budget()
+  /// at every instant.
+  explicit EvalCache(std::size_t num_shards = 16,
+                     std::int64_t byte_budget = 0);
   EvalCache(const EvalCache&) = delete;
   EvalCache& operator=(const EvalCache&) = delete;
 
@@ -129,10 +149,36 @@ class EvalCache {
   std::int64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
-  /// Number of distinct fingerprints stored (both memo kinds).
+  /// Number of distinct fingerprints stored (all memo kinds).
   std::size_t size() const;
   /// hits / (hits + misses); 0 when empty.
   double hit_rate() const;
+
+  /// Tracked bytes across all three memo families (deterministic cost
+  /// estimates, not allocator measurements); <= byte_budget() always when a
+  /// budget is set.
+  std::int64_t bytes() const;
+  /// The configured budget; 0 = unbounded.
+  std::int64_t byte_budget() const { return byte_budget_; }
+  /// Entries evicted by the clock hand to make room.
+  std::int64_t evictions() const;
+  /// Inserts refused by the budget (entry alone over a shard's budget, or
+  /// every resident entry pinned).
+  std::int64_t admission_rejects() const;
+
+  /// Serializes all three memo families into the versioned cache::Snapshot
+  /// container at `path` (atomic write). Returns false and sets *error on
+  /// I/O failure.
+  bool save_snapshot(const std::string& path, std::string* error) const;
+  /// Restores entries from a snapshot written by save_snapshot. Respects
+  /// the byte budget (restored entries are admitted like inserts — a
+  /// snapshot larger than the budget restores only what fits). On any
+  /// rejection — missing file, bad magic, format-version mismatch,
+  /// checksum failure, malformed payload — returns false with *error set
+  /// and leaves the cache exactly as it was (cold start). `restored`, when
+  /// non-null, receives the number of entries admitted.
+  bool load_snapshot(const std::string& path, std::string* error,
+                     std::size_t* restored = nullptr);
 
   /// Per-shard occupancy and traffic, folded across the three memo families
   /// (report, ordered-eval, aux) that share the shard index.
@@ -140,8 +186,9 @@ class EvalCache {
     std::size_t entries = 0;
     std::int64_t hits = 0;
     std::int64_t misses = 0;
+    std::int64_t bytes = 0;
   };
-  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_shards() const { return reports_.num_shards(); }
   std::vector<ShardStats> shard_stats() const;
 
   /// Hit rate over roughly the last 10 seconds (hits and misses recorded
@@ -149,24 +196,16 @@ class EvalCache {
   double window_hit_rate() const;
 
  private:
-  template <typename V>
-  struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, V> map;
-    mutable std::atomic<std::int64_t> hits{0};
-    mutable std::atomic<std::int64_t> misses{0};
-  };
+  void record_hit(const char* counter) const;
+  void record_miss(const char* counter) const;
+  void record_insert(const cache::InsertResult& result) const;
 
-  template <typename V>
-  static Shard<V>& shard_of(
-      const std::vector<std::unique_ptr<Shard<V>>>& shards,
-      std::uint64_t fingerprint) {
-    return *shards[static_cast<std::size_t>(fingerprint) % shards.size()];
-  }
-
-  std::vector<std::unique_ptr<Shard<PerformanceReport>>> shards_;
-  std::vector<std::unique_ptr<Shard<OrderedEval>>> eval_shards_;
-  std::vector<std::unique_ptr<Shard<std::vector<std::int64_t>>>> aux_shards_;
+  std::int64_t byte_budget_ = 0;
+  // mutable: const lookups still set reference bits and hit counters
+  // (logically const — observable values never change).
+  mutable cache::ClockCache<PerformanceReport> reports_;
+  mutable cache::ClockCache<OrderedEval> evals_;
+  mutable cache::ClockCache<std::vector<std::int64_t>> aux_;
   mutable std::atomic<std::int64_t> hits_{0};
   mutable std::atomic<std::int64_t> misses_{0};
   mutable obs::WindowRate window_hits_;

@@ -1,0 +1,261 @@
+#include "cache/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace ermes::cache {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+std::uint64_t snapshot_checksum(const char* data, std::size_t len) {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void Encoder::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Encoder::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Encoder::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Encoder::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Encoder::str(const std::string& v) {
+  const std::size_t len = std::min<std::size_t>(v.size(), 0xFFFF);
+  u16(static_cast<std::uint16_t>(len));
+  out_.append(v.data(), len);
+}
+
+bool Decoder::ensure(std::size_t n) {
+  if (!ok_ || len_ - pos_ < n) {
+    ok_ = false;
+    pos_ = len_;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Decoder::u8() {
+  if (!ensure(1)) return 0;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t Decoder::u16() {
+  const std::uint16_t lo = u8();
+  const std::uint16_t hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t Decoder::u32() {
+  const std::uint32_t lo = u16();
+  const std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t Decoder::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+double Decoder::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Decoder::str() {
+  const std::uint16_t len = u16();
+  return raw(len);
+}
+
+std::string Decoder::raw(std::size_t n) {
+  if (!ensure(n)) return std::string();
+  std::string out(data_ + pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string write_snapshot(const Snapshot& snapshot) {
+  // Body first (checksummed), header after.
+  Encoder body;
+  body.u32(static_cast<std::uint32_t>(snapshot.sections.size()));
+  for (const SnapshotSection& section : snapshot.sections) {
+    // Sort by key so identical contents serialize byte-identically no
+    // matter what hash-map order the owner enumerated them in.
+    std::vector<const SnapshotRecord*> order;
+    order.reserve(section.records.size());
+    for (const SnapshotRecord& record : section.records) {
+      order.push_back(&record);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const SnapshotRecord* a, const SnapshotRecord* b) {
+                return a->key < b->key;
+              });
+    body.u32(section.id);
+    body.u64(order.size());
+    for (const SnapshotRecord* record : order) {
+      body.u64(record->key);
+      body.u32(static_cast<std::uint32_t>(record->payload.size()));
+      body.bytes(record->payload.data(), record->payload.size());
+    }
+  }
+
+  Encoder file;
+  file.u32(kSnapshotMagic);
+  file.u16(kSnapshotFormatVersion);
+  file.u16(0);  // flags, reserved
+  file.str(snapshot.build);
+  file.u64(body.data().size());
+  file.u64(snapshot_checksum(body.data().data(), body.data().size()));
+  file.bytes(body.data().data(), body.data().size());
+  return file.take();
+}
+
+bool read_snapshot(const std::string& buffer, Snapshot* out,
+                   std::string* error) {
+  *out = Snapshot();
+  Decoder d(buffer);
+  const std::uint32_t magic = d.u32();
+  if (!d.ok() || magic != kSnapshotMagic) {
+    fail(error, "not an ERMES cache snapshot (bad magic)");
+    return false;
+  }
+  const std::uint16_t format = d.u16();
+  d.u16();  // flags
+  const std::string build = d.str();
+  if (!d.ok()) {
+    fail(error, "cache snapshot header truncated");
+    return false;
+  }
+  if (format != kSnapshotFormatVersion) {
+    fail(error, "cache snapshot format v" + std::to_string(format) +
+                    " (written by build " +
+                    (build.empty() ? std::string("unknown") : build) +
+                    ") is not supported by this binary (expects v" +
+                    std::to_string(kSnapshotFormatVersion) +
+                    "); delete the file to start cold");
+    return false;
+  }
+  const std::uint64_t body_len = d.u64();
+  const std::uint64_t checksum = d.u64();
+  if (!d.ok() || d.remaining() != body_len) {
+    fail(error, "cache snapshot truncated (expected " +
+                    std::to_string(body_len) + " body bytes, have " +
+                    std::to_string(d.ok() ? d.remaining() : 0) + ")");
+    return false;
+  }
+  const char* body = buffer.data() + (buffer.size() - body_len);
+  if (snapshot_checksum(body, body_len) != checksum) {
+    fail(error, "cache snapshot checksum mismatch (file corrupt)");
+    return false;
+  }
+
+  Decoder bd(body, body_len);
+  const std::uint32_t section_count = bd.u32();
+  Snapshot parsed;
+  parsed.build = build;
+  for (std::uint32_t s = 0; bd.ok() && s < section_count; ++s) {
+    SnapshotSection section;
+    section.id = bd.u32();
+    const std::uint64_t record_count = bd.u64();
+    // Guard the reserve: a corrupt count must not trigger a huge
+    // allocation before the bounds checks catch it. Each record is at
+    // least 12 bytes on the wire.
+    if (record_count > bd.remaining() / 12 + 1) {
+      fail(error, "cache snapshot malformed (implausible record count)");
+      return false;
+    }
+    section.records.reserve(static_cast<std::size_t>(record_count));
+    for (std::uint64_t r = 0; bd.ok() && r < record_count; ++r) {
+      SnapshotRecord record;
+      record.key = bd.u64();
+      const std::uint32_t len = bd.u32();
+      if (len > bd.remaining()) {
+        fail(error, "cache snapshot malformed (record overruns body)");
+        return false;
+      }
+      record.payload = bd.raw(len);
+      section.records.push_back(std::move(record));
+    }
+    parsed.sections.push_back(std::move(section));
+  }
+  if (!bd.ok() || !bd.at_end()) {
+    fail(error, "cache snapshot malformed (body does not parse cleanly)");
+    return false;
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+bool write_snapshot_file(const std::string& path, const Snapshot& snapshot,
+                         std::string* error) {
+  const std::string data = write_snapshot(snapshot);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    fail(error, "cannot open '" + tmp + "' for writing");
+    return false;
+  }
+  const std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != data.size() || !flushed) {
+    std::remove(tmp.c_str());
+    fail(error, "short write to '" + tmp + "'");
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail(error, "cannot rename '" + tmp + "' to '" + path + "'");
+    return false;
+  }
+  return true;
+}
+
+bool read_snapshot_file(const std::string& path, Snapshot* out,
+                        std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fail(error, "cannot open '" + path + "' for reading");
+    return false;
+  }
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  std::fclose(f);
+  return read_snapshot(data, out, error);
+}
+
+}  // namespace ermes::cache

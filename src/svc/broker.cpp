@@ -22,6 +22,7 @@
 #include "ordering/channel_ordering.h"
 #include "svc/render.h"
 #include "tmg/csr.h"
+#include "util/build_info.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 
@@ -63,10 +64,31 @@ struct Broker::Session {
 // The pool gets `workers` dedicated threads (ThreadPool counts the caller,
 // and the broker's callers — connection threads — never execute tasks).
 Broker::Broker(BrokerOptions options)
-    : options_(options), pool_(effective_workers(options.workers) + 1) {
+    : options_(std::move(options)),
+      cache_(16, options_.cache_bytes),
+      pool_(effective_workers(options_.workers) + 1) {
   sweep_solvers_.resize(pool_.jobs());
   for (auto& solver : sweep_solvers_) {
     solver = std::make_unique<tmg::CycleMeanSolver>();
+  }
+  if (!options_.cache_file.empty()) {
+    // A missing snapshot is the normal first launch — silent cold start. A
+    // present-but-rejected one (corrupt, truncated, or written by an
+    // incompatible format) is logged and the daemon starts cold; serving is
+    // never blocked by a bad cache file.
+    if (std::FILE* f = std::fopen(options_.cache_file.c_str(), "rb")) {
+      std::fclose(f);
+      std::string error;
+      if (cache_.load_snapshot(options_.cache_file, &error,
+                               &cache_restored_)) {
+        ERMES_LOG(kInfo) << "svc: restored " << cache_restored_
+                         << " cache entries from '" << options_.cache_file
+                         << "'";
+      } else {
+        ERMES_LOG(kWarn) << "svc: ignoring cache snapshot '"
+                         << options_.cache_file << "': " << error;
+      }
+    }
   }
 }
 
@@ -300,6 +322,9 @@ void Broker::execute(const Request& request, bool has_deadline,
           break;
         case Op::kCloseSession:
           result = run_close_session(request, &session_error, &session_code);
+          break;
+        case Op::kCacheSave:
+          result = run_cache_save(&session_error, &session_code);
           break;
       }
       if (!soc_error.empty()) {
@@ -776,6 +801,31 @@ JsonValue quantile_json(const obs::QuantileSnapshot& q) {
 
 }  // namespace
 
+bool Broker::save_cache(std::string* error) {
+  if (options_.cache_file.empty()) return true;
+  return cache_.save_snapshot(options_.cache_file, error);
+}
+
+JsonValue Broker::run_cache_save(std::string* error, ErrorCode* code) {
+  if (options_.cache_file.empty()) {
+    *error = "no --cache-file configured on this daemon";
+    *code = ErrorCode::kBadRequest;
+    return JsonValue();
+  }
+  std::string save_error;
+  if (!cache_.save_snapshot(options_.cache_file, &save_error)) {
+    // An I/O failure on a configured path is the daemon's problem, not the
+    // client's; surface it through the internal-error path.
+    throw std::runtime_error("cache_save: " + save_error);
+  }
+  JsonValue out = JsonValue::object();
+  out.set("path", JsonValue::string(options_.cache_file));
+  out.set("entries",
+          JsonValue::integer(static_cast<std::int64_t>(cache_.size())));
+  out.set("bytes", JsonValue::integer(cache_.bytes()));
+  return out;
+}
+
 JsonValue Broker::run_stats(int version) {
   const Stats s = stats();
   JsonValue broker = JsonValue::object();
@@ -817,14 +867,27 @@ JsonValue Broker::run_stats(int version) {
               JsonValue::integer(static_cast<std::int64_t>(shard.entries)));
       row.set("hits", JsonValue::integer(shard.hits));
       row.set("misses", JsonValue::integer(shard.misses));
+      row.set("bytes", JsonValue::integer(shard.bytes));
       shards.push_back(std::move(row));
     }
     cache.set("shards", std::move(shards));
     cache.set("window_hit_rate", JsonValue::number(cache_.window_hit_rate()));
+    // Capacity plane: tracked bytes vs the configured budget (0 =
+    // unbounded), eviction traffic, and warm-restore provenance.
+    cache.set("bytes", JsonValue::integer(cache_.bytes()));
+    cache.set("byte_budget", JsonValue::integer(cache_.byte_budget()));
+    cache.set("evictions", JsonValue::integer(cache_.evictions()));
+    cache.set("admission_rejects",
+              JsonValue::integer(cache_.admission_rejects()));
+    cache.set("restored",
+              JsonValue::integer(static_cast<std::int64_t>(cache_restored_)));
   }
 
   JsonValue out = JsonValue::object();
   out.set("protocol_version", JsonValue::integer(kProtocolVersion));
+  if (version >= 2) {
+    out.set("build", JsonValue::string(util::build_info()));
+  }
   out.set("broker", std::move(broker));
   out.set("cache", std::move(cache));
 
@@ -895,6 +958,19 @@ JsonValue Broker::run_metrics() {
     body += "ermes_cache_shard_misses_total{shard=\"" + std::to_string(i) +
             "\"} " + std::to_string(shards[i].misses) + "\n";
   }
+  body += "# TYPE ermes_cache_shard_bytes gauge\n";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    body += "ermes_cache_shard_bytes{shard=\"" + std::to_string(i) + "\"} " +
+            std::to_string(shards[i].bytes) + "\n";
+  }
+  body += "# TYPE ermes_cache_bytes gauge\n";
+  body += "ermes_cache_bytes " + std::to_string(cache_.bytes()) + "\n";
+  body += "# TYPE ermes_cache_byte_budget gauge\n";
+  body += "ermes_cache_byte_budget " + std::to_string(cache_.byte_budget()) +
+          "\n";
+  body += "# TYPE ermes_cache_evictions counter\n";
+  body += "ermes_cache_evictions_total " + std::to_string(cache_.evictions()) +
+          "\n";
   body += "# TYPE ermes_svc_window_rps gauge\n";
   body += "ermes_svc_window_rps " +
           obs::json_number(window_requests_.rate_per_sec()) + "\n";

@@ -92,6 +92,15 @@ struct BrokerOptions {
   /// Sink for slow-request NDJSON lines (one complete JSON object, no
   /// trailing newline). Unset = stderr. Injectable so tests capture lines.
   std::function<void(const std::string&)> slow_log_sink = {};
+  /// Byte budget for the shared eval cache (`ermes serve --cache-mb`).
+  /// 0 = unbounded (the historical behaviour).
+  std::int64_t cache_bytes = 0;
+  /// Snapshot path (`ermes serve --cache-file`): loaded at construction
+  /// when the file exists (a corrupt or incompatible file is logged and the
+  /// cache starts cold), written by save_cache() — which the server calls
+  /// on clean shutdown — and by the v2 `cache_save` op. Empty = no
+  /// persistence.
+  std::string cache_file;
 };
 
 class Broker {
@@ -127,6 +136,13 @@ class Broker {
 
   /// The process-wide warm cache shared across all requests.
   analysis::EvalCache& cache() { return cache_; }
+
+  /// Writes the cache snapshot to options().cache_file (no-op returning
+  /// true when no cache_file is configured). The server calls this after a
+  /// clean drain; the `cache_save` op calls it on demand.
+  bool save_cache(std::string* error);
+  /// Entries restored from the snapshot at construction (0 when none).
+  std::size_t cache_restored() const { return cache_restored_; }
 
   struct Stats {
     std::int64_t accepted = 0;
@@ -164,6 +180,7 @@ class Broker {
                       std::string* soc_error, bool* cancelled);
   JsonValue run_stats(int version);
   JsonValue run_metrics();
+  JsonValue run_cache_save(std::string* error, ErrorCode* code);
   // Session ops: on failure they set *error and *code (bad_request for
   // unknown/duplicate sessions and model errors, overloaded for a full
   // session table) and return null.
@@ -181,6 +198,7 @@ class Broker {
 
   BrokerOptions options_;
   analysis::EvalCache cache_;
+  std::size_t cache_restored_ = 0;  // snapshot entries admitted at startup
   exec::ThreadPool pool_;
 
   // One warm CSR solver per pool slot. Sweep requests always execute on a

@@ -25,6 +25,7 @@ const char* to_string(Op op) {
     case Op::kOpenSession: return "open_session";
     case Op::kPatch: return "patch";
     case Op::kCloseSession: return "close_session";
+    case Op::kCacheSave: return "cache_save";
   }
   return "?";
 }
@@ -41,6 +42,7 @@ bool parse_op(std::string_view name, Op* out) {
       {"open_session", Op::kOpenSession},
       {"patch", Op::kPatch},
       {"close_session", Op::kCloseSession},
+      {"cache_save", Op::kCacheSave},
   };
   for (const auto& entry : kOps) {
     if (entry.name == name) {
@@ -186,7 +188,8 @@ RequestParse parse_request(std::string_view line) {
     out.error = "unknown op '" + op->as_string() + "'";
     return out;
   }
-  if (is_session_op(out.request.op) && !v2) {
+  if ((is_session_op(out.request.op) || out.request.op == Op::kCacheSave) &&
+      !v2) {
     out.error = "op '" + std::string(to_string(out.request.op)) +
                 "' requires protocol v2 (send \"v\":2)";
     return out;

@@ -14,7 +14,8 @@
 //   v            optional int, 1 or 2 (absent = 1); responses echo it back
 //   id           optional string or integer, echoed verbatim (null if absent)
 //   op           required: analyze | order | explore | sweep | stats |
-//                metrics | shutdown | open_session | patch | close_session
+//                metrics | shutdown | open_session | patch | close_session |
+//                cache_save (v2)
 //   soc          model text (required for analyze/order/explore/sweep/
 //                open_session)
 //   tct          required positive integer for explore
@@ -100,6 +101,9 @@ enum class Op {
   kOpenSession,
   kPatch,
   kCloseSession,
+  // v2: persist the warm eval cache to the daemon's --cache-file now
+  // (in addition to the automatic save on clean shutdown).
+  kCacheSave,
 };
 
 const char* to_string(Op op);

@@ -1,0 +1,38 @@
+#include "util/build_info.h"
+
+#ifndef ERMES_VERSION_STRING
+#define ERMES_VERSION_STRING "0.0.0-dev"
+#endif
+
+namespace ermes::util {
+
+namespace {
+
+std::string describe_compiler() {
+#if defined(__clang_major__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown compiler";
+#endif
+}
+
+}  // namespace
+
+const std::string& build_version() {
+  static const std::string version = ERMES_VERSION_STRING;
+  return version;
+}
+
+const std::string& build_info() {
+  static const std::string info =
+      "ermes " + build_version() + " (" + describe_compiler() + ")";
+  return info;
+}
+
+}  // namespace ermes::util

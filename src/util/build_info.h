@@ -1,0 +1,18 @@
+#pragma once
+// Build identity of this binary: the project version (stamped by CMake) and
+// the compiler that produced it. Surfaced by `ermes --version`, the daemon's
+// v2 `stats` response, and the cache-snapshot header — the last so that a
+// snapshot written by a different build is diagnosable by name when its
+// format version is rejected.
+
+#include <string>
+
+namespace ermes::util {
+
+/// Project version, e.g. "1.0.0".
+const std::string& build_version();
+
+/// Version plus toolchain, e.g. "ermes 1.0.0 (gcc 13.2.0)".
+const std::string& build_info();
+
+}  // namespace ermes::util

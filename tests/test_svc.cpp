@@ -587,13 +587,16 @@ TEST(Broker, StatsV2IsAdditiveOverV1) {
       parse_response(broker.handle_line_sync(versioned_line("stats", 1)));
   ASSERT_TRUE(v1.success) << v1.error_message;
   for (const char* member : {"latency", "queue_wait", "ops", "window",
-                             "solver"}) {
+                             "solver", "build"}) {
     EXPECT_EQ(v1.result.find(member), nullptr) << member;
   }
   const JsonValue* v1_cache = v1.result.find("cache");
   ASSERT_NE(v1_cache, nullptr);
-  EXPECT_EQ(v1_cache->find("shards"), nullptr);
-  EXPECT_EQ(v1_cache->find("window_hit_rate"), nullptr);
+  for (const char* member : {"shards", "window_hit_rate", "bytes",
+                             "byte_budget", "evictions", "admission_rejects",
+                             "restored"}) {
+    EXPECT_EQ(v1_cache->find(member), nullptr) << member;
+  }
 
   // The same request at v2 carries the whole telemetry plane.
   const ResponseView v2 =
@@ -632,6 +635,17 @@ TEST(Broker, StatsV2IsAdditiveOverV1) {
   }
   // Per-shard counters fold up to the cache-wide totals.
   EXPECT_EQ(shard_misses, cache->find("misses")->as_int());
+  // Capacity plane (v2-only): bytes tracked, budget echoed (0 here —
+  // unbounded), eviction/restore counters, and the build identity.
+  ASSERT_NE(cache->find("bytes"), nullptr);
+  EXPECT_GT(cache->find("bytes")->as_int(), 0);
+  ASSERT_NE(cache->find("byte_budget"), nullptr);
+  EXPECT_EQ(cache->find("byte_budget")->as_int(), 0);
+  ASSERT_NE(cache->find("evictions"), nullptr);
+  ASSERT_NE(cache->find("restored"), nullptr);
+  const JsonValue* build = v2.result.find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_NE(build->as_string().find("ermes "), std::string::npos);
 }
 
 TEST(Broker, MetricsOpServesPrometheusTextAtEveryVersion) {

@@ -69,6 +69,7 @@
 #include "sysmodel/builder.h"
 #include "sysmodel/stats.h"
 #include "tmg/dot.h"
+#include "util/build_info.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -98,10 +99,11 @@ int usage() {
                "[--report]\n"
                "       serve:   ermes serve [--socket path | --port N] "
                "[--workers N] [--queue N] [--deadline-ms N] [--slow-ms N] "
-               "[--trace-sample N]\n"
+               "[--trace-sample N] [--cache-mb N] [--cache-file path]\n"
                "       request: ermes request (--socket path | --port N) "
-               "<analyze|order|explore|sweep|stats|metrics|shutdown> "
-               "[file.soc] [args] [--deadline-ms N] [--text] [--prom]\n"
+               "<analyze|order|explore|sweep|stats|metrics|cache_save|"
+               "shutdown> [file.soc] [args] [--deadline-ms N] [--text] "
+               "[--prom]\n"
                "       top:     ermes top (--socket path | --port N) "
                "[--interval-ms N] [--count N]\n");
   return kExitUsage;
@@ -648,6 +650,8 @@ struct EndpointOptions {
   std::int64_t trace_sample = 1;        // serve: span-sample every Nth request
   std::int64_t interval_ms = 1000;      // top: poll period
   std::int64_t count = 0;               // top: iterations (0 = until ^C)
+  std::int64_t cache_mb = 0;            // serve: eval-cache budget (0 = ∞)
+  std::string cache_file;               // serve: warm-restart snapshot path
   bool text = false;                    // request: print result.text, not JSON
   bool prom = false;                    // request metrics: print result.body
   std::vector<const char*> positional;
@@ -666,7 +670,9 @@ bool parse_endpoint_flags(int argc, char** argv, int first,
         std::strcmp(arg, "--slow-ms") == 0 ||
         std::strcmp(arg, "--trace-sample") == 0 ||
         std::strcmp(arg, "--interval-ms") == 0 ||
-        std::strcmp(arg, "--count") == 0;
+        std::strcmp(arg, "--count") == 0 ||
+        std::strcmp(arg, "--cache-mb") == 0 ||
+        std::strcmp(arg, "--cache-file") == 0;
     if (takes_value) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s needs a value\n", arg);
@@ -675,6 +681,10 @@ bool parse_endpoint_flags(int argc, char** argv, int first,
       const char* value = argv[++i];
       if (std::strcmp(arg, "--socket") == 0) {
         out.socket_path = value;
+        continue;
+      }
+      if (std::strcmp(arg, "--cache-file") == 0) {
+        out.cache_file = value;
         continue;
       }
       std::int64_t number = 0;
@@ -692,6 +702,7 @@ bool parse_endpoint_flags(int argc, char** argv, int first,
         out.trace_sample = number;
       else if (std::strcmp(arg, "--interval-ms") == 0) out.interval_ms = number;
       else if (std::strcmp(arg, "--count") == 0) out.count = number;
+      else if (std::strcmp(arg, "--cache-mb") == 0) out.cache_mb = number;
       else out.test_iter_delay_ms = number;
       continue;
     }
@@ -734,6 +745,9 @@ int cmd_serve(int argc, char** argv) {
   options.broker.test_iter_delay_ms = ep.test_iter_delay_ms;
   options.broker.slow_request_ms = ep.slow_ms;
   options.broker.trace_sample = std::max<std::int64_t>(1, ep.trace_sample);
+  options.broker.cache_bytes =
+      std::max<std::int64_t>(0, ep.cache_mb) * 1'000'000;
+  options.broker.cache_file = ep.cache_file;
   options.install_signal_handlers = true;
 
   svc::Server server(std::move(options));
@@ -747,8 +761,21 @@ int cmd_serve(int argc, char** argv) {
   } else {
     std::printf("listening on 127.0.0.1:%d\n", server.port());
   }
+  if (server.broker().cache_restored() > 0) {
+    std::printf("cache: restored %zu entries from %s\n",
+                server.broker().cache_restored(), ep.cache_file.c_str());
+  }
   std::fflush(stdout);  // readiness line must reach scripted clients now
   server.run();
+  // Clean shutdown: persist the warm cache so the next launch starts warm.
+  if (!server.broker().save_cache(&error)) {
+    std::fprintf(stderr, "error: cache save failed: %s\n", error.c_str());
+    return kExitFailure;
+  }
+  if (!ep.cache_file.empty()) {
+    std::printf("cache: saved %zu entries to %s\n",
+                server.broker().cache().size(), ep.cache_file.c_str());
+  }
   return kExitOk;
 }
 
@@ -901,10 +928,18 @@ int cmd_top(int argc, char** argv) {
                 number_at(r, "window", "cache_hit_rate"),
                 number_at(r, "broker", "waiting"),
                 number_at(r, "broker", "in_flight"));
+    const double budget_mb = number_at(r, "cache", "byte_budget") / 1e6;
+    const std::string budget_suffix =
+        budget_mb > 0.0
+            ? " / " + util::format_double(budget_mb, 1) + " MB"
+            : std::string();
     std::printf(
-        "\x1b[Krequests %.0f  completed %.0f  sessions %.0f  cache %.0f\n",
+        "\x1b[Krequests %.0f  completed %.0f  sessions %.0f  cache %.0f "
+        "(%.1f MB%s, evict %.0f)\n",
         number_at(r, "broker", "accepted"), number_at(r, "broker", "completed"),
-        number_at(r, "broker", "sessions"), number_at(r, "cache", "entries"));
+        number_at(r, "broker", "sessions"), number_at(r, "cache", "entries"),
+        number_at(r, "cache", "bytes") / 1e6, budget_suffix.c_str(),
+        number_at(r, "cache", "evictions"));
     std::fflush(stdout);
   }
   return kExitOk;
@@ -914,6 +949,10 @@ int cmd_top(int argc, char** argv) {
 int dispatch(int argc, char** argv, const GlobalOptions& global) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "--version" || cmd == "version") {
+    std::printf("%s\n", util::build_info().c_str());
+    return kExitOk;
+  }
   if (cmd == "demo") {
     std::printf("%s",
                 io::write_soc(sysmodel::make_dac14_motivating_example(),
