@@ -160,30 +160,51 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Serial baseline: warm weight installs + canonical solves, one per
-  // scenario. The compile is outside the timed loop for both engines.
-  tmg::CycleMeanSolver serial;
-  serial.prepare(w.graph);
-  serial.solve();
+  // Serial baseline vs. batch engine. The compile is outside the timed
+  // region for both. The smoke workload finishes in well under a
+  // millisecond per engine, so a single-shot measurement is at the mercy
+  // of scheduler noise — take the best of a few repetitions instead, with
+  // fresh solvers each time so the batch engine's replay memo starts cold
+  // every rep. Results are deterministic, so the bit-identity check just
+  // uses the last rep's outputs.
+  const int reps = smoke ? 5 : 1;
+  double serial_ms = 0.0;
+  double batch_ms = 0.0;
   std::vector<tmg::CycleRatioResult> serial_results;
-  serial_results.reserve(weight_sets.size());
-  util::Stopwatch sw;
-  for (const tmg::WeightVector& weights : weight_sets) {
-    for (std::int32_t a = 0; a < num_arcs; ++a) {
-      serial.set_arc_weight(a, weights[static_cast<std::size_t>(a)]);
+  std::vector<tmg::BatchSolveReport> reports;
+  tmg::CycleMeanSolver::Stats stats;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Serial baseline: warm weight installs + canonical solves, one per
+    // scenario.
+    tmg::CycleMeanSolver serial;
+    serial.prepare(w.graph);
+    serial.solve();
+    std::vector<tmg::CycleRatioResult> rep_serial_results;
+    rep_serial_results.reserve(weight_sets.size());
+    util::Stopwatch sw;
+    for (const tmg::WeightVector& weights : weight_sets) {
+      for (std::int32_t a = 0; a < num_arcs; ++a) {
+        serial.set_arc_weight(a, weights[static_cast<std::size_t>(a)]);
+      }
+      rep_serial_results.push_back(serial.solve());
     }
-    serial_results.push_back(serial.solve());
-  }
-  const double serial_ms = sw.elapsed_ms();
+    const double rep_serial_ms = sw.elapsed_ms();
 
-  // Batch engine: one solve_batch over the whole stream.
-  tmg::CycleMeanSolver batched;
-  batched.prepare(w.graph);
-  batched.solve();
-  std::vector<tmg::BatchSolveReport> reports(weight_sets.size());
-  sw.reset();
-  batched.solve_batch(weight_sets, reports);
-  const double batch_ms = sw.elapsed_ms();
+    // Batch engine: one solve_batch over the whole stream.
+    tmg::CycleMeanSolver batched;
+    batched.prepare(w.graph);
+    batched.solve();
+    std::vector<tmg::BatchSolveReport> rep_reports(weight_sets.size());
+    sw.reset();
+    batched.solve_batch(weight_sets, rep_reports);
+    const double rep_batch_ms = sw.elapsed_ms();
+
+    if (rep == 0 || rep_serial_ms < serial_ms) serial_ms = rep_serial_ms;
+    if (rep == 0 || rep_batch_ms < batch_ms) batch_ms = rep_batch_ms;
+    serial_results = std::move(rep_serial_results);
+    reports = std::move(rep_reports);
+    stats = batched.stats();
+  }
 
   int mismatches = 0;
   for (std::size_t s = 0; s < weight_sets.size(); ++s) {
@@ -195,7 +216,6 @@ int main(int argc, char** argv) {
   const double serial_ns = serial_ms * 1e6 / scenarios;
   const double batch_ns = batch_ms * 1e6 / scenarios;
   const double speedup = batch_ms > 0.0 ? serial_ms / batch_ms : 0.0;
-  const tmg::CycleMeanSolver::Stats& stats = batched.stats();
 
   util::Table table({"engine", "per scenario (us)", "speedup", "correct"});
   table.add_row({"serial (install + solve)",

@@ -1,5 +1,6 @@
 #include "analysis/eval_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -214,11 +215,24 @@ std::uint64_t fingerprint_mix(std::uint64_t h, std::uint64_t word) {
 // keeps every family's admission decision local to one ClockCache shard —
 // no cross-family coordination — while the family budgets sum to at most
 // the configured total, so the combined-bytes invariant holds trivially.
+// A positive total must never truncate a family share to 0 — that is
+// ClockCache's "unbounded" sentinel, which would invert the bound — so
+// degenerate budgets clamp to 1 byte (admit nothing) instead.
+namespace {
+std::int64_t family_share(std::int64_t total, std::int64_t share) {
+  return total > 0 ? std::max<std::int64_t>(1, share) : 0;
+}
+}  // namespace
+
 EvalCache::EvalCache(std::size_t num_shards, std::int64_t byte_budget)
     : byte_budget_(byte_budget < 0 ? 0 : byte_budget),
-      reports_(num_shards, byte_budget_ / 2, report_cost),
-      evals_(num_shards, byte_budget_ * 3 / 8, eval_cost),
-      aux_(num_shards, byte_budget_ - byte_budget_ / 2 - byte_budget_ * 3 / 8,
+      reports_(num_shards, family_share(byte_budget_, byte_budget_ / 2),
+               report_cost),
+      evals_(num_shards, family_share(byte_budget_, byte_budget_ * 3 / 8),
+             eval_cost),
+      aux_(num_shards,
+           family_share(byte_budget_, byte_budget_ - byte_budget_ / 2 -
+                                          byte_budget_ * 3 / 8),
            aux_cost) {}
 
 void EvalCache::record_hit(const char* counter) const {
@@ -340,9 +354,9 @@ std::vector<PerformanceReport> EvalCache::analyze_batch(
   obs::ObsSpan span("analysis.analyze_batch", "analysis");
 
   // Pass 1: fingerprint and probe every system once, in order. The first
-  // occurrence of a fingerprint resolves as the serial loop's first call
-  // would (hit or miss); later duplicates defer to pass 3, where — with the
-  // leader's report inserted — their probe hits, matching serial accounting.
+  // occurrence of a fingerprint (its "leader") resolves as the serial loop's
+  // first call would (hit or miss); later duplicates defer to pass 3, which
+  // copies the leader's report from out[] once it is computed.
   std::vector<std::uint64_t> fps(k);
   std::vector<char> resolved(k, 0);
   std::vector<std::size_t> misses;
@@ -425,12 +439,15 @@ std::vector<PerformanceReport> EvalCache::analyze_batch(
     g = end;
   }
 
-  // Pass 3: in-batch duplicates now hit the freshly inserted entries.
+  // Pass 3: in-batch duplicates copy their leader's report directly — the
+  // leader's insert() may have been refused by the byte budget (oversized
+  // entry, pinned shard) or its entry evicted by concurrent inserts, so the
+  // result must not depend on a cache round trip. The probe is still issued
+  // so hit/miss accounting matches what the serial loop would record.
   for (std::size_t i = 0; i < k; ++i) {
     if (resolved[i]) continue;
-    const bool hit = lookup(fps[i], &out[i]);
-    assert(hit && "EvalCache: duplicate system missed its leader's entry");
-    (void)hit;
+    lookup(fps[i], nullptr);
+    out[i] = out[first_seen.at(fps[i])];
   }
   return out;
 }

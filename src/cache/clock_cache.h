@@ -23,13 +23,18 @@
 // are immutable after insert (first write wins), which is what makes the
 // unlocked copy safe: unordered_map nodes are stable under rehash, nothing
 // ever writes a stored value again, and erasure is exactly what the pin
-// blocks.
+// blocks. The pin count is atomic so the unpin after the copy is lock-free
+// (one mutex acquisition per hit, not two): pins are only *taken* under the
+// shard lock, so an evictor that reads zero pins under that lock knows no
+// new reader can appear, and the release-fence on the unpin orders the
+// reader's copy before the evictor's erase.
 //
 // The core is deliberately free of domain knowledge and telemetry: the cost
 // function, key derivation, and obs mirroring belong to the caller (see
 // analysis/eval_cache.cpp). Snapshot/restore lives in cache/snapshot.h; this
 // header only exposes for_each() so owners can serialize their entries.
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -62,14 +67,18 @@ class ClockCache {
 
   /// `byte_budget` 0 = unbounded. The budget splits evenly across shards
   /// (each shard enforces budget/num_shards), so the cache-wide tracked
-  /// bytes can never exceed the budget.
+  /// bytes can never exceed the budget. A positive budget smaller than the
+  /// shard count clamps to 1 byte per shard — still effectively "admit
+  /// nothing", never silently unbounded (0 is the unbounded sentinel).
   ClockCache(std::size_t num_shards, std::int64_t byte_budget, CostFn cost)
       : cost_(std::move(cost)),
         byte_budget_(byte_budget < 0 ? 0 : byte_budget) {
     if (num_shards == 0) num_shards = 1;
     shard_budget_ =
-        byte_budget_ > 0 ? byte_budget_ / static_cast<std::int64_t>(num_shards)
-                         : 0;
+        byte_budget_ > 0
+            ? std::max<std::int64_t>(
+                  1, byte_budget_ / static_cast<std::int64_t>(num_shards))
+            : 0;
     shards_.reserve(num_shards);
     for (std::size_t i = 0; i < num_shards; ++i) {
       shards_.push_back(std::make_unique<Shard>());
@@ -79,7 +88,9 @@ class ClockCache {
   ClockCache& operator=(const ClockCache&) = delete;
 
   /// Copies the value into *out on a hit (sets the reference bit, counts a
-  /// shard hit). The copy happens outside the shard lock under a pin.
+  /// shard hit). The copy happens outside the shard lock under a pin; the
+  /// unpin is a lock-free atomic decrement, so a hit costs one mutex
+  /// acquisition.
   bool lookup(std::uint64_t key, V* out) {
     Shard& shard = shard_of(key);
     Entry* entry = nullptr;
@@ -92,14 +103,11 @@ class ClockCache {
       }
       entry = &it->second;
       entry->referenced = true;
-      ++entry->pins;
+      entry->pins.fetch_add(1, std::memory_order_relaxed);
       shard.hits.fetch_add(1, std::memory_order_relaxed);
     }
     if (out != nullptr) *out = entry->value;
-    {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      --entry->pins;
-    }
+    entry->pins.fetch_sub(1, std::memory_order_release);
     return true;
   }
 
@@ -130,7 +138,7 @@ class ClockCache {
         ++result.evicted;
       }
     }
-    const auto [it, fresh] = shard.map.emplace(key, Entry{value, cost});
+    const auto [it, fresh] = shard.map.try_emplace(key, value, cost);
     (void)fresh;
     it->second.ring_pos = shard.ring.size();
     shard.ring.push_back(key);
@@ -144,17 +152,13 @@ class ClockCache {
   class PinnedRef {
    public:
     PinnedRef() = default;
-    PinnedRef(PinnedRef&& other) noexcept
-        : shard_(other.shard_), entry_(other.entry_) {
-      other.shard_ = nullptr;
+    PinnedRef(PinnedRef&& other) noexcept : entry_(other.entry_) {
       other.entry_ = nullptr;
     }
     PinnedRef& operator=(PinnedRef&& other) noexcept {
       if (this != &other) {
         release();
-        shard_ = other.shard_;
         entry_ = other.entry_;
-        other.shard_ = nullptr;
         other.entry_ = nullptr;
       }
       return *this;
@@ -168,19 +172,14 @@ class ClockCache {
     }
     void release() {
       if (entry_ != nullptr) {
-        std::lock_guard<std::mutex> lock(shard_->mu);
-        --entry_->pins;
+        entry_->pins.fetch_sub(1, std::memory_order_release);
         entry_ = nullptr;
-        shard_ = nullptr;
       }
     }
 
    private:
     friend class ClockCache;
-    PinnedRef(typename ClockCache::Shard* shard,
-              typename ClockCache::Entry* entry)
-        : shard_(shard), entry_(entry) {}
-    typename ClockCache::Shard* shard_ = nullptr;
+    explicit PinnedRef(typename ClockCache::Entry* entry) : entry_(entry) {}
     typename ClockCache::Entry* entry_ = nullptr;
   };
 
@@ -195,9 +194,9 @@ class ClockCache {
       return PinnedRef();
     }
     it->second.referenced = true;
-    ++it->second.pins;
+    it->second.pins.fetch_add(1, std::memory_order_relaxed);
     shard.hits.fetch_add(1, std::memory_order_relaxed);
-    return PinnedRef(&shard, &it->second);
+    return PinnedRef(&it->second);
   }
 
   /// Drops every unpinned entry (pinned ones survive — a reader mid-copy is
@@ -208,7 +207,7 @@ class ClockCache {
       std::vector<std::uint64_t> keep;
       for (const std::uint64_t key : shard->ring) {
         auto& entry = shard->map.at(key);
-        if (entry.pins > 0) {
+        if (entry.pins.load(std::memory_order_acquire) > 0) {
           entry.ring_pos = keep.size();
           keep.push_back(key);
         } else {
@@ -291,11 +290,14 @@ class ClockCache {
 
  private:
   struct Entry {
+    Entry(const V& v, std::int64_t c) : value(v), cost(c) {}
     V value;
     std::int64_t cost = 0;
     std::size_t ring_pos = 0;
     bool referenced = true;  // set on insert and on every hit
-    std::int32_t pins = 0;
+    // Incremented only under the shard lock; decremented lock-free with
+    // release ordering (paired with the acquire load in evict_one/clear).
+    std::atomic<std::int32_t> pins{0};
   };
 
   struct Shard {
@@ -327,7 +329,7 @@ class ClockCache {
       if (shard.hand >= shard.ring.size()) shard.hand = 0;
       const std::uint64_t key = shard.ring[shard.hand];
       Entry& entry = shard.map.at(key);
-      if (entry.pins > 0) {
+      if (entry.pins.load(std::memory_order_acquire) > 0) {
         ++shard.hand;
         continue;
       }

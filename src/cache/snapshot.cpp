@@ -4,6 +4,11 @@
 #include <cstdio>
 #include <cstring>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace ermes::cache {
 
 namespace {
@@ -227,8 +232,16 @@ bool write_snapshot_file(const std::string& path, const Snapshot& snapshot,
     return false;
   }
   const std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
-  const bool flushed = std::fclose(f) == 0;
-  if (written != data.size() || !flushed) {
+  // Flush user-space buffers and force the bytes to stable storage before
+  // the rename: without the fsync, a power loss after the rename could
+  // leave an empty or partial file at `path` on some filesystems even
+  // though the rename itself was atomic.
+  bool synced = std::fflush(f) == 0;
+#ifndef _WIN32
+  if (synced) synced = ::fsync(::fileno(f)) == 0;
+#endif
+  const bool closed = std::fclose(f) == 0;
+  if (written != data.size() || !synced || !closed) {
     std::remove(tmp.c_str());
     fail(error, "short write to '" + tmp + "'");
     return false;
@@ -238,6 +251,18 @@ bool write_snapshot_file(const std::string& path, const Snapshot& snapshot,
     fail(error, "cannot rename '" + tmp + "' to '" + path + "'");
     return false;
   }
+#ifndef _WIN32
+  // Best-effort: persist the rename itself (the directory entry). Failure
+  // here does not invalidate the snapshot — the checksum rejects a torn
+  // file at load time and the daemon just starts cold.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
   return true;
 }
 
@@ -254,7 +279,14 @@ bool read_snapshot_file(const std::string& path, Snapshot* out,
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     data.append(buf, n);
   }
+  // fread returns 0 on both EOF and error; a mid-file I/O error must not be
+  // misreported as a truncated/corrupt snapshot.
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) {
+    fail(error, "I/O error reading '" + path + "'");
+    return false;
+  }
   return read_snapshot(data, out, error);
 }
 

@@ -115,8 +115,11 @@ std::string write_snapshot(const Snapshot& snapshot);
 bool read_snapshot(const std::string& buffer, Snapshot* out,
                    std::string* error);
 
-/// File variants. write_snapshot_file writes atomically (temp file + rename)
-/// so a crash mid-save never leaves a truncated snapshot at `path`.
+/// File variants. write_snapshot_file writes atomically against process
+/// crashes (temp file, fsync, rename) so a crash mid-save never leaves a
+/// truncated snapshot at `path`. Power-loss durability is best-effort (the
+/// directory fsync after the rename is not error-checked); a torn file is
+/// caught by the checksum at load time and the daemon starts cold.
 bool write_snapshot_file(const std::string& path, const Snapshot& snapshot,
                          std::string* error);
 bool read_snapshot_file(const std::string& path, Snapshot* out,
