@@ -1,0 +1,603 @@
+#include "net/event_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/log.h"
+
+namespace ermes::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// SIGPIPE hardening. Linux spells it MSG_NOSIGNAL per send; the BSDs spell
+// it SO_NOSIGPIPE per socket. Apply both spellings where available so a
+// peer that hung up yields EPIPE from send(), never a fatal signal.
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL | MSG_DONTWAIT;
+#else
+constexpr int kSendFlags = MSG_DONTWAIT;
+#endif
+
+void harden_sigpipe(int fd) {
+#if defined(SO_NOSIGPIPE)
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
+bool transient_accept_errno(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM;
+}
+
+}  // namespace
+
+// ---- Conn -------------------------------------------------------------------
+
+bool Conn::open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_flag_;
+}
+
+void Conn::send_line(const std::string& line) {
+  bool need_flush = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_flag_ || fd_ < 0) return;
+    if (!server_ ||
+        out_.size() - out_pos_ + line.size() + 1 >
+            server_->options_.max_output_bytes) {
+      // Slow consumer: the peer stopped reading while responses keep
+      // completing. Dropping the connection bounds daemon memory; the
+      // client sees a reset, exactly like a crashed peer.
+      open_flag_ = false;
+      if (!queued_flush_) queued_flush_ = need_flush = true;
+    } else {
+      out_.append(line);
+      out_.push_back('\n');
+      // Opportunistic drain straight from the caller's thread: in the
+      // common case (peer keeps up, nothing queued) the response hits the
+      // socket here and the shard loop never gets involved.
+      while (out_pos_ < out_.size()) {
+        const ssize_t n = ::send(fd_, out_.data() + out_pos_,
+                                 out_.size() - out_pos_, kSendFlags);
+        if (n > 0) {
+          out_pos_ += static_cast<std::size_t>(n);
+          if (obs::enabled()) obs::count("net.bytes_out", n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        open_flag_ = false;  // EPIPE/ECONNRESET: peer is gone
+        break;
+      }
+      if (out_pos_ >= out_.size()) {
+        out_.clear();
+        out_pos_ = 0;
+      }
+      const bool pending = open_flag_ && out_pos_ < out_.size();
+      const bool closing = !open_flag_ || (close_after_flush_ && !pending);
+      if ((pending || closing) && !queued_flush_) {
+        queued_flush_ = need_flush = true;
+      }
+    }
+  }
+  if (need_flush && server_) server_->request_flush(shard_, shared_from_this());
+}
+
+// ---- EventServer ------------------------------------------------------------
+
+EventServer::EventServer(EventServerOptions options, Callbacks callbacks)
+    : options_(std::move(options)), callbacks_(std::move(callbacks)) {}
+
+EventServer::~EventServer() {
+  request_stop();
+  shutdown(/*flush_grace_ms=*/1000);
+}
+
+bool EventServer::start(std::string* error) {
+  if (!bind_and_listen(error)) return false;
+
+  std::size_t shard_count = options_.shards;
+  if (shard_count == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    shard_count = std::clamp<std::size_t>(hw, 1, 8);
+  }
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>(options_.force_poll);
+    shard->index = i;
+    if (!shard->reactor.valid()) {
+      *error = "cannot create event loop (pipe)";
+      shards_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  // Register the instruments CI scrapes up front: a gauge that was never
+  // touched is invisible to /metrics, and "0 connections" must be
+  // distinguishable from "metric missing".
+  obs::Registry::global().gauge("connections");
+  obs::Registry::global().counter("accept_backoff");
+  obs::Registry::global().counter("net.accepted");
+  obs::Registry::global().counter("net.conns_rejected");
+
+  shards_[0]->reactor.add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+  if (options_.stop_fd >= 0) {
+    shards_[0]->reactor.add(options_.stop_fd, /*want_read=*/true,
+                            /*want_write=*/false);
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread = std::thread([this, i] { shard_loop(i); });
+  }
+  return true;
+}
+
+bool EventServer::bind_and_listen(std::string* error) {
+  if (!options_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      *error = "socket path too long";
+      return false;
+    }
+    ::strncpy(addr.sun_path, options_.socket_path.c_str(),
+              sizeof(addr.sun_path) - 1);
+    // A stale socket file from a dead daemon would make bind fail; probe it
+    // with a connect and remove it only when nobody answers. A socket that
+    // went through a failed connect is in an unspecified state, so the
+    // probe uses its own fd.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool served = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                                    sizeof(addr)) == 0;
+      ::close(probe);
+      if (served) {
+        *error = "socket " + options_.socket_path + " is already served";
+        return false;
+      }
+    }
+    ::unlink(options_.socket_path.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      *error = "cannot create unix socket";
+      return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      *error = "cannot bind " + options_.socket_path;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  } else {
+    if (options_.port < 0) {
+      *error = "no socket path and no port configured";
+      return false;
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      *error = "cannot create TCP socket";
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      *error = "cannot bind 127.0.0.1:" + std::to_string(options_.port);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+  set_nonblocking(listen_fd_);
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    *error = "listen failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void EventServer::wait_stop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_.load(); });
+}
+
+void EventServer::request_stop() {
+  if (stop_requested_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+  }
+  stop_cv_.notify_all();
+  for (const auto& shard : shards_) shard->reactor.wakeup();
+}
+
+void EventServer::shutdown(int flush_grace_ms) {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  request_stop();
+  drain_deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(flush_grace_ms);
+  draining_.store(true, std::memory_order_release);
+  for (const auto& shard : shards_) shard->reactor.wakeup();
+  for (const auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.socket_path.empty()) {
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+void EventServer::request_flush(std::size_t shard_index,
+                                const std::shared_ptr<Conn>& conn) {
+  Shard& shard = *shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.flush.push_back(conn);
+  }
+  shard.reactor.wakeup();
+}
+
+void EventServer::shard_loop(std::size_t index) {
+  Shard& shard = *shards_[index];
+  const bool is_acceptor = index == 0;
+  bool listening = is_acceptor;
+  const std::string loop_metric =
+      "net.shard" + std::to_string(index) + ".loop_ns";
+  std::vector<Reactor::Event> events;
+  std::vector<std::shared_ptr<Conn>> incoming;
+  std::vector<std::shared_ptr<Conn>> flushes;
+
+  while (!draining_.load(std::memory_order_acquire)) {
+    int timeout_ms = -1;
+    if (is_acceptor && accept_paused_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= accept_resume_) {
+        accept_paused_ = false;
+        if (listening) {
+          shard.reactor.modify(listen_fd_, /*want_read=*/true,
+                               /*want_write=*/false);
+        }
+        accept_ready(shard);
+      } else {
+        timeout_ms = std::max<int>(
+            1, static_cast<int>(
+                   std::chrono::duration_cast<std::chrono::milliseconds>(
+                       accept_resume_ - now)
+                       .count()));
+      }
+    }
+    const int n = shard.reactor.wait(&events, timeout_ms);
+    const auto busy_start = std::chrono::steady_clock::now();
+    if (n < 0) break;
+
+    if (listening && stop_requested_.load(std::memory_order_acquire)) {
+      shard.reactor.remove(listen_fd_);
+      listening = false;
+    }
+
+    // Mailbox: connections accepted for this shard, and flush requests from
+    // worker threads that enqueued responses.
+    incoming.clear();
+    flushes.clear();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      incoming.swap(shard.incoming);
+      flushes.swap(shard.flush);
+    }
+    for (const std::shared_ptr<Conn>& conn : incoming) {
+      int fd;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu_);
+        fd = conn->fd_;
+      }
+      if (fd < 0) continue;
+      shard.conns.emplace(fd, conn);
+      shard.reactor.add(fd, /*want_read=*/true, /*want_write=*/false);
+    }
+    for (const std::shared_ptr<Conn>& conn : flushes) {
+      flush_conn(shard, conn);
+    }
+
+    for (const Reactor::Event& ev : events) {
+      if (is_acceptor && ev.fd == listen_fd_) {
+        if (listening) accept_ready(shard);
+        continue;
+      }
+      if (is_acceptor && options_.stop_fd >= 0 && ev.fd == options_.stop_fd) {
+        // One read only: the fd may be blocking (the contract asks for a
+        // readable byte, not O_NONBLOCK), and a drain loop would wedge the
+        // acceptor shard once the pipe is empty. Leftover bytes re-trigger
+        // the level-triggered reactor; request_stop is idempotent.
+        char buf[64];
+        [[maybe_unused]] const ssize_t drained =
+            ::read(options_.stop_fd, buf, sizeof(buf));
+        request_stop();
+        continue;
+      }
+      const auto it = shard.conns.find(ev.fd);
+      if (it == shard.conns.end()) continue;
+      const std::shared_ptr<Conn> conn = it->second;
+      if (ev.writable) flush_conn(shard, conn);
+      if (ev.readable || ev.hangup) handle_readable(shard, conn);
+    }
+
+    if (obs::enabled()) {
+      obs::observe_quantile(
+          loop_metric, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - busy_start)
+                           .count());
+    }
+  }
+
+  // Drain mode: responses already enqueued (the owner drained its broker
+  // before calling shutdown()) still reach their peers, bounded by the
+  // grace deadline; then everything is closed.
+  while (!shard.conns.empty()) {
+    flushes.clear();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.incoming.clear();
+      flushes.swap(shard.flush);
+    }
+    (void)flushes;  // a final flush pass over every conn supersedes them
+    bool any_pending = false;
+    std::vector<std::shared_ptr<Conn>> finished;
+    for (const auto& [fd, conn] : shard.conns) {
+      std::unique_lock<std::mutex> lock(conn->mu_);
+      bool done = !conn->open_flag_;
+      while (!done && conn->out_pos_ < conn->out_.size()) {
+        const ssize_t n =
+            ::send(conn->fd_, conn->out_.data() + conn->out_pos_,
+                   conn->out_.size() - conn->out_pos_, kSendFlags);
+        if (n > 0) {
+          conn->out_pos_ += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        conn->open_flag_ = false;
+        done = true;
+      }
+      if (conn->out_pos_ >= conn->out_.size()) done = true;
+      if (done) {
+        finished.push_back(conn);
+      } else {
+        any_pending = true;
+        if (!conn->write_armed_) {
+          shard.reactor.modify(conn->fd_, /*want_read=*/false,
+                               /*want_write=*/true);
+          conn->write_armed_ = true;
+        }
+      }
+    }
+    for (const std::shared_ptr<Conn>& conn : finished) cleanup(shard, conn);
+    if (!any_pending) break;
+    if (std::chrono::steady_clock::now() >= drain_deadline_) break;
+    shard.reactor.wait(&events, 10);
+  }
+  while (!shard.conns.empty()) {
+    cleanup(shard, shard.conns.begin()->second);
+  }
+}
+
+void EventServer::accept_ready(Shard& shard) {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (transient_accept_errno(errno)) {
+        // fd exhaustion leaves the listen fd permanently readable; an
+        // immediate retry would busy-spin. Pause accept interest (shard 0
+        // keeps serving its connections) and resume after a short backoff,
+        // counted so operators can alert on it instead of guessing.
+        accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) obs::count("accept_backoff");
+        shard.reactor.modify(listen_fd_, /*want_read=*/false,
+                             /*want_write=*/false);
+        accept_paused_ = true;
+        accept_resume_ = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(50);
+        return;
+      }
+      ERMES_LOG(kError) << "net: accept failed (errno " << errno << ")";
+      return;
+    }
+    if (options_.max_conns != 0 && connections() >= options_.max_conns) {
+      rejected_total_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) obs::count("net.conns_rejected");
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    harden_sigpipe(fd);
+
+    auto conn = std::make_shared<Conn>();
+    conn->server_ = this;
+    conn->fd_ = fd;
+    const std::size_t target =
+        next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    conn->shard_ = target;
+    accepted_total_.fetch_add(1, std::memory_order_relaxed);
+    const auto total = total_conns_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (obs::enabled()) {
+      obs::count("net.accepted");
+      obs::gauge_set("connections", total);
+    }
+    if (target == 0) {
+      shard.conns.emplace(fd, std::move(conn));
+      shard.reactor.add(fd, /*want_read=*/true, /*want_write=*/false);
+    } else {
+      Shard& other = *shards_[target];
+      {
+        std::lock_guard<std::mutex> lock(other.mu);
+        other.incoming.push_back(std::move(conn));
+      }
+      other.reactor.wakeup();
+    }
+  }
+}
+
+void EventServer::handle_readable(Shard& shard,
+                                  const std::shared_ptr<Conn>& conn) {
+  if (conn->input_dead_) return;
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu_);
+    if (!conn->open_flag_ || conn->fd_ < 0) return;
+    fd = conn->fd_;
+  }
+  char chunk[64 * 1024];
+  // Burst cap: a firehose peer yields the loop back after ~1 MiB so its
+  // shard-mates are not starved (level-triggered epoll re-reports it).
+  for (int burst = 0; burst < 16; ++burst) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      cleanup(shard, conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      cleanup(shard, conn);
+      return;
+    }
+    if (obs::enabled()) obs::count("net.bytes_in", n);
+    conn->in_.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t newline = conn->in_.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = conn->in_.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (obs::enabled()) obs::count("net.lines");
+      if (callbacks_.on_line) callbacks_.on_line(conn, std::move(line));
+    }
+    conn->in_.erase(0, start);
+
+    if (conn->in_.size() > options_.max_line_bytes) {
+      // The stream cannot be resynchronized once a line exceeds the frame
+      // bound; the owner answers once, then the connection closes after
+      // that response flushes.
+      conn->input_dead_ = true;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu_);
+        conn->close_after_flush_ = true;
+      }
+      shard.reactor.modify(fd, /*want_read=*/false, /*want_write=*/false);
+      conn->in_.clear();
+      conn->in_.shrink_to_fit();
+      if (callbacks_.on_overflow) callbacks_.on_overflow(conn);
+      flush_conn(shard, conn);
+      return;
+    }
+    if (static_cast<std::size_t>(n) < sizeof(chunk)) return;
+  }
+}
+
+void EventServer::flush_conn(Shard& shard, const std::shared_ptr<Conn>& conn) {
+  bool do_cleanup = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu_);
+    conn->queued_flush_ = false;
+    if (!conn->open_flag_ || conn->fd_ < 0) {
+      do_cleanup = true;
+    } else {
+      while (conn->out_pos_ < conn->out_.size()) {
+        const ssize_t n =
+            ::send(conn->fd_, conn->out_.data() + conn->out_pos_,
+                   conn->out_.size() - conn->out_pos_, kSendFlags);
+        if (n > 0) {
+          conn->out_pos_ += static_cast<std::size_t>(n);
+          if (obs::enabled()) obs::count("net.bytes_out", n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        conn->open_flag_ = false;
+        do_cleanup = true;
+        break;
+      }
+      if (!do_cleanup) {
+        if (conn->out_pos_ >= conn->out_.size()) {
+          conn->out_.clear();
+          conn->out_pos_ = 0;
+          if (conn->close_after_flush_) {
+            do_cleanup = true;
+          } else if (conn->write_armed_) {
+            shard.reactor.modify(conn->fd_, /*want_read=*/!conn->input_dead_,
+                                 /*want_write=*/false);
+            conn->write_armed_ = false;
+          }
+        } else if (!conn->write_armed_) {
+          shard.reactor.modify(conn->fd_, /*want_read=*/!conn->input_dead_,
+                               /*want_write=*/true);
+          conn->write_armed_ = true;
+        }
+      }
+    }
+  }
+  if (do_cleanup) cleanup(shard, conn);
+}
+
+void EventServer::cleanup(Shard& shard, const std::shared_ptr<Conn>& conn) {
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu_);
+    fd = conn->fd_;
+    conn->fd_ = -1;
+    conn->open_flag_ = false;
+    conn->out_.clear();
+    conn->out_pos_ = 0;
+  }
+  if (fd < 0) return;
+  shard.reactor.remove(fd);
+  ::close(fd);
+  shard.conns.erase(fd);
+  const auto total = total_conns_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (obs::enabled()) obs::gauge_set("connections", total);
+}
+
+}  // namespace ermes::net

@@ -1,0 +1,234 @@
+#pragma once
+// Sharded event-loop socket server: thousands of idle connections at zero
+// thread cost.
+//
+// The previous serving architecture (svc/server.h before the rebase) ran
+// one blocking reader thread per connection: N clients cost N threads, N
+// stacks, and N scheduler entries even while idle, which capped BENCH_serve
+// around dozens of concurrent clients. EventServer replaces that with the
+// classic reactor shape:
+//
+//   * One listening socket (unix-domain path or TCP on 127.0.0.1), owned by
+//     shard 0, accepted non-blocking in a loop until EAGAIN.
+//   * N shards, each a Reactor (epoll, poll fallback) driven by one thread.
+//     An accepted connection is pinned to a shard round-robin and never
+//     migrates, so all of a connection's I/O is single-threaded and its
+//     input buffer needs no lock.
+//   * Per-connection state machines with bounded buffers: input is split
+//     into newline-framed lines (a line longer than max_line_bytes fires
+//     on_overflow — the owner answers once, then the connection is closed
+//     after the response flushes); output is a pending buffer drained by
+//     non-blocking writes, with EPOLLOUT armed only while a partial write
+//     is outstanding and a slow-consumer bound (max_output_bytes) that
+//     drops the connection instead of buffering without limit.
+//
+// Threading contract: on_line/on_overflow run on the owning shard's thread.
+// Conn::send_line may be called from ANY thread (the broker's pool workers
+// complete requests asynchronously): it opportunistically writes straight
+// to the socket when nothing is queued — the common case, no loop round
+// trip — and otherwise appends to the pending buffer and wakes the owning
+// shard to arm write interest. All sends use MSG_NOSIGNAL (SO_NOSIGPIPE
+// where that is the platform's spelling) so a dead peer surfaces as EPIPE,
+// never as a process-killing SIGPIPE.
+//
+// Accept robustness: fd exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) pauses
+// accepting for a short backoff window — counted on the
+// `accept_backoff` counter (Prometheus: ermes_accept_backoff_total), not
+// silently slept — without stalling shard 0's connection I/O; max_conns
+// caps concurrent connections, closing (and counting) the overflow.
+//
+// Observability: `connections` gauge (current open, ermes_connections),
+// `net.accepted` / `net.conns_rejected` / `accept_backoff` counters,
+// `net.bytes_in` / `net.bytes_out` / `net.lines`, and a per-shard
+// `net.shard<i>.loop_ns` quantile of event-loop busy time per iteration.
+//
+// Lifecycle: start() binds, listens, and spawns the shard threads (clients
+// are served from that moment). request_stop() (any thread; also wired to
+// stop_fd for signal handlers) stops accepting and unblocks wait_stop().
+// shutdown() flushes every connection's pending output (bounded by a grace
+// period), closes everything, and joins the shards. The owner sequences
+// its own drain between wait_stop() and shutdown() — responses enqueued
+// during that window are still flushed.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/reactor.h"
+
+namespace ermes::net {
+
+class EventServer;
+
+/// One accepted connection. Held by shared_ptr: the owning shard keeps one
+/// reference for the fd's lifetime, and every in-flight response callback
+/// keeps another — a response completing after disconnect degrades to a
+/// no-op instead of touching a recycled fd.
+class Conn : public std::enable_shared_from_this<Conn> {
+ public:
+  /// Queues one newline-framed line for the peer and returns immediately.
+  /// Thread-safe. When the pending buffer is empty the bytes go straight to
+  /// the socket (partial remainders are buffered and flushed by the owning
+  /// shard); a closed or slow-consumer-dropped connection swallows the line.
+  void send_line(const std::string& line);
+
+  /// False once the peer disconnected or the server dropped the connection.
+  bool open() const;
+
+ private:
+  friend class EventServer;
+
+  EventServer* server_ = nullptr;
+  std::size_t shard_ = 0;
+
+  // Guarded by mu_: everything a non-shard thread may touch.
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::string out_;            // pending output (framed lines)
+  std::size_t out_pos_ = 0;    // flushed prefix of out_
+  bool open_flag_ = true;
+  bool queued_flush_ = false;  // sitting in the shard's flush mailbox
+  bool write_armed_ = false;   // reactor watching EPOLLOUT (shard sets)
+  bool close_after_flush_ = false;
+
+  // Shard-thread only.
+  std::string in_;             // bytes past the last complete line
+  bool input_dead_ = false;    // overflow: stop reading, flush, close
+};
+
+struct EventServerOptions {
+  /// Unix-domain socket path. Takes precedence over `port` when non-empty.
+  std::string socket_path;
+  /// TCP port on 127.0.0.1 (0 = ephemeral, query with port()).
+  int port = -1;
+  /// Event-loop shards (threads). 0 = min(hardware_concurrency, 8).
+  std::size_t shards = 0;
+  /// Maximum concurrent connections; the overflow is accepted, counted on
+  /// net.conns_rejected, and closed immediately. 0 = unbounded.
+  std::size_t max_conns = 0;
+  /// Upper bound on one request line; longer input fires on_overflow and
+  /// the connection is closed after the (single) response flushes.
+  std::size_t max_line_bytes = 8u << 20;
+  /// Slow-consumer bound on pending output; beyond it the connection is
+  /// dropped (the alternative is unbounded daemon memory held hostage by a
+  /// peer that stopped reading).
+  std::size_t max_output_bytes = 64u << 20;
+  /// listen(2) backlog.
+  int listen_backlog = 1024;
+  /// Tests: force the poll backend even where epoll is available.
+  bool force_poll = false;
+  /// Optional read end of a self-pipe: one readable byte requests a stop
+  /// (how async-signal handlers reach the loop). Not owned; may be -1.
+  int stop_fd = -1;
+};
+
+class EventServer {
+ public:
+  struct Callbacks {
+    /// One complete line (newline stripped, CR trimmed, never empty).
+    /// Shard thread; respond via conn->send_line from any thread.
+    std::function<void(const std::shared_ptr<Conn>&, std::string&&)> on_line;
+    /// Input exceeded max_line_bytes. Send the one allowed response inside
+    /// the callback; the server then closes the connection after flush.
+    std::function<void(const std::shared_ptr<Conn>&)> on_overflow;
+  };
+
+  EventServer(EventServerOptions options, Callbacks callbacks);
+  ~EventServer();
+  EventServer(const EventServer&) = delete;
+  EventServer& operator=(const EventServer&) = delete;
+
+  /// Binds, listens, and spawns the shard threads. False + *error on
+  /// failure (nothing is spawned then).
+  bool start(std::string* error);
+
+  /// Blocks until request_stop(); connections keep being served meanwhile.
+  void wait_stop();
+
+  /// Stops accepting and unblocks wait_stop(). Any thread; idempotent.
+  void request_stop();
+
+  /// Final teardown: flushes pending output (bounded by flush_grace_ms),
+  /// closes every connection, joins the shard threads. Idempotent.
+  void shutdown(int flush_grace_ms = 5000);
+
+  int port() const { return bound_port_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Connections currently open across all shards.
+  std::size_t connections() const {
+    return static_cast<std::size_t>(
+        total_conns_.load(std::memory_order_relaxed));
+  }
+  /// Lifetime accept/reject/backoff counters (also mirrored into obs).
+  std::int64_t accepted_total() const {
+    return accepted_total_.load(std::memory_order_relaxed);
+  }
+  std::int64_t rejected_total() const {
+    return rejected_total_.load(std::memory_order_relaxed);
+  }
+  std::int64_t accept_backoffs() const {
+    return accept_backoffs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    Reactor reactor;
+    std::thread thread;
+    std::size_t index = 0;
+    // Mailbox (any thread -> shard): drained after every wakeup.
+    std::mutex mu;
+    std::vector<std::shared_ptr<Conn>> incoming;  // accepted, to register
+    std::vector<std::shared_ptr<Conn>> flush;     // need a flush/cleanup pass
+    // Shard-thread only: registered connections by fd.
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;
+
+    explicit Shard(bool force_poll) : reactor(force_poll) {}
+  };
+
+  friend class Conn;
+
+  bool bind_and_listen(std::string* error);
+  void shard_loop(std::size_t index);
+  void accept_ready(Shard& shard);
+  void handle_readable(Shard& shard, const std::shared_ptr<Conn>& conn);
+  /// Drains conn->out_ with non-blocking writes; arms/disarms EPOLLOUT;
+  /// closes when flushed with close_after_flush set. Shard thread.
+  void flush_conn(Shard& shard, const std::shared_ptr<Conn>& conn);
+  void cleanup(Shard& shard, const std::shared_ptr<Conn>& conn);
+  /// Mailbox post from any thread: schedule a flush/cleanup pass.
+  void request_flush(std::size_t shard, const std::shared_ptr<Conn>& conn);
+
+  EventServerOptions options_;
+  Callbacks callbacks_;
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> next_shard_{0};
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> draining_{false};  // shutdown(): flush-and-exit mode
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool shut_down_ = false;  // shutdown() ran (guarded by stop_mu_)
+
+  // Accept backpressure (shard 0 only touches the deadline).
+  std::chrono::steady_clock::time_point accept_resume_{};
+  bool accept_paused_ = false;
+
+  std::atomic<std::int64_t> total_conns_{0};
+  std::atomic<std::int64_t> accepted_total_{0};
+  std::atomic<std::int64_t> rejected_total_{0};
+  std::atomic<std::int64_t> accept_backoffs_{0};
+};
+
+}  // namespace ermes::net

@@ -1,0 +1,158 @@
+#include "net/reactor.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define ERMES_NET_HAVE_EPOLL 1
+#else
+#define ERMES_NET_HAVE_EPOLL 0
+#endif
+
+namespace ermes::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Reactor::Reactor(bool force_poll) {
+  if (::pipe(wake_pipe_) != 0) {
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+    return;
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+#if ERMES_NET_HAVE_EPOLL
+  if (!force_poll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ >= 0) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = wake_pipe_[0];
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev);
+    }
+  }
+#else
+  (void)force_poll;
+#endif
+  if (epoll_fd_ < 0) {
+    interest_[wake_pipe_[0]] = POLLIN;
+  }
+}
+
+Reactor::~Reactor() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  for (const int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void Reactor::add(int fd, bool want_read, bool want_write) {
+#if ERMES_NET_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    return;
+  }
+#endif
+  interest_[fd] = static_cast<short>((want_read ? POLLIN : 0) |
+                                     (want_write ? POLLOUT : 0));
+}
+
+void Reactor::modify(int fd, bool want_read, bool want_write) {
+#if ERMES_NET_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+    return;
+  }
+#endif
+  interest_[fd] = static_cast<short>((want_read ? POLLIN : 0) |
+                                     (want_write ? POLLOUT : 0));
+}
+
+void Reactor::remove(int fd) {
+#if ERMES_NET_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    return;
+  }
+#endif
+  interest_.erase(fd);
+}
+
+int Reactor::wait(std::vector<Event>* out, int timeout_ms) {
+  out->clear();
+  bool woke = false;
+#if ERMES_NET_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event events[256];
+    const int n = ::epoll_wait(epoll_fd_, events, 256, timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == wake_pipe_[0]) {
+        woke = true;
+        continue;
+      }
+      Event ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & EPOLLIN) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      out->push_back(ev);
+    }
+    if (woke) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    return static_cast<int>(out->size());
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, mask] : interest_) {
+    fds.push_back(pollfd{fd, mask, 0});
+  }
+  const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                       timeout_ms);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    if (p.fd == wake_pipe_[0]) {
+      woke = true;
+      continue;
+    }
+    Event ev;
+    ev.fd = p.fd;
+    ev.readable = (p.revents & POLLIN) != 0;
+    ev.writable = (p.revents & POLLOUT) != 0;
+    ev.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    out->push_back(ev);
+  }
+  if (woke) {
+    char buf[64];
+    while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+  return static_cast<int>(out->size());
+}
+
+void Reactor::wakeup() {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+}  // namespace ermes::net

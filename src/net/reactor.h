@@ -1,0 +1,72 @@
+#pragma once
+// Readiness reactor: one epoll instance (fallback: poll) plus a self-pipe
+// wakeup, the single-threaded core of an event-loop shard.
+//
+// A Reactor multiplexes many non-blocking fds onto one thread: register an
+// fd with the interest set you care about (read/write), call wait(), and
+// act on the readiness events it reports. Registration, modification, and
+// removal are owner-thread operations — exactly one thread (the shard loop)
+// drives a reactor — with one deliberate exception: wakeup() is safe from
+// any thread (and from nothing stronger than a signal handler's write())
+// and makes a concurrent or future wait() return immediately. That is the
+// only cross-thread entry point; everything else that must reach a shard
+// goes through a mailbox the shard drains after wakeup().
+//
+// The epoll backend is level-triggered, so a handler that does not consume
+// all readable bytes is re-notified on the next wait — no starvation
+// bookkeeping. The poll backend keeps an interest map and rebuilds the
+// pollfd array per wait; it exists for portability and is selected
+// automatically when epoll_create1 is unavailable (or explicitly, for
+// tests, via force_poll).
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace ermes::net {
+
+class Reactor {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Peer hung up or the fd errored; treat as readable (the following
+    /// recv() reports the precise condition) if read interest is armed.
+    bool hangup = false;
+  };
+
+  /// Creates the backing epoll instance (or the poll fallback when epoll is
+  /// unavailable or `force_poll` is set) and the wakeup self-pipe. valid()
+  /// is false only when the pipe itself could not be created.
+  explicit Reactor(bool force_poll = false);
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  bool valid() const { return wake_pipe_[0] >= 0; }
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+  /// Registers `fd` with the given interest set. Owner thread only.
+  void add(int fd, bool want_read, bool want_write);
+  /// Replaces the interest set of a registered fd. Owner thread only.
+  void modify(int fd, bool want_read, bool want_write);
+  /// Deregisters a fd (before closing it). Owner thread only.
+  void remove(int fd);
+
+  /// Blocks up to timeout_ms (-1 = indefinitely) and fills *out with ready
+  /// fds (the internal wakeup pipe is consumed, never reported). Returns
+  /// the number of events, 0 on timeout or wakeup, -1 on a non-EINTR error.
+  int wait(std::vector<Event>* out, int timeout_ms);
+
+  /// Makes wait() return. Any thread; async-signal-safe.
+  void wakeup();
+
+ private:
+  int epoll_fd_ = -1;          // -1 = poll fallback
+  int wake_pipe_[2] = {-1, -1};
+  // Poll fallback: fd -> interest (POLLIN/POLLOUT bits), rebuilt per wait.
+  std::unordered_map<int, short> interest_;
+};
+
+}  // namespace ermes::net

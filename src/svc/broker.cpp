@@ -48,6 +48,16 @@ io::ParseResult parse_model(const Request& request) {
 // practice wrap to a deadline in the past, failing the request instantly.
 constexpr std::int64_t kMaxDeadlineMs = 86'400'000;
 
+// FNV-1a over a byte string, for folding model text into a coalesce key.
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
 // One open incremental session: an analyzer plus the mutex serializing the
@@ -90,11 +100,42 @@ Broker::Broker(BrokerOptions options)
       }
     }
   }
+  // Register the serving counters CI and dashboards scrape even before the
+  // first coalesce/batch happens — a missing series is indistinguishable
+  // from a scrape bug, a zero is not.
+  obs::Registry::global().counter("coalesced");
+  obs::Registry::global().counter("batched");
+  saved_misses_ = cache_.misses();
+  if (options_.cache_save_secs > 0 && !options_.cache_file.empty()) {
+    saver_ = std::thread([this] { saver_loop(); });
+  }
 }
 
 Broker::~Broker() {
+  {
+    std::lock_guard<std::mutex> lock(saver_mu_);
+    saver_stop_ = true;
+  }
+  saver_cv_.notify_all();
+  if (saver_.joinable()) saver_.join();
   begin_drain();
   drain();
+}
+
+void Broker::saver_loop() {
+  std::unique_lock<std::mutex> lock(saver_mu_);
+  for (;;) {
+    saver_cv_.wait_for(lock, std::chrono::seconds(options_.cache_save_secs),
+                       [this] { return saver_stop_; });
+    if (saver_stop_) return;
+    lock.unlock();
+    std::string error;
+    // save_cache() holds save_mu_ and skips idle intervals itself.
+    if (!save_cache(&error)) {
+      ERMES_LOG(kWarn) << "svc: background cache save failed: " << error;
+    }
+    lock.lock();
+  }
 }
 
 void Broker::set_drain_callback(std::function<void()> callback) {
@@ -146,11 +187,131 @@ Broker::Stats Broker::stats() const {
   s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
   s.waiting = waiting_.load(std::memory_order_relaxed);
   s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.batched = batched_.load(std::memory_order_relaxed);
+  s.cache_saves = cache_saves_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     s.sessions = static_cast<std::int64_t>(sessions_.size());
   }
   return s;
+}
+
+std::uint64_t Broker::coalesce_key(const Request& request) {
+  switch (request.op) {
+    case Op::kAnalyze:
+    case Op::kOrder:
+    case Op::kExplore:
+    case Op::kSweep:
+      break;  // pure: the outcome is a function of (op, model, params)
+    default:
+      return 0;  // stats/metrics/sessions/shutdown must execute individually
+  }
+  std::uint64_t h = analysis::fingerprint_mix(
+      0x9e3779b97f4a7c15ull, static_cast<std::uint64_t>(request.op));
+  h = analysis::fingerprint_mix(h, request.hier ? 1 : 0);
+  h = analysis::fingerprint_mix(h, static_cast<std::uint64_t>(request.tct));
+  h = analysis::fingerprint_mix(h, static_cast<std::uint64_t>(request.lo));
+  h = analysis::fingerprint_mix(h, static_cast<std::uint64_t>(request.hi));
+  h = analysis::fingerprint_mix(h, static_cast<std::uint64_t>(request.step));
+  // The deadline is part of the key: a follower with a laxer deadline must
+  // not inherit a tight leader's deadline_exceeded.
+  h = analysis::fingerprint_mix(
+      h, static_cast<std::uint64_t>(request.deadline_ms));
+  h = analysis::fingerprint_mix(h, fnv1a(request.soc));
+  return h == 0 ? 1 : h;  // 0 is the "not coalescable" sentinel
+}
+
+std::vector<Broker::Waiter> Broker::detach_followers(
+    std::uint64_t key, const std::shared_ptr<CoalesceEntry>& entry) {
+  std::vector<Waiter> followers;
+  if (entry == nullptr) return followers;
+  std::lock_guard<std::mutex> lock(coalesce_mu_);
+  followers = std::move(entry->followers);
+  coalesce_.erase(key);
+  return followers;
+}
+
+void Broker::fan_out(std::vector<Waiter> followers, const Outcome& outcome) {
+  for (Waiter& waiter : followers) {
+    // Re-encode the shared outcome under the follower's own wire identity;
+    // errors (bad model, deadline, internal) propagate exactly like results.
+    std::string response =
+        outcome.ok ? encode_ok(waiter.id, outcome.result, waiter.version)
+                   : encode_error(waiter.id, outcome.code, outcome.message,
+                                  waiter.version);
+    waiter.done(std::move(response));
+    finish_one();
+  }
+}
+
+void Broker::drain_analyze_queue() {
+  std::vector<PendingAnalyze> batch;
+  {
+    std::lock_guard<std::mutex> lock(analyze_mu_);
+    const std::size_t take = std::min<std::size_t>(
+        analyze_queue_.size(), std::max<std::size_t>(options_.analyze_batch_max,
+                                                     1));
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(analyze_queue_.front()));
+      analyze_queue_.pop_front();
+    }
+  }
+  if (batch.empty()) return;  // a sibling drain task took our request
+
+  if (batch.size() > 1) {
+    // Cross-request batch staging: parse every (not-yet-expired) model and
+    // push their misses through one EvalCache::analyze_batch — internally
+    // one CycleMeanSolver::solve_batch per shared CSR structure. Each
+    // request below then answers from the memo, bit-identical to a serial
+    // run by cache purity; this stage only changes how the misses are paid.
+    std::vector<io::ParseResult> parsed(batch.size());
+    std::vector<const sysmodel::SystemModel*> systems;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const PendingAnalyze& pending = batch[i];
+      if (pending.has_deadline && Clock::now() >= pending.deadline) continue;
+      parsed[i] = parse_model(pending.request);
+      if (parsed[i].ok) systems.push_back(&parsed[i].system);
+    }
+    if (systems.size() > 1) {
+      std::size_t slot = exec::current_worker_slot();
+      if (slot >= sweep_solvers_.size()) slot = 0;
+      cache_.analyze_batch(systems, sweep_solvers_[slot].get());
+      batched_.fetch_add(static_cast<std::int64_t>(systems.size()),
+                         std::memory_order_relaxed);
+      obs::count("batched", static_cast<std::int64_t>(systems.size()));
+    }
+  }
+
+  for (PendingAnalyze& pending : batch) {
+    const std::int64_t now_waiting =
+        waiting_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    obs::gauge_set("svc.queue.waiting", now_waiting);
+    const std::int64_t queue_wait_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - pending.admitted)
+            .count();
+    Outcome outcome;
+    if (pending.entry == nullptr) {
+      execute(pending.request, pending.has_deadline, pending.deadline,
+              queue_wait_ns, pending.done, nullptr);
+    } else {
+      // Detach followers before the leader's response leaves the broker —
+      // a client that has seen the reply may immediately resubmit, and that
+      // request must become a fresh leader, not attach to a finished solve.
+      execute(pending.request, pending.has_deadline, pending.deadline,
+              queue_wait_ns,
+              [&](std::string response) {
+                std::vector<Waiter> followers =
+                    detach_followers(pending.key, pending.entry);
+                pending.done(std::move(response));
+                fan_out(std::move(followers), outcome);
+              },
+              &outcome);
+    }
+    finish_one();
+  }
 }
 
 void Broker::handle_line(const std::string& line, DoneFn done) {
@@ -180,6 +341,23 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
     return;
   }
 
+  // Coalesce-attach: an identical request already in flight answers this
+  // one too. The follower keeps only its in_flight_ slot (released by the
+  // fan-out) — no queue slot, no pool task, no second solve.
+  const std::uint64_t key = coalesce_key(parsed.request);
+  if (key != 0) {
+    std::lock_guard<std::mutex> lock(coalesce_mu_);
+    const auto it = coalesce_.find(key);
+    if (it != coalesce_.end()) {
+      it->second->followers.push_back(Waiter{id, version, std::move(done)});
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      obs::count("svc.requests.accepted");
+      obs::count("coalesced");
+      return;
+    }
+  }
+
   // Bounded admission with backpressure: beyond queue_depth waiting
   // requests, reject immediately instead of queueing (the caller never
   // blocks on a full queue).
@@ -201,6 +379,28 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
   accepted_.fetch_add(1, std::memory_order_relaxed);
   obs::count("svc.requests.accepted");
 
+  // Publish the coalesce entry only now that admission succeeded — an entry
+  // installed before the queue-depth check could collect followers onto a
+  // leader that then gets rejected. If another leader won the install race
+  // in the window since the find() above, become its follower after all.
+  std::shared_ptr<CoalesceEntry> entry;
+  if (key != 0) {
+    std::lock_guard<std::mutex> lock(coalesce_mu_);
+    const auto [it, inserted] =
+        coalesce_.try_emplace(key, std::make_shared<CoalesceEntry>());
+    if (inserted) {
+      entry = it->second;
+    } else {
+      it->second->followers.push_back(Waiter{id, version, std::move(done)});
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      obs::count("coalesced");
+      const std::int64_t rolled_back =
+          waiting_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      obs::gauge_set("svc.queue.waiting", rolled_back);
+      return;
+    }
+  }
+
   std::int64_t deadline_ms = parsed.request.deadline_ms > 0
                                  ? parsed.request.deadline_ms
                                  : options_.default_deadline_ms;
@@ -208,10 +408,24 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
   const bool has_deadline = deadline_ms > 0;
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(has_deadline ? deadline_ms : 0);
-
   const Clock::time_point admitted = Clock::now();
+
+  // Analyze requests park in the batch queue; one drain task per enqueue
+  // keeps the pool self-balancing (an idle pool answers each alone, a
+  // backlog forms real solve_batch groups).
+  if (parsed.request.op == Op::kAnalyze) {
+    {
+      std::lock_guard<std::mutex> lock(analyze_mu_);
+      analyze_queue_.push_back(PendingAnalyze{
+          std::move(parsed.request), has_deadline, deadline, admitted,
+          std::move(done), key, entry});
+    }
+    pool_.submit([this] { drain_analyze_queue(); });
+    return;
+  }
+
   pool_.submit([this, request = std::move(parsed.request), has_deadline,
-                deadline, admitted, done = std::move(done)] {
+                deadline, admitted, done = std::move(done), key, entry] {
     const std::int64_t now_waiting =
         waiting_.fetch_sub(1, std::memory_order_acq_rel) - 1;
     obs::gauge_set("svc.queue.waiting", now_waiting);
@@ -219,7 +433,20 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                              admitted)
             .count();
-    execute(request, has_deadline, deadline, queue_wait_ns, done);
+    Outcome outcome;
+    if (entry == nullptr) {
+      execute(request, has_deadline, deadline, queue_wait_ns, done, nullptr);
+    } else {
+      // Same ordering contract as drain_analyze_queue: erase the coalesce
+      // entry before the leader's response is visible to its client.
+      execute(request, has_deadline, deadline, queue_wait_ns,
+              [&](std::string response) {
+                std::vector<Waiter> followers = detach_followers(key, entry);
+                done(std::move(response));
+                fan_out(std::move(followers), outcome);
+              },
+              &outcome);
+    }
     finish_one();
   });
 }
@@ -244,8 +471,14 @@ std::string Broker::handle_line_sync(const std::string& line) {
 
 void Broker::execute(const Request& request, bool has_deadline,
                      Clock::time_point deadline, std::int64_t queue_wait_ns,
-                     const DoneFn& done) {
+                     const DoneFn& done, Outcome* outcome) {
   util::Stopwatch sw;
+  if (options_.test_exec_delay_ms > 0) {
+    // Test hook: hold the leader in flight so identical requests pile onto
+    // its coalesce entry (and analyze backlogs form) deterministically.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.test_exec_delay_ms));
+  }
 
   // Request-scoped telemetry: everything below (parse, cache probes, solves,
   // rendering) attributes its time to this context through thread-local
@@ -277,14 +510,24 @@ void Broker::execute(const Request& request, bool has_deadline,
     return has_deadline && Clock::now() >= deadline;
   };
 
+  // Captures the op-level outcome for coalesce fan-out alongside encoding
+  // the leader's own response line.
+  const auto fail = [&](ErrorCode code, std::string message) {
+    if (outcome != nullptr) {
+      outcome->ok = false;
+      outcome->code = code;
+      outcome->message = message;
+    }
+    return encode_error(request.id, code, message, request.version);
+  };
+
   std::string response;
   try {
     if (has_deadline && Clock::now() >= deadline) {
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       obs::count("svc.requests.deadline_exceeded");
-      response = encode_error(request.id, ErrorCode::kDeadlineExceeded,
-                              "deadline expired before execution started",
-                              request.version);
+      response = fail(ErrorCode::kDeadlineExceeded,
+                      "deadline expired before execution started");
     } else {
       std::string soc_error;
       std::string session_error;
@@ -330,8 +573,7 @@ void Broker::execute(const Request& request, bool has_deadline,
       if (!soc_error.empty()) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
         obs::count("svc.requests.bad_request");
-        response = encode_error(request.id, ErrorCode::kBadRequest,
-                                "soc: " + soc_error, request.version);
+        response = fail(ErrorCode::kBadRequest, "soc: " + soc_error);
       } else if (!session_error.empty()) {
         if (session_code == ErrorCode::kOverloaded) {
           rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
@@ -340,16 +582,18 @@ void Broker::execute(const Request& request, bool has_deadline,
           bad_requests_.fetch_add(1, std::memory_order_relaxed);
           obs::count("svc.requests.bad_request");
         }
-        response = encode_error(request.id, session_code, session_error,
-                                request.version);
+        response = fail(session_code, session_error);
       } else if (cancelled) {
         deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
         obs::count("svc.requests.deadline_exceeded");
-        response = encode_error(request.id, ErrorCode::kDeadlineExceeded,
-                                "deadline exceeded during exploration",
-                                request.version);
+        response = fail(ErrorCode::kDeadlineExceeded,
+                        "deadline exceeded during exploration");
       } else {
         obs::StageTimer render_timer(obs::Stage::kRender);
+        if (outcome != nullptr) {
+          outcome->ok = true;
+          outcome->result = result;  // copy: fan-out re-encodes per follower
+        }
         response = encode_ok(request.id, std::move(result), request.version);
       }
     }
@@ -357,13 +601,11 @@ void Broker::execute(const Request& request, bool has_deadline,
     internal_errors_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.requests.internal_error");
     ERMES_LOG(kError) << "svc: request handler threw: " << e.what();
-    response = encode_error(request.id, ErrorCode::kInternal, e.what(),
-                            request.version);
+    response = fail(ErrorCode::kInternal, e.what());
   } catch (...) {
     internal_errors_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.requests.internal_error");
-    response = encode_error(request.id, ErrorCode::kInternal,
-                            "unexpected exception", request.version);
+    response = fail(ErrorCode::kInternal, "unexpected exception");
   }
 
   const std::int64_t elapsed_ns = sw.elapsed_ns();
@@ -803,7 +1045,16 @@ JsonValue quantile_json(const obs::QuantileSnapshot& q) {
 
 bool Broker::save_cache(std::string* error) {
   if (options_.cache_file.empty()) return true;
-  return cache_.save_snapshot(options_.cache_file, error);
+  // The snapshot writer stages through one fixed tmp path, so every save
+  // path (background saver, shutdown save, cache_save op) serializes here.
+  std::lock_guard<std::mutex> lock(save_mu_);
+  const std::int64_t misses = cache_.misses();
+  if (misses == saved_misses_) return true;  // nothing inserted since last save
+  if (!cache_.save_snapshot(options_.cache_file, error)) return false;
+  saved_misses_ = misses;
+  cache_saves_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("svc.cache.saves");
+  return true;
 }
 
 JsonValue Broker::run_cache_save(std::string* error, ErrorCode* code) {
@@ -813,7 +1064,15 @@ JsonValue Broker::run_cache_save(std::string* error, ErrorCode* code) {
     return JsonValue();
   }
   std::string save_error;
-  if (!cache_.save_snapshot(options_.cache_file, &save_error)) {
+  bool saved;
+  {
+    // An explicit request always writes (the client may want the file's
+    // mtime refreshed), unlike the idle-skipping periodic save.
+    std::lock_guard<std::mutex> lock(save_mu_);
+    saved = cache_.save_snapshot(options_.cache_file, &save_error);
+    if (saved) saved_misses_ = cache_.misses();
+  }
+  if (!saved) {
     // An I/O failure on a configured path is the daemon's problem, not the
     // client's; surface it through the internal-error path.
     throw std::runtime_error("cache_save: " + save_error);
@@ -846,6 +1105,13 @@ JsonValue Broker::run_stats(int version) {
                  static_cast<std::int64_t>(options_.queue_depth)));
   broker.set("workers",
              JsonValue::integer(static_cast<std::int64_t>(pool_.jobs() - 1)));
+  // v2-only members: the v1 broker body stays byte-identical for clients
+  // that snapshot or diff it.
+  if (version >= 2) {
+    broker.set("coalesced", JsonValue::integer(s.coalesced));
+    broker.set("batched", JsonValue::integer(s.batched));
+    broker.set("cache_saves", JsonValue::integer(s.cache_saves));
+  }
 
   JsonValue cache = JsonValue::object();
   cache.set("hits", JsonValue::integer(cache_.hits()));

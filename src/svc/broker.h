@@ -21,6 +21,19 @@
 //     requests: repeat targets (the DSE exploration-pressure workload) hit
 //     the memo across connections, which is the entire point of running
 //     ERMES as a daemon rather than a cold CLI process per evaluation.
+//   * Request coalescing: an admitted pure request (analyze/order/explore/
+//     sweep) publishes its coalesce key — a 64-bit mix of op, model text,
+//     and parameters — while in flight; identical requests arriving
+//     meanwhile attach as followers instead of consuming a queue slot and a
+//     worker, and the leader fans its outcome (success or error alike) out
+//     to each under the follower's own wire id. A thundering herd asking
+//     one question costs one solve.
+//   * Cross-request batching: admitted analyze requests park briefly in a
+//     drain queue; the worker that picks them up stages every distinct
+//     model of the backlog through one EvalCache::analyze_batch call (one
+//     CycleMeanSolver::solve_batch per shared CSR structure), then answers
+//     each request from the memo — bit-identical to serial execution by
+//     cache purity, but paying one structure compile for the whole batch.
 //   * Drain: begin_drain() atomically flips admission off (subsequent
 //     requests get `shutting_down`); drain() blocks until the in-flight set
 //     is empty. The `shutdown` op responds, then begins the drain.
@@ -50,11 +63,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/eval_cache.h"
@@ -101,6 +117,20 @@ struct BrokerOptions {
   /// on clean shutdown — and by the v2 `cache_save` op. Empty = no
   /// persistence.
   std::string cache_file;
+  /// Background snapshot interval (`ermes serve --cache-save-secs`): when
+  /// > 0 and cache_file is set, a saver thread writes the snapshot every N
+  /// seconds through the same atomic tmp+rename writer — skipping intervals
+  /// in which nothing new was inserted. 0 (the default) = save only on
+  /// clean shutdown and explicit `cache_save` requests.
+  std::int64_t cache_save_secs = 0;
+  /// Upper bound on analyze requests drained into one cross-request
+  /// solve_batch staging pass (see handle_line). Bounded so one worker
+  /// never serializes an arbitrarily long backlog.
+  std::size_t analyze_batch_max = 16;
+  /// Test hook: sleep this long at the start of every request execution so
+  /// concurrent identical requests deterministically pile onto an in-flight
+  /// leader (coalescing tests) and analyze backlogs form (batching tests).
+  std::int64_t test_exec_delay_ms = 0;
 };
 
 class Broker {
@@ -155,6 +185,9 @@ class Broker {
     std::int64_t waiting = 0;    // admitted, not yet executing
     std::int64_t in_flight = 0;  // admitted, not yet responded
     std::int64_t sessions = 0;   // open incremental sessions
+    std::int64_t coalesced = 0;  // requests answered from another's solve
+    std::int64_t batched = 0;    // analyze requests staged via solve_batch
+    std::int64_t cache_saves = 0;  // background snapshot writes
   };
   Stats stats() const;
 
@@ -163,12 +196,69 @@ class Broker {
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// Op-level outcome of one executed request, captured before id/version
+  /// encoding so a coalesced leader can fan the same result (or the same
+  /// error) out to every attached follower under the follower's own id.
+  struct Outcome {
+    bool ok = false;
+    JsonValue result;                          // when ok
+    ErrorCode code = ErrorCode::kInternal;     // when !ok
+    std::string message;                       // when !ok
+  };
+
+  /// One follower attached to an in-flight identical request.
+  struct Waiter {
+    JsonValue id;
+    int version = kProtocolVersion;
+    DoneFn done;
+  };
+  struct CoalesceEntry {
+    std::vector<Waiter> followers;
+  };
+
+  /// An admitted analyze request parked for cross-request batch staging.
+  struct PendingAnalyze {
+    Request request;
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    Clock::time_point admitted{};
+    DoneFn done;
+    std::uint64_t key = 0;                  // coalesce key (0 = none)
+    std::shared_ptr<CoalesceEntry> entry;   // leader's fan-out entry
+  };
+
   /// Executes an admitted request (worker thread) and emits the response.
   /// `queue_wait_ns` is the admission -> execution-start delay, attributed
-  /// to the request's queue_wait stage.
+  /// to the request's queue_wait stage. When `outcome` is non-null it is
+  /// filled on every path (success, error, exception) for coalesce fan-out.
   void execute(const Request& request, bool has_deadline,
                Clock::time_point deadline, std::int64_t queue_wait_ns,
-               const DoneFn& done);
+               const DoneFn& done, Outcome* outcome = nullptr);
+
+  /// Coalesce key of a request: 64-bit mix of op + model text + parameters
+  /// for the pure ops (analyze/order/explore/sweep); 0 for everything else
+  /// (stats, sessions, shutdown, ... must execute individually).
+  static std::uint64_t coalesce_key(const Request& request);
+
+  /// Atomically removes the coalesce entry and returns its followers. Must
+  /// run before the leader's response is delivered: once a client sees the
+  /// reply, a new identical request has to start a fresh solve instead of
+  /// attaching to this finished one.
+  std::vector<Waiter> detach_followers(
+      std::uint64_t key, const std::shared_ptr<CoalesceEntry>& entry);
+
+  /// Answers every detached follower from the leader's outcome, each
+  /// re-encoded with its own id and protocol version.
+  void fan_out(std::vector<Waiter> followers, const Outcome& outcome);
+
+  /// Worker task: takes up to analyze_batch_max parked analyze requests,
+  /// pre-stages their misses through one EvalCache::analyze_batch call
+  /// (one solve_batch per shared CSR structure), then executes each request
+  /// normally — the memo now answers them bit-identically to serial runs.
+  void drain_analyze_queue();
+
+  /// Background saver thread body (cache_save_secs > 0).
+  void saver_loop();
   JsonValue run_analyze(const Request& request, std::string* soc_error);
   JsonValue run_order(const Request& request, std::string* soc_error);
   /// Returns ok=false with kDeadlineExceeded semantics via *cancelled.
@@ -216,6 +306,30 @@ class Broker {
   mutable std::mutex sessions_mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
 
+  // In-flight coalescing: key -> entry for every coalescable request that
+  // is admitted but not yet answered. Followers attach here instead of
+  // consuming a queue slot and a worker.
+  std::mutex coalesce_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<CoalesceEntry>> coalesce_;
+
+  // Cross-request analyze batching: admitted analyze requests park here;
+  // every enqueue also submits one drain task, so workers self-balance
+  // (an idle pool serves each request alone, a backlog forms real batches).
+  std::mutex analyze_mu_;
+  std::deque<PendingAnalyze> analyze_queue_;
+
+  // Snapshot writes share one fixed tmp path (path + ".tmp"), so the
+  // background saver, the shutdown save, and `cache_save` requests must
+  // serialize. saved_misses_ (guarded by save_mu_) is the insertion proxy:
+  // every insert begins as a miss, so an unchanged miss count means an
+  // interval with nothing new to persist.
+  std::mutex save_mu_;
+  std::int64_t saved_misses_ = 0;
+  std::thread saver_;
+  std::mutex saver_mu_;
+  std::condition_variable saver_cv_;
+  bool saver_stop_ = false;
+
   std::atomic<bool> draining_{false};
   std::atomic<std::int64_t> waiting_{0};
   std::atomic<std::int64_t> in_flight_{0};
@@ -226,6 +340,9 @@ class Broker {
   std::atomic<std::int64_t> rejected_shutting_down_{0};
   std::atomic<std::int64_t> deadline_exceeded_{0};
   std::atomic<std::int64_t> internal_errors_{0};
+  std::atomic<std::int64_t> coalesced_{0};
+  std::atomic<std::int64_t> batched_{0};
+  std::atomic<std::int64_t> cache_saves_{0};
   std::atomic<std::int64_t> trace_tick_{0};  // span-sampling cursor
   obs::WindowRate window_requests_;  // completed requests, last ~10 s
 

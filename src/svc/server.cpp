@@ -1,22 +1,12 @@
 #include "svc/server.h"
 
-#include <arpa/inet.h>
 #include <csignal>
-#include <cstring>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
+#include <fcntl.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <atomic>
-#include <chrono>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <utility>
 
-#include "obs/metrics.h"
 #include "util/log.h"
 
 namespace ermes::svc {
@@ -34,84 +24,26 @@ extern "C" void ermes_svc_signal_handler(int) {
   }
 }
 
-bool write_all(int fd, const char* data, std::size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    size -= static_cast<std::size_t>(n);
-  }
-  return true;
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 }  // namespace
 
-struct Server::Connection {
-  int fd = -1;
-  std::mutex write_mu;
-  std::atomic<bool> open{true};
-
-  // Serialized line write; failures (peer gone) just mark the connection
-  // closed — the in-flight request already completed against the cache.
-  void write_line(const std::string& line) {
-    std::lock_guard<std::mutex> lock(write_mu);
-    if (!open.load(std::memory_order_acquire) || fd < 0) return;
-    std::string framed = line;
-    framed += '\n';
-    if (!write_all(fd, framed.data(), framed.size())) {
-      open.store(false, std::memory_order_release);
-    }
-    obs::count("svc.bytes_out", static_cast<std::int64_t>(framed.size()));
-  }
-
-  // Half-close from another thread (drain): unblocks the reader's recv()
-  // without invalidating the fd it is blocked on.
-  void shutdown_both() {
-    std::lock_guard<std::mutex> lock(write_mu);
-    open.store(false, std::memory_order_release);
-    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-  }
-
-  // Final close; serialized against write_line so the fd number cannot be
-  // recycled under a response write still holding a shared_ptr to us.
-  void close_fd() {
-    std::lock_guard<std::mutex> lock(write_mu);
-    open.store(false, std::memory_order_release);
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
-    }
-  }
-};
-
-struct Server::Impl {
-  mutable std::mutex mu;
-  std::vector<std::shared_ptr<Connection>> connections;
-  std::vector<std::thread> threads;   // running reader threads
-  std::vector<std::thread> finished;  // exited readers awaiting join
-};
-
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      broker_(std::make_unique<Broker>(options_.broker)),
-      impl_(std::make_unique<Impl>()) {}
+      broker_(std::make_unique<Broker>(options_.broker)) {}
 
 Server::~Server() {
   if (g_signal_wake_fd.load() == wake_pipe_[1]) g_signal_wake_fd.store(-1);
   // Belt and braces for a server destroyed without run() completing: finish
-  // in-flight work, unblock the readers, and join them before closing fds.
+  // in-flight work before the loop tears the connections down.
   broker_->begin_drain();
   broker_->drain();
-  shutdown_all_and_join();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (net_) net_->shutdown();
   for (const int fd : wake_pipe_) {
     if (fd >= 0) ::close(fd);
-  }
-  if (!options_.socket_path.empty()) {
-    ::unlink(options_.socket_path.c_str());
   }
 }
 
@@ -120,73 +52,39 @@ bool Server::start(std::string* error) {
     *error = "cannot create wake pipe";
     return false;
   }
-  broker_->set_drain_callback([this] { wake(); });
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
 
-  if (!options_.socket_path.empty()) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-      *error = "socket path too long";
-      return false;
-    }
-    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    // A stale socket file from a dead daemon would make bind fail; probe it
-    // with a connect and remove it only when nobody answers. A socket that
-    // went through a failed connect is in an unspecified state, so the
-    // probe uses its own fd.
-    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (probe >= 0) {
-      const bool served = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
-                                    sizeof(addr)) == 0;
-      ::close(probe);
-      if (served) {
-        *error = "socket " + options_.socket_path + " is already served";
-        return false;
-      }
-    }
-    ::unlink(options_.socket_path.c_str());
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) {
-      *error = "cannot create unix socket";
-      return false;
-    }
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-      *error = "cannot bind " + options_.socket_path;
-      return false;
-    }
-  } else {
-    if (options_.port < 0) {
-      *error = "no socket path and no port configured";
-      return false;
-    }
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) {
-      *error = "cannot create TCP socket";
-      return false;
-    }
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-      *error = "cannot bind 127.0.0.1:" + std::to_string(options_.port);
-      return false;
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                      &len) == 0) {
-      bound_port_ = static_cast<int>(ntohs(bound.sin_port));
-    }
-  }
+  net::EventServerOptions net_options;
+  net_options.socket_path = options_.socket_path;
+  net_options.port = options_.port;
+  net_options.shards = options_.net_shards;
+  net_options.max_conns = options_.max_conns;
+  net_options.max_line_bytes = options_.max_line_bytes;
+  net_options.force_poll = options_.force_poll;
+  net_options.stop_fd = wake_pipe_[0];
 
-  if (::listen(listen_fd_, 64) != 0) {
-    *error = "listen failed";
+  net::EventServer::Callbacks callbacks;
+  callbacks.on_line = [this](const std::shared_ptr<net::Conn>& conn,
+                             std::string&& line) {
+    // The response callback holds the connection alive; a peer that hung up
+    // before its answer completed turns send_line into a no-op.
+    broker_->handle_line(line, [conn](std::string response) {
+      conn->send_line(response);
+    });
+  };
+  callbacks.on_overflow = [this](const std::shared_ptr<net::Conn>& conn) {
+    conn->send_line(encode_error(
+        JsonValue::null(), ErrorCode::kBadRequest,
+        "request line exceeds " + std::to_string(options_.max_line_bytes) +
+            " bytes"));
+  };
+
+  net_ = std::make_unique<net::EventServer>(std::move(net_options),
+                                            std::move(callbacks));
+  broker_->set_drain_callback([this] { net_->request_stop(); });
+  if (!net_->start(error)) {
+    net_.reset();
     return false;
   }
 
@@ -201,165 +99,20 @@ bool Server::start(std::string* error) {
   return true;
 }
 
-void Server::wake() {
-  const char byte = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
-}
-
 void Server::request_stop() {
-  broker_->begin_drain();  // drain callback wakes the accept loop
+  broker_->begin_drain();  // drain callback stops the event loop
 }
 
 void Server::run() {
-  accept_loop();
+  net_->wait_stop();
 
   // Graceful drain: admission is already off (the broker rejects with
   // shutting_down); wait for in-flight requests to finish and their
-  // responses to be written, then unblock and join the readers.
+  // responses to be enqueued, then flush and close every connection.
   broker_->begin_drain();
   broker_->drain();
-  shutdown_all_and_join();
+  net_->shutdown();
   ERMES_LOG(kInfo) << "svc: drained and stopped";
-}
-
-std::size_t Server::active_connections() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return impl_->connections.size();
-}
-
-// Joins reader threads that already removed themselves on disconnect. Runs
-// on every accept-loop wakeup, so finished readers are reclaimed while the
-// server keeps serving, not only at shutdown.
-void Server::reap_finished() {
-  std::vector<std::thread> finished;
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    finished.swap(impl_->finished);
-  }
-  for (std::thread& t : finished) t.join();
-}
-
-void Server::shutdown_all_and_join() {
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    for (const std::shared_ptr<Connection>& conn : impl_->connections) {
-      conn->shutdown_both();
-    }
-  }
-  // Take every thread handle in one swap: a reader that finishes after this
-  // point finds nothing to self-reap (its handle is ours) and just exits;
-  // no new readers can appear because the accept loop has returned.
-  std::vector<std::thread> to_join;
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    for (std::thread& t : impl_->threads) to_join.push_back(std::move(t));
-    impl_->threads.clear();
-    for (std::thread& t : impl_->finished) to_join.push_back(std::move(t));
-    impl_->finished.clear();
-  }
-  for (std::thread& t : to_join) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    for (const std::shared_ptr<Connection>& conn : impl_->connections) {
-      conn->close_fd();
-    }
-    impl_->connections.clear();
-  }
-}
-
-void Server::accept_loop() {
-  for (;;) {
-    reap_finished();
-    pollfd fds[2];
-    fds[0].fd = listen_fd_;
-    fds[0].events = POLLIN;
-    fds[1].fd = wake_pipe_[0];
-    fds[1].events = POLLIN;
-    const int rc = ::poll(fds, 2, -1);
-    if (rc < 0) {
-      if (errno == EINTR) {
-        // A handled signal interrupted poll; the self-pipe byte (if the
-        // signal was ours) is picked up on the next iteration.
-        continue;
-      }
-      ERMES_LOG(kError) << "svc: poll failed, stopping";
-      return;
-    }
-    if ((fds[1].revents & POLLIN) != 0 || broker_->draining()) return;
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-          errno == ENOMEM) {
-        // Resource exhaustion leaves the listen fd readable, so an
-        // immediate retry would busy-spin at 100% CPU. Back off briefly;
-        // disconnecting clients free fds in the meantime.
-        obs::count("svc.accept_backoff");
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-      }
-      continue;
-    }
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    obs::count("svc.connections");
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->connections.push_back(conn);
-    impl_->threads.emplace_back([this, conn] { connection_loop(conn); });
-  }
-}
-
-void Server::connection_loop(const std::shared_ptr<Connection>& conn) {
-  std::string buffer;
-  char chunk[64 * 1024];
-  for (;;) {
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or error: the peer is gone
-    obs::count("svc.bytes_in", n);
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t newline = buffer.find('\n', start);
-      if (newline == std::string::npos) break;
-      std::string line = buffer.substr(start, newline - start);
-      start = newline + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      obs::count("svc.requests.lines");
-      broker_->handle_line(
-          line, [conn](std::string response) { conn->write_line(response); });
-    }
-    buffer.erase(0, start);
-    if (buffer.size() > options_.max_line_bytes) {
-      // The stream cannot be resynchronized once a line exceeds the frame
-      // bound; answer once and drop the connection.
-      conn->write_line(encode_error(
-          JsonValue::null(), ErrorCode::kBadRequest,
-          "request line exceeds " + std::to_string(options_.max_line_bytes) +
-              " bytes"));
-      break;
-    }
-  }
-  // Reap on disconnect: close our fd, drop the connection record, and move
-  // our own thread handle to the finished list for the accept loop to join —
-  // a long-lived daemon must not accumulate one fd + one thread per client
-  // that ever connected. Responses still in flight hold a shared_ptr and
-  // turn into no-ops in write_line once `open` is false.
-  conn->shutdown_both();
-  conn->close_fd();
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  auto& conns = impl_->connections;
-  conns.erase(std::remove(conns.begin(), conns.end(), conn), conns.end());
-  const std::thread::id me = std::this_thread::get_id();
-  for (auto it = impl_->threads.begin(); it != impl_->threads.end(); ++it) {
-    if (it->get_id() == me) {
-      impl_->finished.push_back(std::move(*it));
-      impl_->threads.erase(it);
-      break;
-    }
-  }
 }
 
 }  // namespace ermes::svc

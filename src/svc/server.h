@@ -1,21 +1,24 @@
 #pragma once
 // Socket front end of the analysis service (`ermes serve`).
 //
-// The server owns the listening socket (a unix-domain socket path or a TCP
-// port on 127.0.0.1), accepts connections, and runs one reader thread per
-// connection that splits the stream into NDJSON lines and feeds them to the
-// Broker. Responses are written back on the same connection under a
-// per-connection write lock, so a client may pipeline many requests and
-// receive the responses (matched by id) as they complete — completion
-// order, not submission order.
+// Since the src/net rebase, Server is a thin adapter: net::EventServer owns
+// the listening socket (a unix-domain socket path or a TCP port on
+// 127.0.0.1) and runs N event-loop shards — epoll (fallback: poll),
+// non-blocking accept/read/write, connections pinned to a shard — so
+// thousands of idle connections cost zero threads instead of one blocking
+// reader thread each. This class glues the loop to the Broker: complete
+// NDJSON lines go to Broker::handle_line, and responses come back through
+// Conn::send_line from whichever pool worker finished the request, so a
+// client may pipeline many requests and receive the responses (matched by
+// id) as they complete — completion order, not submission order.
 //
-// Lifecycle: start() binds and listens; run() blocks in a poll/accept loop
-// until the broker starts draining, then performs the graceful shutdown
-// sequence — stop accepting, let in-flight requests finish (the broker
-// rejects new ones with shutting_down), flush their responses, shut down
-// every connection, join the reader threads. Drain is triggered by a
-// `shutdown` request, by request_stop(), or — when install_signal_handlers
-// is set — by SIGINT/SIGTERM via a self-pipe.
+// Lifecycle: start() binds, listens, and spawns the shard threads; run()
+// blocks until the broker starts draining, then performs the graceful
+// shutdown sequence — stop accepting, let in-flight requests finish (the
+// broker rejects new ones with shutting_down), flush their responses, close
+// every connection, join the shards. Drain is triggered by a `shutdown`
+// request, by request_stop(), or — when install_signal_handlers is set — by
+// SIGINT/SIGTERM via a self-pipe the event loop watches.
 //
 // Robustness rules at the framing layer: a line longer than max_line_bytes
 // gets a bad_request response and the connection is closed (the stream
@@ -27,6 +30,7 @@
 #include <memory>
 #include <string>
 
+#include "net/event_server.h"
 #include "svc/broker.h"
 
 namespace ermes::svc {
@@ -41,6 +45,12 @@ struct ServerOptions {
   std::size_t max_line_bytes = 8u << 20;
   /// Route SIGINT/SIGTERM into a graceful drain of this server.
   bool install_signal_handlers = false;
+  /// Event-loop shards (`serve --net-shards`). 0 = one per core, capped at 8.
+  std::size_t net_shards = 0;
+  /// Concurrent-connection cap (`serve --max-conns`). 0 = unbounded.
+  std::size_t max_conns = 0;
+  /// Tests: force the poll reactor backend even where epoll exists.
+  bool force_poll = false;
 };
 
 class Server {
@@ -50,42 +60,32 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds and listens. On failure fills *error and returns false.
+  /// Binds, listens, and starts serving. On failure fills *error and
+  /// returns false.
   bool start(std::string* error);
 
-  /// Accept loop; returns after a graceful drain completes.
+  /// Blocks until a drain is requested, then completes it and returns.
   void run();
 
   /// Initiates the drain from any thread (also wired to signals).
   void request_stop();
 
   /// Bound TCP port (after start(); -1 for unix-socket servers).
-  int port() const { return bound_port_; }
+  int port() const { return net_ ? net_->port() : -1; }
   const std::string& socket_path() const { return options_.socket_path; }
 
-  /// Connections currently tracked (readers remove themselves on
-  /// disconnect, so this decays to zero once clients hang up).
-  std::size_t active_connections() const;
+  /// Connections currently open (decays to zero once clients hang up).
+  std::size_t active_connections() const {
+    return net_ ? net_->connections() : 0;
+  }
 
   Broker& broker() { return *broker_; }
 
  private:
-  struct Connection;
-
-  void accept_loop();
-  void connection_loop(const std::shared_ptr<Connection>& conn);
-  void wake();
-  void reap_finished();
-  void shutdown_all_and_join();
-
   ServerOptions options_;
   std::unique_ptr<Broker> broker_;
-  int listen_fd_ = -1;
+  std::unique_ptr<net::EventServer> net_;
   int wake_pipe_[2] = {-1, -1};
-  int bound_port_ = -1;
-
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace ermes::svc

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""High-concurrency smoke client for the ermes daemon (CI helper).
+
+Opens N concurrent unix-socket connections, pipelines P identical analyze
+requests down each one, and asserts:
+
+  1. the `ermes_connections` gauge scraped over Prometheus reports at least
+     N live connections while they are all open,
+  2. every one of the N*P responses is byte-identical (constant request id,
+     deterministic analyze result — any divergence is a framing or
+     interleaving bug in the event server),
+  3. every response is a successful ("ok":true) protocol reply.
+
+Usage: ci_hc_smoke.py SOCKET_PATH SOC_FILE CONNECTIONS PIPELINE
+
+Exits nonzero with a diagnostic on the first violated invariant. Stdlib
+only — runs anywhere CI has python3.
+"""
+
+import json
+import re
+import socket
+import sys
+import time
+
+
+def connect_retry(path, attempts=200, delay=0.01):
+    """Connect with retry: a full listen backlog transiently refuses."""
+    last = None
+    for _ in range(attempts):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(30.0)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError as err:
+            last = err
+            sock.close()
+            time.sleep(delay)
+    raise SystemExit(f"connect({path}) failed after {attempts} tries: {last}")
+
+
+def recv_line(sock, buf):
+    """Reads one newline-terminated line; returns (line, remaining buffer)."""
+    while b"\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise SystemExit("unexpected EOF mid-response")
+        buf += chunk
+    line, _, rest = buf.partition(b"\n")
+    return line, rest
+
+
+def scrape_metric(path, name):
+    """One-shot metrics request; returns the first sample of `name`."""
+    sock = connect_retry(path)
+    request = json.dumps({"v": 2, "op": "metrics"}) + "\n"
+    sock.sendall(request.encode())
+    line, _ = recv_line(sock, b"")
+    sock.close()
+    reply = json.loads(line)
+    if not reply.get("ok"):
+        raise SystemExit(f"metrics request failed: {line.decode()}")
+    body = reply["result"]["body"]
+    match = re.search(rf"^{re.escape(name)} (\d+)$", body, re.MULTILINE)
+    if match is None:
+        raise SystemExit(f"metric {name} missing from scrape:\n{body}")
+    return int(match.group(1))
+
+
+def main():
+    if len(sys.argv) != 5:
+        raise SystemExit(__doc__)
+    path, soc_file, conns, pipeline = (
+        sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]))
+    with open(soc_file, "r", encoding="utf-8") as f:
+        soc = f.read()
+
+    # Constant id 0 -> every response to this line is byte-identical.
+    request = json.dumps({"v": 2, "op": "analyze", "id": 0, "soc": soc}) + "\n"
+    blob = (request * pipeline).encode()
+
+    sockets = [connect_retry(path) for _ in range(conns)]
+    for sock in sockets:
+        sock.sendall(blob)
+
+    # All connections are open and loaded; the gauge must see them. The
+    # scrape connection itself is the +1.
+    live = scrape_metric(path, "ermes_connections")
+    if live < conns:
+        raise SystemExit(f"ermes_connections {live} < {conns} open connections")
+
+    expected = None
+    for index, sock in enumerate(sockets):
+        buf = b""
+        for k in range(pipeline):
+            line, buf = recv_line(sock, buf)
+            if expected is None:
+                expected = line
+                reply = json.loads(line)
+                if not reply.get("ok"):
+                    raise SystemExit(f"analyze failed: {line.decode()}")
+            elif line != expected:
+                raise SystemExit(
+                    f"response mismatch on conn {index} line {k}:\n"
+                    f"  expected: {expected.decode()}\n"
+                    f"       got: {line.decode()}")
+        sock.close()
+
+    print(f"ci_hc_smoke: {conns} connections x {pipeline} pipelined requests, "
+          f"gauge {live}, all {conns * pipeline} responses byte-identical")
+
+
+if __name__ == "__main__":
+    main()

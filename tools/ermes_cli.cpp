@@ -99,7 +99,8 @@ int usage() {
                "[--report]\n"
                "       serve:   ermes serve [--socket path | --port N] "
                "[--workers N] [--queue N] [--deadline-ms N] [--slow-ms N] "
-               "[--trace-sample N] [--cache-mb N] [--cache-file path]\n"
+               "[--trace-sample N] [--cache-mb N] [--cache-file path] "
+               "[--cache-save-secs N] [--net-shards N] [--max-conns N]\n"
                "       request: ermes request (--socket path | --port N) "
                "<analyze|order|explore|sweep|stats|metrics|cache_save|"
                "shutdown> [file.soc] [args] [--deadline-ms N] [--text] "
@@ -652,6 +653,9 @@ struct EndpointOptions {
   std::int64_t count = 0;               // top: iterations (0 = until ^C)
   std::int64_t cache_mb = 0;            // serve: eval-cache budget (0 = ∞)
   std::string cache_file;               // serve: warm-restart snapshot path
+  std::int64_t cache_save_secs = 0;     // serve: background snapshot period
+  std::int64_t net_shards = 0;          // serve: event loops (0 = per-core)
+  std::int64_t max_conns = 0;           // serve: connection cap (0 = ∞)
   bool text = false;                    // request: print result.text, not JSON
   bool prom = false;                    // request metrics: print result.body
   std::vector<const char*> positional;
@@ -672,7 +676,10 @@ bool parse_endpoint_flags(int argc, char** argv, int first,
         std::strcmp(arg, "--interval-ms") == 0 ||
         std::strcmp(arg, "--count") == 0 ||
         std::strcmp(arg, "--cache-mb") == 0 ||
-        std::strcmp(arg, "--cache-file") == 0;
+        std::strcmp(arg, "--cache-file") == 0 ||
+        std::strcmp(arg, "--cache-save-secs") == 0 ||
+        std::strcmp(arg, "--net-shards") == 0 ||
+        std::strcmp(arg, "--max-conns") == 0;
     if (takes_value) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s needs a value\n", arg);
@@ -703,6 +710,10 @@ bool parse_endpoint_flags(int argc, char** argv, int first,
       else if (std::strcmp(arg, "--interval-ms") == 0) out.interval_ms = number;
       else if (std::strcmp(arg, "--count") == 0) out.count = number;
       else if (std::strcmp(arg, "--cache-mb") == 0) out.cache_mb = number;
+      else if (std::strcmp(arg, "--cache-save-secs") == 0)
+        out.cache_save_secs = number;
+      else if (std::strcmp(arg, "--net-shards") == 0) out.net_shards = number;
+      else if (std::strcmp(arg, "--max-conns") == 0) out.max_conns = number;
       else out.test_iter_delay_ms = number;
       continue;
     }
@@ -748,6 +759,11 @@ int cmd_serve(int argc, char** argv) {
   options.broker.cache_bytes =
       std::max<std::int64_t>(0, ep.cache_mb) * 1'000'000;
   options.broker.cache_file = ep.cache_file;
+  options.broker.cache_save_secs = std::max<std::int64_t>(0, ep.cache_save_secs);
+  options.net_shards =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, ep.net_shards));
+  options.max_conns =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, ep.max_conns));
   options.install_signal_handlers = true;
 
   svc::Server server(std::move(options));
