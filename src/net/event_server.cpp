@@ -257,6 +257,18 @@ void EventServer::shutdown(int flush_grace_ms) {
   for (const auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
   }
+  // Last-post sweep: shard 0's accept loop may have parked a conn in a
+  // sibling's mailbox after that sibling finished its own drain. With every
+  // shard joined, the mailboxes are quiesced — close what is left so no fd
+  // leaks and the connections gauge returns to zero.
+  for (const auto& shard : shards_) {
+    std::vector<std::shared_ptr<Conn>> parked;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      parked.swap(shard->incoming);
+    }
+    for (const std::shared_ptr<Conn>& conn : parked) cleanup(*shard, conn);
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -370,12 +382,26 @@ void EventServer::shard_loop(std::size_t index) {
 
   // Drain mode: responses already enqueued (the owner drained its broker
   // before calling shutdown()) still reach their peers, bounded by the
-  // grace deadline; then everything is closed.
+  // grace deadline; then everything is closed. Conns parked in the mailbox
+  // (accepted on shard 0, posted here around shutdown) never reached the
+  // reactor or conns: dropping the shared_ptrs would leak their fds and
+  // strand the connections gauge, so they go through cleanup() like every
+  // other conn. shutdown() makes one final sweep after the join for posts
+  // that land once this loop has exited.
+  const auto retire_parked = [&] {
+    incoming.clear();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      incoming.swap(shard.incoming);
+    }
+    for (const std::shared_ptr<Conn>& conn : incoming) cleanup(shard, conn);
+  };
+  retire_parked();
   while (!shard.conns.empty()) {
+    retire_parked();
     flushes.clear();
     {
       std::lock_guard<std::mutex> lock(shard.mu);
-      shard.incoming.clear();
       flushes.swap(shard.flush);
     }
     (void)flushes;  // a final flush pass over every conn supersedes them

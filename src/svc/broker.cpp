@@ -214,12 +214,27 @@ std::uint64_t Broker::coalesce_key(const Request& request) {
   h = analysis::fingerprint_mix(h, static_cast<std::uint64_t>(request.lo));
   h = analysis::fingerprint_mix(h, static_cast<std::uint64_t>(request.hi));
   h = analysis::fingerprint_mix(h, static_cast<std::uint64_t>(request.step));
-  // The deadline is part of the key: a follower with a laxer deadline must
-  // not inherit a tight leader's deadline_exceeded.
+  // deadline_ms is part of the key, so a follower only attaches to a leader
+  // that asked for the same *relative* budget. That is an approximation,
+  // accepted and documented: followers share the leader's *absolute*
+  // deadline, so one attaching late can still receive deadline_exceeded
+  // while its own budget had time left. The attach window is bounded by the
+  // leader's solve time — small against any realistic deadline — and
+  // re-executing such followers would re-pay exactly the solve coalescing
+  // exists to avoid; the client's normal retry covers the residue.
   h = analysis::fingerprint_mix(
       h, static_cast<std::uint64_t>(request.deadline_ms));
   h = analysis::fingerprint_mix(h, fnv1a(request.soc));
   return h == 0 ? 1 : h;  // 0 is the "not coalescable" sentinel
+}
+
+bool Broker::coalesce_match(const CoalesceEntry& entry,
+                            const Request& request) {
+  return entry.op == request.op && entry.hier == request.hier &&
+         entry.tct == request.tct && entry.lo == request.lo &&
+         entry.hi == request.hi && entry.step == request.step &&
+         entry.deadline_ms == request.deadline_ms &&
+         entry.soc == request.soc;
 }
 
 std::vector<Broker::Waiter> Broker::detach_followers(
@@ -343,18 +358,25 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
 
   // Coalesce-attach: an identical request already in flight answers this
   // one too. The follower keeps only its in_flight_ slot (released by the
-  // fan-out) — no queue slot, no pool task, no second solve.
-  const std::uint64_t key = coalesce_key(parsed.request);
+  // fan-out) — no queue slot, no pool task, no second solve. Attachment
+  // requires a full field match, not just the hash key: on a key collision
+  // with a *different* in-flight request the newcomer executes alone,
+  // unpublished (key cleared to 0), since two distinct questions cannot
+  // share the one map slot.
+  std::uint64_t key = coalesce_key(parsed.request);
   if (key != 0) {
     std::lock_guard<std::mutex> lock(coalesce_mu_);
     const auto it = coalesce_.find(key);
     if (it != coalesce_.end()) {
-      it->second->followers.push_back(Waiter{id, version, std::move(done)});
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
-      accepted_.fetch_add(1, std::memory_order_relaxed);
-      obs::count("svc.requests.accepted");
-      obs::count("coalesced");
-      return;
+      if (coalesce_match(*it->second, parsed.request)) {
+        it->second->followers.push_back(Waiter{id, version, std::move(done)});
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        obs::count("svc.requests.accepted");
+        obs::count("coalesced");
+        return;
+      }
+      key = 0;  // collision: execute fresh, never attach or publish
     }
   }
 
@@ -390,7 +412,17 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
         coalesce_.try_emplace(key, std::make_shared<CoalesceEntry>());
     if (inserted) {
       entry = it->second;
-    } else {
+      // Record the exact question so attaches can verify it (the hash key
+      // alone admits collisions).
+      entry->op = parsed.request.op;
+      entry->hier = parsed.request.hier;
+      entry->tct = parsed.request.tct;
+      entry->lo = parsed.request.lo;
+      entry->hi = parsed.request.hi;
+      entry->step = parsed.request.step;
+      entry->deadline_ms = parsed.request.deadline_ms;
+      entry->soc = parsed.request.soc;
+    } else if (coalesce_match(*it->second, parsed.request)) {
       it->second->followers.push_back(Waiter{id, version, std::move(done)});
       coalesced_.fetch_add(1, std::memory_order_relaxed);
       obs::count("coalesced");
@@ -399,6 +431,8 @@ void Broker::handle_line(const std::string& line, DoneFn done) {
       obs::gauge_set("svc.queue.waiting", rolled_back);
       return;
     }
+    // else: key collision with the racing leader — entry stays null and
+    // this request executes alone without publishing.
   }
 
   std::int64_t deadline_ms = parsed.request.deadline_ms > 0

@@ -213,6 +213,18 @@ class Broker {
     DoneFn done;
   };
   struct CoalesceEntry {
+    // The leader's exact question, verified on every attach: the 64-bit
+    // coalesce key is a non-cryptographic mix, so two different requests
+    // can collide — and a collider must run its own solve, never silently
+    // receive the leader's answer to a different question.
+    Op op = Op::kStats;
+    bool hier = false;
+    std::int64_t tct = 0;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    std::int64_t step = 0;
+    std::int64_t deadline_ms = 0;
+    std::string soc;
     std::vector<Waiter> followers;
   };
 
@@ -239,6 +251,11 @@ class Broker {
   /// for the pure ops (analyze/order/explore/sweep); 0 for everything else
   /// (stats, sessions, shutdown, ... must execute individually).
   static std::uint64_t coalesce_key(const Request& request);
+
+  /// True when `request` asks exactly the question `entry`'s leader is
+  /// answering (field-by-field; the hash key alone is not collision-free).
+  static bool coalesce_match(const CoalesceEntry& entry,
+                             const Request& request);
 
   /// Atomically removes the coalesce entry and returns its followers. Must
   /// run before the leader's response is delivered: once a client sees the
@@ -289,7 +306,6 @@ class Broker {
   BrokerOptions options_;
   analysis::EvalCache cache_;
   std::size_t cache_restored_ = 0;  // snapshot entries admitted at startup
-  exec::ThreadPool pool_;
 
   // One warm CSR solver per pool slot. Sweep requests always execute on a
   // pool worker (slots [1, jobs())); each target explored on that worker
@@ -350,6 +366,19 @@ class Broker {
   std::condition_variable drain_cv_;
   std::function<void()> drain_callback_;
   bool drain_callback_fired_ = false;
+
+  // Declared last on purpose: members are destroyed in reverse declaration
+  // order, so ~ThreadPool runs FIRST — it joins the workers and discards
+  // still-queued tasks before anything a task touches (mailboxes, solvers,
+  // the drain cv — nearly every member above) is destroyed. ~Broker's
+  // drain() is not enough by itself: it only waits for in_flight_ == 0, and
+  // drain_analyze_queue submits one task per enqueued analyze — when a
+  // sibling task takes the whole batch, the later "empty-batch" tasks stay
+  // queued holding no in-flight slot, and such a straggler may still be
+  // running (locking analyze_mu_, reading analyze_queue_) as ~Broker
+  // proceeds. With the pool destroyed first, stragglers finish against
+  // live members.
+  exec::ThreadPool pool_;
 };
 
 }  // namespace ermes::svc

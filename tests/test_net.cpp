@@ -475,6 +475,33 @@ TEST(Coalesce, BatchedAndCoalescedResponsesByteIdenticalToSerial) {
   }
 }
 
+TEST(Coalesce, TeardownWithQueuedEmptyBatchDrainTasksIsClean) {
+  // Regression (shutdown UB): every analyze enqueue submits one drain task,
+  // and a single task may take the whole parked backlog — its siblings then
+  // run as "empty-batch" tasks holding no in-flight slot. ~Broker's drain()
+  // only waits for in_flight_ == 0, so it returns while those stragglers
+  // are still queued or running; the pool must therefore be the first
+  // member destroyed (joining workers, discarding the queue) or a straggler
+  // locks an already-destroyed analyze mailbox. Exercised under TSan in CI.
+  const sysmodel::SystemModel sys = sysmodel::make_dac14_motivating_example();
+  for (int round = 0; round < 8; ++round) {
+    constexpr int kRequests = 12;
+    Collector collector(kRequests);
+    svc::Broker broker({.workers = 1, .test_exec_delay_ms = 2});
+    for (int v = 0; v < kRequests; ++v) {
+      // Distinct model names -> distinct coalesce keys: all twelve park in
+      // the analyze queue instead of attaching to one leader.
+      broker.handle_line(
+          svc::encode_request(svc::Op::kAnalyze, svc::JsonValue::integer(v),
+                              io::write_soc(sys, "td_" + std::to_string(v))),
+          collector.slot(v));
+    }
+    collector.wait();
+    // Destruction races the sibling drain tasks; TSan/ASan flag the old
+    // member order here.
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Background cache saver (serve --cache-save-secs).
 
