@@ -16,7 +16,7 @@
 #include "analysis/performance.h"
 #include "apps/mpeg2/characterization.h"
 #include "ordering/baselines.h"
-#include "sim/system_sim.h"
+#include "sim/compiled.h"
 #include "sysmodel/builder.h"
 #include "util/table.h"
 
@@ -27,20 +27,33 @@ using sysmodel::SystemModel;
 int main() {
   std::printf("== A5: non-blocking (FIFO) channels and buffer sizing ==\n\n");
 
-  // 1. Decoupling curve.
+  // 1. Decoupling curve. The capacity sweep is exactly what simulate_batch
+  //    exists for: one compiled structure, one SimScenario per candidate
+  //    capacity (the analytical model still rebuilds per point — capacity
+  //    changes the TMG).
   std::printf("-- throughput vs capacity (src(6) -> worker(4) -> snk(1)) --\n");
+  SystemModel pipe;
+  const auto src = pipe.add_process("src", 6);
+  const auto w = pipe.add_process("w", 4);
+  const auto snk = pipe.add_process("snk", 1);
+  const ChannelId a = pipe.add_channel("a", src, w, 2);
+  const ChannelId b = pipe.add_channel("b", w, snk, 3);
+  const sim::CompiledSim compiled(pipe);
+  std::vector<sim::SimScenario> sweep(6);
+  for (std::int64_t cap = 0; cap <= 5; ++cap) {
+    sweep[static_cast<std::size_t>(cap)].channel_capacity = {cap, cap};
+  }
+  sim::BatchOptions opts;
+  opts.target_transfers = 300;
+  const std::vector<sim::ScenarioResult> simulated =
+      sim::simulate_batch(compiled, sweep, opts);
   util::Table curve({"capacity", "model CT", "simulated CT", "throughput"});
   for (std::int64_t cap = 0; cap <= 5; ++cap) {
-    SystemModel sys;
-    const auto src = sys.add_process("src", 6);
-    const auto w = sys.add_process("w", 4);
-    const auto snk = sys.add_process("snk", 1);
-    const ChannelId a = sys.add_channel("a", src, w, 2);
-    const ChannelId b = sys.add_channel("b", w, snk, 3);
+    SystemModel sys = pipe;
     sys.set_channel_capacity(a, cap);
     sys.set_channel_capacity(b, cap);
     const analysis::PerformanceReport report = analysis::analyze_system(sys);
-    const sim::SystemSimResult sim = sim::simulate_system(sys, 300);
+    const sim::ScenarioResult& sim = simulated[static_cast<std::size_t>(cap)];
     curve.add_row({std::to_string(cap),
                    util::format_double(report.cycle_time, 2),
                    util::format_double(sim.measured_cycle_time, 2),

@@ -498,6 +498,20 @@ std::vector<EvalCache::ShardStats> EvalCache::shard_stats() const {
   return out;
 }
 
+std::vector<EvalCache::FamilyStats> EvalCache::family_stats() const {
+  const auto one = [](const char* name, const auto& family) {
+    FamilyStats s;
+    s.name = name;
+    s.entries = family.size();
+    s.bytes = family.bytes();
+    s.byte_budget = family.byte_budget();
+    s.evictions = family.evictions();
+    s.admission_rejects = family.admission_rejects();
+    return s;
+  };
+  return {one("reports", reports_), one("evals", evals_), one("aux", aux_)};
+}
+
 bool EvalCache::save_snapshot(const std::string& path,
                               std::string* error) const {
   cache::Snapshot snapshot;

@@ -191,6 +191,22 @@ class EvalCache {
   std::size_t num_shards() const { return reports_.num_shards(); }
   std::vector<ShardStats> shard_stats() const;
 
+  /// Per-family occupancy and pressure. The three memo families split the
+  /// total byte budget unevenly (reports 1/2, ordered evals 3/8, aux the
+  /// remainder), so a full cache can be one family's budget saturating
+  /// while the others sit near-empty — the serving stats plane reports
+  /// this split so that is observable, not inferred.
+  struct FamilyStats {
+    const char* name = "";
+    std::size_t entries = 0;
+    std::int64_t bytes = 0;
+    std::int64_t byte_budget = 0;  // 0 = unbounded
+    std::int64_t evictions = 0;
+    std::int64_t admission_rejects = 0;
+  };
+  /// Always three entries, in the fixed order reports, evals, aux.
+  std::vector<FamilyStats> family_stats() const;
+
   /// Hit rate over roughly the last 10 seconds (hits and misses recorded
   /// into sliding windows, see obs::WindowRate); 0 when the window is empty.
   double window_hit_rate() const;

@@ -1,0 +1,48 @@
+#pragma once
+// Per-worker-slot storage for parallel loops.
+//
+// Within one parallel_for, current_worker_slot() assigns each participating
+// thread a dense id in [0, jobs()): 0 for the caller, i for the i-th worker.
+// SlotLocal<T> turns that into lock-free per-thread state — one solver
+// workspace, one simulator instance — that is *reused across iterations*
+// the same slot executes, which is where batch APIs amortize their
+// allocations. The slots are plain values: after the loop, iterate them to
+// merge per-worker accumulators deterministically.
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace ermes::exec {
+
+template <typename T>
+class SlotLocal {
+ public:
+  /// `jobs` = the owning pool's jobs() (worker threads + caller). Each slot
+  /// is value-initialized.
+  explicit SlotLocal(std::size_t jobs) : slots_(jobs > 0 ? jobs : 1) {}
+
+  /// The calling thread's slot. Clamped to slot 0 for threads outside the
+  /// sized range (e.g. a body run inline on a differently-sized pool), so
+  /// access is always in bounds — at worst two threads of *different* pools
+  /// would share slot 0, which cannot happen within one parallel_for.
+  T& local() {
+    std::size_t slot = current_worker_slot();
+    if (slot >= slots_.size()) slot = 0;
+    return slots_[slot];
+  }
+
+  std::size_t size() const { return slots_.size(); }
+  T& operator[](std::size_t i) { return slots_[i]; }
+  const T& operator[](std::size_t i) const { return slots_[i]; }
+  auto begin() { return slots_.begin(); }
+  auto end() { return slots_.end(); }
+  auto begin() const { return slots_.begin(); }
+  auto end() const { return slots_.end(); }
+
+ private:
+  std::vector<T> slots_;
+};
+
+}  // namespace ermes::exec

@@ -114,6 +114,15 @@ class Gauge {
   void add(std::int64_t delta) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
+  /// Monotone high-water update: keeps the maximum of the current value and
+  /// `value`. Lock-free; safe under concurrent publishers (the batch
+  /// simulator records per-scenario peak occupancies through this).
+  void record_max(std::int64_t value) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < value && !value_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
   std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
 

@@ -54,6 +54,11 @@ struct ChannelState {
   /// global registry with Kernel::publish_metrics().
   obs::HistogramData put_wait;
   obs::HistogramData get_wait;
+
+  /// High-water mark of buffered items plus in-flight writes (rendezvous
+  /// channels peak at 1 during a transfer). The number FIFO sizing wants:
+  /// a capacity above the peak can only waste area.
+  std::int64_t peak_occupancy = 0;
 };
 
 }  // namespace ermes::sim

@@ -10,11 +10,18 @@
 
 namespace ermes::sim {
 
-// Min-heap comparator (std::push_heap builds a max-heap, so invert).
+// Min-heap comparator (std::push_heap builds a max-heap, so invert). The
+// order (time, index, kind) is total — a wake for process i and a transfer
+// completion for channel i at the same instant pop in a defined sequence —
+// so the event trace is a function of the event set alone, never of heap
+// internals. sim::CompiledSim encodes the identical order in its packed
+// event keys; the differential suite holds both engines to it.
 static bool event_after(const std::int64_t a_time, std::int32_t a_idx,
-                        const std::int64_t b_time, std::int32_t b_idx) {
+                        int a_kind, const std::int64_t b_time,
+                        std::int32_t b_idx, int b_kind) {
   if (a_time != b_time) return a_time > b_time;
-  return a_idx > b_idx;
+  if (a_idx != b_idx) return a_idx > b_idx;
+  return a_kind > b_kind;  // kProcessWake before kTransferDone
 }
 
 SimProcessId Kernel::add_process(std::string name, Program program,
@@ -52,7 +59,9 @@ void Kernel::push_event(std::int64_t time, Event::Kind kind,
   heap_.push_back(Event{time, kind, index});
   std::push_heap(heap_.begin(), heap_.end(),
                  [](const Event& a, const Event& b) {
-                   return event_after(a.time, a.index, b.time, b.index);
+                   return event_after(a.time, a.index,
+                                      static_cast<int>(a.kind), b.time,
+                                      b.index, static_cast<int>(b.kind));
                  });
 }
 
@@ -116,6 +125,7 @@ void Kernel::reset() {
     chan.blocked_puts = chan.blocked_gets = 0;
     chan.put_wait.reset();
     chan.get_wait.reset();
+    chan.peak_occupancy = 0;
   }
 }
 
@@ -152,7 +162,9 @@ void Kernel::advance(SimProcessId p) {
         heap_.push_back(Event{proc.wake_at, Event::Kind::kProcessWake, p});
         std::push_heap(heap_.begin(), heap_.end(),
                        [](const Event& a, const Event& b) {
-                         return event_after(a.time, a.index, b.time, b.index);
+                         return event_after(a.time, a.index,
+                                            static_cast<int>(a.kind), b.time,
+                                            b.index, static_cast<int>(b.kind));
                        });
         return;
       }
@@ -213,6 +225,7 @@ void Kernel::try_rendezvous(SimChannelId c) {
   if (producer_stall > 0) ++chan.blocked_puts;
   if (consumer_stall > 0) ++chan.blocked_gets;
   chan.in_flight = producer.behavior ? producer.behavior->on_put(c) : Packet{};
+  chan.peak_occupancy = std::max<std::int64_t>(chan.peak_occupancy, 1);
   set_status(producer, ProcessState::Status::kTransferring);
   set_status(consumer, ProcessState::Status::kTransferring);
   producer.wake_at = consumer.wake_at = now_ + chan.latency;
@@ -239,6 +252,9 @@ void Kernel::try_fifo_put(SimChannelId c) {
   chan.producer_waiting = false;
   chan.transfer_in_progress = true;
   ++chan.writes_in_flight;
+  chan.peak_occupancy = std::max(
+      chan.peak_occupancy,
+      static_cast<std::int64_t>(chan.buffer.size()) + chan.writes_in_flight);
   chan.in_flight = producer.behavior ? producer.behavior->on_put(c) : Packet{};
   set_status(producer, ProcessState::Status::kTransferring);
   producer.wake_at = now_ + chan.latency;
@@ -402,7 +418,8 @@ RunResult Kernel::run(SimChannelId observe, std::int64_t target_transfers,
   }
 
   auto heap_cmp = [](const Event& a, const Event& b) {
-    return event_after(a.time, a.index, b.time, b.index);
+    return event_after(a.time, a.index, static_cast<int>(a.kind), b.time,
+                       b.index, static_cast<int>(b.kind));
   };
 
   std::int64_t observed_target =

@@ -46,6 +46,7 @@ StallReport collect_stalls(const Kernel& kernel) {
     stall.blocked_gets = chan.blocked_gets;
     stall.put_wait_cycles = chan.producer_stall_cycles;
     stall.get_wait_cycles = chan.consumer_stall_cycles;
+    stall.peak_occupancy = chan.peak_occupancy;
     stall.put_wait = chan.put_wait;
     stall.get_wait = chan.get_wait;
     report.channels.push_back(std::move(stall));
@@ -74,8 +75,8 @@ std::string StallReport::to_text(int indent) const {
                    });
 
   util::Table chans({"channel", "transfers", "blocked puts", "blocked gets",
-                     "put wait", "get wait", "mean put wait",
-                     "mean get wait"});
+                     "put wait", "get wait", "mean put wait", "mean get wait",
+                     "peak occ"});
   for (const ChannelStall* c : ranked) {
     chans.add_row({c->name, std::to_string(c->transfers),
                    std::to_string(c->blocked_puts),
@@ -83,7 +84,8 @@ std::string StallReport::to_text(int indent) const {
                    std::to_string(c->put_wait_cycles),
                    std::to_string(c->get_wait_cycles),
                    util::format_double(c->put_wait.mean()),
-                   util::format_double(c->get_wait.mean())});
+                   util::format_double(c->get_wait.mean()),
+                   std::to_string(c->peak_occupancy)});
   }
 
   std::ostringstream out;

@@ -36,6 +36,7 @@ struct ChannelStall {
   std::int64_t blocked_gets = 0;
   std::int64_t put_wait_cycles = 0;  // total producer wait on this channel
   std::int64_t get_wait_cycles = 0;
+  std::int64_t peak_occupancy = 0;  // high-water buffered + in-flight items
   obs::HistogramData put_wait;  // per-episode wait distribution
   obs::HistogramData get_wait;
 };

@@ -1181,6 +1181,23 @@ JsonValue Broker::run_stats(int version) {
               JsonValue::integer(cache_.admission_rejects()));
     cache.set("restored",
               JsonValue::integer(static_cast<std::int64_t>(cache_restored_)));
+    // Per-family split of the capacity plane: the report/eval/aux memos own
+    // separate slices of the budget, so pressure is per-family, not global.
+    JsonValue families = JsonValue::array();
+    for (const analysis::EvalCache::FamilyStats& family :
+         cache_.family_stats()) {
+      JsonValue row = JsonValue::object();
+      row.set("name", JsonValue::string(family.name));
+      row.set("entries",
+              JsonValue::integer(static_cast<std::int64_t>(family.entries)));
+      row.set("bytes", JsonValue::integer(family.bytes));
+      row.set("byte_budget", JsonValue::integer(family.byte_budget));
+      row.set("evictions", JsonValue::integer(family.evictions));
+      row.set("admission_rejects",
+              JsonValue::integer(family.admission_rejects));
+      families.push_back(std::move(row));
+    }
+    cache.set("families", std::move(families));
   }
 
   JsonValue out = JsonValue::object();
@@ -1262,6 +1279,34 @@ JsonValue Broker::run_metrics() {
   for (std::size_t i = 0; i < shards.size(); ++i) {
     body += "ermes_cache_shard_bytes{shard=\"" + std::to_string(i) + "\"} " +
             std::to_string(shards[i].bytes) + "\n";
+  }
+  const std::vector<analysis::EvalCache::FamilyStats> families =
+      cache_.family_stats();
+  body += "# TYPE ermes_cache_family_entries gauge\n";
+  for (const auto& f : families) {
+    body += "ermes_cache_family_entries{family=\"" + std::string(f.name) +
+            "\"} " + std::to_string(f.entries) + "\n";
+  }
+  body += "# TYPE ermes_cache_family_bytes gauge\n";
+  for (const auto& f : families) {
+    body += "ermes_cache_family_bytes{family=\"" + std::string(f.name) +
+            "\"} " + std::to_string(f.bytes) + "\n";
+  }
+  body += "# TYPE ermes_cache_family_byte_budget gauge\n";
+  for (const auto& f : families) {
+    body += "ermes_cache_family_byte_budget{family=\"" + std::string(f.name) +
+            "\"} " + std::to_string(f.byte_budget) + "\n";
+  }
+  body += "# TYPE ermes_cache_family_evictions counter\n";
+  for (const auto& f : families) {
+    body += "ermes_cache_family_evictions_total{family=\"" +
+            std::string(f.name) + "\"} " + std::to_string(f.evictions) + "\n";
+  }
+  body += "# TYPE ermes_cache_family_admission_rejects counter\n";
+  for (const auto& f : families) {
+    body += "ermes_cache_family_admission_rejects_total{family=\"" +
+            std::string(f.name) + "\"} " +
+            std::to_string(f.admission_rejects) + "\n";
   }
   body += "# TYPE ermes_cache_bytes gauge\n";
   body += "ermes_cache_bytes " + std::to_string(cache_.bytes()) + "\n";

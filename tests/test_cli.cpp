@@ -133,6 +133,57 @@ TEST(CliExitCodes, DeadlockIsAnalysisFailure) {
   std::remove(dead.c_str());
 }
 
+TEST(CliExitCodes, SimulateTextAndJsonAgree) {
+  const RunResult text = run_cli("simulate " + demo_path() + " 50");
+  EXPECT_EQ(text.exit_code, 0);
+  EXPECT_TRUE(text.err.empty()) << text.err;
+  EXPECT_NE(text.out.find("cycles/item"), std::string::npos) << text.out;
+
+  // Flag order is free; the object carries the same run (one line, no
+  // stderr) and the key stats the text line prints.
+  const RunResult json = run_cli("simulate " + demo_path() + " 50 --json");
+  const RunResult json2 = run_cli("simulate " + demo_path() + " --json 50");
+  EXPECT_EQ(json.exit_code, 0);
+  EXPECT_TRUE(json.err.empty()) << json.err;
+  EXPECT_EQ(json.out, json2.out);
+  EXPECT_EQ(std::count(json.out.begin(), json.out.end(), '\n'), 1)
+      << json.out;
+  EXPECT_EQ(json.out.rfind("{", 0), 0u) << json.out;
+  EXPECT_NE(json.out.find("\"items\":50"), std::string::npos) << json.out;
+  EXPECT_NE(json.out.find("\"cycles\":"), std::string::npos) << json.out;
+  EXPECT_NE(json.out.find("\"deadlocked\":false"), std::string::npos)
+      << json.out;
+  EXPECT_NE(json.out.find("\"stalls\":{"), std::string::npos) << json.out;
+}
+
+TEST(CliExitCodes, SimulateDeadlockIsAnalysisFailure) {
+  const std::string dead = ::testing::TempDir() + "/ermes_cli_simdead.soc";
+  std::ofstream(dead) << "system dead\n"
+                         "process a latency 1\n"
+                         "process b latency 1\n"
+                         "channel ab a -> b latency 0\n"
+                         "channel ba b -> a latency 0\n";
+  const RunResult text = run_cli("simulate " + dead + " 10");
+  EXPECT_EQ(text.exit_code, 4);
+  expect_error_line(text);
+  EXPECT_NE(text.out.find("DEADLOCK"), std::string::npos) << text.out;
+
+  const RunResult json = run_cli("simulate " + dead + " 10 --json");
+  EXPECT_EQ(json.exit_code, 4);
+  expect_error_line(json);
+  EXPECT_NE(json.out.find("\"deadlocked\":true"), std::string::npos)
+      << json.out;
+  EXPECT_NE(json.out.find("\"deadlock_processes\":["), std::string::npos)
+      << json.out;
+  std::remove(dead.c_str());
+}
+
+TEST(CliExitCodes, SimulateBadItemCountIsUsage) {
+  const RunResult result = run_cli("simulate " + demo_path() + " ten");
+  EXPECT_EQ(result.exit_code, 2);
+  expect_error_line(result);
+}
+
 TEST(CliExitCodes, UnmetTargetIsAnalysisFailure) {
   // The demo system cannot reach a cycle time of 1.
   const RunResult result = run_cli("dse " + demo_path() + " 1");

@@ -598,7 +598,7 @@ TEST(Broker, StatsV2IsAdditiveOverV1) {
   ASSERT_NE(v1_cache, nullptr);
   for (const char* member : {"shards", "window_hit_rate", "bytes",
                              "byte_budget", "evictions", "admission_rejects",
-                             "restored"}) {
+                             "restored", "families"}) {
     EXPECT_EQ(v1_cache->find(member), nullptr) << member;
   }
 
@@ -647,6 +647,24 @@ TEST(Broker, StatsV2IsAdditiveOverV1) {
   EXPECT_EQ(cache->find("byte_budget")->as_int(), 0);
   ASSERT_NE(cache->find("evictions"), nullptr);
   ASSERT_NE(cache->find("restored"), nullptr);
+  // Per-family split (v2-only): fixed order, and bytes/entries fold up to
+  // the cache-wide totals.
+  const JsonValue* families = cache->find("families");
+  ASSERT_NE(families, nullptr);
+  ASSERT_EQ(families->items().size(), 3u);
+  EXPECT_EQ(families->items()[0].find("name")->as_string(), "reports");
+  EXPECT_EQ(families->items()[1].find("name")->as_string(), "evals");
+  EXPECT_EQ(families->items()[2].find("name")->as_string(), "aux");
+  std::int64_t family_bytes = 0, family_entries = 0;
+  for (const JsonValue& family : families->items()) {
+    family_bytes += family.find("bytes")->as_int();
+    family_entries += family.find("entries")->as_int();
+    ASSERT_NE(family.find("byte_budget"), nullptr);
+    ASSERT_NE(family.find("evictions"), nullptr);
+    ASSERT_NE(family.find("admission_rejects"), nullptr);
+  }
+  EXPECT_EQ(family_bytes, cache->find("bytes")->as_int());
+  EXPECT_EQ(family_entries, cache->find("entries")->as_int());
   const JsonValue* build = v2.result.find("build");
   ASSERT_NE(build, nullptr);
   EXPECT_NE(build->as_string().find("ermes "), std::string::npos);
@@ -677,6 +695,11 @@ TEST(Broker, MetricsOpServesPrometheusTextAtEveryVersion) {
               std::string::npos);
     EXPECT_NE(text.find("ermes_cache_shard_hits_total{shard=\"0\"}"),
               std::string::npos);
+    EXPECT_NE(text.find("ermes_cache_family_bytes{family=\"reports\"}"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("ermes_cache_family_evictions_total{family=\"aux\"}"),
+        std::string::npos);
     EXPECT_NE(text.find("# TYPE ermes_svc_window_rps gauge\n"),
               std::string::npos);
     // `text` mirrors `body` so --text prints a raw scrape.

@@ -6,7 +6,9 @@
 //                                          flat .soc, an SCC-colored/clustered TMG
 //                                          dot, or a per-component analysis
 //   ermes order    <file.soc> [-o out.soc] channel ordering (Algorithm 1 + safety nets)
-//   ermes simulate <file.soc> [items]      cycle-accurate rendezvous simulation
+//   ermes simulate <file.soc> [items] [--json]
+//                                          cycle-accurate rendezvous simulation
+//                                          (--json: machine-readable result)
 //   ermes dse      <file.soc> <tct>        ERMES exploration toward a target cycle time
 //   ermes sweep    <file.soc> <lo> <hi> [step]  parallel multi-TCT exploration sweep
 //   ermes size     <file.soc> <tct>        FIFO buffer sizing toward a target cycle time
@@ -52,6 +54,7 @@
 #include "comp/partition.h"
 #include "dse/explorer.h"
 #include "exec/thread_pool.h"
+#include "exec/worker_slots.h"
 #include "graph/dot.h"
 #include "io/soc_format.h"
 #include "io/soc_hier.h"
@@ -60,7 +63,9 @@
 #include "obs/span.h"
 #include "ordering/channel_ordering.h"
 #include "ordering/local_search.h"
+#include "sim/compiled.h"
 #include "sim/system_sim.h"
+#include "svc/json.h"
 #include "svc/client.h"
 #include "svc/protocol.h"
 #include "tmg/csr.h"
@@ -97,6 +102,7 @@ int usage() {
                "[--log trace|debug|info|warn|error|off] [--jobs N] [--hier]\n"
                "       compose: ermes compose <file.soc> [-o out.soc] [--dot] "
                "[--report]\n"
+               "       simulate: ermes simulate <file.soc> [items] [--json]\n"
                "       serve:   ermes serve [--socket path | --port N] "
                "[--workers N] [--queue N] [--deadline-ms N] [--slow-ms N] "
                "[--trace-sample N] [--cache-mb N] [--cache-file path] "
@@ -381,24 +387,84 @@ int cmd_order(const char* path, const char* out_path) {
   return kExitOk;
 }
 
-int cmd_simulate(const char* path, std::int64_t items) {
+// Runs through the compiled engine (sim::CompiledSim is bit-identical to
+// the legacy Kernel — the differential suite holds it to that — and skips
+// the per-run build_kernel); the text output shape is unchanged. --json
+// swaps the human lines for one machine-readable object (result + stall
+// summary) with the same exit-code and stderr contract: a deadlock still
+// prints exactly one `error:` line and exits 4.
+int cmd_simulate(const char* path, std::int64_t items, bool json) {
   io::ParseResult parsed;
   if (!load(path, parsed)) return kExitParse;
-  const sim::SystemSimResult result =
-      sim::simulate_system(parsed.system, items);
+  const sim::CompiledSim compiled(parsed.system);
+  sim::CompiledSim::Instance instance(compiled);
+  sim::BatchOptions opts;
+  opts.target_transfers = items;
+  const sim::ScenarioResult result = instance.run({}, opts);
+  if (obs::enabled()) sim::publish_metrics(parsed.system, result);
+
+  if (json) {
+    std::int64_t transfers = 0, blocked_puts = 0, blocked_gets = 0;
+    std::int64_t put_wait = 0, get_wait = 0, peak = 0, stall_cycles = 0;
+    for (const sim::ScenarioChannelStats& chan : result.channels) {
+      transfers += chan.transfers;
+      blocked_puts += chan.blocked_puts;
+      blocked_gets += chan.blocked_gets;
+      put_wait += chan.put_wait_cycles;
+      get_wait += chan.get_wait_cycles;
+      peak = std::max(peak, chan.peak_occupancy);
+    }
+    for (const sim::ScenarioProcessStats& proc : result.processes) {
+      stall_cycles += proc.stall_cycles;
+    }
+    svc::JsonValue stalls = svc::JsonValue::object();
+    stalls.set("transfers", svc::JsonValue::integer(transfers));
+    stalls.set("blocked_puts", svc::JsonValue::integer(blocked_puts));
+    stalls.set("blocked_gets", svc::JsonValue::integer(blocked_gets));
+    stalls.set("put_wait_cycles", svc::JsonValue::integer(put_wait));
+    stalls.set("get_wait_cycles", svc::JsonValue::integer(get_wait));
+    stalls.set("stall_cycles", svc::JsonValue::integer(stall_cycles));
+    stalls.set("peak_occupancy", svc::JsonValue::integer(peak));
+    svc::JsonValue report = svc::JsonValue::object();
+    report.set("items", svc::JsonValue::integer(result.observed_count));
+    report.set("cycles", svc::JsonValue::integer(result.cycles));
+    report.set("cycles_per_item",
+               svc::JsonValue::number(result.measured_cycle_time));
+    report.set("throughput", svc::JsonValue::number(result.throughput));
+    report.set("deadlocked", svc::JsonValue::boolean(result.deadlocked));
+    if (result.deadlocked) {
+      report.set("deadlock_at", svc::JsonValue::integer(result.deadlock_at));
+      svc::JsonValue procs = svc::JsonValue::array();
+      for (const sim::SimProcessId p : result.deadlock_processes) {
+        procs.push_back(svc::JsonValue::string(parsed.system.process_name(p)));
+      }
+      report.set("deadlock_processes", std::move(procs));
+    }
+    report.set("hit_cycle_limit",
+               svc::JsonValue::boolean(result.hit_cycle_limit));
+    report.set("stalls", std::move(stalls));
+    std::printf("%s\n", report.to_string().c_str());
+    if (result.deadlocked) {
+      std::fprintf(stderr, "error: simulation deadlocked\n");
+      return kExitAnalysis;
+    }
+    return kExitOk;
+  }
+
   if (result.deadlocked) {
     std::printf("DEADLOCK at cycle %lld\n",
-                static_cast<long long>(result.deadlock.at_cycle));
+                static_cast<long long>(result.deadlock_at));
     std::fprintf(stderr, "error: simulation deadlocked\n");
     return kExitAnalysis;
   }
   std::printf("%lld items in %lld cycles: %s cycles/item (throughput %s)\n",
-              static_cast<long long>(result.items),
+              static_cast<long long>(result.observed_count),
               static_cast<long long>(result.cycles),
               util::format_double(result.measured_cycle_time).c_str(),
               util::format_double(result.throughput, 6).c_str());
   if (obs::enabled()) {
-    std::printf("\n%s", result.stalls.to_text(0).c_str());
+    std::printf("\n%s",
+                sim::to_stall_report(parsed.system, result).to_text(0).c_str());
   }
   return kExitOk;
 }
@@ -439,14 +505,11 @@ int cmd_sweep(const char* path, std::int64_t lo, std::int64_t hi,
 
   analysis::EvalCache cache;
   exec::ThreadPool pool(effective_jobs(global));
-  // One warm CSR solver per worker slot (0 = caller, i+1 = worker i): every
-  // exploration a slot executes reuses that slot's compiled structure, and
-  // each exploration's candidate analyses sweep through its batched solve
-  // path. A slot is driven by one thread at a time, so no locking is needed.
-  std::vector<std::unique_ptr<tmg::CycleMeanSolver>> solvers;
-  for (std::size_t i = 0; i < pool.jobs() + 1; ++i) {
-    solvers.push_back(std::make_unique<tmg::CycleMeanSolver>());
-  }
+  // One warm CSR solver per worker slot: every exploration a slot executes
+  // reuses that slot's compiled structure, and each exploration's candidate
+  // analyses sweep through its batched solve path. A slot is driven by one
+  // thread at a time, so no locking is needed.
+  exec::SlotLocal<tmg::CycleMeanSolver> solvers(pool.jobs());
   util::Stopwatch sw;
   const std::vector<dse::ExplorationResult> results =
       pool.parallel_map<dse::ExplorationResult>(
@@ -456,9 +519,7 @@ int cmd_sweep(const char* path, std::int64_t lo, std::int64_t hi,
             options.target_cycle_time = targets[i];
             options.jobs = 1;  // parallel across sweep points, serial within
             options.cache = &cache;
-            std::size_t slot = exec::current_worker_slot();
-            if (slot >= solvers.size()) slot = 0;
-            options.solver = solvers[slot].get();
+            options.solver = &solvers.local();
             return dse::explore(parsed.system, options);
           },
           /*grain=*/1);
@@ -478,8 +539,8 @@ int cmd_sweep(const char* path, std::int64_t lo, std::int64_t hi,
               static_cast<long long>(cache.misses()), cache.hit_rate() * 100.0,
               cache.size());
   tmg::CycleMeanSolver::Stats solver_stats;
-  for (const auto& solver : solvers) {
-    const tmg::CycleMeanSolver::Stats& s = solver->stats();
+  for (const tmg::CycleMeanSolver& solver : solvers) {
+    const tmg::CycleMeanSolver::Stats& s = solver.stats();
     solver_stats.batch_solves += s.batch_solves;
     solver_stats.batch_scenarios += s.batch_scenarios;
     solver_stats.batch_scc_solves += s.batch_scc_solves;
@@ -988,7 +1049,8 @@ int dispatch(int argc, char** argv, const GlobalOptions& global) {
     if (!parse_arg_i64(argv[i], &numbers[i - 3]) &&
         !(cmd == "order" && std::strcmp(argv[i], "-o") == 0) &&
         !(cmd == "order" && i >= 4 &&
-          std::strcmp(argv[i - 1], "-o") == 0)) {
+          std::strcmp(argv[i - 1], "-o") == 0) &&
+        !(cmd == "simulate" && std::strcmp(argv[i], "--json") == 0)) {
       return usage_bad_number(argv[i]);
     }
   }
@@ -999,7 +1061,18 @@ int dispatch(int argc, char** argv, const GlobalOptions& global) {
     return cmd_order(argv[2], out);
   }
   if (cmd == "simulate") {
-    return cmd_simulate(argv[2], argc >= 4 ? numbers[0] : 200);
+    // [items] and --json in either order; the strict-int loop above already
+    // rejected anything else.
+    std::int64_t items = 200;
+    bool json = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else if (!parse_arg_i64(argv[i], &items)) {
+        return usage_bad_number(argv[i]);
+      }
+    }
+    return cmd_simulate(argv[2], items, json);
   }
   if (cmd == "dse") {
     if (argc < 4) return usage();
